@@ -1,0 +1,198 @@
+// Google-benchmark microbenchmarks of StreamLake's building blocks:
+// checksums, compression, encodings, erasure coding, KV, PLog appends,
+// stream-object appends, and LakeFile scans. These back the cost-model
+// calibration and catch performance regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "codec/compression.h"
+#include "codec/encoding.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "format/lakefile.h"
+#include "kv/kv_store.h"
+#include "storage/erasure_coding.h"
+#include "storage/plog_store.h"
+#include "stream/stream_object.h"
+#include "workload/dpi_log.h"
+
+namespace streamlake {
+namespace {
+
+Bytes RandomBytes(size_t n, uint64_t seed = 1) {
+  Random rng(seed);
+  Bytes out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Uniform(256));
+  }
+  return out;
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  Bytes data = RandomBytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(ByteView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(1024)->Arg(64 << 10);
+
+void BM_Hash64(benchmark::State& state) {
+  Bytes data = RandomBytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(ByteView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Hash64)->Arg(16)->Arg(1024);
+
+void BM_LzCompressLogs(benchmark::State& state) {
+  // Log-like repetitive text.
+  std::string s;
+  while (s.size() < static_cast<size_t>(state.range(0))) {
+    s += "ts=1656806400 level=INFO module=dpi msg=packet accepted ";
+  }
+  Bytes data = ToBytes(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::Compress(codec::Compression::kLz, ByteView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LzCompressLogs)->Arg(64 << 10);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  storage::ReedSolomon rs(8, static_cast<int>(state.range(0)));
+  Bytes data = RandomBytes(256 << 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Encode(ByteView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ReedSolomonDecodeWithLoss(benchmark::State& state) {
+  storage::ReedSolomon rs(8, 2);
+  Bytes data = RandomBytes(256 << 10);
+  std::vector<Bytes> shards = rs.Encode(ByteView(data));
+  std::vector<std::optional<Bytes>> in(shards.begin(), shards.end());
+  in[0] = std::nullopt;
+  in[5] = std::nullopt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(in, data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_ReedSolomonDecodeWithLoss);
+
+void BM_Int64Encoding(benchmark::State& state) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 8192; ++i) values.push_back(1656806400 + i * 3);
+  auto encoding = static_cast<codec::Encoding>(state.range(0));
+  for (auto _ : state) {
+    Bytes out;
+    codec::EncodeInt64s(values, encoding, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Int64Encoding)
+    ->Arg(static_cast<int>(codec::Encoding::kPlain))
+    ->Arg(static_cast<int>(codec::Encoding::kDelta))
+    ->Arg(static_cast<int>(codec::Encoding::kRle));
+
+void BM_KvPut(benchmark::State& state) {
+  kv::KvStore store;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Put("key-" + std::to_string(i++ % 100000), "value"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvPut);
+
+void BM_KvGet(benchmark::State& state) {
+  kv::KvStore store;
+  for (int i = 0; i < 10000; ++i) {
+    store.Put("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("key-" + std::to_string(i++ % 10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvGet);
+
+struct PlogBench {
+  sim::SimClock clock;
+  storage::StoragePool pool{"ssd", sim::MediaType::kNvmeSsd, &clock};
+  std::unique_ptr<storage::PlogStore> store;
+
+  explicit PlogBench(storage::RedundancyConfig redundancy) {
+    pool.AddCluster(6, 2, 8ULL << 30);
+    storage::PlogStoreConfig config;
+    config.num_shards = 8;
+    config.plog.capacity = 256ULL << 20;
+    config.plog.redundancy = redundancy;
+    store = std::make_unique<storage::PlogStore>(&pool, config, &clock);
+  }
+};
+
+void BM_PlogAppendReplication(benchmark::State& state) {
+  PlogBench bench(storage::RedundancyConfig::Replication(3));
+  Bytes record = RandomBytes(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.store->Append(i++ % 8, ByteView(record)));
+  }
+  state.SetBytesProcessed(state.iterations() * record.size());
+}
+BENCHMARK(BM_PlogAppendReplication)->Arg(1024)->Arg(256 << 10);
+
+void BM_PlogAppendErasureCoded(benchmark::State& state) {
+  PlogBench bench(storage::RedundancyConfig::ErasureCoding(4, 2));
+  Bytes record = RandomBytes(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.store->Append(i++ % 8, ByteView(record)));
+  }
+  state.SetBytesProcessed(state.iterations() * record.size());
+}
+BENCHMARK(BM_PlogAppendErasureCoded)->Arg(1024)->Arg(256 << 10);
+
+void BM_StreamObjectAppend(benchmark::State& state) {
+  PlogBench bench(storage::RedundancyConfig::Replication(3));
+  kv::KvStore index;
+  stream::StreamObjectManager manager(bench.store.get(), &index, &bench.clock);
+  uint64_t id = *manager.CreateObject({});
+  stream::StreamObject* object = manager.GetObject(id);
+  for (auto _ : state) {
+    std::vector<stream::StreamRecord> batch(1);
+    batch[0].key = "key";
+    batch[0].value = Bytes(1024, 'v');
+    benchmark::DoNotOptimize(object->Append(std::move(batch)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamObjectAppend);
+
+void BM_LakeFileWriteScan(benchmark::State& state) {
+  workload::DpiLogGenerator gen;
+  std::vector<format::Row> rows = gen.NextBatch(4096);
+  for (auto _ : state) {
+    format::LakeFileWriter writer(workload::DpiLogGenerator::Schema());
+    writer.AppendBatch(rows);
+    auto file = writer.Finish();
+    auto reader = format::LakeFileReader::Open(std::move(*file));
+    benchmark::DoNotOptimize(reader->ReadAll());
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_LakeFileWriteScan);
+
+}  // namespace
+}  // namespace streamlake
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// The data access layer and enterprise resilience features (Section III):
+// one piece of data reached through S3, NAS, and block protocols, guarded
+// by authentication + ACLs; then disk failure -> data reconstruction, and
+// remote-site replication -> disaster recovery.
+//
+// Run: ./build/examples/multi_protocol
+
+#include <cstdio>
+
+#include "access/access_control.h"
+#include "access/block_service.h"
+#include "access/nas_service.h"
+#include "access/s3_gateway.h"
+#include "core/streamlake.h"
+#include "storage/repair.h"
+#include "storage/replication.h"
+
+using namespace streamlake;
+
+int main() {
+  core::StreamLake lake;
+  access::AccessController acl;
+
+  // --- Principals and ACLs ---
+  std::string admin = acl.CreatePrincipal("admin");
+  std::string analyst = acl.CreatePrincipal("analyst");
+  acl.Grant("admin", "/", access::Permission::kAdmin);
+  acl.Grant("analyst", "/s3/reports/", access::Permission::kRead);
+
+  // --- S3 protocol ---
+  access::S3Gateway s3(&lake.objects(), &acl, &lake.data_bus());
+  s3.CreateBucket(admin, "reports");
+  s3.PutObject(admin, "reports", "q2.csv", ByteView("region,revenue\ncn,42\n"));
+  auto fetched = s3.GetObject(analyst, "reports", "q2.csv");
+  std::printf("S3: analyst reads %zu bytes from s3://reports/q2.csv\n",
+              fetched.ok() ? fetched->size() : 0);
+  auto denied = s3.PutObject(analyst, "reports", "q2.csv", ByteView("tamper"));
+  std::printf("S3: analyst write denied as expected: %s\n",
+              denied.ToString().c_str());
+
+  // --- NAS protocol over the same object namespace ---
+  access::NasService nas(&lake.objects(), &acl, &lake.clock());
+  nas.MakeDirectory(admin, "/shared");
+  auto handle = nas.Open(admin, "/shared/notes.txt", /*for_write=*/true);
+  nas.WriteAt(*handle, 0, ByteView("mounted via NFS\n"));
+  nas.Close(*handle);
+  auto attrs = nas.GetAttributes(admin, "/shared/notes.txt");
+  std::printf("NAS: /shared/notes.txt is %llu bytes\n",
+              static_cast<unsigned long long>(attrs->size));
+
+  // --- Block protocol (iSCSI LUN, thin-provisioned) ---
+  access::BlockService blocks(&lake.ssd_pool(), &acl);
+  auto lun = blocks.CreateVolume(admin, 256ULL << 20);
+  blocks.Write(admin, *lun, 4096, ByteView("raw database pages"));
+  auto sector = blocks.Read(admin, *lun, 4096, 18);
+  std::printf("Block: LUN %llu read back '%s'; %llu bytes provisioned of "
+              "256 MB\n",
+              static_cast<unsigned long long>(*lun),
+              BytesToString(*sector).c_str(),
+              static_cast<unsigned long long>(
+                  *blocks.AllocatedBytes(admin, *lun)));
+
+  // --- Disk failure -> data reconstruction ---
+  lake.ssd_pool().SetNodeFailed(0, true);
+  auto still_readable = s3.GetObject(admin, "reports", "q2.csv");
+  std::printf("Failure: node 0 down, object still readable: %s\n",
+              still_readable.ok() ? "yes" : "no");
+  auto repaired = lake.repair().Run();
+  std::printf("Repair: %llu degraded PLogs rebuilt onto healthy disks\n",
+              static_cast<unsigned long long>(repaired->plogs_repaired));
+  lake.ssd_pool().SetNodeFailed(0, false);
+
+  // --- Remote replication + disaster recovery ---
+  core::StreamLake remote_site;
+  kv::KvStore repl_state;
+  sim::NetworkModel wan(sim::NetworkProfile::Tcp(), &lake.clock());
+  storage::RemoteReplicationService replication(&lake.objects(),
+                                                &remote_site.objects(), &wan,
+                                                &repl_state);
+  auto shipped = replication.Replicate("/s3/reports/");
+  std::printf("Replication: %llu objects (%llu bytes) mirrored to site B\n",
+              static_cast<unsigned long long>(shipped->objects_shipped),
+              static_cast<unsigned long long>(shipped->bytes_shipped));
+  s3.DeleteObject(admin, "reports", "q2.csv");
+  replication.RestoreObject("/s3/reports/q2.csv");
+  auto restored = s3.GetObject(admin, "reports", "q2.csv");
+  std::printf("Disaster recovery: object restored from site B (%zu bytes)\n",
+              restored.ok() ? restored->size() : 0);
+  return 0;
+}

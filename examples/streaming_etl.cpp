@@ -1,0 +1,82 @@
+// Streaming ETL with enterprise features: exactly-once transactional
+// produce (2PC), elastic scaling of stream workers and partitions without
+// data migration, columnar archiving, and SSD->HDD tiering.
+//
+// Run: ./build/examples/streaming_etl
+
+#include <cstdio>
+
+#include "core/streamlake.h"
+#include "workload/dpi_log.h"
+
+using namespace streamlake;
+
+int main() {
+  core::StreamLakeOptions options;
+  options.tiering_policy.cold_after_ns = 60 * sim::kSecond;
+  options.plog.plog.capacity = 4 << 20;
+  core::StreamLake lake(options);
+
+  streaming::TopicConfig config;
+  config.stream_num = 4;
+  config.archive.enabled = true;
+  config.archive.archive_size_mb = 0;  // archive eagerly for the demo
+  config.archive.row_2_col = true;
+  if (!lake.dispatcher().CreateTopic("payments", config).ok()) return 1;
+
+  // --- Exactly-once produce: all-or-nothing batches via 2PC ---
+  auto txns = lake.NewTransactionManager();
+  workload::DpiLogGenerator gen;
+  int committed = 0, aborted = 0;
+  for (int batch = 0; batch < 20; ++batch) {
+    auto txn = txns.Begin();
+    if (!txn.ok()) return 1;
+    for (int i = 0; i < 100; ++i) {
+      txns.Send(*txn, "payments", gen.NextMessage());
+    }
+    if (batch % 5 == 4) {
+      txns.Abort(*txn);  // e.g. an upstream validation failed
+      ++aborted;
+    } else {
+      if (!txns.Commit(*txn).ok()) return 1;
+      ++committed;
+    }
+  }
+  std::printf("transactions: %d committed, %d aborted\n", committed, aborted);
+
+  auto consumer = lake.NewConsumer("etl");
+  if (!consumer.Subscribe("payments").ok()) return 1;
+  auto polled = consumer.Poll(100000);
+  std::printf("consumer sees %zu messages (only committed batches: %d)\n",
+              polled->size(), committed * 100);
+
+  // --- Elastic scaling: metadata-only, measured on the simulated clock ---
+  uint64_t before_ns = lake.clock().NowNanos();
+  lake.dispatcher().ResizeWorkers(12);
+  lake.dispatcher().AddStreams("payments", 60);
+  uint64_t scale_ns = lake.clock().NowNanos() - before_ns;
+  std::printf("scaled 4->64 partitions, 3->12 workers in %.3f simulated ms "
+              "(no data migration)\n", scale_ns / 1e6);
+
+  // --- Columnar archive ---
+  auto archived = lake.archive().Run("payments", /*force=*/true);
+  if (!archived.ok()) return 1;
+  std::printf("archived %llu records: %.1f KB raw -> %.1f KB columnar "
+              "(%.1fx smaller)\n",
+              static_cast<unsigned long long>(archived->archived_records),
+              archived->source_bytes / 1024.0,
+              archived->archived_bytes / 1024.0,
+              static_cast<double>(archived->source_bytes) /
+                  archived->archived_bytes);
+
+  // --- Tiering: cold PLogs sink to the HDD pool ---
+  lake.clock().Advance(3600 * sim::kSecond);
+  if (!lake.RunBackgroundWork().ok()) return 1;
+  std::printf("after tiering: ssd=%.1f MB, hdd=%.1f MB allocated\n",
+              lake.ssd_pool().AllocatedBytes() / 1048576.0,
+              lake.hdd_pool().AllocatedBytes() / 1048576.0);
+
+  std::printf("\n--- cluster report ---\n%s",
+              lake.Report().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "access/access_control.h"
+
+#include "common/hash.h"
+
+namespace streamlake::access {
+
+std::string AccessController::CreatePrincipal(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = principal_to_token_.find(name);
+  if (existing != principal_to_token_.end()) return existing->second;
+  // Token: an unguessable-looking hash of name + counter (simulation-
+  // grade; a deployment would use real credentials).
+  std::string seed = name + "#" + std::to_string(next_token_++);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tok-%016llx",
+                static_cast<unsigned long long>(Hash64(ByteView(seed))));
+  std::string token = buf;
+  token_to_principal_[token] = name;
+  principal_to_token_[name] = token;
+  return token;
+}
+
+Status AccessController::RevokePrincipal(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = principal_to_token_.find(name);
+  if (it == principal_to_token_.end()) {
+    return Status::NotFound("principal " + name);
+  }
+  token_to_principal_.erase(it->second);
+  principal_to_token_.erase(it);
+  acls_.erase(name);
+  return Status::OK();
+}
+
+Status AccessController::Grant(const std::string& principal,
+                               const std::string& resource_prefix,
+                               Permission permission) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!principal_to_token_.count(principal)) {
+    return Status::NotFound("principal " + principal);
+  }
+  acls_[principal][resource_prefix] |= static_cast<uint8_t>(permission);
+  return Status::OK();
+}
+
+Status AccessController::Revoke(const std::string& principal,
+                                const std::string& resource_prefix,
+                                Permission permission) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto principal_it = acls_.find(principal);
+  if (principal_it == acls_.end()) {
+    return Status::NotFound("no grants for " + principal);
+  }
+  auto it = principal_it->second.find(resource_prefix);
+  if (it == principal_it->second.end()) {
+    return Status::NotFound("no grant on " + resource_prefix);
+  }
+  it->second &= static_cast<uint8_t>(~static_cast<uint8_t>(permission));
+  if (it->second == 0) principal_it->second.erase(it);
+  return Status::OK();
+}
+
+Result<std::string> AccessController::Authenticate(
+    const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = token_to_principal_.find(token);
+  if (it == token_to_principal_.end()) {
+    return Status::InvalidArgument("invalid access token");
+  }
+  return it->second;
+}
+
+bool AccessController::Authorize(const std::string& principal,
+                                 const std::string& resource,
+                                 Permission permission) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto principal_it = acls_.find(principal);
+  if (principal_it == acls_.end()) return false;
+  uint8_t wanted = static_cast<uint8_t>(permission);
+  for (const auto& [prefix, bits] : principal_it->second) {
+    if (resource.compare(0, prefix.size(), prefix) != 0) continue;
+    if (bits & static_cast<uint8_t>(Permission::kAdmin)) return true;
+    if (bits & wanted) return true;
+  }
+  return false;
+}
+
+Status AccessController::CheckRequest(const std::string& token,
+                                      const std::string& resource,
+                                      Permission permission) const {
+  SL_ASSIGN_OR_RETURN(std::string principal, Authenticate(token));
+  if (!Authorize(principal, resource, permission)) {
+    return Status::InvalidArgument("access denied: " + principal + " on " +
+                                   resource);
+  }
+  return Status::OK();
+}
+
+}  // namespace streamlake::access

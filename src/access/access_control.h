@@ -1,0 +1,64 @@
+#ifndef STREAMLAKE_ACCESS_ACCESS_CONTROL_H_
+#define STREAMLAKE_ACCESS_ACCESS_CONTROL_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace streamlake::access {
+
+/// Operations an ACL can grant.
+enum class Permission : uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kAdmin = 4,
+};
+
+/// \brief Authentication + access control of the data access layer
+/// (Section III): "managing authentication and access control lists,
+/// which ensure that only valid user requests are translated into
+/// internal requests".
+///
+/// Principals authenticate with opaque tokens; ACL entries grant
+/// permissions on resource prefixes (longest-prefix match).
+class AccessController {
+ public:
+  /// Register a principal; returns its access token.
+  std::string CreatePrincipal(const std::string& name);
+
+  /// Remove a principal and its grants.
+  Status RevokePrincipal(const std::string& name);
+
+  /// Grant `permission` on every resource under `resource_prefix`.
+  Status Grant(const std::string& principal,
+               const std::string& resource_prefix, Permission permission);
+
+  Status Revoke(const std::string& principal,
+                const std::string& resource_prefix, Permission permission);
+
+  /// Token -> principal name; InvalidArgument for unknown tokens.
+  Result<std::string> Authenticate(const std::string& token) const;
+
+  /// Does `principal` hold `permission` on `resource`? Admin implies all.
+  bool Authorize(const std::string& principal, const std::string& resource,
+                 Permission permission) const;
+
+  /// Authenticate + authorize in one call (the request gate).
+  Status CheckRequest(const std::string& token, const std::string& resource,
+                      Permission permission) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> token_to_principal_;
+  std::map<std::string, std::string> principal_to_token_;
+  // principal -> (resource prefix -> permission bits)
+  std::map<std::string, std::map<std::string, uint8_t>> acls_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace streamlake::access
+
+#endif  // STREAMLAKE_ACCESS_ACCESS_CONTROL_H_

@@ -1,0 +1,66 @@
+#ifndef STREAMLAKE_ACCESS_BLOCK_SERVICE_H_
+#define STREAMLAKE_ACCESS_BLOCK_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "access/access_control.h"
+#include "storage/storage_pool.h"
+
+namespace streamlake::access {
+
+/// \brief The block service of the data access layer ("a block service via
+/// standard iSCSI access", Section III): LUN-addressed virtual volumes
+/// carved from the storage pools, thin-provisioned (a pool feature listed
+/// in Section III) — physical extents are allocated on first write of
+/// each chunk, with per-volume replication.
+class BlockService {
+ public:
+  BlockService(storage::StoragePool* pool, AccessController* acl,
+               uint64_t chunk_bytes = 4ULL << 20, int replication = 2)
+      : pool_(pool), acl_(acl), chunk_bytes_(chunk_bytes),
+        replication_(replication) {}
+
+  /// Create a volume of `size_bytes`; returns its LUN id. No physical
+  /// space is reserved yet (thin provisioning).
+  Result<uint64_t> CreateVolume(const std::string& token, uint64_t size_bytes);
+
+  Status DeleteVolume(const std::string& token, uint64_t lun);
+
+  Status Write(const std::string& token, uint64_t lun, uint64_t offset,
+               ByteView data);
+  Result<Bytes> Read(const std::string& token, uint64_t lun, uint64_t offset,
+                     uint64_t length);
+
+  /// Physical bytes actually allocated for the volume (thin provisioning
+  /// means this starts at 0 and grows with written chunks).
+  Result<uint64_t> AllocatedBytes(const std::string& token,
+                                  uint64_t lun) const;
+
+ private:
+  struct Volume {
+    uint64_t size = 0;
+    // chunk index -> one extent per replica; absent chunks read as zeros.
+    std::map<uint64_t, std::vector<storage::Extent>> chunks;
+  };
+
+  static std::string Resource(uint64_t lun) {
+    return "/block/lun-" + std::to_string(lun);
+  }
+  Result<std::vector<storage::Extent>*> EnsureChunk(Volume* volume,
+                                                    uint64_t chunk);
+
+  storage::StoragePool* pool_;
+  AccessController* acl_;
+  const uint64_t chunk_bytes_;
+  const int replication_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Volume> volumes_;
+  uint64_t next_lun_ = 1;
+};
+
+}  // namespace streamlake::access
+
+#endif  // STREAMLAKE_ACCESS_BLOCK_SERVICE_H_

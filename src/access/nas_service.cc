@@ -1,0 +1,127 @@
+#include "access/nas_service.h"
+
+#include <algorithm>
+
+namespace streamlake::access {
+
+Status NasService::MakeDirectory(const std::string& token,
+                                 const std::string& path) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, NasPath(path),
+                                      Permission::kWrite));
+  std::string marker = NasPath(path) + "/.dir";
+  if (objects_->Exists(marker)) return Status::AlreadyExists(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  mtimes_[NasPath(path)] = static_cast<int64_t>(clock_->NowSeconds());
+  return objects_->Write(marker, ByteView());
+}
+
+Result<uint64_t> NasService::Open(const std::string& token,
+                                  const std::string& path, bool for_write) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(
+      token, NasPath(path),
+      for_write ? Permission::kWrite : Permission::kRead));
+  OpenFile file;
+  file.path = NasPath(path);
+  file.writable = for_write;
+  auto existing = objects_->Read(file.path);
+  if (existing.ok()) {
+    file.contents = std::move(*existing);
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  } else if (!for_write) {
+    return Status::NotFound(path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t handle = next_handle_++;
+  handles_[handle] = std::move(file);
+  return handle;
+}
+
+Result<Bytes> NasService::ReadAt(uint64_t handle, uint64_t offset,
+                                 uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status::InvalidArgument("stale handle");
+  const Bytes& contents = it->second.contents;
+  if (offset >= contents.size()) return Bytes();
+  uint64_t len = std::min<uint64_t>(length, contents.size() - offset);
+  return Bytes(contents.begin() + offset, contents.begin() + offset + len);
+}
+
+Status NasService::WriteAt(uint64_t handle, uint64_t offset, ByteView data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status::InvalidArgument("stale handle");
+  OpenFile& file = it->second;
+  if (!file.writable) return Status::InvalidArgument("read-only handle");
+  if (file.contents.size() < offset + data.size()) {
+    file.contents.resize(offset + data.size());
+  }
+  std::memcpy(file.contents.data() + offset, data.data(), data.size());
+  file.dirty = true;
+  return Status::OK();
+}
+
+Status NasService::Close(uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status::InvalidArgument("stale handle");
+  Status status = Status::OK();
+  if (it->second.dirty) {
+    status = objects_->Write(it->second.path, ByteView(it->second.contents));
+    if (status.ok()) {
+      mtimes_[it->second.path] = static_cast<int64_t>(clock_->NowSeconds());
+    }
+  }
+  handles_.erase(it);
+  return status;
+}
+
+Status NasService::Remove(const std::string& token, const std::string& path) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, NasPath(path),
+                                      Permission::kWrite));
+  std::lock_guard<std::mutex> lock(mu_);
+  mtimes_.erase(NasPath(path));
+  return objects_->Delete(NasPath(path));
+}
+
+Result<FileAttributes> NasService::GetAttributes(const std::string& token,
+                                                 const std::string& path) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, NasPath(path),
+                                      Permission::kRead));
+  FileAttributes attrs;
+  if (objects_->Exists(NasPath(path) + "/.dir")) {
+    attrs.is_directory = true;
+  } else {
+    SL_ASSIGN_OR_RETURN(attrs.size, objects_->Size(NasPath(path)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mtimes_.find(NasPath(path));
+  if (it != mtimes_.end()) attrs.mtime = it->second;
+  return attrs;
+}
+
+Result<std::vector<std::string>> NasService::ReadDirectory(
+    const std::string& token, const std::string& path) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, NasPath(path),
+                                      Permission::kRead));
+  std::string base = NasPath(path) + "/";
+  if (!objects_->Exists(base + ".dir")) return Status::NotFound(path);
+  std::vector<std::string> names;
+  for (const std::string& full : objects_->List(base)) {
+    std::string rest = full.substr(base.size());
+    if (rest == ".dir") continue;
+    // Only direct children; nested paths report their first segment.
+    size_t slash = rest.find('/');
+    std::string name = slash == std::string::npos ? rest : rest.substr(0, slash);
+    if (names.empty() || names.back() != name) names.push_back(name);
+  }
+  return names;
+}
+
+size_t NasService::open_handles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handles_.size();
+}
+
+}  // namespace streamlake::access

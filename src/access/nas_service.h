@@ -1,0 +1,74 @@
+#ifndef STREAMLAKE_ACCESS_NAS_SERVICE_H_
+#define STREAMLAKE_ACCESS_NAS_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "access/access_control.h"
+#include "sim/clock.h"
+#include "storage/object_store.h"
+
+namespace streamlake::access {
+
+/// POSIX-ish file attributes surfaced by the NAS protocols.
+struct FileAttributes {
+  uint64_t size = 0;
+  int64_t mtime = 0;
+  bool is_directory = false;
+};
+
+/// \brief The NAS service of the data access layer ("NAS services via NFS
+/// and SMB protocols", Section III): handle-based open/read-at/write-at/
+/// close file semantics over the object namespace, with directories and
+/// attributes. Writes buffer per handle and persist on Close (like an NFS
+/// commit).
+class NasService {
+ public:
+  NasService(storage::ObjectStore* objects, AccessController* acl,
+             sim::SimClock* clock)
+      : objects_(objects), acl_(acl), clock_(clock) {}
+
+  Status MakeDirectory(const std::string& token, const std::string& path);
+
+  /// Open (creating if absent when `for_write`); returns a file handle.
+  Result<uint64_t> Open(const std::string& token, const std::string& path,
+                        bool for_write);
+
+  Result<Bytes> ReadAt(uint64_t handle, uint64_t offset, uint64_t length);
+  Status WriteAt(uint64_t handle, uint64_t offset, ByteView data);
+
+  /// Flush buffered writes and release the handle.
+  Status Close(uint64_t handle);
+
+  Status Remove(const std::string& token, const std::string& path);
+  Result<FileAttributes> GetAttributes(const std::string& token,
+                                       const std::string& path);
+  Result<std::vector<std::string>> ReadDirectory(const std::string& token,
+                                                 const std::string& path);
+
+  size_t open_handles() const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    Bytes contents;
+    bool writable = false;
+    bool dirty = false;
+  };
+
+  static std::string NasPath(const std::string& path) { return "/nas" + path; }
+
+  storage::ObjectStore* objects_;
+  AccessController* acl_;
+  sim::SimClock* clock_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, OpenFile> handles_;
+  std::map<std::string, int64_t> mtimes_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace streamlake::access
+
+#endif  // STREAMLAKE_ACCESS_NAS_SERVICE_H_

@@ -1,0 +1,68 @@
+#include "access/s3_gateway.h"
+
+namespace streamlake::access {
+
+Status S3Gateway::CreateBucket(const std::string& token,
+                               const std::string& bucket) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
+                                      Permission::kWrite));
+  if (objects_->Exists(Resource(bucket) + ".bucket")) {
+    return Status::AlreadyExists("bucket " + bucket);
+  }
+  return objects_->Write(Resource(bucket) + ".bucket", ByteView());
+}
+
+Status S3Gateway::PutObject(const std::string& token,
+                            const std::string& bucket, const std::string& key,
+                            ByteView data) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
+                                      Permission::kWrite));
+  if (!objects_->Exists(Resource(bucket) + ".bucket")) {
+    return Status::NotFound("bucket " + bucket);
+  }
+  network_->ChargeTransfer(data.size());
+  return objects_->Write(Path(bucket, key), data);
+}
+
+Result<Bytes> S3Gateway::GetObject(const std::string& token,
+                                   const std::string& bucket,
+                                   const std::string& key) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
+                                      Permission::kRead));
+  SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(Path(bucket, key)));
+  network_->ChargeTransfer(data.size());
+  return data;
+}
+
+Status S3Gateway::DeleteObject(const std::string& token,
+                               const std::string& bucket,
+                               const std::string& key) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
+                                      Permission::kWrite));
+  return objects_->Delete(Path(bucket, key));
+}
+
+Result<std::vector<std::string>> S3Gateway::ListObjects(
+    const std::string& token, const std::string& bucket,
+    const std::string& prefix) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
+                                      Permission::kRead));
+  std::vector<std::string> keys;
+  std::string base = Resource(bucket);
+  for (const std::string& path : objects_->List(base + prefix)) {
+    std::string key = path.substr(base.size());
+    if (key == ".bucket") continue;
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+Result<uint64_t> S3Gateway::HeadObject(const std::string& token,
+                                       const std::string& bucket,
+                                       const std::string& key) {
+  SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
+                                      Permission::kRead));
+  return objects_->Size(Path(bucket, key));
+}
+
+}  // namespace streamlake::access

@@ -1,0 +1,52 @@
+#ifndef STREAMLAKE_ACCESS_S3_GATEWAY_H_
+#define STREAMLAKE_ACCESS_S3_GATEWAY_H_
+
+#include <string>
+#include <vector>
+
+#include "access/access_control.h"
+#include "sim/network_model.h"
+#include "storage/object_store.h"
+
+namespace streamlake::access {
+
+/// \brief The object service of the data access layer ("an object service
+/// via S3 protocol", Section III): bucket/key semantics over the object
+/// store, every request authenticated and authorized through the ACLs,
+/// and request/response payloads charged to the client-facing network.
+class S3Gateway {
+ public:
+  S3Gateway(storage::ObjectStore* objects, AccessController* acl,
+            sim::NetworkModel* front_network)
+      : objects_(objects), acl_(acl), network_(front_network) {}
+
+  Status CreateBucket(const std::string& token, const std::string& bucket);
+  Status PutObject(const std::string& token, const std::string& bucket,
+                   const std::string& key, ByteView data);
+  Result<Bytes> GetObject(const std::string& token, const std::string& bucket,
+                          const std::string& key);
+  Status DeleteObject(const std::string& token, const std::string& bucket,
+                      const std::string& key);
+  Result<std::vector<std::string>> ListObjects(const std::string& token,
+                                               const std::string& bucket,
+                                               const std::string& prefix = "");
+  Result<uint64_t> HeadObject(const std::string& token,
+                              const std::string& bucket,
+                              const std::string& key);
+
+ private:
+  static std::string Resource(const std::string& bucket) {
+    return "/s3/" + bucket + "/";
+  }
+  static std::string Path(const std::string& bucket, const std::string& key) {
+    return "/s3/" + bucket + "/" + key;
+  }
+
+  storage::ObjectStore* objects_;
+  AccessController* acl_;
+  sim::NetworkModel* network_;
+};
+
+}  // namespace streamlake::access
+
+#endif  // STREAMLAKE_ACCESS_S3_GATEWAY_H_

@@ -1,0 +1,140 @@
+#include "codec/compression.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace streamlake::codec {
+
+namespace {
+
+// LZ77 with greedy hash-table matching. Token stream:
+//   [literal_len varint][literals][match_len varint][match_dist varint]
+// repeated; match_len == 0 terminates a token pair (trailing literals only).
+// Minimum profitable match is 4 bytes; window is 64 KiB.
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1 << 16;
+constexpr size_t kWindow = 1 << 16;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t HashFour(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+Bytes LzCompress(ByteView input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const uint8_t* base = input.data();
+  const size_t n = input.size();
+  std::vector<int64_t> head(1 << kHashBits, -1);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos + kMinMatch <= n) {
+    uint32_t h = HashFour(base + pos);
+    int64_t candidate = head[h];
+    head[h] = static_cast<int64_t>(pos);
+
+    size_t match_len = 0;
+    if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kWindow) {
+      const uint8_t* a = base + candidate;
+      const uint8_t* b = base + pos;
+      size_t limit = std::min(n - pos, kMaxMatch);
+      while (match_len < limit && a[match_len] == b[match_len]) ++match_len;
+    }
+
+    if (match_len >= kMinMatch) {
+      // Emit pending literals, then the match.
+      PutVarint64(&out, pos - literal_start);
+      out.insert(out.end(), base + literal_start, base + pos);
+      PutVarint64(&out, match_len);
+      PutVarint64(&out, pos - static_cast<size_t>(candidate));
+      // Index a few positions inside the match so later data can refer to it.
+      size_t end = pos + match_len;
+      for (size_t i = pos + 1; i + kMinMatch <= end && i < pos + 8; ++i) {
+        head[HashFour(base + i)] = static_cast<int64_t>(i);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals with a zero-length match terminator.
+  PutVarint64(&out, n - literal_start);
+  out.insert(out.end(), base + literal_start, base + n);
+  PutVarint64(&out, 0);
+  return out;
+}
+
+Result<Bytes> LzDecompress(ByteView input, size_t uncompressed_size) {
+  Bytes out;
+  out.reserve(uncompressed_size);
+  const uint8_t* p = input.data();
+  const uint8_t* limit = p + input.size();
+  while (true) {
+    uint64_t literal_len;
+    if (!GetVarint64(&p, limit, &literal_len)) {
+      return Status::Corruption("lz: truncated literal length");
+    }
+    if (static_cast<uint64_t>(limit - p) < literal_len) {
+      return Status::Corruption("lz: truncated literals");
+    }
+    out.insert(out.end(), p, p + literal_len);
+    p += literal_len;
+
+    uint64_t match_len;
+    if (!GetVarint64(&p, limit, &match_len)) {
+      return Status::Corruption("lz: truncated match length");
+    }
+    if (match_len == 0) break;
+    uint64_t dist;
+    if (!GetVarint64(&p, limit, &dist)) {
+      return Status::Corruption("lz: truncated match distance");
+    }
+    if (dist == 0 || dist > out.size()) {
+      return Status::Corruption("lz: bad match distance");
+    }
+    // Byte-by-byte copy: overlapping matches (dist < len) are legal and
+    // implement run-length behaviour.
+    size_t src = out.size() - static_cast<size_t>(dist);
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != uncompressed_size) {
+    return Status::Corruption("lz: size mismatch after decompression");
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes Compress(Compression codec, ByteView input) {
+  switch (codec) {
+    case Compression::kNone:
+      return input.ToBytes();
+    case Compression::kLz:
+      return LzCompress(input);
+  }
+  return input.ToBytes();
+}
+
+Result<Bytes> Decompress(Compression codec, ByteView input,
+                         size_t uncompressed_size) {
+  switch (codec) {
+    case Compression::kNone:
+      if (input.size() != uncompressed_size) {
+        return Status::Corruption("none: size mismatch");
+      }
+      return input.ToBytes();
+    case Compression::kLz:
+      return LzDecompress(input, uncompressed_size);
+  }
+  return Status::NotSupported("unknown compression codec");
+}
+
+}  // namespace streamlake::codec

@@ -1,0 +1,30 @@
+#ifndef STREAMLAKE_CODEC_COMPRESSION_H_
+#define STREAMLAKE_CODEC_COMPRESSION_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace streamlake::codec {
+
+/// Block compression codecs available to PLogs, LakeFile column chunks, and
+/// the archive service. kLz is a from-scratch LZ77 variant (byte-oriented,
+/// 64 KiB window) — the "compression techniques" lever of the TCO story.
+enum class Compression : uint8_t {
+  kNone = 0,
+  kLz = 1,
+};
+
+/// Compress `input` with `codec`. The output is self-describing enough to
+/// decompress given the codec and the original size.
+Bytes Compress(Compression codec, ByteView input);
+
+/// Decompress a block produced by Compress(). `uncompressed_size` must be
+/// the original input size (stored by every on-disk block header).
+Result<Bytes> Decompress(Compression codec, ByteView input,
+                         size_t uncompressed_size);
+
+}  // namespace streamlake::codec
+
+#endif  // STREAMLAKE_CODEC_COMPRESSION_H_

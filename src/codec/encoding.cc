@@ -1,0 +1,256 @@
+#include "codec/encoding.h"
+
+#include <map>
+
+#include "common/coding.h"
+
+namespace streamlake::codec {
+
+namespace {
+
+void EncodeInt64Plain(const std::vector<int64_t>& values, Bytes* dst) {
+  for (int64_t v : values) PutVarint64Signed(dst, v);
+}
+
+void EncodeInt64Delta(const std::vector<int64_t>& values, Bytes* dst) {
+  int64_t prev = 0;
+  for (int64_t v : values) {
+    PutVarint64Signed(dst, v - prev);
+    prev = v;
+  }
+}
+
+void EncodeInt64Rle(const std::vector<int64_t>& values, Bytes* dst) {
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    PutVarint64Signed(dst, values[i]);
+    PutVarint64(dst, j - i);
+    i = j;
+  }
+}
+
+void EncodeStringsPlain(const std::vector<std::string>& values, Bytes* dst) {
+  for (const std::string& s : values) {
+    PutLengthPrefixed(dst, std::string_view(s));
+  }
+}
+
+void EncodeStringsDict(const std::vector<std::string>& values, Bytes* dst) {
+  std::map<std::string, uint64_t> dict;
+  std::vector<const std::string*> ordered;
+  for (const std::string& s : values) {
+    if (dict.emplace(s, dict.size()).second) ordered.push_back(&s);
+  }
+  // Re-number dictionary entries in first-appearance order for determinism.
+  // (map iteration is sorted; we stored first-appearance ids at insert time.)
+  PutVarint64(dst, ordered.size());
+  for (const std::string* s : ordered) {
+    PutLengthPrefixed(dst, std::string_view(*s));
+  }
+  for (const std::string& s : values) {
+    PutVarint64(dst, dict[s]);
+  }
+}
+
+}  // namespace
+
+void EncodeInt64s(const std::vector<int64_t>& values, Encoding encoding,
+                  Bytes* dst) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      EncodeInt64Plain(values, dst);
+      return;
+    case Encoding::kDelta:
+      EncodeInt64Delta(values, dst);
+      return;
+    case Encoding::kRle:
+      EncodeInt64Rle(values, dst);
+      return;
+    default:
+      EncodeInt64Plain(values, dst);
+      return;
+  }
+}
+
+Result<std::vector<int64_t>> DecodeInt64s(ByteView data, Encoding encoding,
+                                          size_t count) {
+  // RLE aside, each value costs >= 1 byte; cap the allocation against
+  // corrupt counts. (RLE validates run lengths against `count` itself.)
+  if (encoding != Encoding::kRle && count > data.size()) {
+    return Status::Corruption("int64 count exceeds payload");
+  }
+  std::vector<int64_t> out;
+  out.reserve(std::min<size_t>(count, data.size() + 1));
+  Decoder dec(data);
+  switch (encoding) {
+    case Encoding::kPlain: {
+      for (size_t i = 0; i < count; ++i) {
+        int64_t v;
+        if (!dec.GetVarintSigned(&v)) return Status::Corruption("int64 plain");
+        out.push_back(v);
+      }
+      return out;
+    }
+    case Encoding::kDelta: {
+      int64_t prev = 0;
+      for (size_t i = 0; i < count; ++i) {
+        int64_t d;
+        if (!dec.GetVarintSigned(&d)) return Status::Corruption("int64 delta");
+        prev += d;
+        out.push_back(prev);
+      }
+      return out;
+    }
+    case Encoding::kRle: {
+      // RLE legitimately expands, but a corrupt count must not drive an
+      // unbounded allocation: cap the accepted expansion factor.
+      if (count / 65536 > data.size()) {
+        return Status::Corruption("int64 rle: implausible count");
+      }
+      while (out.size() < count) {
+        int64_t v;
+        uint64_t run;
+        if (!dec.GetVarintSigned(&v) || !dec.GetVarint(&run)) {
+          return Status::Corruption("int64 rle");
+        }
+        if (run == 0 || out.size() + run > count) {
+          return Status::Corruption("int64 rle: bad run length");
+        }
+        out.insert(out.end(), run, v);
+      }
+      return out;
+    }
+    default:
+      return Status::NotSupported("int64 encoding");
+  }
+}
+
+Encoding ChooseInt64Encoding(const std::vector<int64_t>& values) {
+  if (values.size() < 8) return Encoding::kPlain;
+  size_t runs = 1;
+  size_t sorted_pairs = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] != values[i - 1]) ++runs;
+    if (values[i] >= values[i - 1]) ++sorted_pairs;
+  }
+  if (runs * 4 <= values.size()) return Encoding::kRle;
+  if (sorted_pairs * 10 >= (values.size() - 1) * 9) return Encoding::kDelta;
+  return Encoding::kPlain;
+}
+
+void EncodeDoubles(const std::vector<double>& values, Bytes* dst) {
+  for (double d : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    PutFixed64(dst, bits);
+  }
+}
+
+Result<std::vector<double>> DecodeDoubles(ByteView data, size_t count) {
+  if (count > data.size() / 8) return Status::Corruption("double plain");
+  std::vector<double> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t bits = DecodeFixed64(data.data() + i * 8);
+    double d;
+    std::memcpy(&d, &bits, 8);
+    out.push_back(d);
+  }
+  return out;
+}
+
+void EncodeStrings(const std::vector<std::string>& values, Encoding encoding,
+                   Bytes* dst) {
+  switch (encoding) {
+    case Encoding::kDict:
+      EncodeStringsDict(values, dst);
+      return;
+    default:
+      EncodeStringsPlain(values, dst);
+      return;
+  }
+}
+
+Result<std::vector<std::string>> DecodeStrings(ByteView data,
+                                               Encoding encoding,
+                                               size_t count) {
+  if (count > data.size()) {
+    return Status::Corruption("string count exceeds payload");
+  }
+  std::vector<std::string> out;
+  out.reserve(count);
+  Decoder dec(data);
+  switch (encoding) {
+    case Encoding::kPlain: {
+      for (size_t i = 0; i < count; ++i) {
+        std::string s;
+        if (!dec.GetString(&s)) return Status::Corruption("string plain");
+        out.push_back(std::move(s));
+      }
+      return out;
+    }
+    case Encoding::kDict: {
+      uint64_t dict_size;
+      if (!dec.GetVarint(&dict_size)) return Status::Corruption("string dict");
+      if (dict_size > dec.Remaining()) {
+        return Status::Corruption("string dict size bogus");
+      }
+      std::vector<std::string> dict;
+      dict.reserve(dict_size);
+      for (uint64_t i = 0; i < dict_size; ++i) {
+        std::string s;
+        if (!dec.GetString(&s)) return Status::Corruption("string dict entry");
+        dict.push_back(std::move(s));
+      }
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t code;
+        if (!dec.GetVarint(&code) || code >= dict.size()) {
+          return Status::Corruption("string dict code");
+        }
+        out.push_back(dict[code]);
+      }
+      return out;
+    }
+    default:
+      return Status::NotSupported("string encoding");
+  }
+}
+
+Encoding ChooseStringEncoding(const std::vector<std::string>& values) {
+  if (values.size() < 16) return Encoding::kPlain;
+  // Sample distinct count; dictionary pays off below ~1/4 distinct ratio.
+  std::map<std::string_view, int> distinct;
+  for (const std::string& s : values) {
+    distinct.emplace(s, 1);
+    if (distinct.size() * 4 > values.size()) return Encoding::kPlain;
+  }
+  return Encoding::kDict;
+}
+
+void EncodeBools(const std::vector<uint8_t>& values, Bytes* dst) {
+  uint8_t acc = 0;
+  int bit = 0;
+  for (uint8_t v : values) {
+    if (v) acc |= static_cast<uint8_t>(1 << bit);
+    if (++bit == 8) {
+      dst->push_back(acc);
+      acc = 0;
+      bit = 0;
+    }
+  }
+  if (bit > 0) dst->push_back(acc);
+}
+
+Result<std::vector<uint8_t>> DecodeBools(ByteView data, size_t count) {
+  if (data.size() * 8 < count) return Status::Corruption("bool bitpack");
+  std::vector<uint8_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back((data[i / 8] >> (i % 8)) & 1);
+  }
+  return out;
+}
+
+}  // namespace streamlake::codec

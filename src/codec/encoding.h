@@ -1,0 +1,50 @@
+#ifndef STREAMLAKE_CODEC_ENCODING_H_
+#define STREAMLAKE_CODEC_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace streamlake::codec {
+
+/// Light-weight column encodings applied inside LakeFile column chunks
+/// before block compression. Chosen adaptively per chunk.
+enum class Encoding : uint8_t {
+  kPlain = 0,    // zigzag varints / fixed64 / length-prefixed strings
+  kRle = 1,      // (value, run_length) pairs
+  kDelta = 2,    // zigzag varint deltas; wins on sorted/monotonic ints
+  kDict = 3,     // dictionary + varint codes; wins on low cardinality
+  kBitPack = 4,  // 1 bit per bool
+};
+
+// ---- int64 columns ----
+void EncodeInt64s(const std::vector<int64_t>& values, Encoding encoding,
+                  Bytes* dst);
+Result<std::vector<int64_t>> DecodeInt64s(ByteView data, Encoding encoding,
+                                          size_t count);
+/// Picks RLE for runs, DELTA for near-sorted data, PLAIN otherwise.
+Encoding ChooseInt64Encoding(const std::vector<int64_t>& values);
+
+// ---- double columns ----
+void EncodeDoubles(const std::vector<double>& values, Bytes* dst);
+Result<std::vector<double>> DecodeDoubles(ByteView data, size_t count);
+
+// ---- string columns ----
+void EncodeStrings(const std::vector<std::string>& values, Encoding encoding,
+                   Bytes* dst);
+Result<std::vector<std::string>> DecodeStrings(ByteView data,
+                                               Encoding encoding,
+                                               size_t count);
+/// Picks DICT when distinct values are few (provinces, urls), else PLAIN.
+Encoding ChooseStringEncoding(const std::vector<std::string>& values);
+
+// ---- bool columns ----
+void EncodeBools(const std::vector<uint8_t>& values, Bytes* dst);
+Result<std::vector<uint8_t>> DecodeBools(ByteView data, size_t count);
+
+}  // namespace streamlake::codec
+
+#endif  // STREAMLAKE_CODEC_ENCODING_H_

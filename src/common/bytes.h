@@ -1,0 +1,70 @@
+#ifndef STREAMLAKE_COMMON_BYTES_H_
+#define STREAMLAKE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamlake {
+
+/// Owning byte buffer used for record payloads and file contents.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view over a byte range (RocksDB-style Slice).
+class ByteView {
+ public:
+  ByteView() : data_(nullptr), size_(0) {}
+  ByteView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ByteView(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  ByteView(std::string_view s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  ByteView(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  ByteView(const char* s) : ByteView(std::string_view(s)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  ByteView subview(size_t offset, size_t len) const {
+    return ByteView(data_ + offset, len);
+  }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const ByteView& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const uint8_t*>(s.data()),
+               reinterpret_cast<const uint8_t*>(s.data()) + s.size());
+}
+
+inline std::string BytesToString(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline void AppendBytes(Bytes* dst, ByteView src) {
+  dst->insert(dst->end(), src.data(), src.data() + src.size());
+}
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_BYTES_H_

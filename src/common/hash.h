@@ -1,0 +1,20 @@
+#ifndef STREAMLAKE_COMMON_HASH_H_
+#define STREAMLAKE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace streamlake {
+
+/// 64-bit FNV-1a hash; used by the distributed hash table that spreads
+/// stream-object slices across the 4096 logical shards (Fig. 4-d).
+uint64_t Hash64(ByteView data, uint64_t seed = 0);
+
+/// CRC-32C (Castagnoli); guards every PLog record and LakeFile block.
+uint32_t Crc32c(ByteView data, uint32_t seed = 0);
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_HASH_H_

@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace streamlake {
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  // Inverse-CDF approximation for the continuous Zipf-like distribution
+  // p(x) ~ x^(-theta); cheap and good enough for workload skew.
+  if (n <= 1) return 0;
+  double u = NextDouble();
+  double exp = 1.0 - theta;
+  double x = std::pow(u * (std::pow(static_cast<double>(n), exp) - 1.0) + 1.0,
+                      1.0 / exp);
+  uint64_t rank = static_cast<uint64_t>(x) - 1;
+  return rank >= n ? n - 1 : rank;
+}
+
+std::string Random::NextString(size_t len) {
+  std::string s(len, 'a');
+  for (size_t i = 0; i < len; ++i) {
+    s[i] = static_cast<char>('a' + Uniform(26));
+  }
+  return s;
+}
+
+}  // namespace streamlake

@@ -1,0 +1,58 @@
+#ifndef STREAMLAKE_COMMON_RANDOM_H_
+#define STREAMLAKE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streamlake {
+
+/// Deterministic xorshift128+ PRNG. Every workload generator and the RL
+/// training loop take an explicit seed so experiments are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    s0_ = seed ? seed : 0xDEADBEEFCAFEBABEULL;
+    s1_ = s0_ ^ 0x9E3779B97F4A7C15ULL;
+    // Warm up so similar seeds diverge quickly.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Approximately Zipfian rank in [0, n) with exponent `theta` in (0,1);
+  /// used to skew topic/key popularity like production log traffic.
+  uint64_t Zipf(uint64_t n, double theta = 0.8);
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_RANDOM_H_

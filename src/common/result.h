@@ -1,0 +1,75 @@
+#ifndef STREAMLAKE_COMMON_RESULT_H_
+#define STREAMLAKE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace streamlake {
+
+/// \brief Either a value of type T or a non-OK Status, Arrow-style.
+///
+/// Example:
+///   Result<int> r = ParsePort(s);
+///   if (!r.ok()) return r.status();
+///   int port = *r;
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (implicit by design, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}
+  /// Construct from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Move the value out, or return `fallback` when in the error state.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression to `lhs`, or early-return its
+/// error status. `lhs` may include a declaration: SL_ASSIGN_OR_RETURN(auto x,
+/// Foo());
+#define SL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define SL_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SL_ASSIGN_OR_RETURN_NAME(a, b) SL_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SL_ASSIGN_OR_RETURN(lhs, expr) \
+  SL_ASSIGN_OR_RETURN_IMPL(            \
+      SL_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_RESULT_H_

@@ -1,0 +1,49 @@
+#ifndef STREAMLAKE_COMMON_THREADPOOL_H_
+#define STREAMLAKE_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamlake {
+
+/// Fixed-size worker pool used by background services (MetaFresher,
+/// stream-to-table conversion, tiering). Tasks are run FIFO; Shutdown()
+/// drains queued tasks before joining so callers can rely on completion.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Block until all tasks submitted so far have finished.
+  void Wait();
+
+  /// Drain the queue, then stop and join all workers. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_THREADPOOL_H_

@@ -1,0 +1,338 @@
+#include "format/lakefile.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace streamlake::format {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'K', 'F', '1'};
+
+void EncodeStats(Bytes* dst, const ColumnStats& stats) {
+  if (stats.min.has_value() && stats.max.has_value()) {
+    dst->push_back(1);
+    EncodeValue(dst, *stats.min);
+    EncodeValue(dst, *stats.max);
+  } else {
+    dst->push_back(0);
+  }
+}
+
+Result<ColumnStats> DecodeStats(Decoder* dec) {
+  ColumnStats stats;
+  if (dec->Remaining() < 1) return Status::Corruption("stats flag");
+  uint8_t flag = *dec->position();
+  dec->Skip(1);
+  if (flag == 1) {
+    SL_ASSIGN_OR_RETURN(Value min, DecodeValue(dec));
+    SL_ASSIGN_OR_RETURN(Value max, DecodeValue(dec));
+    stats.min = std::move(min);
+    stats.max = std::move(max);
+  } else if (flag != 0) {
+    return Status::Corruption("stats: bad flag");
+  }
+  return stats;
+}
+
+/// Encodes one column of `rows` into a chunk appended to `file`.
+ChunkMeta WriteChunk(const Schema& schema, const std::vector<Row>& rows,
+                     size_t col, const LakeFileOptions& options, Bytes* file) {
+  ChunkMeta meta;
+  meta.offset = file->size();
+
+  Bytes raw;
+  codec::Encoding encoding = codec::Encoding::kPlain;
+  const DataType type = schema.field(col).type;
+  switch (type) {
+    case DataType::kBool: {
+      std::vector<uint8_t> vals;
+      vals.reserve(rows.size());
+      for (const Row& r : rows) {
+        vals.push_back(std::get<bool>(r.fields[col]) ? 1 : 0);
+      }
+      encoding = codec::Encoding::kBitPack;
+      codec::EncodeBools(vals, &raw);
+      break;
+    }
+    case DataType::kInt64: {
+      std::vector<int64_t> vals;
+      vals.reserve(rows.size());
+      for (const Row& r : rows) vals.push_back(std::get<int64_t>(r.fields[col]));
+      encoding = codec::ChooseInt64Encoding(vals);
+      codec::EncodeInt64s(vals, encoding, &raw);
+      if (options.enable_stats && !vals.empty()) {
+        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+        meta.stats.min = Value(*mn);
+        meta.stats.max = Value(*mx);
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      std::vector<double> vals;
+      vals.reserve(rows.size());
+      for (const Row& r : rows) vals.push_back(std::get<double>(r.fields[col]));
+      codec::EncodeDoubles(vals, &raw);
+      if (options.enable_stats && !vals.empty()) {
+        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+        meta.stats.min = Value(*mn);
+        meta.stats.max = Value(*mx);
+      }
+      break;
+    }
+    case DataType::kString: {
+      std::vector<std::string> vals;
+      vals.reserve(rows.size());
+      for (const Row& r : rows) {
+        vals.push_back(std::get<std::string>(r.fields[col]));
+      }
+      encoding = codec::ChooseStringEncoding(vals);
+      codec::EncodeStrings(vals, encoding, &raw);
+      if (options.enable_stats && !vals.empty()) {
+        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+        meta.stats.min = Value(*mn);
+        meta.stats.max = Value(*mx);
+      }
+      break;
+    }
+  }
+
+  Bytes compressed = codec::Compress(options.compression, ByteView(raw));
+  codec::Compression codec_used = options.compression;
+  if (compressed.size() >= raw.size()) {
+    // Incompressible chunk: store raw to avoid negative savings.
+    compressed = raw;
+    codec_used = codec::Compression::kNone;
+  }
+
+  file->push_back(static_cast<uint8_t>(encoding));
+  file->push_back(static_cast<uint8_t>(codec_used));
+  PutVarint64(file, raw.size());
+  PutVarint64(file, compressed.size());
+  AppendBytes(file, ByteView(compressed));
+  PutFixed32(file, Crc32c(ByteView(compressed)));
+
+  meta.size = file->size() - meta.offset;
+  return meta;
+}
+
+}  // namespace
+
+LakeFileWriter::LakeFileWriter(Schema schema, LakeFileOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  file_.insert(file_.end(), kMagic, kMagic + 4);
+}
+
+Status LakeFileWriter::Append(const Row& row) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  SL_RETURN_NOT_OK(schema_.ValidateRow(row));
+  pending_.push_back(row);
+  ++rows_written_;
+  if (pending_.size() >= options_.rows_per_group) {
+    return FlushRowGroup();
+  }
+  return Status::OK();
+}
+
+Status LakeFileWriter::AppendBatch(const std::vector<Row>& rows) {
+  for (const Row& row : rows) SL_RETURN_NOT_OK(Append(row));
+  return Status::OK();
+}
+
+Status LakeFileWriter::FlushRowGroup() {
+  if (pending_.empty()) return Status::OK();
+  RowGroupMeta group;
+  group.num_rows = pending_.size();
+  for (size_t col = 0; col < schema_.num_fields(); ++col) {
+    group.columns.push_back(
+        WriteChunk(schema_, pending_, col, options_, &file_));
+  }
+  groups_.push_back(std::move(group));
+  pending_.clear();
+  return Status::OK();
+}
+
+Result<Bytes> LakeFileWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  SL_RETURN_NOT_OK(FlushRowGroup());
+  finished_ = true;
+
+  Bytes footer;
+  schema_.EncodeTo(&footer);
+  PutVarint64(&footer, groups_.size());
+  for (const RowGroupMeta& group : groups_) {
+    PutVarint64(&footer, group.num_rows);
+    for (const ChunkMeta& chunk : group.columns) {
+      PutVarint64(&footer, chunk.offset);
+      PutVarint64(&footer, chunk.size);
+      EncodeStats(&footer, chunk.stats);
+    }
+  }
+  AppendBytes(&file_, ByteView(footer));
+  PutFixed32(&file_, static_cast<uint32_t>(footer.size()));
+  file_.insert(file_.end(), kMagic, kMagic + 4);
+  return std::move(file_);
+}
+
+Result<LakeFileReader> LakeFileReader::Open(Bytes file) {
+  if (file.size() < 12 ||
+      std::memcmp(file.data(), kMagic, 4) != 0 ||
+      std::memcmp(file.data() + file.size() - 4, kMagic, 4) != 0) {
+    return Status::Corruption("lakefile: bad magic");
+  }
+  uint32_t footer_size = DecodeFixed32(file.data() + file.size() - 8);
+  if (footer_size + 12 > file.size()) {
+    return Status::Corruption("lakefile: bad footer size");
+  }
+  ByteView footer(file.data() + file.size() - 8 - footer_size, footer_size);
+  Decoder dec(footer);
+  SL_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&dec));
+  uint64_t num_groups;
+  if (!dec.GetVarint(&num_groups)) {
+    return Status::Corruption("lakefile: group count");
+  }
+  if (num_groups > footer.size()) {
+    return Status::Corruption("lakefile: group count bogus");
+  }
+  std::vector<RowGroupMeta> groups;
+  groups.reserve(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    RowGroupMeta group;
+    if (!dec.GetVarint(&group.num_rows)) {
+      return Status::Corruption("lakefile: group rows");
+    }
+    // Bools pack 8 per byte; more rows than 8x the file size is corrupt.
+    if (group.num_rows > file.size() * 8) {
+      return Status::Corruption("lakefile: row count bogus");
+    }
+    for (size_t col = 0; col < schema.num_fields(); ++col) {
+      ChunkMeta chunk;
+      if (!dec.GetVarint(&chunk.offset) || !dec.GetVarint(&chunk.size)) {
+        return Status::Corruption("lakefile: chunk meta");
+      }
+      if (chunk.offset + chunk.size > file.size()) {
+        return Status::Corruption("lakefile: chunk out of bounds");
+      }
+      SL_ASSIGN_OR_RETURN(chunk.stats, DecodeStats(&dec));
+      group.columns.push_back(std::move(chunk));
+    }
+    groups.push_back(std::move(group));
+  }
+
+  LakeFileReader reader;
+  reader.file_ = std::move(file);
+  reader.schema_ = std::move(schema);
+  reader.groups_ = std::move(groups);
+  return reader;
+}
+
+uint64_t LakeFileReader::num_rows() const {
+  uint64_t total = 0;
+  for (const RowGroupMeta& g : groups_) total += g.num_rows;
+  return total;
+}
+
+Result<ColumnData> LakeFileReader::ReadColumn(size_t group,
+                                              size_t column) const {
+  if (group >= groups_.size() || column >= schema_.num_fields()) {
+    return Status::InvalidArgument("lakefile: group/column out of range");
+  }
+  const ChunkMeta& chunk = groups_[group].columns[column];
+  const size_t num_rows = groups_[group].num_rows;
+  Decoder dec(ByteView(file_.data() + chunk.offset, chunk.size));
+  if (dec.Remaining() < 2) return Status::Corruption("chunk: header");
+  auto encoding = static_cast<codec::Encoding>(*dec.position());
+  dec.Skip(1);
+  auto compression = static_cast<codec::Compression>(*dec.position());
+  dec.Skip(1);
+  uint64_t raw_len, data_len;
+  if (!dec.GetVarint(&raw_len) || !dec.GetVarint(&data_len)) {
+    return Status::Corruption("chunk: lengths");
+  }
+  if (dec.Remaining() < data_len + 4) return Status::Corruption("chunk: data");
+  ByteView payload(dec.position(), data_len);
+  dec.Skip(data_len);
+  uint32_t expected_crc;
+  if (!dec.GetFixed32(&expected_crc)) return Status::Corruption("chunk: crc");
+  if (Crc32c(payload) != expected_crc) {
+    return Status::Corruption("chunk: crc mismatch");
+  }
+  SL_ASSIGN_OR_RETURN(Bytes raw,
+                      codec::Decompress(compression, payload, raw_len));
+
+  switch (schema_.field(column).type) {
+    case DataType::kBool: {
+      SL_ASSIGN_OR_RETURN(auto vals, codec::DecodeBools(ByteView(raw), num_rows));
+      return ColumnData(std::move(vals));
+    }
+    case DataType::kInt64: {
+      SL_ASSIGN_OR_RETURN(
+          auto vals, codec::DecodeInt64s(ByteView(raw), encoding, num_rows));
+      return ColumnData(std::move(vals));
+    }
+    case DataType::kDouble: {
+      SL_ASSIGN_OR_RETURN(auto vals,
+                          codec::DecodeDoubles(ByteView(raw), num_rows));
+      return ColumnData(std::move(vals));
+    }
+    case DataType::kString: {
+      SL_ASSIGN_OR_RETURN(
+          auto vals, codec::DecodeStrings(ByteView(raw), encoding, num_rows));
+      return ColumnData(std::move(vals));
+    }
+  }
+  return Status::Corruption("chunk: unknown column type");
+}
+
+Result<std::vector<Row>> LakeFileReader::ReadRowGroup(size_t group) const {
+  if (group >= groups_.size()) {
+    return Status::InvalidArgument("lakefile: group out of range");
+  }
+  const size_t num_rows = groups_[group].num_rows;
+  std::vector<Row> rows(num_rows);
+  for (Row& r : rows) r.fields.resize(schema_.num_fields());
+  for (size_t col = 0; col < schema_.num_fields(); ++col) {
+    SL_ASSIGN_OR_RETURN(ColumnData data, ReadColumn(group, col));
+    switch (schema_.field(col).type) {
+      case DataType::kBool: {
+        const auto& vals = std::get<std::vector<uint8_t>>(data);
+        for (size_t i = 0; i < num_rows; ++i) {
+          rows[i].fields[col] = Value(vals[i] != 0);
+        }
+        break;
+      }
+      case DataType::kInt64: {
+        const auto& vals = std::get<std::vector<int64_t>>(data);
+        for (size_t i = 0; i < num_rows; ++i) rows[i].fields[col] = vals[i];
+        break;
+      }
+      case DataType::kDouble: {
+        const auto& vals = std::get<std::vector<double>>(data);
+        for (size_t i = 0; i < num_rows; ++i) rows[i].fields[col] = vals[i];
+        break;
+      }
+      case DataType::kString: {
+        auto& vals = std::get<std::vector<std::string>>(data);
+        for (size_t i = 0; i < num_rows; ++i) {
+          rows[i].fields[col] = std::move(vals[i]);
+        }
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> LakeFileReader::ReadAll() const {
+  std::vector<Row> all;
+  all.reserve(num_rows());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    SL_ASSIGN_OR_RETURN(std::vector<Row> rows, ReadRowGroup(g));
+    for (Row& r : rows) all.push_back(std::move(r));
+  }
+  return all;
+}
+
+}  // namespace streamlake::format

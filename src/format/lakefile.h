@@ -1,0 +1,116 @@
+#ifndef STREAMLAKE_FORMAT_LAKEFILE_H_
+#define STREAMLAKE_FORMAT_LAKEFILE_H_
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "codec/compression.h"
+#include "codec/encoding.h"
+#include "format/schema.h"
+#include "format/types.h"
+
+namespace streamlake::format {
+
+/// \brief LakeFile: StreamLake's columnar analytics format.
+///
+/// Plays the role Parquet plays in the paper (Section IV-B): rows are
+/// organized into row groups; each column chunk is encoded (plain / RLE /
+/// delta / dictionary / bit-packed), block-compressed, and CRC-protected;
+/// the footer carries per-chunk min/max statistics so queries can skip
+/// whole row groups ("footers contain statistics to support data skipping
+/// within the file").
+///
+/// Layout:
+///   [magic][chunk]...[chunk][footer][footer_size:4][magic]
+///   chunk  = [encoding u8][compression u8][raw_len][data_len][data][crc:4]
+///   footer = schema, row-group directory (offsets, row counts, stats)
+struct LakeFileOptions {
+  size_t rows_per_group = 8192;
+  codec::Compression compression = codec::Compression::kLz;
+  bool enable_stats = true;
+};
+
+/// Per-column min/max statistics of one row group.
+struct ColumnStats {
+  std::optional<Value> min;
+  std::optional<Value> max;
+};
+
+struct ChunkMeta {
+  uint64_t offset = 0;  // file offset of the chunk
+  uint64_t size = 0;    // total bytes including chunk header and crc
+  ColumnStats stats;
+};
+
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  std::vector<ChunkMeta> columns;
+};
+
+/// Decoded values of one column chunk; alternative parallels DataType
+/// (bools decode to uint8_t 0/1).
+using ColumnData =
+    std::variant<std::vector<uint8_t>, std::vector<int64_t>,
+                 std::vector<double>, std::vector<std::string>>;
+
+/// Streaming writer; buffer rows, cut a row group every rows_per_group,
+/// Finish() returns the complete file bytes.
+class LakeFileWriter {
+ public:
+  LakeFileWriter(Schema schema, LakeFileOptions options = LakeFileOptions());
+
+  Status Append(const Row& row);
+  Status AppendBatch(const std::vector<Row>& rows);
+
+  uint64_t rows_written() const { return rows_written_; }
+
+  /// Flush pending rows and return the serialized file. The writer cannot
+  /// be reused afterwards.
+  Result<Bytes> Finish();
+
+ private:
+  Status FlushRowGroup();
+
+  Schema schema_;
+  LakeFileOptions options_;
+  std::vector<Row> pending_;
+  Bytes file_;
+  std::vector<RowGroupMeta> groups_;
+  uint64_t rows_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Random-access reader over an in-memory LakeFile.
+class LakeFileReader {
+ public:
+  /// Parses the footer; chunk payloads are decoded lazily per column.
+  static Result<LakeFileReader> Open(Bytes file);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_row_groups() const { return groups_.size(); }
+  uint64_t num_rows() const;
+  const RowGroupMeta& row_group(size_t i) const { return groups_[i]; }
+
+  /// Decode one column chunk of one row group.
+  Result<ColumnData> ReadColumn(size_t group, size_t column) const;
+
+  /// Materialize all rows of one row group (all columns).
+  Result<std::vector<Row>> ReadRowGroup(size_t group) const;
+
+  /// Materialize the whole file.
+  Result<std::vector<Row>> ReadAll() const;
+
+  size_t file_size() const { return file_.size(); }
+
+ private:
+  LakeFileReader() = default;
+
+  Bytes file_;
+  Schema schema_;
+  std::vector<RowGroupMeta> groups_;
+};
+
+}  // namespace streamlake::format
+
+#endif  // STREAMLAKE_FORMAT_LAKEFILE_H_

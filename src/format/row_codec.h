@@ -1,0 +1,19 @@
+#ifndef STREAMLAKE_FORMAT_ROW_CODEC_H_
+#define STREAMLAKE_FORMAT_ROW_CODEC_H_
+
+#include "format/schema.h"
+#include "format/types.h"
+
+namespace streamlake::format {
+
+/// Row-oriented (un-typed-tagged) serialization against a known schema.
+/// Used for stream message payloads and the row-format archive; the
+/// columnar LakeFile is the analytical counterpart.
+void EncodeRow(const Schema& schema, const Row& row, Bytes* dst);
+
+Result<Row> DecodeRow(const Schema& schema, Decoder* dec);
+Result<Row> DecodeRow(const Schema& schema, ByteView data);
+
+}  // namespace streamlake::format
+
+#endif  // STREAMLAKE_FORMAT_ROW_CODEC_H_

@@ -1,0 +1,52 @@
+#ifndef STREAMLAKE_FORMAT_SCHEMA_H_
+#define STREAMLAKE_FORMAT_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "format/types.h"
+
+namespace streamlake::format {
+
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of named, typed columns. Declared per topic
+/// (`convert_2_table.table_schema`, Fig. 8) and stored in the table catalog.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or -1 when absent.
+  int FieldIndex(std::string_view name) const;
+
+  /// Verify `row` has this schema's arity and field types.
+  Status ValidateRow(const Row& row) const;
+
+  void EncodeTo(Bytes* dst) const;
+  static Result<Schema> DecodeFrom(Decoder* dec);
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace streamlake::format
+
+#endif  // STREAMLAKE_FORMAT_SCHEMA_H_

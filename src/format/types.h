@@ -1,0 +1,50 @@
+#ifndef STREAMLAKE_FORMAT_TYPES_H_
+#define STREAMLAKE_FORMAT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/coding.h"
+#include "common/result.h"
+
+namespace streamlake::format {
+
+/// Column types supported by table objects. Timestamps are kInt64 seconds
+/// (matching the paper's start_time predicates in Fig. 13).
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* DataTypeName(DataType type);
+
+/// One cell value. The variant alternatives parallel DataType.
+using Value = std::variant<bool, int64_t, double, std::string>;
+
+DataType TypeOf(const Value& v);
+
+/// Three-way comparison for same-typed values: <0, 0, >0.
+/// Comparing different types is a programming error (checked).
+int CompareValues(const Value& a, const Value& b);
+
+std::string ValueToString(const Value& v);
+
+/// Serialize one value (self-describing: type tag + payload).
+void EncodeValue(Bytes* dst, const Value& v);
+Result<Value> DecodeValue(Decoder* dec);
+
+/// A row of a table; field order matches the table schema.
+struct Row {
+  std::vector<Value> fields;
+
+  bool operator==(const Row& other) const { return fields == other.fields; }
+};
+
+}  // namespace streamlake::format
+
+#endif  // STREAMLAKE_FORMAT_TYPES_H_

@@ -1,0 +1,172 @@
+#include "kv/kv_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace streamlake::kv {
+
+KvStore::KvStore(KvOptions options) : options_(options) {}
+
+Status KvStore::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  Bytes record;
+  batch.EncodeTo(&record);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    uint64_t seq = ++sequence_;
+    for (const WriteBatch::Op& op : batch.ops()) {
+      auto& versions = table_[op.key];
+      if (op.is_delete) {
+        versions.push_back(Version{seq, std::nullopt});
+      } else {
+        versions.push_back(Version{seq, op.value});
+      }
+    }
+    AppendBytes(&wal_, ByteView(record));
+  }
+  if (options_.wal_device != nullptr) {
+    options_.wal_device->ChargeWrite(record.size());
+  }
+  return Status::OK();
+}
+
+Status KvStore::Put(std::string_view key, std::string_view value) {
+  WriteBatch batch;
+  batch.Put(std::string(key), std::string(value));
+  return Write(batch);
+}
+
+Status KvStore::Delete(std::string_view key) {
+  WriteBatch batch;
+  batch.Delete(std::string(key));
+  return Write(batch);
+}
+
+Result<std::string> KvStore::GetAtSequence(std::string_view key,
+                                           uint64_t sequence) const {
+  if (options_.read_device != nullptr) {
+    options_.read_device->ChargeRead(key.size() + 64);
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return Status::NotFound(std::string(key));
+  // Versions are appended in sequence order; find the last one <= sequence.
+  const auto& versions = it->second;
+  for (auto rit = versions.rbegin(); rit != versions.rend(); ++rit) {
+    if (rit->sequence <= sequence) {
+      if (!rit->value.has_value()) return Status::NotFound(std::string(key));
+      return *rit->value;
+    }
+  }
+  return Status::NotFound(std::string(key));
+}
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  return GetAtSequence(key, UINT64_MAX);
+}
+
+Result<std::string> KvStore::Get(std::string_view key,
+                                 const Snapshot& snap) const {
+  return GetAtSequence(key, snap.sequence);
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::Scan(
+    std::string_view start, std::string_view end, size_t limit) const {
+  return Scan(start, end, Snapshot{UINT64_MAX}, limit);
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::Scan(
+    std::string_view start, std::string_view end, const Snapshot& snap,
+    size_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = table_.lower_bound(start);
+  for (; it != table_.end() && out.size() < limit; ++it) {
+    if (!end.empty() && it->first >= end) break;
+    const auto& versions = it->second;
+    for (auto rit = versions.rbegin(); rit != versions.rend(); ++rit) {
+      if (rit->sequence <= snap.sequence) {
+        if (rit->value.has_value()) {
+          out.emplace_back(it->first, *rit->value);
+        }
+        break;
+      }
+    }
+  }
+  if (options_.read_device != nullptr) {
+    size_t bytes = 0;
+    for (const auto& [k, v] : out) bytes += k.size() + v.size();
+    options_.read_device->ChargeRead(bytes + 64);
+  }
+  return out;
+}
+
+size_t KvStore::LiveKeyCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [key, versions] : table_) {
+    if (!versions.empty() && versions.back().value.has_value()) ++count;
+  }
+  return count;
+}
+
+Snapshot KvStore::GetSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return Snapshot{sequence_};
+}
+
+uint64_t KvStore::LatestSequence() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return sequence_;
+}
+
+void KvStore::ReleaseVersionsBefore(uint64_t sequence) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = table_.begin();
+  while (it != table_.end()) {
+    auto& versions = it->second;
+    // Keep the newest version with sequence < `sequence` (it is still the
+    // visible version at `sequence`), drop everything older.
+    size_t keep_from = 0;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      if (versions[i].sequence < sequence) keep_from = i;
+    }
+    versions.erase(versions.begin(), versions.begin() + keep_from);
+    // Fully-deleted keys whose only surviving version is an old tombstone
+    // can be garbage-collected.
+    if (versions.size() == 1 && !versions[0].value.has_value() &&
+        versions[0].sequence < sequence) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Bytes KvStore::WalContents() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return wal_;
+}
+
+Result<size_t> KvStore::Recover(ByteView wal) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!table_.empty()) {
+      return Status::InvalidArgument("Recover requires an empty store");
+    }
+  }
+  size_t applied = 0;
+  size_t offset = 0;
+  while (offset < wal.size()) {
+    WriteBatch batch;
+    size_t consumed =
+        batch.DecodeFrom(wal.subview(offset, wal.size() - offset));
+    if (consumed == 0) break;  // torn tail; stop cleanly like a real WAL
+    SL_RETURN_NOT_OK(Write(batch));
+    offset += consumed;
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace streamlake::kv

@@ -1,0 +1,57 @@
+#include "kv/write_batch.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace streamlake::kv {
+
+namespace {
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpDelete = 2;
+}  // namespace
+
+void WriteBatch::EncodeTo(Bytes* dst) const {
+  Bytes body;
+  PutVarint64(&body, ops_.size());
+  for (const Op& op : ops_) {
+    body.push_back(op.is_delete ? kOpDelete : kOpPut);
+    PutLengthPrefixed(&body, std::string_view(op.key));
+    if (!op.is_delete) PutLengthPrefixed(&body, std::string_view(op.value));
+  }
+  // Record framing: [len][crc][body]; the CRC makes torn or bit-rotted WAL
+  // tails detectable during recovery.
+  PutVarint64(dst, body.size());
+  PutFixed32(dst, Crc32c(ByteView(body)));
+  AppendBytes(dst, ByteView(body));
+}
+
+size_t WriteBatch::DecodeFrom(ByteView data) {
+  ops_.clear();
+  Decoder frame(data);
+  uint64_t body_len;
+  uint32_t expected_crc;
+  if (!frame.GetVarint(&body_len)) return 0;
+  if (!frame.GetFixed32(&expected_crc)) return 0;
+  if (frame.Remaining() < body_len) return 0;
+  ByteView body(frame.position(), static_cast<size_t>(body_len));
+  if (Crc32c(body) != expected_crc) return 0;
+
+  Decoder dec(body);
+  uint64_t count;
+  if (!dec.GetVarint(&count)) return 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (dec.Remaining() < 1) return 0;
+    uint8_t tag = *dec.position();
+    if (!dec.Skip(1)) return 0;
+    Op op;
+    op.is_delete = (tag == kOpDelete);
+    if (tag != kOpPut && tag != kOpDelete) return 0;
+    if (!dec.GetString(&op.key)) return 0;
+    if (!op.is_delete && !dec.GetString(&op.value)) return 0;
+    ops_.push_back(std::move(op));
+  }
+  size_t header = data.size() - frame.Remaining();
+  return header + static_cast<size_t>(body_len);
+}
+
+}  // namespace streamlake::kv

@@ -1,0 +1,56 @@
+#ifndef STREAMLAKE_KV_WRITE_BATCH_H_
+#define STREAMLAKE_KV_WRITE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace streamlake::kv {
+
+/// A group of mutations applied atomically to a KvStore: either all become
+/// visible at one sequence number or none do. This is what makes the stream
+/// dispatcher's topology updates and the lakehouse catalog updates safe.
+class WriteBatch {
+ public:
+  struct Op {
+    bool is_delete = false;
+    std::string key;
+    std::string value;  // empty for deletes
+  };
+
+  void Put(std::string key, std::string value) {
+    ops_.push_back(Op{false, std::move(key), std::move(value)});
+  }
+
+  void Delete(std::string key) {
+    ops_.push_back(Op{true, std::move(key), std::string()});
+  }
+
+  void Clear() { ops_.clear(); }
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Total payload bytes; used to charge the simulated WAL device.
+  size_t ByteSize() const {
+    size_t total = 0;
+    for (const Op& op : ops_) total += op.key.size() + op.value.size() + 2;
+    return total;
+  }
+
+  /// Appends a self-delimiting binary encoding of this batch to `dst`
+  /// (the WAL record format). DecodeFrom is the inverse.
+  void EncodeTo(Bytes* dst) const;
+
+  /// Decodes one batch from `data`, returning bytes consumed or 0 on
+  /// corruption.
+  size_t DecodeFrom(ByteView data);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace streamlake::kv
+
+#endif  // STREAMLAKE_KV_WRITE_BATCH_H_

@@ -1,0 +1,75 @@
+#include "lakebrain/dqn.h"
+
+#include <algorithm>
+
+namespace streamlake::lakebrain {
+
+namespace {
+
+std::vector<int> LayerSizes(const DqnOptions& options) {
+  std::vector<int> sizes;
+  sizes.push_back(options.state_dim);
+  for (int h : options.hidden) sizes.push_back(h);
+  sizes.push_back(options.num_actions);
+  return sizes;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(DqnOptions options)
+    : options_(options),
+      online_(LayerSizes(options), options.seed),
+      target_(LayerSizes(options), options.seed),
+      rng_(options.seed ^ 0xD1CE) {
+  target_.CopyFrom(online_);
+}
+
+double DqnAgent::epsilon() const {
+  double progress = std::min<double>(
+      1.0, static_cast<double>(steps_) / options_.epsilon_decay_steps);
+  return options_.epsilon_start +
+         progress * (options_.epsilon_end - options_.epsilon_start);
+}
+
+int DqnAgent::SelectAction(const std::vector<double>& state) {
+  ++steps_;
+  if (rng_.NextDouble() < epsilon()) {
+    return static_cast<int>(rng_.Uniform(options_.num_actions));
+  }
+  return GreedyAction(state);
+}
+
+int DqnAgent::GreedyAction(const std::vector<double>& state) const {
+  std::vector<double> q = online_.Forward(state);
+  return static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::vector<double> DqnAgent::QValues(const std::vector<double>& state) const {
+  return online_.Forward(state);
+}
+
+void DqnAgent::Observe(const std::vector<double>& state, int action,
+                       double reward, const std::vector<double>& next_state,
+                       bool done) {
+  replay_.push_back(Transition{state, action, reward, next_state, done});
+  if (replay_.size() > options_.replay_capacity) replay_.pop_front();
+}
+
+void DqnAgent::TrainStep() {
+  if (replay_.size() < options_.batch_size) return;
+  for (size_t b = 0; b < options_.batch_size; ++b) {
+    const Transition& t = replay_[rng_.Uniform(replay_.size())];
+    double target = t.reward;
+    if (!t.done) {
+      std::vector<double> next_q = target_.Forward(t.next_state);
+      target += options_.gamma *
+                *std::max_element(next_q.begin(), next_q.end());
+    }
+    online_.TrainStep(t.state, t.action, target, options_.learning_rate);
+  }
+  if (++train_steps_ % options_.target_sync_interval == 0) {
+    target_.CopyFrom(online_);
+  }
+}
+
+}  // namespace streamlake::lakebrain

@@ -1,0 +1,73 @@
+#ifndef STREAMLAKE_LAKEBRAIN_DQN_H_
+#define STREAMLAKE_LAKEBRAIN_DQN_H_
+
+#include <deque>
+#include <vector>
+
+#include "lakebrain/mlp.h"
+
+namespace streamlake::lakebrain {
+
+struct DqnOptions {
+  int state_dim = 8;
+  int num_actions = 2;
+  std::vector<int> hidden = {32, 32};
+  double learning_rate = 1e-3;
+  double gamma = 0.9;  // discount: compaction optimizes long-term reward
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  int epsilon_decay_steps = 2000;
+  size_t replay_capacity = 20000;
+  size_t batch_size = 32;
+  int target_sync_interval = 250;
+  uint64_t seed = 17;
+};
+
+/// \brief Deep Q-Network agent [44][45]: experience replay + target
+/// network + epsilon-greedy exploration. LakeBrain's automatic compaction
+/// policy network (Section VI-A).
+class DqnAgent {
+ public:
+  explicit DqnAgent(DqnOptions options);
+
+  /// Epsilon-greedy action for training.
+  int SelectAction(const std::vector<double>& state);
+
+  /// Greedy (inference) action.
+  int GreedyAction(const std::vector<double>& state) const;
+
+  /// Q-values of a state (diagnostics).
+  std::vector<double> QValues(const std::vector<double>& state) const;
+
+  /// Store one transition; `done` ends the episode bootstrap.
+  void Observe(const std::vector<double>& state, int action, double reward,
+               const std::vector<double>& next_state, bool done);
+
+  /// One replay-batch gradient step (no-op until the buffer has a batch).
+  void TrainStep();
+
+  double epsilon() const;
+  uint64_t steps() const { return steps_; }
+  size_t replay_size() const { return replay_.size(); }
+
+ private:
+  struct Transition {
+    std::vector<double> state;
+    int action;
+    double reward;
+    std::vector<double> next_state;
+    bool done;
+  };
+
+  DqnOptions options_;
+  Mlp online_;
+  Mlp target_;
+  Random rng_;
+  std::deque<Transition> replay_;
+  uint64_t steps_ = 0;
+  uint64_t train_steps_ = 0;
+};
+
+}  // namespace streamlake::lakebrain
+
+#endif  // STREAMLAKE_LAKEBRAIN_DQN_H_

@@ -1,0 +1,95 @@
+#include "lakebrain/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace streamlake::lakebrain {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  SL_CHECK(layer_sizes_.size() >= 2);
+  Random rng(seed);
+  for (size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    Layer layer;
+    int in = layer_sizes_[l];
+    int out = layer_sizes_[l + 1];
+    double scale = std::sqrt(2.0 / in);  // He init for ReLU
+    layer.weights.assign(out, std::vector<double>(in, 0.0));
+    layer.biases.assign(out, 0.0);
+    for (int o = 0; o < out; ++o) {
+      for (int i = 0; i < in; ++i) {
+        // Approximate normal via sum of uniforms.
+        double u = 0;
+        for (int k = 0; k < 4; ++k) u += rng.NextDouble() - 0.5;
+        layer.weights[o][i] = u * scale;
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<std::vector<double>> Mlp::ForwardAll(
+    const std::vector<double>& input) const {
+  std::vector<std::vector<double>> activations;
+  activations.push_back(input);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& prev = activations.back();
+    std::vector<double> next(layer.biases);
+    for (size_t o = 0; o < next.size(); ++o) {
+      const std::vector<double>& w = layer.weights[o];
+      double acc = next[o];
+      for (size_t i = 0; i < prev.size(); ++i) acc += w[i] * prev[i];
+      // ReLU on hidden layers, linear output.
+      next[o] = (l + 1 < layers_.size() && acc < 0) ? 0.0 : acc;
+    }
+    activations.push_back(std::move(next));
+  }
+  return activations;
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& input) const {
+  SL_CHECK(static_cast<int>(input.size()) == input_size());
+  return ForwardAll(input).back();
+}
+
+void Mlp::TrainStep(const std::vector<double>& input, int output_index,
+                    double target, double learning_rate) {
+  SL_CHECK(output_index >= 0 && output_index < output_size());
+  std::vector<std::vector<double>> activations = ForwardAll(input);
+
+  // delta for the output layer: only the trained head is non-zero.
+  std::vector<double> delta(output_size(), 0.0);
+  double error = activations.back()[output_index] - target;
+  // Clip the TD error (Huber-style) for stability.
+  if (error > 1.0) error = 1.0;
+  if (error < -1.0) error = -1.0;
+  delta[output_index] = error;
+
+  for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+    Layer& layer = layers_[l];
+    const std::vector<double>& prev = activations[l];
+    const std::vector<double>& out = activations[l + 1];
+    std::vector<double> prev_delta(prev.size(), 0.0);
+    for (size_t o = 0; o < delta.size(); ++o) {
+      double d = delta[o];
+      if (d == 0.0) continue;
+      // ReLU derivative for hidden layers (output layer is linear).
+      if (l + 1 < static_cast<int>(layers_.size()) && out[o] <= 0.0) continue;
+      for (size_t i = 0; i < prev.size(); ++i) {
+        prev_delta[i] += layer.weights[o][i] * d;
+        layer.weights[o][i] -= learning_rate * d * prev[i];
+      }
+      layer.biases[o] -= learning_rate * d;
+    }
+    delta = std::move(prev_delta);
+  }
+}
+
+void Mlp::CopyFrom(const Mlp& other) {
+  SL_CHECK(layer_sizes_ == other.layer_sizes_);
+  layers_ = other.layers_;
+}
+
+}  // namespace streamlake::lakebrain

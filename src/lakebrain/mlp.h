@@ -1,0 +1,49 @@
+#ifndef STREAMLAKE_LAKEBRAIN_MLP_H_
+#define STREAMLAKE_LAKEBRAIN_MLP_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamlake::lakebrain {
+
+/// \brief Small fully-connected network with ReLU hidden layers and a
+/// linear output — the policy/value network of the DQN compaction agent
+/// (Fig. 10). Implemented from scratch: forward, backprop, SGD.
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}. He-initialized.
+  Mlp(std::vector<int> layer_sizes, uint64_t seed);
+
+  /// Forward pass; returns the output activations.
+  std::vector<double> Forward(const std::vector<double>& input) const;
+
+  /// One SGD step on loss 0.5 * (output[index] - target)^2 — the standard
+  /// Q-learning update where only the taken action's head gets gradient.
+  void TrainStep(const std::vector<double>& input, int output_index,
+                 double target, double learning_rate);
+
+  /// Copy all weights from `other` (target-network sync).
+  void CopyFrom(const Mlp& other);
+
+  int input_size() const { return layer_sizes_.front(); }
+  int output_size() const { return layer_sizes_.back(); }
+
+ private:
+  struct Layer {
+    // weights[out][in], biases[out]
+    std::vector<std::vector<double>> weights;
+    std::vector<double> biases;
+  };
+
+  /// Forward keeping every layer's activations for backprop.
+  std::vector<std::vector<double>> ForwardAll(
+      const std::vector<double>& input) const;
+
+  std::vector<int> layer_sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace streamlake::lakebrain
+
+#endif  // STREAMLAKE_LAKEBRAIN_MLP_H_

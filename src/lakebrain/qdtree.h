@@ -1,0 +1,76 @@
+#ifndef STREAMLAKE_LAKEBRAIN_QDTREE_H_
+#define STREAMLAKE_LAKEBRAIN_QDTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "lakebrain/spn.h"
+
+namespace streamlake::lakebrain {
+
+struct QdTreeOptions {
+  /// Don't split nodes estimated below this many rows.
+  uint64_t min_partition_rows = 1000;
+  size_t max_leaves = 64;
+};
+
+/// \brief Predicate-aware partitioner (Section VI-B): a query tree in the
+/// QD-tree [28] style whose inner nodes are pushdown predicates
+/// (attribute, operator, literal) and whose leaves are partitions.
+///
+/// Greedy construction: at each node, pick the workload predicate that
+/// maximizes the expected number of skipped tuples across the workload,
+/// with per-branch cardinalities supplied by the learned SPN estimator
+/// instead of sampling/scanning ("we can use AI-driven cardinality
+/// estimation methods to estimate the cardinality accurately and
+/// efficiently").
+class QdTree {
+ public:
+  /// `workload` is the set of pushdown predicate conjunctions W.
+  static Result<QdTree> Build(const format::Schema& schema,
+                              const std::vector<query::Conjunction>& workload,
+                              const SumProductNetwork& estimator,
+                              uint64_t total_rows,
+                              QdTreeOptions options = QdTreeOptions());
+
+  /// Leaf (partition) id of one row. Ids are dense in [0, num_leaves).
+  int AssignRow(const format::Row& row) const;
+
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Leaves a query may have to read (others are skipped): leaf ids whose
+  /// constraint path does not contradict `where`.
+  std::vector<int> MatchingLeaves(const query::Conjunction& where) const;
+
+  /// Estimated rows in each leaf (SPN-based; diagnostics).
+  const std::vector<uint64_t>& leaf_cardinalities() const {
+    return leaf_cards_;
+  }
+
+ private:
+  struct Node {
+    // Inner node: rows satisfying `cut` go left, the rest right.
+    bool is_leaf = true;
+    int leaf_id = -1;
+    query::Predicate cut;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  QdTree() = default;
+
+  format::Schema schema_;
+  std::unique_ptr<Node> root_;
+  size_t num_leaves_ = 0;
+  std::vector<uint64_t> leaf_cards_;
+};
+
+/// Does `where` provably exclude every row satisfying the constraints
+/// (positive/negated predicates along a tree path)? Exposed for tests.
+bool ConstraintsContradict(
+    const std::vector<std::pair<query::Predicate, bool>>& constraints,
+    const query::Conjunction& where);
+
+}  // namespace streamlake::lakebrain
+
+#endif  // STREAMLAKE_LAKEBRAIN_QDTREE_H_

@@ -1,0 +1,58 @@
+#ifndef STREAMLAKE_LAKEBRAIN_SPN_H_
+#define STREAMLAKE_LAKEBRAIN_SPN_H_
+
+#include <memory>
+#include <vector>
+
+#include "format/schema.h"
+#include "query/predicate.h"
+
+namespace streamlake::lakebrain {
+
+struct SpnOptions {
+  /// Stop structure learning below this many rows (leaf).
+  size_t min_instances = 256;
+  int max_depth = 10;
+  /// |Pearson correlation| below which columns are treated as independent
+  /// (product split).
+  double correlation_threshold = 0.3;
+  /// Samples retained per leaf column for selectivity evaluation.
+  size_t leaf_sample_cap = 512;
+  uint64_t seed = 23;
+};
+
+/// \brief Sum-product network cardinality estimator [12] — LakeBrain's
+/// learned estimator for predicate-aware partitioning (Section VI-B).
+///
+/// Structure learning follows the classic recipe: product nodes split
+/// independent column groups (low pairwise correlation), sum nodes split
+/// row clusters (2-means), and leaves keep per-column sample histograms.
+/// Selectivity of a pushdown conjunction is evaluated bottom-up.
+class SumProductNetwork {
+ public:
+  /// Learn from a sample of rows (the paper trains on 3% of lineitem).
+  static Result<SumProductNetwork> Train(const format::Schema& schema,
+                                         const std::vector<format::Row>& sample,
+                                         SpnOptions options = SpnOptions());
+
+  /// P(row satisfies `where`), in [0, 1].
+  double EstimateSelectivity(const query::Conjunction& where) const;
+
+  /// Selectivity scaled to a table size.
+  uint64_t EstimateCardinality(const query::Conjunction& where,
+                               uint64_t total_rows) const;
+
+  size_t num_nodes() const;
+
+  struct Node;  // public so the learner in spn.cc can build the tree
+
+ private:
+  SumProductNetwork() = default;
+
+  format::Schema schema_;
+  std::shared_ptr<Node> root_;
+};
+
+}  // namespace streamlake::lakebrain
+
+#endif  // STREAMLAKE_LAKEBRAIN_SPN_H_

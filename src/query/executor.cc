@@ -1,0 +1,267 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+namespace streamlake::query {
+
+namespace {
+
+bool ValueVectorLess(const std::vector<format::Value>& a,
+                     const std::vector<format::Value>& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    int c = format::CompareValues(a[i], b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+double ToDouble(const format::Value& v) {
+  switch (format::TypeOf(v)) {
+    case format::DataType::kInt64:
+      return static_cast<double>(std::get<int64_t>(v));
+    case format::DataType::kDouble:
+      return std::get<double>(v);
+    case format::DataType::kBool:
+      return std::get<bool>(v) ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+AggregateSpec AggregateSpec::CountStar(std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kCount;
+  spec.alias = std::move(alias);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Sum(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kSum;
+  spec.alias = alias.empty() ? "sum(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Min(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kMin;
+  spec.alias = alias.empty() ? "min(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Max(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kMax;
+  spec.alias = alias.empty() ? "max(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Avg(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kAvg;
+  spec.alias = alias.empty() ? "avg(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+Executor::Executor(const format::Schema& schema, const QuerySpec& spec)
+    : schema_(schema), spec_(spec), groups_(&ValueVectorLess) {
+  init_status_ = Status::OK();
+  for (const std::string& column : spec_.group_by) {
+    int idx = schema_.FieldIndex(column);
+    if (idx < 0) {
+      init_status_ = Status::InvalidArgument("unknown group column " + column);
+      return;
+    }
+    group_cols_.push_back(idx);
+  }
+  for (const AggregateSpec& agg : spec_.aggregates) {
+    if (agg.column.empty()) {
+      agg_cols_.push_back(-1);
+    } else {
+      int idx = schema_.FieldIndex(agg.column);
+      if (idx < 0) {
+        init_status_ =
+            Status::InvalidArgument("unknown aggregate column " + agg.column);
+        return;
+      }
+      agg_cols_.push_back(idx);
+    }
+  }
+  for (const std::string& column : spec_.projection) {
+    int idx = schema_.FieldIndex(column);
+    if (idx < 0) {
+      init_status_ =
+          Status::InvalidArgument("unknown projection column " + column);
+      return;
+    }
+    projection_cols_.push_back(idx);
+  }
+}
+
+Status Executor::Consume(const std::vector<format::Row>& rows) {
+  SL_RETURN_NOT_OK(init_status_);
+  for (const format::Row& row : rows) {
+    ++rows_scanned_;
+    if (!spec_.where.Matches(schema_, row)) continue;
+    ++rows_matched_;
+
+    if (spec_.aggregates.empty()) {
+      if (projection_cols_.empty()) {
+        plain_rows_.push_back(row);
+      } else {
+        format::Row projected;
+        projected.fields.reserve(projection_cols_.size());
+        for (int col : projection_cols_) {
+          projected.fields.push_back(row.fields[col]);
+        }
+        plain_rows_.push_back(std::move(projected));
+      }
+      continue;
+    }
+
+    std::vector<format::Value> key;
+    key.reserve(group_cols_.size());
+    for (int col : group_cols_) key.push_back(row.fields[col]);
+    GroupState& state = groups_[key];
+    if (state.counts.empty()) {
+      state.counts.assign(spec_.aggregates.size(), 0);
+      state.sums.assign(spec_.aggregates.size(), 0.0);
+      state.mins.assign(spec_.aggregates.size(), std::nullopt);
+      state.maxs.assign(spec_.aggregates.size(), std::nullopt);
+    }
+    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+      const AggregateSpec& agg = spec_.aggregates[a];
+      state.counts[a] += 1;
+      if (agg_cols_[a] < 0) continue;
+      const format::Value& v = row.fields[agg_cols_[a]];
+      switch (agg.func) {
+        case AggregateSpec::Func::kSum:
+        case AggregateSpec::Func::kAvg:
+          state.sums[a] += ToDouble(v);
+          break;
+        case AggregateSpec::Func::kMin:
+          if (!state.mins[a] || format::CompareValues(v, *state.mins[a]) < 0) {
+            state.mins[a] = v;
+          }
+          break;
+        case AggregateSpec::Func::kMax:
+          if (!state.maxs[a] || format::CompareValues(v, *state.maxs[a]) > 0) {
+            state.maxs[a] = v;
+          }
+          break;
+        case AggregateSpec::Func::kCount:
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// ORDER BY `column` (by result-column name) and LIMIT, applied to the
+/// final rows.
+Status ApplyOrderAndLimit(const QuerySpec& spec, QueryResult* result) {
+  if (!spec.order_by.empty()) {
+    int column = -1;
+    for (size_t c = 0; c < result->column_names.size(); ++c) {
+      if (result->column_names[c] == spec.order_by) {
+        column = static_cast<int>(c);
+      }
+    }
+    if (column < 0) {
+      return Status::InvalidArgument("unknown ORDER BY column " +
+                                     spec.order_by);
+    }
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [&](const format::Row& a, const format::Row& b) {
+                       int cmp = format::CompareValues(a.fields[column],
+                                                       b.fields[column]);
+                       return spec.order_descending ? cmp > 0 : cmp < 0;
+                     });
+  }
+  if (spec.limit > 0 && result->rows.size() > spec.limit) {
+    result->rows.resize(spec.limit);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::Finalize() {
+  SL_RETURN_NOT_OK(init_status_);
+  QueryResult result;
+  result.rows_scanned = rows_scanned_;
+  result.rows_matched = rows_matched_;
+
+  if (spec_.aggregates.empty()) {
+    if (projection_cols_.empty()) {
+      for (const format::Field& f : schema_.fields()) {
+        result.column_names.push_back(f.name);
+      }
+    } else {
+      for (int col : projection_cols_) {
+        result.column_names.push_back(schema_.field(col).name);
+      }
+    }
+    result.rows = std::move(plain_rows_);
+    SL_RETURN_NOT_OK(ApplyOrderAndLimit(spec_, &result));
+    return result;
+  }
+
+  for (const std::string& g : spec_.group_by) result.column_names.push_back(g);
+  for (const AggregateSpec& agg : spec_.aggregates) {
+    result.column_names.push_back(agg.alias);
+  }
+  // SQL semantics: global aggregation over an empty input yields one row.
+  if (groups_.empty() && spec_.group_by.empty()) {
+    groups_[{}] = GroupState{
+        std::vector<int64_t>(spec_.aggregates.size(), 0),
+        std::vector<double>(spec_.aggregates.size(), 0.0),
+        std::vector<std::optional<format::Value>>(spec_.aggregates.size()),
+        std::vector<std::optional<format::Value>>(spec_.aggregates.size())};
+  }
+  for (const auto& [key, state] : groups_) {
+    format::Row row;
+    row.fields = key;
+    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+      switch (spec_.aggregates[a].func) {
+        case AggregateSpec::Func::kCount:
+          row.fields.emplace_back(state.counts[a]);
+          break;
+        case AggregateSpec::Func::kSum:
+          row.fields.emplace_back(state.sums[a]);
+          break;
+        case AggregateSpec::Func::kAvg:
+          row.fields.emplace_back(
+              state.counts[a] == 0 ? 0.0 : state.sums[a] / state.counts[a]);
+          break;
+        case AggregateSpec::Func::kMin:
+          row.fields.push_back(state.mins[a].value_or(format::Value(int64_t{0})));
+          break;
+        case AggregateSpec::Func::kMax:
+          row.fields.push_back(state.maxs[a].value_or(format::Value(int64_t{0})));
+          break;
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  SL_RETURN_NOT_OK(ApplyOrderAndLimit(spec_, &result));
+  return result;
+}
+
+Result<QueryResult> Execute(const format::Schema& schema,
+                            const std::vector<format::Row>& rows,
+                            const QuerySpec& spec) {
+  Executor executor(schema, spec);
+  SL_RETURN_NOT_OK(executor.Consume(rows));
+  return executor.Finalize();
+}
+
+}  // namespace streamlake::query

@@ -1,0 +1,192 @@
+#include "query/predicate.h"
+
+namespace streamlake::query {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+Predicate Predicate::Le(std::string column, format::Value v) {
+  return Predicate{std::move(column), CompareOp::kLe, std::move(v), {}};
+}
+Predicate Predicate::Ge(std::string column, format::Value v) {
+  return Predicate{std::move(column), CompareOp::kGe, std::move(v), {}};
+}
+Predicate Predicate::Lt(std::string column, format::Value v) {
+  return Predicate{std::move(column), CompareOp::kLt, std::move(v), {}};
+}
+Predicate Predicate::Gt(std::string column, format::Value v) {
+  return Predicate{std::move(column), CompareOp::kGt, std::move(v), {}};
+}
+Predicate Predicate::Eq(std::string column, format::Value v) {
+  return Predicate{std::move(column), CompareOp::kEq, std::move(v), {}};
+}
+Predicate Predicate::In(std::string column,
+                        std::vector<format::Value> values) {
+  Predicate p;
+  p.column = std::move(column);
+  p.op = CompareOp::kIn;
+  p.in_list = std::move(values);
+  if (!p.in_list.empty()) p.literal = p.in_list.front();
+  return p;
+}
+
+bool Predicate::Matches(const format::Value& v) const {
+  switch (op) {
+    case CompareOp::kLe:
+      return format::CompareValues(v, literal) <= 0;
+    case CompareOp::kGe:
+      return format::CompareValues(v, literal) >= 0;
+    case CompareOp::kLt:
+      return format::CompareValues(v, literal) < 0;
+    case CompareOp::kGt:
+      return format::CompareValues(v, literal) > 0;
+    case CompareOp::kEq:
+      return format::CompareValues(v, literal) == 0;
+    case CompareOp::kIn:
+      for (const format::Value& candidate : in_list) {
+        if (format::CompareValues(v, candidate) == 0) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  if (op == CompareOp::kIn) {
+    std::string s = column + " IN (";
+    for (size_t i = 0; i < in_list.size(); ++i) {
+      if (i) s += ", ";
+      s += format::ValueToString(in_list[i]);
+    }
+    return s + ")";
+  }
+  return column + " " + CompareOpName(op) + " " +
+         format::ValueToString(literal);
+}
+
+void Predicate::EncodeTo(Bytes* dst) const {
+  PutLengthPrefixed(dst, std::string_view(column));
+  dst->push_back(static_cast<uint8_t>(op));
+  format::EncodeValue(dst, literal);
+  PutVarint64(dst, in_list.size());
+  for (const format::Value& v : in_list) format::EncodeValue(dst, v);
+}
+
+Result<Predicate> Predicate::DecodeFrom(Decoder* dec) {
+  Predicate p;
+  if (!dec->GetString(&p.column)) return Status::Corruption("pred column");
+  if (dec->Remaining() < 1) return Status::Corruption("pred op");
+  p.op = static_cast<CompareOp>(*dec->position());
+  if (p.op > CompareOp::kIn) return Status::Corruption("pred op tag");
+  dec->Skip(1);
+  SL_ASSIGN_OR_RETURN(p.literal, format::DecodeValue(dec));
+  uint64_t in_count;
+  if (!dec->GetVarint(&in_count)) return Status::Corruption("pred in count");
+  if (in_count > dec->Remaining()) {
+    return Status::Corruption("pred in count bogus");
+  }
+  for (uint64_t i = 0; i < in_count; ++i) {
+    SL_ASSIGN_OR_RETURN(format::Value v, format::DecodeValue(dec));
+    p.in_list.push_back(std::move(v));
+  }
+  return p;
+}
+
+void Conjunction::EncodeTo(Bytes* dst) const {
+  PutVarint64(dst, predicates_.size());
+  for (const Predicate& p : predicates_) p.EncodeTo(dst);
+}
+
+Result<Conjunction> Conjunction::DecodeFrom(Decoder* dec) {
+  uint64_t count;
+  if (!dec->GetVarint(&count)) return Status::Corruption("conjunction count");
+  if (count > dec->Remaining()) {
+    return Status::Corruption("conjunction count bogus");
+  }
+  std::vector<Predicate> predicates;
+  predicates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SL_ASSIGN_OR_RETURN(Predicate p, Predicate::DecodeFrom(dec));
+    predicates.push_back(std::move(p));
+  }
+  return Conjunction(std::move(predicates));
+}
+
+bool PredicateMayMatchRange(const Predicate& predicate,
+                            const format::Value& min,
+                            const format::Value& max) {
+  switch (predicate.op) {
+    case CompareOp::kLe:
+      return format::CompareValues(min, predicate.literal) <= 0;
+    case CompareOp::kLt:
+      return format::CompareValues(min, predicate.literal) < 0;
+    case CompareOp::kGe:
+      return format::CompareValues(max, predicate.literal) >= 0;
+    case CompareOp::kGt:
+      return format::CompareValues(max, predicate.literal) > 0;
+    case CompareOp::kEq:
+      return format::CompareValues(min, predicate.literal) <= 0 &&
+             format::CompareValues(max, predicate.literal) >= 0;
+    case CompareOp::kIn:
+      for (const format::Value& v : predicate.in_list) {
+        if (format::CompareValues(min, v) <= 0 &&
+            format::CompareValues(max, v) >= 0) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return true;
+}
+
+bool Conjunction::Matches(const format::Schema& schema,
+                          const format::Row& row) const {
+  for (const Predicate& predicate : predicates_) {
+    int col = schema.FieldIndex(predicate.column);
+    if (col < 0) return false;  // unknown column matches nothing
+    if (!predicate.Matches(row.fields[col])) return false;
+  }
+  return true;
+}
+
+bool Conjunction::MayMatchStats(const std::string& column,
+                                const format::ColumnStats& stats) const {
+  if (!stats.min.has_value() || !stats.max.has_value()) return true;
+  for (const Predicate& predicate : predicates_) {
+    if (predicate.column != column) continue;
+    if (format::TypeOf(*stats.min) != format::TypeOf(predicate.literal)) {
+      continue;  // mismatched type: cannot prune safely
+    }
+    if (!PredicateMayMatchRange(predicate, *stats.min, *stats.max)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Conjunction::ToString() const {
+  if (predicates_.empty()) return "TRUE";
+  std::string s;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i) s += " AND ";
+    s += predicates_[i].ToString();
+  }
+  return s;
+}
+
+}  // namespace streamlake::query

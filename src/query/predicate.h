@@ -1,0 +1,82 @@
+#ifndef STREAMLAKE_QUERY_PREDICATE_H_
+#define STREAMLAKE_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "format/lakefile.h"
+#include "format/schema.h"
+#include "format/types.h"
+
+namespace streamlake::query {
+
+/// Comparison operators of pushdown predicates. The set matches the
+/// query-tree framework of Section VI-B: {<=, >=, <, >, =, IN}.
+enum class CompareOp { kLe, kGe, kLt, kGt, kEq, kIn };
+
+const char* CompareOpName(CompareOp op);
+
+/// One predicate: (attribute, operator, literal) — e.g.
+/// (start_time, >=, 1656806400) from the DAU query of Fig. 13.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  format::Value literal;
+  std::vector<format::Value> in_list;  // kIn only
+
+  static Predicate Le(std::string column, format::Value v);
+  static Predicate Ge(std::string column, format::Value v);
+  static Predicate Lt(std::string column, format::Value v);
+  static Predicate Gt(std::string column, format::Value v);
+  static Predicate Eq(std::string column, format::Value v);
+  static Predicate In(std::string column, std::vector<format::Value> values);
+
+  /// Evaluate against one value of the predicate's column.
+  bool Matches(const format::Value& v) const;
+
+  std::string ToString() const;
+
+  void EncodeTo(Bytes* dst) const;
+  static Result<Predicate> DecodeFrom(Decoder* dec);
+};
+
+/// Conjunction of predicates (the WHERE clause). An empty conjunction
+/// matches everything.
+class Conjunction {
+ public:
+  Conjunction() = default;
+  Conjunction(std::initializer_list<Predicate> predicates)
+      : predicates_(predicates) {}
+  explicit Conjunction(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  void Add(Predicate predicate) { predicates_.push_back(std::move(predicate)); }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  bool empty() const { return predicates_.empty(); }
+
+  /// Row-level evaluation.
+  bool Matches(const format::Schema& schema, const format::Row& row) const;
+
+  /// Stats-level pruning: can any row with `column` in [min, max] match?
+  /// Conservative — returns true when unsure.
+  bool MayMatchStats(const std::string& column,
+                     const format::ColumnStats& stats) const;
+
+  std::string ToString() const;
+
+  /// Serialization (merge-on-read delete predicates persist in commits).
+  void EncodeTo(Bytes* dst) const;
+  static Result<Conjunction> DecodeFrom(Decoder* dec);
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+/// May a single predicate match some value in [min, max]?
+bool PredicateMayMatchRange(const Predicate& predicate,
+                            const format::Value& min,
+                            const format::Value& max);
+
+}  // namespace streamlake::query
+
+#endif  // STREAMLAKE_QUERY_PREDICATE_H_

@@ -1,0 +1,393 @@
+#include "query/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace streamlake::query {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // bare word (keywords resolved by comparison)
+  kInteger,
+  kDouble,
+  kString,   // 'quoted'
+  kSymbol,   // ( ) , * = <= >= < >
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // uppercased for idents; verbatim for strings
+  std::string raw;   // original spelling
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const size_t n = input_.size();
+    while (i < n) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '-' && i + 1 < n && input_[i + 1] == '-') {
+        while (i < n && input_[i] != '\n') ++i;  // -- comment
+        continue;
+      }
+      if (c == '\'') {
+        size_t end = input_.find('\'', i + 1);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        Token token;
+        token.kind = TokenKind::kString;
+        token.text = input_.substr(i + 1, end - i - 1);
+        token.raw = token.text;
+        tokens.push_back(std::move(token));
+        i = end + 1;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+        size_t start = i;
+        if (c == '-') ++i;
+        bool is_double = false;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(input_[i])) ||
+                         input_[i] == '.')) {
+          if (input_[i] == '.') is_double = true;
+          ++i;
+        }
+        Token token;
+        token.kind = is_double ? TokenKind::kDouble : TokenKind::kInteger;
+        token.text = input_.substr(start, i - start);
+        token.raw = token.text;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(input_[i])) ||
+                         input_[i] == '_')) {
+          ++i;
+        }
+        Token token;
+        token.kind = TokenKind::kIdent;
+        token.raw = input_.substr(start, i - start);
+        token.text = token.raw;
+        std::transform(token.text.begin(), token.text.end(),
+                       token.text.begin(), ::toupper);
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      // Symbols, including two-character comparators.
+      if ((c == '<' || c == '>') && i + 1 < n && input_[i + 1] == '=') {
+        tokens.push_back(Token{TokenKind::kSymbol, input_.substr(i, 2),
+                               input_.substr(i, 2)});
+        i += 2;
+        continue;
+      }
+      if (std::string("(),*=<>").find(c) != std::string::npos) {
+        tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c),
+                               std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in SQL");
+    }
+    tokens.push_back(Token{});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlStatement> Parse() {
+    SqlStatement statement;
+    if (Accept("SELECT")) {
+      statement.kind = SqlStatement::Kind::kSelect;
+      SL_RETURN_NOT_OK(ParseSelect(&statement));
+    } else if (Accept("INSERT")) {
+      statement.kind = SqlStatement::Kind::kInsert;
+      SL_RETURN_NOT_OK(ParseInsert(&statement));
+    } else if (Accept("DELETE")) {
+      statement.kind = SqlStatement::Kind::kDelete;
+      SL_RETURN_NOT_OK(ParseDelete(&statement));
+    } else if (Accept("UPDATE")) {
+      statement.kind = SqlStatement::Kind::kUpdate;
+      SL_RETURN_NOT_OK(ParseUpdate(&statement));
+    } else {
+      return Status::InvalidArgument("expected SELECT/INSERT/DELETE/UPDATE");
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement: " +
+                                     Peek().raw);
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool Accept(std::string_view keyword) {
+    if (Peek().kind == TokenKind::kIdent && Peek().text == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view symbol) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view keyword) {
+    if (!Accept(keyword)) {
+      return Status::InvalidArgument("expected " + std::string(keyword) +
+                                     " near '" + Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Status::InvalidArgument("expected '" + std::string(symbol) +
+                                     "' near '" + Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().raw + "'");
+    }
+    return Next().raw;
+  }
+
+  Result<format::Value> ParseLiteral() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInteger: {
+        int64_t v = std::stoll(Next().text);
+        return format::Value(v);
+      }
+      case TokenKind::kDouble:
+        return format::Value(std::stod(Next().text));
+      case TokenKind::kString:
+        return format::Value(Next().raw);
+      case TokenKind::kIdent:
+        if (Accept("TRUE")) return format::Value(true);
+        if (Accept("FALSE")) return format::Value(false);
+        return Status::InvalidArgument("expected literal, got '" + token.raw +
+                                       "'");
+      default:
+        return Status::InvalidArgument("expected literal near '" + token.raw +
+                                       "'");
+    }
+  }
+
+  Result<Conjunction> ParseWhere() {
+    Conjunction where;
+    do {
+      SL_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+      if (Accept("IN")) {
+        SL_RETURN_NOT_OK(ExpectSymbol("("));
+        std::vector<format::Value> values;
+        do {
+          SL_ASSIGN_OR_RETURN(format::Value v, ParseLiteral());
+          values.push_back(std::move(v));
+        } while (AcceptSymbol(","));
+        SL_RETURN_NOT_OK(ExpectSymbol(")"));
+        where.Add(Predicate::In(column, std::move(values)));
+        continue;
+      }
+      CompareOp op;
+      if (AcceptSymbol("=")) {
+        op = CompareOp::kEq;
+      } else if (AcceptSymbol("<=")) {
+        op = CompareOp::kLe;
+      } else if (AcceptSymbol(">=")) {
+        op = CompareOp::kGe;
+      } else if (AcceptSymbol("<")) {
+        op = CompareOp::kLt;
+      } else if (AcceptSymbol(">")) {
+        op = CompareOp::kGt;
+      } else {
+        return Status::InvalidArgument("expected comparison operator near '" +
+                                       Peek().raw + "'");
+      }
+      SL_ASSIGN_OR_RETURN(format::Value literal, ParseLiteral());
+      where.Add(Predicate{column, op, std::move(literal), {}});
+    } while (Accept("AND"));
+    return where;
+  }
+
+  Status ParseSelectItem(SqlStatement* statement) {
+    QuerySpec& spec = statement->select;
+    if (AcceptSymbol("*")) return Status::OK();  // all columns
+
+    static const std::pair<std::string_view, AggregateSpec::Func> kAggs[] = {
+        {"COUNT", AggregateSpec::Func::kCount},
+        {"SUM", AggregateSpec::Func::kSum},
+        {"MIN", AggregateSpec::Func::kMin},
+        {"MAX", AggregateSpec::Func::kMax},
+        {"AVG", AggregateSpec::Func::kAvg},
+    };
+    for (const auto& [name, func] : kAggs) {
+      if (Peek().kind == TokenKind::kIdent && Peek().text == name &&
+          tokens_[pos_ + 1].kind == TokenKind::kSymbol &&
+          tokens_[pos_ + 1].text == "(") {
+        Next();  // agg name
+        Next();  // (
+        AggregateSpec agg;
+        agg.func = func;
+        if (AcceptSymbol("*")) {
+          if (func != AggregateSpec::Func::kCount) {
+            return Status::InvalidArgument("only COUNT accepts *");
+          }
+          agg.alias = "count";
+        } else {
+          SL_ASSIGN_OR_RETURN(agg.column, ExpectIdent());
+          std::string lower_name(name);
+          std::transform(lower_name.begin(), lower_name.end(),
+                         lower_name.begin(), ::tolower);
+          agg.alias = lower_name + "(" + agg.column + ")";
+        }
+        SL_RETURN_NOT_OK(ExpectSymbol(")"));
+        if (Accept("AS")) {
+          SL_ASSIGN_OR_RETURN(agg.alias, ExpectIdent());
+        }
+        spec.aggregates.push_back(std::move(agg));
+        return Status::OK();
+      }
+    }
+    // Plain column (optionally aliased — alias ignored for projections).
+    SL_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+    if (Accept("AS")) {
+      SL_ASSIGN_OR_RETURN([[maybe_unused]] std::string alias, ExpectIdent());
+    }
+    spec.projection.push_back(std::move(column));
+    return Status::OK();
+  }
+
+  Status ParseSelect(SqlStatement* statement) {
+    do {
+      SL_RETURN_NOT_OK(ParseSelectItem(statement));
+    } while (AcceptSymbol(","));
+    SL_RETURN_NOT_OK(Expect("FROM"));
+    SL_ASSIGN_OR_RETURN(statement->table, ExpectIdent());
+    if (Accept("WHERE")) {
+      SL_ASSIGN_OR_RETURN(statement->select.where, ParseWhere());
+    }
+    if (Accept("GROUP")) {
+      SL_RETURN_NOT_OK(Expect("BY"));
+      do {
+        SL_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+        statement->select.group_by.push_back(std::move(column));
+      } while (AcceptSymbol(","));
+    }
+    if (Accept("ORDER")) {
+      SL_RETURN_NOT_OK(Expect("BY"));
+      SL_ASSIGN_OR_RETURN(statement->select.order_by, ExpectIdent());
+      if (Accept("DESC")) {
+        statement->select.order_descending = true;
+      } else {
+        Accept("ASC");
+      }
+    }
+    if (Accept("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::InvalidArgument("LIMIT needs an integer");
+      }
+      statement->select.limit = std::stoull(Next().text);
+    }
+    // GROUP BY columns are part of the aggregate output; a projection of
+    // the same names is implied and must not also be requested.
+    if (!statement->select.aggregates.empty() &&
+        !statement->select.projection.empty()) {
+      // Allow "SELECT province, COUNT(*) ... GROUP BY province": drop
+      // projections that are group-by columns.
+      auto& projection = statement->select.projection;
+      auto& groups = statement->select.group_by;
+      projection.erase(
+          std::remove_if(projection.begin(), projection.end(),
+                         [&](const std::string& column) {
+                           return std::find(groups.begin(), groups.end(),
+                                            column) != groups.end();
+                         }),
+          projection.end());
+      if (!projection.empty()) {
+        return Status::InvalidArgument(
+            "non-aggregated column '" + projection.front() +
+            "' must appear in GROUP BY");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseInsert(SqlStatement* statement) {
+    SL_RETURN_NOT_OK(Expect("INTO"));
+    SL_ASSIGN_OR_RETURN(statement->table, ExpectIdent());
+    SL_RETURN_NOT_OK(Expect("VALUES"));
+    do {
+      SL_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<format::Value> row;
+      do {
+        SL_ASSIGN_OR_RETURN(format::Value v, ParseLiteral());
+        row.push_back(std::move(v));
+      } while (AcceptSymbol(","));
+      SL_RETURN_NOT_OK(ExpectSymbol(")"));
+      statement->insert_rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseDelete(SqlStatement* statement) {
+    SL_RETURN_NOT_OK(Expect("FROM"));
+    SL_ASSIGN_OR_RETURN(statement->table, ExpectIdent());
+    if (Accept("WHERE")) {
+      SL_ASSIGN_OR_RETURN(statement->where, ParseWhere());
+    }
+    return Status::OK();
+  }
+
+  Status ParseUpdate(SqlStatement* statement) {
+    SL_ASSIGN_OR_RETURN(statement->table, ExpectIdent());
+    SL_RETURN_NOT_OK(Expect("SET"));
+    SL_ASSIGN_OR_RETURN(statement->set_column, ExpectIdent());
+    SL_RETURN_NOT_OK(ExpectSymbol("="));
+    SL_ASSIGN_OR_RETURN(statement->set_value, ParseLiteral());
+    if (Accept("WHERE")) {
+      SL_ASSIGN_OR_RETURN(statement->where, ParseWhere());
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlStatement> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  SL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace streamlake::query

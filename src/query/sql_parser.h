@@ -1,0 +1,50 @@
+#ifndef STREAMLAKE_QUERY_SQL_PARSER_H_
+#define STREAMLAKE_QUERY_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+
+namespace streamlake::query {
+
+/// A parsed SQL statement over one table.
+struct SqlStatement {
+  enum class Kind { kSelect, kInsert, kDelete, kUpdate };
+
+  Kind kind = Kind::kSelect;
+  std::string table;
+
+  // kSelect
+  QuerySpec select;
+
+  // kInsert: positional VALUES tuples (validated against the table schema
+  // at execution time).
+  std::vector<std::vector<format::Value>> insert_rows;
+
+  // kDelete / kUpdate
+  Conjunction where;
+
+  // kUpdate
+  std::string set_column;
+  format::Value set_value;
+};
+
+/// \brief Parser for the SQL dialect the paper's evaluation uses
+/// (Fig. 13): single-table SELECT with pushdown predicates, GROUP BY,
+/// aggregate functions, ORDER BY, LIMIT — plus INSERT INTO ... VALUES,
+/// DELETE FROM ... WHERE, and UPDATE ... SET ... WHERE.
+///
+/// Grammar (keywords case-insensitive; `--` comments to end of line):
+///   SELECT (expr [AS alias])[, ...] FROM table
+///     [WHERE col op literal [AND ...]]
+///     [GROUP BY col[, ...]] [ORDER BY name [ASC|DESC]] [LIMIT n]
+///   expr   := col | * | COUNT(*) | COUNT(col) | SUM(col) | MIN(col)
+///           | MAX(col) | AVG(col)
+///   op     := = | <= | >= | < | > | IN (literal[, ...])
+///   literal:= 123 | 1.5 | 'text' | TRUE | FALSE
+Result<SqlStatement> ParseSql(const std::string& sql);
+
+}  // namespace streamlake::query
+
+#endif  // STREAMLAKE_QUERY_SQL_PARSER_H_

@@ -1,0 +1,95 @@
+#include "sim/device_model.h"
+
+namespace streamlake::sim {
+
+DeviceProfile DeviceProfile::Dram() {
+  return DeviceProfile{
+      .name = "dram",
+      .read_latency_ns = 100,
+      .write_latency_ns = 100,
+      .read_bw_bytes_per_sec = 20ULL * 1000 * 1000 * 1000,
+      .write_bw_bytes_per_sec = 20ULL * 1000 * 1000 * 1000,
+  };
+}
+
+DeviceProfile DeviceProfile::Pmem() {
+  return DeviceProfile{
+      .name = "pmem",
+      .read_latency_ns = 1 * kMicro,
+      .write_latency_ns = 2 * kMicro,
+      .read_bw_bytes_per_sec = 8ULL * 1000 * 1000 * 1000,
+      .write_bw_bytes_per_sec = 4ULL * 1000 * 1000 * 1000,
+  };
+}
+
+DeviceProfile DeviceProfile::NvmeSsd() {
+  return DeviceProfile{
+      .name = "nvme_ssd",
+      .read_latency_ns = 80 * kMicro,
+      .write_latency_ns = 30 * kMicro,
+      .read_bw_bytes_per_sec = 3ULL * 1000 * 1000 * 1000,
+      .write_bw_bytes_per_sec = 2ULL * 1000 * 1000 * 1000,
+  };
+}
+
+DeviceProfile DeviceProfile::SasHdd() {
+  return DeviceProfile{
+      .name = "sas_hdd",
+      .read_latency_ns = 8 * kMilli,
+      .write_latency_ns = 8 * kMilli,
+      .read_bw_bytes_per_sec = 200ULL * 1000 * 1000,
+      .write_bw_bytes_per_sec = 180ULL * 1000 * 1000,
+  };
+}
+
+DeviceProfile DeviceProfile::ForMedia(MediaType media) {
+  switch (media) {
+    case MediaType::kDram:
+      return Dram();
+    case MediaType::kPmem:
+      return Pmem();
+    case MediaType::kNvmeSsd:
+      return NvmeSsd();
+    case MediaType::kSasHdd:
+      return SasHdd();
+  }
+  return NvmeSsd();
+}
+
+uint64_t DeviceModel::ChargeRead(uint64_t bytes) {
+  uint64_t cost = ReadCostNanos(bytes);
+  clock_->Advance(cost);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  busy_ns_.fetch_add(cost, std::memory_order_relaxed);
+  return cost;
+}
+
+uint64_t DeviceModel::ChargeWrite(uint64_t bytes) {
+  uint64_t cost = WriteCostNanos(bytes);
+  clock_->Advance(cost);
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  busy_ns_.fetch_add(cost, std::memory_order_relaxed);
+  return cost;
+}
+
+DeviceStats DeviceModel::stats() const {
+  DeviceStats s;
+  s.read_ops = read_ops_.load(std::memory_order_relaxed);
+  s.write_ops = write_ops_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DeviceModel::ResetStats() {
+  read_ops_ = 0;
+  write_ops_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  busy_ns_ = 0;
+}
+
+}  // namespace streamlake::sim

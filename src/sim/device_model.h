@@ -1,0 +1,81 @@
+#ifndef STREAMLAKE_SIM_DEVICE_MODEL_H_
+#define STREAMLAKE_SIM_DEVICE_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/clock.h"
+
+namespace streamlake::sim {
+
+/// Storage media classes present in an OceanStor Pacific node plus the
+/// persistent-memory cache of hardware Set-2 (Section VII-C).
+enum class MediaType { kDram, kPmem, kNvmeSsd, kSasHdd };
+
+/// Latency/bandwidth parameters of one media class. Values are defensible
+/// datasheet-order-of-magnitude numbers; experiments depend on the *ratios*
+/// (SSD ≪ HDD, PMEM ≪ SSD), not the absolute figures.
+struct DeviceProfile {
+  std::string name;
+  uint64_t read_latency_ns = 0;   // fixed per-op setup (seek, controller)
+  uint64_t write_latency_ns = 0;
+  uint64_t read_bw_bytes_per_sec = 1;
+  uint64_t write_bw_bytes_per_sec = 1;
+
+  static DeviceProfile Dram();
+  static DeviceProfile Pmem();
+  static DeviceProfile NvmeSsd();
+  static DeviceProfile SasHdd();
+  static DeviceProfile ForMedia(MediaType media);
+};
+
+/// Cumulative I/O counters for one device.
+struct DeviceStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t busy_ns = 0;  // total simulated service time
+};
+
+/// Computes and charges the simulated cost of I/O against one media class.
+/// Thread-safe; the clock is shared by all devices of a cluster.
+class DeviceModel {
+ public:
+  DeviceModel(DeviceProfile profile, SimClock* clock)
+      : profile_(std::move(profile)), clock_(clock) {}
+
+  /// Cost of reading `bytes` in one operation, in nanoseconds.
+  uint64_t ReadCostNanos(uint64_t bytes) const {
+    return profile_.read_latency_ns +
+           bytes * kSecond / profile_.read_bw_bytes_per_sec;
+  }
+
+  uint64_t WriteCostNanos(uint64_t bytes) const {
+    return profile_.write_latency_ns +
+           bytes * kSecond / profile_.write_bw_bytes_per_sec;
+  }
+
+  /// Charge a read/write to the clock and update counters. Returns the
+  /// charged nanoseconds so callers can account per-request latency.
+  uint64_t ChargeRead(uint64_t bytes);
+  uint64_t ChargeWrite(uint64_t bytes);
+
+  const DeviceProfile& profile() const { return profile_; }
+  DeviceStats stats() const;
+  void ResetStats();
+
+ private:
+  DeviceProfile profile_;
+  SimClock* clock_;
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> busy_ns_{0};
+};
+
+}  // namespace streamlake::sim
+
+#endif  // STREAMLAKE_SIM_DEVICE_MODEL_H_

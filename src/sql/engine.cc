@@ -1,0 +1,61 @@
+#include "sql/engine.h"
+
+namespace streamlake::sql {
+
+namespace {
+
+query::QueryResult AffectedRows(uint64_t count) {
+  query::QueryResult result;
+  result.column_names = {"affected"};
+  format::Row row;
+  row.fields = {format::Value(static_cast<int64_t>(count))};
+  result.rows.push_back(std::move(row));
+  return result;
+}
+
+}  // namespace
+
+Result<query::QueryResult> Engine::Execute(const std::string& statement,
+                                           table::SelectMetrics* metrics) {
+  SL_ASSIGN_OR_RETURN(query::SqlStatement parsed, query::ParseSql(statement));
+  SL_ASSIGN_OR_RETURN(table::Table * table,
+                      lakehouse_->GetTable(parsed.table));
+  switch (parsed.kind) {
+    case query::SqlStatement::Kind::kSelect:
+      return table->Select(parsed.select, select_options_, metrics);
+    case query::SqlStatement::Kind::kInsert: {
+      SL_ASSIGN_OR_RETURN(table::TableInfo info, table->Info());
+      std::vector<format::Row> rows;
+      rows.reserve(parsed.insert_rows.size());
+      for (auto& values : parsed.insert_rows) {
+        format::Row row;
+        row.fields = std::move(values);
+        // SQL integer literals may target double columns; coerce.
+        for (size_t c = 0; c < row.fields.size() &&
+                           c < info.schema.num_fields(); ++c) {
+          if (info.schema.field(c).type == format::DataType::kDouble &&
+              format::TypeOf(row.fields[c]) == format::DataType::kInt64) {
+            row.fields[c] = format::Value(
+                static_cast<double>(std::get<int64_t>(row.fields[c])));
+          }
+        }
+        rows.push_back(std::move(row));
+      }
+      SL_RETURN_NOT_OK(table->Insert(rows));
+      return AffectedRows(rows.size());
+    }
+    case query::SqlStatement::Kind::kDelete: {
+      SL_ASSIGN_OR_RETURN(uint64_t deleted, table->Delete(parsed.where));
+      return AffectedRows(deleted);
+    }
+    case query::SqlStatement::Kind::kUpdate: {
+      SL_ASSIGN_OR_RETURN(uint64_t updated,
+                          table->Update(parsed.where, parsed.set_column,
+                                        parsed.set_value));
+      return AffectedRows(updated);
+    }
+  }
+  return Status::InvalidArgument("unknown statement kind");
+}
+
+}  // namespace streamlake::sql

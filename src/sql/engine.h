@@ -1,0 +1,34 @@
+#ifndef STREAMLAKE_SQL_ENGINE_H_
+#define STREAMLAKE_SQL_ENGINE_H_
+
+#include <string>
+
+#include "query/sql_parser.h"
+#include "table/lakehouse.h"
+
+namespace streamlake::sql {
+
+/// \brief Executes SQL statements against the lakehouse — the surface the
+/// compute engines of Fig. 12 use (the paper runs Spark SQL; Fig. 13 is
+/// the DAU query this engine runs natively, with pushdown).
+class Engine {
+ public:
+  explicit Engine(table::LakehouseService* lakehouse,
+                  table::SelectOptions default_select_options = {})
+      : lakehouse_(lakehouse),
+        select_options_(default_select_options) {}
+
+  /// Parse and run one statement. SELECT returns its result set;
+  /// INSERT/DELETE/UPDATE return one row with the affected-row count
+  /// (column "affected").
+  Result<query::QueryResult> Execute(const std::string& statement,
+                                     table::SelectMetrics* metrics = nullptr);
+
+ private:
+  table::LakehouseService* lakehouse_;
+  table::SelectOptions select_options_;
+};
+
+}  // namespace streamlake::sql
+
+#endif  // STREAMLAKE_SQL_ENGINE_H_

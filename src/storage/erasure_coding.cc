@@ -1,0 +1,181 @@
+#include "storage/erasure_coding.h"
+
+#include "common/logging.h"
+#include "storage/gf256.h"
+
+namespace streamlake::storage {
+
+namespace {
+
+using Matrix = std::vector<std::vector<uint8_t>>;
+
+Matrix MultiplyMatrix(const Matrix& a, const Matrix& b) {
+  size_t rows = a.size();
+  size_t inner = b.size();
+  size_t cols = b[0].size();
+  Matrix out(rows, std::vector<uint8_t>(cols, 0));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      uint8_t acc = 0;
+      for (size_t x = 0; x < inner; ++x) {
+        acc = Gf256::Add(acc, Gf256::Mul(a[i][x], b[x][j]));
+      }
+      out[i][j] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Matrix> InvertMatrix(Matrix a) {
+  const size_t n = a.size();
+  Matrix inv(n, std::vector<uint8_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) inv[i][i] = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Find a pivot row.
+    size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) return Status::InvalidArgument("singular matrix");
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+    // Scale pivot row to 1.
+    uint8_t scale = Gf256::Inv(a[col][col]);
+    for (size_t j = 0; j < n; ++j) {
+      a[col][j] = Gf256::Mul(a[col][j], scale);
+      inv[col][j] = Gf256::Mul(inv[col][j], scale);
+    }
+    // Eliminate the column from all other rows.
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      uint8_t factor = a[row][col];
+      for (size_t j = 0; j < n; ++j) {
+        a[row][j] = Gf256::Sub(a[row][j], Gf256::Mul(factor, a[col][j]));
+        inv[row][j] = Gf256::Sub(inv[row][j], Gf256::Mul(factor, inv[col][j]));
+      }
+    }
+  }
+  return inv;
+}
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  SL_CHECK(k >= 1 && m >= 0 && k + m <= 255);
+  // Vandermonde V[i][j] = i^j over distinct points 0..k+m-1; any k rows of
+  // V are invertible. Normalize by V_top^{-1} to make the code systematic
+  // while preserving the any-k-rows property.
+  Matrix vandermonde(k + m, std::vector<uint8_t>(k, 0));
+  for (int i = 0; i < k + m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      vandermonde[i][j] = Gf256::Pow(static_cast<uint8_t>(i), j);
+    }
+  }
+  Matrix top(vandermonde.begin(), vandermonde.begin() + k);
+  auto top_inv = InvertMatrix(std::move(top));
+  SL_CHECK(top_inv.ok());
+  generator_ = MultiplyMatrix(vandermonde, *top_inv);
+}
+
+std::vector<Bytes> ReedSolomon::Encode(ByteView payload) const {
+  const size_t shard_size = (payload.size() + k_ - 1) / k_;
+  std::vector<Bytes> shards(k_ + m_);
+  // Data shards: zero-padded split (systematic rows are the identity).
+  for (int i = 0; i < k_; ++i) {
+    shards[i].assign(shard_size, 0);
+    size_t begin = i * shard_size;
+    if (begin < payload.size()) {
+      size_t len = std::min(shard_size, payload.size() - begin);
+      std::memcpy(shards[i].data(), payload.data() + begin, len);
+    }
+  }
+  // Parity shards. A per-coefficient 256-entry product table turns the
+  // inner loop into one lookup + XOR per byte.
+  uint8_t mul_table[256];
+  for (int p = 0; p < m_; ++p) {
+    const std::vector<uint8_t>& row = generator_[k_ + p];
+    Bytes& parity = shards[k_ + p];
+    parity.assign(shard_size, 0);
+    for (int d = 0; d < k_; ++d) {
+      uint8_t coeff = row[d];
+      if (coeff == 0) continue;
+      for (int v = 0; v < 256; ++v) {
+        mul_table[v] = Gf256::Mul(coeff, static_cast<uint8_t>(v));
+      }
+      const Bytes& data = shards[d];
+      for (size_t b = 0; b < shard_size; ++b) {
+        parity[b] ^= mul_table[data[b]];
+      }
+    }
+  }
+  return shards;
+}
+
+Result<Bytes> ReedSolomon::Decode(
+    const std::vector<std::optional<Bytes>>& shards,
+    size_t payload_size) const {
+  if (shards.size() != static_cast<size_t>(k_ + m_)) {
+    return Status::InvalidArgument("wrong shard count");
+  }
+  // Collect the first k available shards.
+  std::vector<int> present;
+  size_t shard_size = 0;
+  for (int i = 0; i < k_ + m_ && static_cast<int>(present.size()) < k_; ++i) {
+    if (shards[i].has_value()) {
+      if (present.empty()) {
+        shard_size = shards[i]->size();
+      } else if (shards[i]->size() != shard_size) {
+        return Status::InvalidArgument("shard size mismatch");
+      }
+      present.push_back(i);
+    }
+  }
+  if (static_cast<int>(present.size()) < k_) {
+    return Status::Corruption("too many shards lost to reconstruct");
+  }
+  if (shard_size * k_ < payload_size) {
+    return Status::InvalidArgument("payload size too large for shards");
+  }
+
+  // Fast path: all data shards survive.
+  bool all_data = true;
+  for (int i = 0; i < k_; ++i) {
+    if (!shards[i].has_value()) {
+      all_data = false;
+      break;
+    }
+  }
+  std::vector<Bytes> data(k_);
+  if (all_data) {
+    for (int i = 0; i < k_; ++i) data[i] = *shards[i];
+  } else {
+    // Solve: [generator rows of present shards] * data = present shards.
+    Matrix sub(k_, std::vector<uint8_t>(k_));
+    for (int r = 0; r < k_; ++r) sub[r] = generator_[present[r]];
+    SL_ASSIGN_OR_RETURN(Matrix inv, InvertMatrix(std::move(sub)));
+    uint8_t mul_table[256];
+    for (int d = 0; d < k_; ++d) {
+      data[d].assign(shard_size, 0);
+      for (int r = 0; r < k_; ++r) {
+        uint8_t coeff = inv[d][r];
+        if (coeff == 0) continue;
+        for (int v = 0; v < 256; ++v) {
+          mul_table[v] = Gf256::Mul(coeff, static_cast<uint8_t>(v));
+        }
+        const Bytes& src = *shards[present[r]];
+        for (size_t b = 0; b < shard_size; ++b) {
+          data[d][b] ^= mul_table[src[b]];
+        }
+      }
+    }
+  }
+
+  Bytes payload;
+  payload.reserve(payload_size);
+  for (int i = 0; i < k_ && payload.size() < payload_size; ++i) {
+    size_t take = std::min(shard_size, payload_size - payload.size());
+    payload.insert(payload.end(), data[i].begin(), data[i].begin() + take);
+  }
+  return payload;
+}
+
+}  // namespace streamlake::storage

@@ -1,0 +1,58 @@
+#include "storage/gf256.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace streamlake::storage {
+
+namespace {
+
+struct Tables {
+  std::array<uint8_t, 256> log{};
+  std::array<uint8_t, 512> exp{};  // doubled to skip the mod-255 on lookups
+};
+
+Tables MakeTables() {
+  Tables t;
+  // Generator 3 is primitive for 0x11B.
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<uint8_t>(x);
+    t.log[x] = static_cast<uint8_t>(i);
+    // multiply x by 3: x*2 + x
+    uint16_t x2 = x << 1;
+    if (x2 & 0x100) x2 ^= 0x11B;
+    x = x2 ^ x;
+  }
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  return t;
+}
+
+const Tables& GetTables() {
+  static const Tables kTables = MakeTables();
+  return kTables;
+}
+
+}  // namespace
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = GetTables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t b) {
+  SL_CHECK(b != 0);
+  const Tables& t = GetTables();
+  return t.exp[255 - t.log[b]];
+}
+
+uint8_t Gf256::Pow(uint8_t a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = GetTables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+}
+
+}  // namespace streamlake::storage

@@ -1,0 +1,24 @@
+#ifndef STREAMLAKE_STORAGE_GF256_H_
+#define STREAMLAKE_STORAGE_GF256_H_
+
+#include <cstdint>
+
+namespace streamlake::storage {
+
+/// Arithmetic over GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
+/// Table-driven; backs the Reed–Solomon erasure code.
+class Gf256 {
+ public:
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  /// Multiplicative inverse; b must be non-zero.
+  static uint8_t Inv(uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b) { return Mul(a, Inv(b)); }
+  /// a^n for n >= 0.
+  static uint8_t Pow(uint8_t a, unsigned n);
+};
+
+}  // namespace streamlake::storage
+
+#endif  // STREAMLAKE_STORAGE_GF256_H_

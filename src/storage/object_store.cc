@@ -1,0 +1,219 @@
+#include "storage/object_store.h"
+
+#include "common/coding.h"
+
+namespace streamlake::storage {
+
+namespace {
+constexpr std::string_view kIndexPrefix = "obj/";
+}
+
+ObjectStore::ObjectStore(PlogStore* plogs, kv::KvStore* index,
+                         uint64_t max_fragment_bytes)
+    : plogs_(plogs), index_(index), max_fragment_bytes_(max_fragment_bytes) {}
+
+std::string ObjectStore::IndexKey(const std::string& path) {
+  return std::string(kIndexPrefix) + path;
+}
+
+std::string ObjectStore::RefKey(const PlogAddress& address) {
+  return "ref/" + std::to_string(address.shard) + "/" +
+         std::to_string(address.plog_index) + "/" +
+         std::to_string(address.offset);
+}
+
+bool ObjectStore::IsWorm(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(worm_mu_);
+  for (const std::string& prefix : worm_prefixes_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+void ObjectStore::SetWormPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(worm_mu_);
+  worm_prefixes_.push_back(prefix);
+}
+
+Status ObjectStore::AcquireFragment(const Fragment& fragment) {
+  auto count = index_->Get(RefKey(fragment.address));
+  uint64_t refs = count.ok() ? std::stoull(*count) : 1;
+  return index_->Put(RefKey(fragment.address), std::to_string(refs + 1));
+}
+
+Status ObjectStore::ReleaseFragment(const Fragment& fragment) {
+  auto count = index_->Get(RefKey(fragment.address));
+  uint64_t refs = count.ok() ? std::stoull(*count) : 1;
+  if (refs <= 1) {
+    if (count.ok()) {
+      SL_RETURN_NOT_OK(index_->Delete(RefKey(fragment.address)));
+    }
+    return plogs_->MarkGarbage(fragment.address, fragment.length);
+  }
+  return index_->Put(RefKey(fragment.address), std::to_string(refs - 1));
+}
+
+void ObjectStore::EncodeFragments(const std::vector<Fragment>& fragments,
+                                  Bytes* dst) {
+  PutVarint64(dst, fragments.size());
+  for (const Fragment& f : fragments) {
+    PutVarint64(dst, f.address.shard);
+    PutVarint64(dst, f.address.plog_index);
+    PutVarint64(dst, f.address.offset);
+    PutVarint64(dst, f.length);
+  }
+}
+
+Result<std::vector<ObjectStore::Fragment>> ObjectStore::DecodeFragments(
+    ByteView data) {
+  Decoder dec(data);
+  uint64_t count;
+  if (!dec.GetVarint(&count)) return Status::Corruption("fragment count");
+  if (count > dec.Remaining()) {
+    return Status::Corruption("fragment count bogus");
+  }
+  std::vector<Fragment> fragments;
+  fragments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Fragment f;
+    uint64_t shard, plog_index;
+    if (!dec.GetVarint(&shard) || !dec.GetVarint(&plog_index) ||
+        !dec.GetVarint(&f.address.offset) || !dec.GetVarint(&f.length)) {
+      return Status::Corruption("fragment fields");
+    }
+    f.address.shard = static_cast<uint32_t>(shard);
+    f.address.plog_index = static_cast<uint32_t>(plog_index);
+    fragments.push_back(f);
+  }
+  return fragments;
+}
+
+Status ObjectStore::Write(const std::string& path, ByteView data) {
+  // Replace semantics: free old fragments afterwards on success.
+  std::vector<Fragment> old_fragments;
+  auto existing = index_->Get(IndexKey(path));
+  if (existing.ok()) {
+    if (IsWorm(path)) {
+      return Status::InvalidArgument("WORM: " + path + " is immutable");
+    }
+    SL_ASSIGN_OR_RETURN(old_fragments, DecodeFragments(ByteView(*existing)));
+  }
+
+  std::vector<Fragment> fragments;
+  uint64_t pos = 0;
+  do {
+    uint64_t len = std::min<uint64_t>(max_fragment_bytes_, data.size() - pos);
+    Fragment f;
+    f.length = len;
+    // Route fragments by path+index so a big file spreads over shards.
+    std::string route = path + "#" + std::to_string(fragments.size());
+    SL_ASSIGN_OR_RETURN(
+        f.address, plogs_->AppendKeyed(ByteView(route), data.subview(pos, len)));
+    fragments.push_back(f);
+    pos += len;
+  } while (pos < data.size());
+
+  Bytes encoded;
+  EncodeFragments(fragments, &encoded);
+  SL_RETURN_NOT_OK(index_->Put(IndexKey(path), BytesToString(encoded)));
+
+  for (const Fragment& f : old_fragments) {
+    SL_RETURN_NOT_OK(ReleaseFragment(f));
+  }
+  return Status::OK();
+}
+
+Result<Bytes> ObjectStore::Read(const std::string& path) const {
+  SL_ASSIGN_OR_RETURN(std::string encoded, index_->Get(IndexKey(path)));
+  SL_ASSIGN_OR_RETURN(auto fragments, DecodeFragments(ByteView(encoded)));
+  Bytes out;
+  for (const Fragment& f : fragments) {
+    SL_ASSIGN_OR_RETURN(Bytes part, plogs_->Read(f.address));
+    if (part.size() != f.length) {
+      return Status::Corruption("fragment length mismatch at " + path);
+    }
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+Status ObjectStore::Delete(const std::string& path) {
+  SL_ASSIGN_OR_RETURN(std::string encoded, index_->Get(IndexKey(path)));
+  if (IsWorm(path)) {
+    return Status::InvalidArgument("WORM: " + path +
+                                   " is retained and cannot be deleted");
+  }
+  SL_ASSIGN_OR_RETURN(auto fragments, DecodeFragments(ByteView(encoded)));
+  SL_RETURN_NOT_OK(index_->Delete(IndexKey(path)));
+  for (const Fragment& f : fragments) {
+    SL_RETURN_NOT_OK(ReleaseFragment(f));
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::Clone(const std::string& source, const std::string& dest) {
+  SL_ASSIGN_OR_RETURN(std::string encoded, index_->Get(IndexKey(source)));
+  SL_ASSIGN_OR_RETURN(auto fragments, DecodeFragments(ByteView(encoded)));
+  // Replace semantics at the destination.
+  std::vector<Fragment> old_fragments;
+  auto existing = index_->Get(IndexKey(dest));
+  if (existing.ok()) {
+    if (IsWorm(dest)) {
+      return Status::InvalidArgument("WORM: " + dest + " is immutable");
+    }
+    SL_ASSIGN_OR_RETURN(old_fragments, DecodeFragments(ByteView(*existing)));
+  }
+  for (const Fragment& f : fragments) {
+    SL_RETURN_NOT_OK(AcquireFragment(f));
+  }
+  SL_RETURN_NOT_OK(index_->Put(IndexKey(dest), encoded));
+  for (const Fragment& f : old_fragments) {
+    SL_RETURN_NOT_OK(ReleaseFragment(f));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ObjectStore::SnapshotPrefix(const std::string& source_prefix,
+                                           const std::string& dest_prefix) {
+  size_t cloned = 0;
+  for (const std::string& path : List(source_prefix)) {
+    std::string dest = dest_prefix + path.substr(source_prefix.size());
+    SL_RETURN_NOT_OK(Clone(path, dest));
+    ++cloned;
+  }
+  return cloned;
+}
+
+bool ObjectStore::Exists(const std::string& path) const {
+  return index_->Contains(IndexKey(path));
+}
+
+Result<uint64_t> ObjectStore::Size(const std::string& path) const {
+  SL_ASSIGN_OR_RETURN(std::string encoded, index_->Get(IndexKey(path)));
+  SL_ASSIGN_OR_RETURN(auto fragments, DecodeFragments(ByteView(encoded)));
+  uint64_t total = 0;
+  for (const Fragment& f : fragments) total += f.length;
+  return total;
+}
+
+std::vector<std::string> ObjectStore::List(const std::string& prefix,
+                                           size_t limit) const {
+  std::string start = IndexKey(prefix);
+  std::string end = start;
+  end.back() = end.back() + 1;  // next prefix; safe for ASCII paths
+  auto rows = index_->Scan(start, end, limit);
+  std::vector<std::string> paths;
+  paths.reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    paths.push_back(key.substr(kIndexPrefix.size()));
+  }
+  return paths;
+}
+
+uint64_t ObjectStore::num_objects() const {
+  return index_->Scan(std::string(kIndexPrefix),
+                      std::string(kIndexPrefix) + "\xff")
+      .size();
+}
+
+}  // namespace streamlake::storage

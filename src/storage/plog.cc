@@ -1,0 +1,462 @@
+#include "storage/plog.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace streamlake::storage {
+
+namespace {
+// Record frame: [payload_len:4][crc32c(payload):4][payload].
+constexpr uint64_t kRecordHeader = 8;
+}  // namespace
+
+uint64_t Plog::ExtentSize() const {
+  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
+    return config_.capacity;
+  }
+  uint64_t stripes =
+      (config_.capacity + StripeDataSize() - 1) / StripeDataSize();
+  return stripes * config_.stripe_unit;
+}
+
+Result<std::unique_ptr<Plog>> Plog::Create(StoragePool* pool,
+                                           PlogConfig config,
+                                           uint64_t now_ns) {
+  std::unique_ptr<Plog> plog(
+      new Plog(pool, config, std::vector<Extent>(), now_ns));
+  // Spread across distinct nodes first; fall back to distinct disks when
+  // the cluster has fewer nodes than the redundancy width.
+  auto extents = pool->AllocateExtents(config.redundancy.Width(),
+                                       plog->ExtentSize(),
+                                       /*distinct_nodes=*/true);
+  if (!extents.ok()) {
+    extents = pool->AllocateExtents(config.redundancy.Width(),
+                                    plog->ExtentSize(),
+                                    /*distinct_nodes=*/false);
+  }
+  if (!extents.ok()) return extents.status();
+  plog->extents_ = std::move(*extents);
+  return plog;
+}
+
+Plog::Plog(StoragePool* pool, PlogConfig config, std::vector<Extent> extents,
+           uint64_t now_ns)
+    : pool_(pool),
+      config_(config),
+      extents_(std::move(extents)),
+      created_at_ns_(now_ns),
+      last_append_ns_(now_ns) {
+  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kErasureCoding) {
+    rs_ = std::make_unique<ReedSolomon>(config_.redundancy.ec_data,
+                                        config_.redundancy.ec_parity);
+  }
+}
+
+Plog::~Plog() = default;
+
+Result<uint64_t> Plog::Append(ByteView record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::InvalidArgument("plog freed");
+  if (sealed_) return Status::InvalidArgument("plog sealed");
+  uint64_t frame_size = kRecordHeader + record.size();
+  if (size_ + frame_size > config_.capacity) {
+    return Status::ResourceExhausted("plog full");
+  }
+
+  Bytes frame;
+  frame.reserve(frame_size);
+  PutFixed32(&frame, static_cast<uint32_t>(record.size()));
+  PutFixed32(&frame, Crc32c(record));
+  AppendBytes(&frame, record);
+
+  uint64_t offset = size_;
+  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
+    int ok_writes = 0;
+    for (const Extent& extent : extents_) {
+      Status s = extent.device->Write(extent.offset + offset, ByteView(frame));
+      if (s.ok()) ++ok_writes;
+    }
+    if (ok_writes == 0) {
+      return Status::IOError("all replicas failed");
+    }
+  } else {
+    // EC: buffer, then stripe out every full stripe. All ready stripes
+    // flush in one scatter-gather write per shard (the data bus's
+    // "intelligent stripe aggregation", Section III).
+    AppendBytes(&pending_, ByteView(frame));
+    const uint64_t stripe_data = StripeDataSize();
+    uint64_t full_stripes = pending_.size() / stripe_data;
+    if (full_stripes > 0) {
+      SL_RETURN_NOT_OK(WriteStripesLocked(
+          striped_bytes_ / stripe_data,
+          ByteView(pending_.data(), full_stripes * stripe_data)));
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + full_stripes * stripe_data);
+      striped_bytes_ += full_stripes * stripe_data;
+    }
+  }
+  size_ += frame_size;
+  ++record_count_;
+  payload_bytes_ += record.size();
+  return offset;
+}
+
+Status Plog::WriteStripeLocked(uint64_t stripe_index, ByteView data) {
+  return WriteStripesLocked(stripe_index, data);
+}
+
+Status Plog::WriteStripesLocked(uint64_t first_stripe, ByteView data) {
+  // `data` holds one or more full stripes. Encode each stripe, then issue
+  // ONE contiguous device write per shard covering all of them (shard j's
+  // stripe payloads are adjacent on disk).
+  const uint64_t stripe_data = StripeDataSize();
+  const uint64_t stripes = data.size() / stripe_data;
+  const int width = config_.redundancy.Width();
+  std::vector<Bytes> per_shard(width);
+  for (int i = 0; i < width; ++i) {
+    per_shard[i].reserve(stripes * config_.stripe_unit);
+  }
+  for (uint64_t s = 0; s < stripes; ++s) {
+    std::vector<Bytes> shards =
+        rs_->Encode(data.subview(s * stripe_data, stripe_data));
+    for (int i = 0; i < width; ++i) {
+      AppendBytes(&per_shard[i], ByteView(shards[i]));
+    }
+  }
+  int failures = 0;
+  for (int i = 0; i < width; ++i) {
+    const Extent& extent = extents_[i];
+    Status status = extent.device->Write(
+        extent.offset + first_stripe * config_.stripe_unit,
+        ByteView(per_shard[i]));
+    if (!status.ok()) ++failures;
+  }
+  if (failures > config_.redundancy.ec_parity) {
+    return Status::IOError("stripe write lost more shards than parity");
+  }
+  return Status::OK();
+}
+
+Status Plog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::InvalidArgument("plog freed");
+  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication ||
+      pending_.empty()) {
+    return Status::OK();
+  }
+  // Pad the tail to a full stripe; the pad becomes dead logical space and
+  // the frontier moves to the next stripe boundary.
+  const uint64_t stripe_data = StripeDataSize();
+  uint64_t stripe_index = striped_bytes_ / stripe_data;
+  Bytes padded = pending_;
+  padded.resize(stripe_data, 0);
+  SL_RETURN_NOT_OK(WriteStripeLocked(stripe_index, ByteView(padded)));
+  striped_bytes_ += stripe_data;
+  size_ = striped_bytes_;
+  pending_.clear();
+  return Status::OK();
+}
+
+Status Plog::Seal() {
+  SL_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_ = true;
+  return Status::OK();
+}
+
+bool Plog::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+Result<Bytes> Plog::ReadRecord(uint64_t offset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::InvalidArgument("plog freed");
+  SL_ASSIGN_OR_RETURN(Bytes header, ReadRangeLocked(offset, kRecordHeader));
+  uint32_t len = DecodeFixed32(header.data());
+  uint32_t expected_crc = DecodeFixed32(header.data() + 4);
+  if (offset + kRecordHeader + len > size_) {
+    return Status::Corruption("record length past log frontier");
+  }
+  SL_ASSIGN_OR_RETURN(Bytes payload,
+                      ReadRangeLocked(offset + kRecordHeader, len));
+  if (Crc32c(ByteView(payload)) != expected_crc) {
+    return Status::Corruption("record crc mismatch");
+  }
+  return payload;
+}
+
+Result<Bytes> Plog::ReadRange(uint64_t offset, uint64_t length) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::InvalidArgument("plog freed");
+  return ReadRangeLocked(offset, length);
+}
+
+Result<Bytes> Plog::ReadRangeLocked(uint64_t offset, uint64_t length) const {
+  if (offset + length > size_) {
+    return Status::InvalidArgument("read past plog frontier");
+  }
+  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
+    for (const Extent& extent : extents_) {
+      auto data = extent.device->Read(extent.offset + offset, length);
+      if (data.ok()) return data;
+    }
+    return Status::IOError("all replicas unreadable");
+  }
+
+  // EC path. Bytes may live in the pending buffer (not yet striped).
+  Bytes out;
+  out.reserve(length);
+  uint64_t striped_len = offset < striped_bytes_
+                             ? std::min(length, striped_bytes_ - offset)
+                             : 0;
+  if (striped_len > 0) {
+    const uint64_t stripe_data = StripeDataSize();
+    const uint64_t unit = config_.stripe_unit;
+    const uint64_t first_stripe = offset / stripe_data;
+    const uint64_t last_stripe = (offset + striped_len - 1) / stripe_data;
+    const uint64_t num_stripes = last_stripe - first_stripe + 1;
+    // Fast path: a small read inside one shard unit is one device op.
+    if (num_stripes == 1 &&
+        (offset % stripe_data) / unit ==
+            ((offset + striped_len - 1) % stripe_data) / unit) {
+      uint64_t shard = (offset % stripe_data) / unit;
+      uint64_t in_shard = (offset % stripe_data) % unit;
+      const Extent& extent = extents_[shard];
+      auto data = extent.device->Read(
+          extent.offset + first_stripe * unit + in_shard, striped_len);
+      if (data.ok()) {
+        AppendBytes(&out, ByteView(*data));
+      } else {
+        SL_ASSIGN_OR_RETURN(Bytes stripe,
+                            ReconstructStripeLocked(first_stripe));
+        uint64_t in_stripe = offset % stripe_data;
+        out.insert(out.end(), stripe.begin() + in_stripe,
+                   stripe.begin() + in_stripe + striped_len);
+      }
+      if (striped_len == length) return out;
+      uint64_t buf_off = offset + striped_len - striped_bytes_;
+      uint64_t tail = length - striped_len;
+      if (buf_off + tail > pending_.size()) {
+        return Status::InvalidArgument("read past pending tail");
+      }
+      out.insert(out.end(), pending_.begin() + buf_off,
+                 pending_.begin() + buf_off + tail);
+      return out;
+    }
+    // Bulk scatter-gather: ONE contiguous read per data shard covering
+    // every needed stripe, then reassemble the logical range. Failed
+    // shards fall back to per-stripe parity reconstruction.
+    std::vector<std::optional<Bytes>> shard_data(config_.redundancy.ec_data);
+    for (int j = 0; j < config_.redundancy.ec_data; ++j) {
+      const Extent& extent = extents_[j];
+      auto data = extent.device->Read(extent.offset + first_stripe * unit,
+                                      num_stripes * unit);
+      if (data.ok()) shard_data[j] = std::move(*data);
+    }
+    std::map<uint64_t, Bytes> reconstructed;  // stripe -> logical bytes
+    uint64_t pos = offset;
+    uint64_t remaining = striped_len;
+    while (remaining > 0) {
+      uint64_t stripe_index = pos / stripe_data;
+      uint64_t in_stripe = pos % stripe_data;
+      uint64_t shard = in_stripe / unit;
+      uint64_t in_shard = in_stripe % unit;
+      uint64_t run = std::min({remaining, unit - in_shard});
+      if (shard_data[shard].has_value()) {
+        const Bytes& data = *shard_data[shard];
+        uint64_t base = (stripe_index - first_stripe) * unit + in_shard;
+        out.insert(out.end(), data.begin() + base, data.begin() + base + run);
+      } else {
+        auto it = reconstructed.find(stripe_index);
+        if (it == reconstructed.end()) {
+          SL_ASSIGN_OR_RETURN(Bytes stripe,
+                              ReconstructStripeLocked(stripe_index));
+          it = reconstructed.emplace(stripe_index, std::move(stripe)).first;
+        }
+        out.insert(out.end(), it->second.begin() + in_stripe,
+                   it->second.begin() + in_stripe + run);
+      }
+      pos += run;
+      remaining -= run;
+    }
+  }
+  if (striped_len < length) {
+    // Tail served from the stripe buffer.
+    uint64_t buf_off = offset + striped_len - striped_bytes_;
+    uint64_t tail = length - striped_len;
+    if (buf_off + tail > pending_.size()) {
+      return Status::InvalidArgument("read past pending tail");
+    }
+    out.insert(out.end(), pending_.begin() + buf_off,
+               pending_.begin() + buf_off + tail);
+  }
+  return out;
+}
+
+Result<Bytes> Plog::ReconstructStripeLocked(uint64_t stripe_index) const {
+  const int width = config_.redundancy.Width();
+  std::vector<std::optional<Bytes>> shards(width);
+  int available = 0;
+  for (int i = 0; i < width; ++i) {
+    const Extent& extent = extents_[i];
+    auto data = extent.device->Read(
+        extent.offset + stripe_index * config_.stripe_unit,
+        config_.stripe_unit);
+    if (data.ok()) {
+      shards[i] = std::move(*data);
+      ++available;
+    }
+  }
+  if (available < config_.redundancy.ec_data) {
+    return Status::IOError("stripe lost beyond parity tolerance");
+  }
+  return rs_->Decode(shards, StripeDataSize());
+}
+
+Status Plog::MigrateTo(StoragePool* target) {
+  SL_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::InvalidArgument("plog freed");
+  SL_ASSIGN_OR_RETURN(Bytes content, ReadRangeLocked(0, size_));
+
+  auto new_extents = target->AllocateExtents(config_.redundancy.Width(),
+                                             ExtentSize(),
+                                             /*distinct_nodes=*/true);
+  if (!new_extents.ok()) {
+    new_extents = target->AllocateExtents(config_.redundancy.Width(),
+                                          ExtentSize(),
+                                          /*distinct_nodes=*/false);
+  }
+  if (!new_extents.ok()) return new_extents.status();
+
+  std::vector<Extent> old_extents = std::move(extents_);
+  StoragePool* old_pool = pool_;
+  extents_ = std::move(*new_extents);
+  pool_ = target;
+
+  Status write_status = Status::OK();
+  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
+    for (const Extent& extent : extents_) {
+      Status s = extent.device->Write(extent.offset, ByteView(content));
+      if (!s.ok()) write_status = s;
+    }
+  } else {
+    const uint64_t stripe_data = StripeDataSize();
+    for (uint64_t pos = 0; pos < content.size(); pos += stripe_data) {
+      uint64_t len = std::min(stripe_data, content.size() - pos);
+      Bytes stripe(content.begin() + pos, content.begin() + pos + len);
+      stripe.resize(stripe_data, 0);
+      Status s = WriteStripeLocked(pos / stripe_data, ByteView(stripe));
+      if (!s.ok()) write_status = s;
+    }
+  }
+  if (!write_status.ok()) {
+    // Roll back to the old extents; free the new ones.
+    for (const Extent& extent : extents_) target->FreeExtent(extent);
+    extents_ = std::move(old_extents);
+    pool_ = old_pool;
+    return write_status;
+  }
+  for (const Extent& extent : old_extents) old_pool->FreeExtent(extent);
+  return Status::OK();
+}
+
+std::vector<int> Plog::FailedExtents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> failed;
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    if (extents_[i].device->failed()) failed.push_back(static_cast<int>(i));
+  }
+  return failed;
+}
+
+Status Plog::RepairFailedExtents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::InvalidArgument("plog freed");
+  std::vector<int> failed;
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    if (extents_[i].device->failed()) failed.push_back(static_cast<int>(i));
+  }
+  if (failed.empty()) return Status::OK();
+  if (static_cast<int>(failed.size()) > config_.redundancy.FaultTolerance()) {
+    return Status::IOError("losses exceed fault tolerance; data unrecoverable");
+  }
+
+  // Allocate replacements, avoiding failed devices (the allocator skips
+  // them implicitly only by capacity, so retry across the pool).
+  for (int idx : failed) {
+    SL_ASSIGN_OR_RETURN(auto replacement,
+                        pool_->AllocateExtents(1, ExtentSize(),
+                                               /*distinct_nodes=*/false));
+    Extent new_extent = replacement[0];
+    if (new_extent.device->failed()) {
+      // Allocator handed back a failed disk; keep it allocated (it will
+      // be freed) and report — a richer allocator would filter.
+      pool_->FreeExtent(new_extent);
+      return Status::IOError("no healthy disk available for repair");
+    }
+    if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
+      // Copy the full log range from a healthy replica.
+      SL_ASSIGN_OR_RETURN(Bytes content, ReadRangeLocked(0, size_));
+      SL_RETURN_NOT_OK(new_extent.device->Write(new_extent.offset,
+                                                ByteView(content)));
+    } else {
+      // Rebuild this shard stripe-by-stripe from the survivors.
+      const uint64_t stripe_data = StripeDataSize();
+      const uint64_t stripes =
+          (striped_bytes_ + stripe_data - 1) / stripe_data;
+      Bytes shard_content;
+      shard_content.reserve(stripes * config_.stripe_unit);
+      for (uint64_t s = 0; s < stripes; ++s) {
+        SL_ASSIGN_OR_RETURN(Bytes stripe, ReconstructStripeLocked(s));
+        std::vector<Bytes> shards = rs_->Encode(ByteView(stripe));
+        AppendBytes(&shard_content, ByteView(shards[idx]));
+      }
+      SL_RETURN_NOT_OK(new_extent.device->Write(new_extent.offset,
+                                                ByteView(shard_content)));
+    }
+    pool_->FreeExtent(extents_[idx]);
+    extents_[idx] = new_extent;
+  }
+  return Status::OK();
+}
+
+uint64_t Plog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t Plog::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_count_;
+}
+
+void Plog::AddGarbage(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  garbage_bytes_ += bytes;
+}
+
+uint64_t Plog::garbage_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return garbage_bytes_;
+}
+
+uint64_t Plog::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payload_bytes_ - std::min(payload_bytes_, garbage_bytes_);
+}
+
+Status Plog::Free() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (freed_) return Status::OK();
+  for (const Extent& extent : extents_) pool_->FreeExtent(extent);
+  extents_.clear();
+  freed_ = true;
+  return Status::OK();
+}
+
+}  // namespace streamlake::storage

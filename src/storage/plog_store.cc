@@ -1,0 +1,144 @@
+#include "storage/plog_store.h"
+
+#include "common/hash.h"
+
+namespace streamlake::storage {
+
+PlogStore::PlogStore(StoragePool* pool, PlogStoreConfig config,
+                     sim::SimClock* clock)
+    : pool_(pool), config_(config), clock_(clock) {
+  shards_.resize(config_.num_shards);
+}
+
+uint32_t PlogStore::ShardOf(ByteView key) const {
+  return static_cast<uint32_t>(Hash64(key) % config_.num_shards);
+}
+
+Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
+  if (shard >= config_.num_shards) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& s = shards_[shard];
+  // Open the first PLog lazily; roll over when the active one fills up.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (s.chain.empty() || s.chain.back()->sealed()) {
+      SL_ASSIGN_OR_RETURN(
+          auto plog, Plog::Create(pool_, config_.plog, clock_->NowNanos()));
+      s.chain.push_back(std::move(plog));
+    }
+    Plog* active = s.chain.back().get();
+    auto offset = active->Append(record);
+    if (offset.ok()) {
+      active->set_last_append_ns(clock_->NowNanos());
+      PlogAddress address;
+      address.shard = shard;
+      address.plog_index = static_cast<uint32_t>(s.chain.size() - 1);
+      address.offset = *offset;
+      return address;
+    }
+    if (!offset.status().IsResourceExhausted()) return offset.status();
+    // Active PLog full: seal and retry on a fresh one.
+    SL_RETURN_NOT_OK(active->Seal());
+  }
+  return Status::ResourceExhausted("record larger than plog capacity");
+}
+
+Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (address.shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  const Shard& s = shards_[address.shard];
+  if (address.plog_index >= s.chain.size()) {
+    return Status::NotFound("plog index out of range");
+  }
+  return s.chain[address.plog_index]->ReadRecord(address.offset);
+}
+
+Status PlogStore::MarkGarbage(const PlogAddress& address,
+                              uint64_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (address.shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  Shard& s = shards_[address.shard];
+  if (address.plog_index >= s.chain.size()) {
+    return Status::NotFound("plog index out of range");
+  }
+  Plog* plog = s.chain[address.plog_index].get();
+  plog->AddGarbage(payload_bytes);
+  if (plog->sealed() && plog->live_bytes() == 0) {
+    SL_RETURN_NOT_OK(plog->Free());
+  }
+  return Status::OK();
+}
+
+Status PlogStore::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Shard& s : shards_) {
+    if (!s.chain.empty() && !s.chain.back()->sealed()) {
+      SL_RETURN_NOT_OK(s.chain.back()->Flush());
+    }
+  }
+  return Status::OK();
+}
+
+void PlogStore::ForEachPlog(
+    const std::function<void(uint32_t, uint32_t, Plog*)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
+    const Shard& s = shards_[shard];
+    for (uint32_t i = 0; i < s.chain.size(); ++i) {
+      fn(shard, i, s.chain[i].get());
+    }
+  }
+}
+
+Status PlogStore::MigratePlog(uint32_t shard, uint32_t index,
+                              StoragePool* target) {
+  Plog* plog = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= shards_.size() || index >= shards_[shard].chain.size()) {
+      return Status::NotFound("no such plog");
+    }
+    plog = shards_[shard].chain[index].get();
+  }
+  if (!plog->sealed()) {
+    return Status::InvalidArgument("only sealed plogs migrate");
+  }
+  return plog->MigrateTo(target);
+}
+
+uint64_t PlogStore::TotalLogicalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& plog : s.chain) total += plog->size();
+  }
+  return total;
+}
+
+uint64_t PlogStore::TotalLiveBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& plog : s.chain) total += plog->live_bytes();
+  }
+  return total;
+}
+
+uint64_t PlogStore::TotalLivePhysicalBytes() const {
+  double amplification = config_.plog.redundancy.Amplification();
+  return static_cast<uint64_t>(TotalLiveBytes() * amplification);
+}
+
+uint64_t PlogStore::TotalPlogs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.chain.size();
+  return total;
+}
+
+}  // namespace streamlake::storage

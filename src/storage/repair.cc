@@ -1,0 +1,26 @@
+#include "storage/repair.h"
+
+namespace streamlake::storage {
+
+Result<RepairService::RunStats> RepairService::Run() {
+  RunStats stats;
+  std::vector<Plog*> degraded;
+  plogs_->ForEachPlog([&](uint32_t shard, uint32_t index, Plog* plog) {
+    ++stats.plogs_scanned;
+    if (!plog->FailedExtents().empty()) degraded.push_back(plog);
+  });
+  stats.plogs_degraded = degraded.size();
+  for (Plog* plog : degraded) {
+    Status status = plog->RepairFailedExtents();
+    if (status.ok()) {
+      ++stats.plogs_repaired;
+    } else if (status.IsIOError()) {
+      ++stats.plogs_unrecoverable;
+    } else {
+      return status;
+    }
+  }
+  return stats;
+}
+
+}  // namespace streamlake::storage

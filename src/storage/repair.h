@@ -1,0 +1,37 @@
+#ifndef STREAMLAKE_STORAGE_REPAIR_H_
+#define STREAMLAKE_STORAGE_REPAIR_H_
+
+#include "storage/plog_store.h"
+
+namespace streamlake::storage {
+
+/// \brief Background data reconstruction (Section III: the storage pools
+/// implement "garbage collection, data reconstruction, snapshot, ...").
+///
+/// When a disk or node fails, redundancy keeps the data readable but
+/// degraded — one more failure could lose it. A repair pass rebuilds the
+/// lost replicas/EC shards onto healthy disks, restoring full fault
+/// tolerance. In OceanStor this rebuild is massively parallel across the
+/// pool ("rapid data duplication and reconstruction"); here it is one
+/// scan over the PLogs.
+class RepairService {
+ public:
+  explicit RepairService(PlogStore* plogs) : plogs_(plogs) {}
+
+  struct RunStats {
+    uint64_t plogs_scanned = 0;
+    uint64_t plogs_degraded = 0;
+    uint64_t plogs_repaired = 0;
+    uint64_t plogs_unrecoverable = 0;
+  };
+
+  /// Scan every PLog; repair the degraded ones.
+  Result<RunStats> Run();
+
+ private:
+  PlogStore* plogs_;
+};
+
+}  // namespace streamlake::storage
+
+#endif  // STREAMLAKE_STORAGE_REPAIR_H_

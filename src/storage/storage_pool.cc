@@ -1,0 +1,139 @@
+#include "storage/storage_pool.h"
+
+#include <set>
+
+namespace streamlake::storage {
+
+StoragePool::StoragePool(std::string name, sim::MediaType media,
+                         sim::SimClock* clock)
+    : name_(std::move(name)), media_(media), clock_(clock) {}
+
+uint32_t StoragePool::AddDevice(uint32_t node_id, uint64_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id = static_cast<uint32_t>(devices_.size());
+  devices_.push_back(std::make_unique<BlockDevice>(id, node_id, capacity_bytes,
+                                                   media_, clock_));
+  states_.emplace_back();
+  return id;
+}
+
+void StoragePool::AddCluster(uint32_t nodes, uint32_t disks_per_node,
+                             uint64_t capacity_per_disk) {
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint32_t d = 0; d < disks_per_node; ++d) {
+      AddDevice(n, capacity_per_disk);
+    }
+  }
+}
+
+bool StoragePool::TryAllocate(size_t idx, uint64_t size, Extent* out) {
+  DeviceState& state = states_[idx];
+  BlockDevice* dev = devices_[idx].get();
+  // First fit from the free list.
+  for (auto it = state.free_list.begin(); it != state.free_list.end(); ++it) {
+    if (it->second >= size) {
+      out->device = dev;
+      out->offset = it->first;
+      out->size = size;
+      if (it->second == size) {
+        state.free_list.erase(it);
+      } else {
+        it->first += size;
+        it->second -= size;
+      }
+      return true;
+    }
+  }
+  if (state.next_offset + size <= dev->capacity()) {
+    out->device = dev;
+    out->offset = state.next_offset;
+    out->size = size;
+    state.next_offset += size;
+    return true;
+  }
+  return false;
+}
+
+Result<std::vector<Extent>> StoragePool::AllocateExtents(int count,
+                                                         uint64_t size,
+                                                         bool distinct_nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (devices_.empty()) return Status::ResourceExhausted("pool has no disks");
+  std::vector<Extent> extents;
+  std::set<uint32_t> used_nodes;
+  std::set<uint32_t> used_devices;
+  size_t start = rr_cursor_;
+  rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
+
+  for (int e = 0; e < count; ++e) {
+    bool placed = false;
+    for (size_t probe = 0; probe < devices_.size(); ++probe) {
+      size_t idx = (start + e + probe) % devices_.size();
+      BlockDevice* dev = devices_[idx].get();
+      if (dev->failed()) continue;  // never place data on a failed disk
+      if (used_devices.count(dev->id())) continue;
+      if (distinct_nodes && used_nodes.count(dev->node_id())) continue;
+      Extent extent;
+      if (TryAllocate(idx, size, &extent)) {
+        used_devices.insert(dev->id());
+        used_nodes.insert(dev->node_id());
+        extents.push_back(extent);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Roll back partial allocation.
+      for (const Extent& ext : extents) {
+        states_[ext.device->id()].free_list.emplace_back(ext.offset, ext.size);
+      }
+      return Status::ResourceExhausted(
+          "cannot place " + std::to_string(count) + " extents of " +
+          std::to_string(size) + "B in pool " + name_);
+    }
+  }
+  allocated_bytes_ += static_cast<uint64_t>(count) * size;
+  return extents;
+}
+
+void StoragePool::FreeExtent(const Extent& extent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_[extent.device->id()].free_list.emplace_back(extent.offset,
+                                                      extent.size);
+  allocated_bytes_ -= extent.size;
+}
+
+uint64_t StoragePool::TotalCapacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& dev : devices_) total += dev->capacity();
+  return total;
+}
+
+uint64_t StoragePool::AllocatedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_bytes_;
+}
+
+void StoragePool::SetNodeFailed(uint32_t node_id, bool failed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& dev : devices_) {
+    if (dev->node_id() == node_id) dev->SetFailed(failed);
+  }
+}
+
+sim::DeviceStats StoragePool::AggregateStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::DeviceStats total;
+  for (const auto& dev : devices_) {
+    sim::DeviceStats s = dev->device_model().stats();
+    total.read_ops += s.read_ops;
+    total.write_ops += s.write_ops;
+    total.bytes_read += s.bytes_read;
+    total.bytes_written += s.bytes_written;
+    total.busy_ns += s.busy_ns;
+  }
+  return total;
+}
+
+}  // namespace streamlake::storage

@@ -1,0 +1,44 @@
+#include "storage/tiering.h"
+
+#include <vector>
+
+namespace streamlake::storage {
+
+Result<TieringService::RunStats> TieringService::Run() {
+  struct Candidate {
+    uint32_t shard;
+    uint32_t index;
+    uint64_t bytes;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<Plog*> to_seal;
+  const uint64_t now = clock_->NowNanos();
+  plogs_->ForEachPlog([&](uint32_t shard, uint32_t index, Plog* plog) {
+    if (plog->pool() != hot_) return;
+    if (plog->live_bytes() == 0) return;  // GC handles dead plogs
+    if (now - plog->last_append_ns() < policy_.cold_after_ns) return;
+    // Cold but still active: seal it so it can move (age-based eviction —
+    // the shard simply opens a fresh PLog on its next append).
+    if (!plog->sealed()) to_seal.push_back(plog);
+    candidates.push_back(Candidate{shard, index, plog->size()});
+  });
+  for (Plog* plog : to_seal) {
+    SL_RETURN_NOT_OK(plog->Seal());
+  }
+
+  RunStats stats;
+  uint64_t hot_capacity = hot_->TotalCapacity();
+  for (const Candidate& c : candidates) {
+    if (hot_capacity > 0 &&
+        static_cast<double>(hot_->AllocatedBytes()) / hot_capacity <
+            policy_.hot_watermark) {
+      break;  // hot pool already drained enough
+    }
+    SL_RETURN_NOT_OK(plogs_->MigratePlog(c.shard, c.index, cold_));
+    ++stats.migrated_plogs;
+    stats.migrated_bytes += c.bytes;
+  }
+  return stats;
+}
+
+}  // namespace streamlake::storage

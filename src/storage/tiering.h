@@ -1,0 +1,49 @@
+#ifndef STREAMLAKE_STORAGE_TIERING_H_
+#define STREAMLAKE_STORAGE_TIERING_H_
+
+#include <cstdint>
+
+#include "sim/clock.h"
+#include "storage/plog_store.h"
+
+namespace streamlake::storage {
+
+/// When a sealed PLog moves from the hot (SSD) tier to the cold (HDD) tier.
+struct TieringPolicy {
+  /// Migrate sealed PLogs whose last append is older than this.
+  uint64_t cold_after_ns = 3600ULL * sim::kSecond;
+  /// Stop migrating when hot-pool allocation drops below this fraction.
+  double hot_watermark = 0.0;
+};
+
+/// \brief The tiering service of the data service layer: "static and
+/// dynamic data migration and eviction between the SSD and HDD storage
+/// pools based on tiering policies, which saves a lot of storage costs."
+///
+/// Run() performs one scan; background deployments call it periodically.
+class TieringService {
+ public:
+  TieringService(PlogStore* plogs, StoragePool* hot, StoragePool* cold,
+                 sim::SimClock* clock, TieringPolicy policy)
+      : plogs_(plogs), hot_(hot), cold_(cold), clock_(clock),
+        policy_(policy) {}
+
+  struct RunStats {
+    uint64_t migrated_plogs = 0;
+    uint64_t migrated_bytes = 0;
+  };
+
+  /// Scan all PLogs and migrate the cold, sealed ones. Returns what moved.
+  Result<RunStats> Run();
+
+ private:
+  PlogStore* plogs_;
+  StoragePool* hot_;
+  StoragePool* cold_;
+  sim::SimClock* clock_;
+  TieringPolicy policy_;
+};
+
+}  // namespace streamlake::storage
+
+#endif  // STREAMLAKE_STORAGE_TIERING_H_

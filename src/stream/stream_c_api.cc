@@ -1,0 +1,74 @@
+#include "stream/stream_c_api.h"
+
+namespace streamlake::stream {
+
+namespace {
+
+StreamObjectManager* g_manager = nullptr;
+
+int32_t ToReturnCode(const Status& s) {
+  return s.ok() ? 0 : -static_cast<int32_t>(s.code());
+}
+
+}  // namespace
+
+void SetServerStreamManager(StreamObjectManager* manager) {
+  g_manager = manager;
+}
+
+int32_t CreateServerStreamObject(const CREATE_OPTIONS_S* option,
+                                 object_id_t* objectId) {
+  if (g_manager == nullptr || option == nullptr || objectId == nullptr) {
+    return -static_cast<int32_t>(StatusCode::kInvalidArgument);
+  }
+  StreamObjectOptions options;
+  options.redundancy =
+      option->redundancy_mode == 0
+          ? storage::RedundancyConfig::Replication(option->replicas)
+          : storage::RedundancyConfig::ErasureCoding(option->ec_data,
+                                                     option->ec_parity);
+  options.io_quota_records_per_sec = option->io_quota_records_per_sec;
+  options.io_aggregation = option->io_aggregation != 0;
+  auto id = g_manager->CreateObject(options);
+  if (!id.ok()) return ToReturnCode(id.status());
+  *objectId = *id;
+  return 0;
+}
+
+int32_t DestroyServerStreamObject(const object_id_t* objectId) {
+  if (g_manager == nullptr || objectId == nullptr) {
+    return -static_cast<int32_t>(StatusCode::kInvalidArgument);
+  }
+  return ToReturnCode(g_manager->DestroyObject(*objectId));
+}
+
+int32_t AppendServerStreamObject(const object_id_t* objectId,
+                                 const IO_CONTENT_S* io, uint64_t* offset) {
+  if (g_manager == nullptr || objectId == nullptr || io == nullptr ||
+      offset == nullptr) {
+    return -static_cast<int32_t>(StatusCode::kInvalidArgument);
+  }
+  StreamObject* object = g_manager->GetObject(*objectId);
+  if (object == nullptr) return -static_cast<int32_t>(StatusCode::kNotFound);
+  auto result = object->Append(io->records);
+  if (!result.ok()) return ToReturnCode(result.status());
+  *offset = *result;
+  return 0;
+}
+
+int32_t ReadServerStreamObject(const object_id_t* objectId, uint64_t offset,
+                               const READ_CTRL_S* readCtrl, IO_CONTENT_S* io) {
+  if (g_manager == nullptr || objectId == nullptr || io == nullptr) {
+    return -static_cast<int32_t>(StatusCode::kInvalidArgument);
+  }
+  StreamObject* object = g_manager->GetObject(*objectId);
+  if (object == nullptr) return -static_cast<int32_t>(StatusCode::kNotFound);
+  uint64_t max_records =
+      readCtrl == nullptr ? UINT64_MAX : readCtrl->max_records;
+  auto result = object->Read(offset, max_records);
+  if (!result.ok()) return ToReturnCode(result.status());
+  io->records = std::move(*result);
+  return 0;
+}
+
+}  // namespace streamlake::stream

@@ -1,0 +1,57 @@
+#ifndef STREAMLAKE_STREAM_STREAM_C_API_H_
+#define STREAMLAKE_STREAM_STREAM_C_API_H_
+
+#include <cstdint>
+
+#include "stream/stream_object.h"
+
+namespace streamlake::stream {
+
+// The C-style stream object operations of Fig. 3, verbatim signatures.
+// Thin adapters over StreamObjectManager so applications written against
+// the paper's interface run unchanged. Return codes: 0 on success, the
+// negated StatusCode otherwise.
+
+using object_id_t = uint64_t;
+
+/// CREATE_OPTIONS_S (Fig. 3 line 2): storage configuration.
+struct CREATE_OPTIONS_S {
+  /// 0 = replicate, 1 = erasure code.
+  int32_t redundancy_mode = 0;
+  int32_t replicas = 3;
+  int32_t ec_data = 4;
+  int32_t ec_parity = 1;
+  uint64_t io_quota_records_per_sec = 0;
+  int32_t io_aggregation = 1;
+};
+
+/// IO_CONTENT_S (Fig. 3 lines 8/14): non-blocking I/O buffer holding the
+/// records to append or the records read back.
+struct IO_CONTENT_S {
+  std::vector<StreamRecord> records;
+};
+
+/// READ_CTRL_S (Fig. 3 line 13): read control conditions.
+struct READ_CTRL_S {
+  /// Max records to return; the message service defaults to "respond to
+  /// all subsequent messages".
+  uint64_t max_records = UINT64_MAX;
+};
+
+/// Bind the manager the C API operates on (the DPC client's connection).
+void SetServerStreamManager(StreamObjectManager* manager);
+
+int32_t CreateServerStreamObject(const CREATE_OPTIONS_S* option,
+                                 object_id_t* objectId);
+
+int32_t DestroyServerStreamObject(const object_id_t* objectId);
+
+int32_t AppendServerStreamObject(const object_id_t* objectId,
+                                 const IO_CONTENT_S* io, uint64_t* offset);
+
+int32_t ReadServerStreamObject(const object_id_t* objectId, uint64_t offset,
+                               const READ_CTRL_S* readCtrl, IO_CONTENT_S* io);
+
+}  // namespace streamlake::stream
+
+#endif  // STREAMLAKE_STREAM_STREAM_C_API_H_

@@ -1,0 +1,446 @@
+#include "stream/stream_object.h"
+
+#include <algorithm>
+
+namespace streamlake::stream {
+
+// ---------------- ScmSliceCache ----------------
+
+const std::vector<StreamRecord>* ScmSliceCache::Get(uint64_t object_id,
+                                                    uint64_t slice_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find({object_id, slice_seq});
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  if (pmem_ != nullptr) pmem_->ChargeRead(it->second->bytes);
+  return &it->second->records;
+}
+
+void ScmSliceCache::Put(uint64_t object_id, uint64_t slice_seq,
+                        std::vector<StreamRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{object_id, slice_seq};
+  if (index_.count(key)) return;
+  Entry entry;
+  entry.key = key;
+  entry.bytes = 0;
+  for (const StreamRecord& r : records) entry.bytes += r.ByteSize();
+  entry.records = std::move(records);
+  if (pmem_ != nullptr) pmem_->ChargeWrite(entry.bytes);
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+// ---------------- StreamObject ----------------
+
+StreamObject::StreamObject(uint64_t id, storage::PlogStore* plogs,
+                           kv::KvStore* index, sim::SimClock* clock,
+                           StreamObjectOptions options, ScmSliceCache* cache)
+    : id_(id),
+      plogs_(plogs),
+      index_(index),
+      clock_(clock),
+      options_(options),
+      cache_(cache),
+      quota_epoch_ns_(clock->NowNanos()) {}
+
+namespace {
+
+std::string ObjectMetaKey(uint64_t object_id) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "so/%016llu/meta",
+                static_cast<unsigned long long>(object_id));
+  return buf;
+}
+
+void EncodeObjectOptions(const StreamObjectOptions& options, Bytes* dst) {
+  dst->push_back(options.redundancy.scheme ==
+                         storage::RedundancyConfig::Scheme::kReplication
+                     ? 0
+                     : 1);
+  PutVarint64(dst, options.redundancy.replicas);
+  PutVarint64(dst, options.redundancy.ec_data);
+  PutVarint64(dst, options.redundancy.ec_parity);
+  PutVarint64(dst, options.io_quota_records_per_sec);
+  dst->push_back(options.io_aggregation ? 1 : 0);
+  PutVarint64(dst, options.records_per_slice);
+  dst->push_back(options.use_scm_cache ? 1 : 0);
+}
+
+Result<StreamObjectOptions> DecodeObjectOptions(ByteView data) {
+  Decoder dec(data);
+  StreamObjectOptions options;
+  if (dec.Remaining() < 1) return Status::Corruption("object options");
+  uint8_t scheme = *dec.position();
+  dec.Skip(1);
+  uint64_t replicas, ec_data, ec_parity;
+  if (!dec.GetVarint(&replicas) || !dec.GetVarint(&ec_data) ||
+      !dec.GetVarint(&ec_parity) ||
+      !dec.GetVarint(&options.io_quota_records_per_sec)) {
+    return Status::Corruption("object options fields");
+  }
+  options.redundancy =
+      scheme == 0 ? storage::RedundancyConfig::Replication(
+                        static_cast<int>(replicas))
+                  : storage::RedundancyConfig::ErasureCoding(
+                        static_cast<int>(ec_data),
+                        static_cast<int>(ec_parity));
+  if (dec.Remaining() < 1) return Status::Corruption("aggregation flag");
+  options.io_aggregation = *dec.position() != 0;
+  dec.Skip(1);
+  uint64_t per_slice;
+  if (!dec.GetVarint(&per_slice)) return Status::Corruption("slice size");
+  options.records_per_slice = per_slice;
+  if (dec.Remaining() < 1) return Status::Corruption("scm flag");
+  options.use_scm_cache = *dec.position() != 0;
+  return options;
+}
+
+}  // namespace
+
+std::string StreamObject::IndexKey(uint64_t slice_seq) const {
+  // Zero-padded so KV range scans return slices in order.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "so/%016llu/slice/%016llu",
+                static_cast<unsigned long long>(id_),
+                static_cast<unsigned long long>(slice_seq));
+  return buf;
+}
+
+Status StreamObject::CheckQuotaLocked(size_t incoming) {
+  if (options_.io_quota_records_per_sec == 0) return Status::OK();
+  uint64_t now = clock_->NowNanos();
+  if (now - quota_epoch_ns_ >= sim::kSecond) {
+    quota_epoch_ns_ = now;
+    quota_consumed_ = 0;
+  }
+  if (quota_consumed_ + incoming > options_.io_quota_records_per_sec) {
+    return Status::QuotaExceeded("stream object " + std::to_string(id_) +
+                                 " rate limit");
+  }
+  quota_consumed_ += incoming;
+  return Status::OK();
+}
+
+Result<uint64_t> StreamObject::Append(std::vector<StreamRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::InvalidArgument("stream object destroyed");
+  SL_RETURN_NOT_OK(CheckQuotaLocked(records.size()));
+
+  uint64_t start_offset = frontier_;
+  for (StreamRecord& record : records) {
+    // Idempotent writes: drop producer retries ("duplicate messages sent
+    // by the producer can be identified").
+    if (record.producer_id != 0) {
+      auto [it, inserted] =
+          producer_last_seq_.emplace(record.producer_id, record.producer_seq);
+      if (!inserted) {
+        if (record.producer_seq <= it->second) continue;  // duplicate
+        it->second = record.producer_seq;
+      }
+    }
+    active_.push_back(std::move(record));
+    ++frontier_;
+    if (active_.size() >= options_.records_per_slice ||
+        !options_.io_aggregation) {
+      SL_RETURN_NOT_OK(PersistSliceLocked(std::move(active_)));
+      active_.clear();
+    }
+  }
+  return start_offset;
+}
+
+Status StreamObject::PersistSliceLocked(std::vector<StreamRecord> records) {
+  if (records.empty()) return Status::OK();
+  Bytes encoded;
+  EncodeSlice(&encoded, records);
+
+  SliceMeta meta;
+  meta.seq = next_slice_seq_++;
+  meta.start_offset = persisted_;
+  meta.count = static_cast<uint32_t>(records.size());
+  meta.payload_bytes = encoded.size();
+  std::string route =
+      "so/" + std::to_string(id_) + "/" + std::to_string(meta.seq);
+  SL_ASSIGN_OR_RETURN(meta.address,
+                      plogs_->AppendKeyed(ByteView(route), ByteView(encoded)));
+
+  // Durable slice index ("we use key-value databases to serve as indexes
+  // for PLogs for fast record lookup").
+  Bytes index_value;
+  PutVarint64(&index_value, meta.start_offset);
+  PutVarint64(&index_value, meta.count);
+  PutVarint64(&index_value, meta.address.shard);
+  PutVarint64(&index_value, meta.address.plog_index);
+  PutVarint64(&index_value, meta.address.offset);
+  SL_RETURN_NOT_OK(
+      index_->Put(IndexKey(meta.seq), BytesToString(index_value)));
+
+  persisted_ += records.size();
+  if (cache_ != nullptr) {
+    cache_->Put(id_, meta.seq, std::move(records));
+  }
+  slices_.push_back(meta);
+  return Status::OK();
+}
+
+Result<std::vector<StreamRecord>> StreamObject::Read(
+    uint64_t offset, size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::InvalidArgument("stream object destroyed");
+  if (offset > frontier_) {
+    return Status::InvalidArgument("read past stream frontier");
+  }
+  if (offset < trimmed_until_) {
+    return Status::NotFound("offset below trim point");
+  }
+  std::vector<StreamRecord> out;
+  uint64_t pos = offset;
+  while (pos < frontier_ && out.size() < max_records) {
+    if (pos >= persisted_) {
+      // Buffered tail.
+      const StreamRecord& record = active_[pos - persisted_];
+      out.push_back(record);
+      ++pos;
+      continue;
+    }
+    // Find the slice containing `pos` (slices sorted by start_offset).
+    auto it = std::upper_bound(
+        slices_.begin(), slices_.end(), pos,
+        [](uint64_t v, const SliceMeta& s) { return v < s.start_offset; });
+    const SliceMeta& slice = *(it - 1);
+    const std::vector<StreamRecord>* records = nullptr;
+    std::vector<StreamRecord> decoded;
+    if (cache_ != nullptr) {
+      records = cache_->Get(id_, slice.seq);
+    }
+    if (records == nullptr) {
+      SL_ASSIGN_OR_RETURN(Bytes raw, plogs_->Read(slice.address));
+      SL_ASSIGN_OR_RETURN(decoded, DecodeSlice(ByteView(raw)));
+      if (cache_ != nullptr) {
+        cache_->Put(id_, slice.seq, decoded);
+      }
+      records = &decoded;
+    }
+    for (uint64_t i = pos - slice.start_offset;
+         i < records->size() && out.size() < max_records; ++i) {
+      out.push_back((*records)[i]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> StreamObject::FindOffsetByTimestamp(int64_t timestamp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::InvalidArgument("stream object destroyed");
+
+  auto load_slice = [&](size_t i) -> Result<std::vector<StreamRecord>> {
+    SL_ASSIGN_OR_RETURN(Bytes raw, plogs_->Read(slices_[i].address));
+    return DecodeSlice(ByteView(raw));
+  };
+
+  // Binary search over persisted slices by their last record's timestamp
+  // (timestamps are non-decreasing across the log).
+  size_t lo = first_live_slice_;
+  size_t hi = slices_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    SL_ASSIGN_OR_RETURN(auto records, load_slice(mid));
+    if (!records.empty() && records.back().timestamp >= timestamp) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo < slices_.size()) {
+    SL_ASSIGN_OR_RETURN(auto records, load_slice(lo));
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].timestamp >= timestamp) {
+        return slices_[lo].start_offset + i;
+      }
+    }
+  }
+  // The buffered tail.
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].timestamp >= timestamp) return persisted_ + i;
+  }
+  return frontier_;
+}
+
+uint64_t StreamObject::frontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frontier_;
+}
+
+uint64_t StreamObject::persisted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persisted_;
+}
+
+Status StreamObject::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::InvalidArgument("stream object destroyed");
+  Status s = PersistSliceLocked(std::move(active_));
+  active_.clear();
+  return s;
+}
+
+Status StreamObject::RecoverFromIndex() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::InvalidArgument("stream object destroyed");
+  if (!slices_.empty() || frontier_ != 0) {
+    return Status::InvalidArgument("recovery requires a fresh object");
+  }
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "so/%016llu/slice/",
+                static_cast<unsigned long long>(id_));
+  std::string start(prefix);
+  std::string end = start;
+  end.back() = end.back() + 1;
+  // Slice keys are zero-padded, so the scan returns them in append order.
+  for (const auto& [key, value] : index_->Scan(start, end)) {
+    Decoder dec{ByteView(value)};
+    SliceMeta meta;
+    meta.seq = std::stoull(key.substr(start.size()));
+    uint64_t count, shard, plog_index;
+    if (!dec.GetVarint(&meta.start_offset) || !dec.GetVarint(&count) ||
+        !dec.GetVarint(&shard) || !dec.GetVarint(&plog_index) ||
+        !dec.GetVarint(&meta.address.offset)) {
+      return Status::Corruption("slice index entry " + key);
+    }
+    meta.count = static_cast<uint32_t>(count);
+    meta.address.shard = static_cast<uint32_t>(shard);
+    meta.address.plog_index = static_cast<uint32_t>(plog_index);
+    slices_.push_back(meta);
+  }
+  if (!slices_.empty()) {
+    const SliceMeta& last = slices_.back();
+    next_slice_seq_ = last.seq + 1;
+    persisted_ = last.start_offset + last.count;
+    frontier_ = persisted_;
+    trimmed_until_ = slices_.front().start_offset;
+  }
+  return Status::OK();
+}
+
+Status StreamObject::TrimTo(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::InvalidArgument("stream object destroyed");
+  if (offset > persisted_) {
+    // Only persisted slices can be reclaimed; cap at the persisted bound.
+    offset = persisted_;
+  }
+  // Release whole slices entirely below the trim point.
+  while (first_live_slice_ < slices_.size()) {
+    const SliceMeta& slice = slices_[first_live_slice_];
+    if (slice.start_offset + slice.count > offset) break;
+    SL_RETURN_NOT_OK(plogs_->MarkGarbage(slice.address, slice.payload_bytes));
+    SL_RETURN_NOT_OK(index_->Delete(IndexKey(slice.seq)));
+    ++first_live_slice_;
+  }
+  trimmed_until_ = std::max(trimmed_until_, offset);
+  return Status::OK();
+}
+
+uint64_t StreamObject::trimmed_until() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trimmed_until_;
+}
+
+Status StreamObject::Destroy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (destroyed_) return Status::OK();
+  destroyed_ = true;
+  for (size_t i = first_live_slice_; i < slices_.size(); ++i) {
+    SL_RETURN_NOT_OK(
+        plogs_->MarkGarbage(slices_[i].address, slices_[i].payload_bytes));
+    SL_RETURN_NOT_OK(index_->Delete(IndexKey(slices_[i].seq)));
+  }
+  slices_.clear();
+  active_.clear();
+  return Status::OK();
+}
+
+// ---------------- StreamObjectManager ----------------
+
+StreamObjectManager::StreamObjectManager(storage::PlogStore* plogs,
+                                         kv::KvStore* index,
+                                         sim::SimClock* clock,
+                                         sim::DeviceModel* pmem,
+                                         size_t cache_capacity_slices)
+    : plogs_(plogs), index_(index), clock_(clock) {
+  if (pmem != nullptr) {
+    cache_ = std::make_unique<ScmSliceCache>(pmem, cache_capacity_slices);
+  }
+}
+
+Result<uint64_t> StreamObjectManager::CreateObject(
+    const StreamObjectOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  // Persist the options so RecoverAll() can rebuild the object.
+  Bytes encoded;
+  EncodeObjectOptions(options, &encoded);
+  SL_RETURN_NOT_OK(index_->Put(ObjectMetaKey(id), BytesToString(encoded)));
+  ScmSliceCache* cache = options.use_scm_cache ? cache_.get() : nullptr;
+  objects_[id] = std::make_unique<StreamObject>(id, plogs_, index_, clock_,
+                                                options, cache);
+  return id;
+}
+
+Result<size_t> StreamObjectManager::RecoverAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!objects_.empty()) {
+    return Status::InvalidArgument("recovery requires an empty manager");
+  }
+  size_t recovered = 0;
+  for (const auto& [key, value] : index_->Scan("so/", "so0")) {
+    // Keys: so/<id16>/meta and so/<id16>/slice/<seq16>.
+    if (key.size() < 24 || key.compare(19, 5, "/meta") != 0) continue;
+    uint64_t id = std::stoull(key.substr(3, 16));
+    SL_ASSIGN_OR_RETURN(StreamObjectOptions options,
+                        DecodeObjectOptions(ByteView(value)));
+    ScmSliceCache* cache = options.use_scm_cache ? cache_.get() : nullptr;
+    auto object = std::make_unique<StreamObject>(id, plogs_, index_, clock_,
+                                                 options, cache);
+    SL_RETURN_NOT_OK(object->RecoverFromIndex());
+    objects_[id] = std::move(object);
+    next_id_ = std::max(next_id_, id + 1);
+    ++recovered;
+  }
+  return recovered;
+}
+
+StreamObject* StreamObjectManager::GetObject(uint64_t object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(object_id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Status StreamObjectManager::DestroyObject(uint64_t object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) {
+    return Status::NotFound("stream object " + std::to_string(object_id));
+  }
+  SL_RETURN_NOT_OK(it->second->Destroy());
+  SL_RETURN_NOT_OK(index_->Delete(ObjectMetaKey(object_id)));
+  objects_.erase(it);
+  return Status::OK();
+}
+
+size_t StreamObjectManager::num_objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace streamlake::stream

@@ -1,0 +1,44 @@
+#ifndef STREAMLAKE_STREAMING_ARCHIVE_H_
+#define STREAMLAKE_STREAMING_ARCHIVE_H_
+
+#include <map>
+#include <string>
+
+#include "storage/object_store.h"
+#include "streaming/dispatcher.h"
+
+namespace streamlake::streaming {
+
+/// \brief The archive block of Fig. 8: moves historical stream data into
+/// cost-effective archive storage, optionally converting rows to columnar
+/// format (`row_2_col`) for the EC+Col-store savings of Fig. 14(d).
+class ArchiveService {
+ public:
+  ArchiveService(StreamDispatcher* dispatcher,
+                 storage::ObjectStore* archive_store, kv::KvStore* meta)
+      : dispatcher_(dispatcher), archive_store_(archive_store), meta_(meta) {}
+
+  struct RunStats {
+    uint64_t archived_records = 0;
+    uint64_t source_bytes = 0;    // raw message bytes archived
+    uint64_t archived_bytes = 0;  // bytes written to archive objects
+    uint64_t files_written = 0;
+  };
+
+  /// Archive the unarchived tail of `topic` if it exceeds the configured
+  /// threshold; `force` archives regardless of volume. One archive object
+  /// is written per stream per run.
+  Result<RunStats> Run(const std::string& topic, bool force = false);
+
+ private:
+  std::string OffsetKey(const std::string& topic, uint32_t stream) const;
+
+  StreamDispatcher* dispatcher_;
+  storage::ObjectStore* archive_store_;
+  kv::KvStore* meta_;
+  uint64_t file_counter_ = 0;
+};
+
+}  // namespace streamlake::streaming
+
+#endif  // STREAMLAKE_STREAMING_ARCHIVE_H_

@@ -1,0 +1,317 @@
+#include "streaming/dispatcher.h"
+
+#include "common/hash.h"
+
+namespace streamlake::streaming {
+
+StreamDispatcher::StreamDispatcher(stream::StreamObjectManager* objects,
+                                   kv::KvStore* meta, sim::NetworkModel* bus,
+                                   sim::SimClock* clock,
+                                   uint32_t initial_workers)
+    : objects_(objects), meta_(meta), bus_(bus), clock_(clock) {
+  for (uint32_t i = 0; i < initial_workers; ++i) {
+    workers_.push_back(std::make_unique<StreamWorker>(i, objects_, bus_));
+    last_heartbeat_ns_.push_back(clock_->NowNanos());
+  }
+}
+
+Result<uint64_t> StreamDispatcher::CreateStreamObjectLocked(
+    const TopicConfig& config) {
+  stream::StreamObjectOptions options;
+  options.io_quota_records_per_sec = config.quota;
+  options.use_scm_cache = config.scm_cache;
+  return objects_->CreateObject(options);
+}
+
+Status StreamDispatcher::AssignStreamLocked(uint64_t stream_object_id,
+                                            uint32_t worker_index) {
+  auto it = stream_to_worker_.find(stream_object_id);
+  if (it != stream_to_worker_.end()) {
+    if (it->second == worker_index) return Status::OK();
+    workers_[it->second]->UnassignStream(stream_object_id);
+  }
+  workers_[worker_index]->AssignStream(stream_object_id);
+  stream_to_worker_[stream_object_id] = worker_index;
+  // Topology change recorded in the fault-tolerant KV store; refreshing
+  // this mapping is the whole cost of a scaling event.
+  return meta_->Put("assign/" + std::to_string(stream_object_id),
+                    std::to_string(worker_index));
+}
+
+Status StreamDispatcher::CreateTopic(const std::string& topic,
+                                     const TopicConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic)) {
+    return Status::AlreadyExists("topic " + topic);
+  }
+  if (config.stream_num == 0) {
+    return Status::InvalidArgument("stream_num must be positive");
+  }
+  TopicState state;
+  state.config = config;
+  for (uint32_t i = 0; i < config.stream_num; ++i) {
+    SL_ASSIGN_OR_RETURN(uint64_t id, CreateStreamObjectLocked(config));
+    state.stream_object_ids.push_back(id);
+    // Round-robin placement "to ensure even distribution and workload
+    // balancing across the cluster".
+    SL_RETURN_NOT_OK(AssignStreamLocked(
+        id, static_cast<uint32_t>(i % workers_.size())));
+    SL_RETURN_NOT_OK(meta_->Put(
+        "topic/" + topic + "/stream/" + std::to_string(i),
+        std::to_string(id)));
+  }
+  topics_[topic] = std::move(state);
+  Bytes encoded;
+  config.EncodeTo(&encoded);
+  SL_RETURN_NOT_OK(
+      meta_->Put("topic/" + topic + "/config", BytesToString(encoded)));
+  return meta_->Put("topic/" + topic + "/streams",
+                    std::to_string(config.stream_num));
+}
+
+Status StreamDispatcher::DeleteTopic(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  for (size_t i = 0; i < it->second.stream_object_ids.size(); ++i) {
+    uint64_t id = it->second.stream_object_ids[i];
+    auto assigned = stream_to_worker_.find(id);
+    if (assigned != stream_to_worker_.end()) {
+      workers_[assigned->second]->UnassignStream(id);
+      stream_to_worker_.erase(assigned);
+    }
+    SL_RETURN_NOT_OK(objects_->DestroyObject(id));
+    SL_RETURN_NOT_OK(meta_->Delete("assign/" + std::to_string(id)));
+    SL_RETURN_NOT_OK(
+        meta_->Delete("topic/" + topic + "/stream/" + std::to_string(i)));
+  }
+  topics_.erase(it);
+  SL_RETURN_NOT_OK(meta_->Delete("topic/" + topic + "/config"));
+  return meta_->Delete("topic/" + topic + "/streams");
+}
+
+Result<size_t> StreamDispatcher::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!topics_.empty()) {
+    return Status::InvalidArgument("recovery requires an empty dispatcher");
+  }
+  size_t recovered = 0;
+  for (const auto& [key, value] : meta_->Scan("topic/", "topic0")) {
+    constexpr std::string_view kSuffix = "/config";
+    if (key.size() <= 6 + kSuffix.size() ||
+        key.compare(key.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    std::string topic = key.substr(6, key.size() - 6 - kSuffix.size());
+    SL_ASSIGN_OR_RETURN(TopicConfig config,
+                        TopicConfig::DecodeFrom(ByteView(value)));
+    TopicState state;
+    state.config = config;
+    SL_ASSIGN_OR_RETURN(std::string count_str,
+                        meta_->Get("topic/" + topic + "/streams"));
+    uint32_t streams = static_cast<uint32_t>(std::stoul(count_str));
+    for (uint32_t i = 0; i < streams; ++i) {
+      SL_ASSIGN_OR_RETURN(
+          std::string id_str,
+          meta_->Get("topic/" + topic + "/stream/" + std::to_string(i)));
+      uint64_t id = std::stoull(id_str);
+      if (objects_->GetObject(id) == nullptr) {
+        return Status::Corruption("stream object " + id_str +
+                                  " missing; recover the object manager "
+                                  "first");
+      }
+      state.stream_object_ids.push_back(id);
+      // Restore the recorded assignment, folding onto the live workers.
+      uint32_t worker = i % static_cast<uint32_t>(workers_.size());
+      auto assigned = meta_->Get("assign/" + id_str);
+      if (assigned.ok()) {
+        worker = static_cast<uint32_t>(std::stoul(*assigned)) %
+                 static_cast<uint32_t>(workers_.size());
+      }
+      SL_RETURN_NOT_OK(AssignStreamLocked(id, worker));
+    }
+    state.config.stream_num = streams;
+    topics_[topic] = std::move(state);
+    ++recovered;
+  }
+  return recovered;
+}
+
+bool StreamDispatcher::HasTopic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+Result<TopicConfig> StreamDispatcher::GetTopicConfig(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  return it->second.config;
+}
+
+Result<uint32_t> StreamDispatcher::NumStreams(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  return static_cast<uint32_t>(it->second.stream_object_ids.size());
+}
+
+Result<uint64_t> StreamDispatcher::StreamObjectId(const std::string& topic,
+                                                  uint32_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  if (index >= it->second.stream_object_ids.size()) {
+    return Status::InvalidArgument("stream index out of range");
+  }
+  return it->second.stream_object_ids[index];
+}
+
+Result<StreamDispatcher::Route> StreamDispatcher::RouteProduce(
+    const std::string& topic, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  TopicState& state = it->second;
+  uint32_t index;
+  if (key.empty()) {
+    index = static_cast<uint32_t>(state.next_rr++ %
+                                  state.stream_object_ids.size());
+  } else {
+    index = static_cast<uint32_t>(Hash64(ByteView(key)) %
+                                  state.stream_object_ids.size());
+  }
+  Route route;
+  route.stream_index = index;
+  route.stream_object_id = state.stream_object_ids[index];
+  route.worker = workers_[stream_to_worker_.at(route.stream_object_id)].get();
+  return route;
+}
+
+Result<StreamDispatcher::Route> StreamDispatcher::RouteFetch(
+    const std::string& topic, uint32_t stream_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  if (stream_index >= it->second.stream_object_ids.size()) {
+    return Status::InvalidArgument("stream index out of range");
+  }
+  Route route;
+  route.stream_index = stream_index;
+  route.stream_object_id = it->second.stream_object_ids[stream_index];
+  route.worker = workers_[stream_to_worker_.at(route.stream_object_id)].get();
+  return route;
+}
+
+Status StreamDispatcher::RebalanceLocked(uint32_t worker_count) {
+  uint32_t cursor = 0;
+  for (auto& [topic, state] : topics_) {
+    for (uint64_t id : state.stream_object_ids) {
+      SL_RETURN_NOT_OK(AssignStreamLocked(id, cursor % worker_count));
+      ++cursor;
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamDispatcher::ResizeWorkers(uint32_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count == 0) return Status::InvalidArgument("need at least one worker");
+  for (uint32_t w = static_cast<uint32_t>(workers_.size()); w < count; ++w) {
+    workers_.push_back(std::make_unique<StreamWorker>(w, objects_, bus_));
+    last_heartbeat_ns_.push_back(clock_->NowNanos());
+  }
+  // Rebalance over the surviving workers; shrinking drops the (now empty)
+  // tail afterwards. No stream data moves.
+  SL_RETURN_NOT_OK(RebalanceLocked(count));
+  if (count < workers_.size()) {
+    workers_.resize(count);
+    last_heartbeat_ns_.resize(count);
+  }
+  return Status::OK();
+}
+
+void StreamDispatcher::Heartbeat(uint32_t worker_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker_index < last_heartbeat_ns_.size()) {
+    last_heartbeat_ns_[worker_index] = clock_->NowNanos();
+  }
+}
+
+Result<StreamDispatcher::HealthSweepStats> StreamDispatcher::SweepDeadWorkers(
+    uint64_t timeout_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthSweepStats stats;
+  const uint64_t now = clock_->NowNanos();
+  std::vector<bool> dead(workers_.size(), false);
+  std::vector<uint32_t> alive;
+  for (uint32_t w = 0; w < workers_.size(); ++w) {
+    if (now - last_heartbeat_ns_[w] > timeout_ns) {
+      dead[w] = true;
+      ++stats.dead_workers;
+    } else {
+      alive.push_back(w);
+    }
+  }
+  if (stats.dead_workers == 0 || alive.empty()) {
+    if (alive.empty() && stats.dead_workers > 0) {
+      return Status::ResourceExhausted("every stream worker is dead");
+    }
+    return stats;
+  }
+  // Topology refresh only: streams of dead workers move to live ones
+  // round-robin. No data migration — the point of the disaggregation.
+  size_t cursor = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> to_move;
+  for (const auto& [stream_id, worker] : stream_to_worker_) {
+    if (dead[worker]) {
+      to_move.emplace_back(stream_id, alive[cursor++ % alive.size()]);
+    }
+  }
+  for (const auto& [stream_id, target] : to_move) {
+    SL_RETURN_NOT_OK(AssignStreamLocked(stream_id, target));
+    ++stats.streams_reassigned;
+  }
+  return stats;
+}
+
+Status StreamDispatcher::AddStreams(const std::string& topic,
+                                    uint32_t additional) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("topic " + topic);
+  TopicState& state = it->second;
+  for (uint32_t i = 0; i < additional; ++i) {
+    SL_ASSIGN_OR_RETURN(uint64_t id, CreateStreamObjectLocked(state.config));
+    uint32_t index = static_cast<uint32_t>(state.stream_object_ids.size());
+    state.stream_object_ids.push_back(id);
+    SL_RETURN_NOT_OK(AssignStreamLocked(
+        id, index % static_cast<uint32_t>(workers_.size())));
+    SL_RETURN_NOT_OK(meta_->Put(
+        "topic/" + topic + "/stream/" + std::to_string(index),
+        std::to_string(id)));
+  }
+  state.config.stream_num =
+      static_cast<uint32_t>(state.stream_object_ids.size());
+  return meta_->Put("topic/" + topic + "/streams",
+                    std::to_string(state.config.stream_num));
+}
+
+uint32_t StreamDispatcher::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(workers_.size());
+}
+
+StreamWorker* StreamDispatcher::worker(uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < workers_.size() ? workers_[index].get() : nullptr;
+}
+
+uint64_t StreamDispatcher::NextProducerId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_producer_id_++;
+}
+
+}  // namespace streamlake::streaming

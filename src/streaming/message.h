@@ -1,0 +1,43 @@
+#ifndef STREAMLAKE_STREAMING_MESSAGE_H_
+#define STREAMLAKE_STREAMING_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace streamlake::streaming {
+
+/// A key-value message published to a topic (the producer/consumer API of
+/// Fig. 7 is deliberately Kafka-compatible).
+struct Message {
+  std::string key;
+  std::string value;
+  int64_t timestamp = 0;  // event time, seconds
+
+  Message() = default;
+  explicit Message(std::string v) : value(std::move(v)) {}
+  Message(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  Message(std::string k, std::string v, int64_t ts)
+      : key(std::move(k)), value(std::move(v)), timestamp(ts) {}
+
+  size_t ByteSize() const { return key.size() + value.size() + 8; }
+
+  bool operator==(const Message& other) const {
+    return key == other.key && value == other.value &&
+           timestamp == other.timestamp;
+  }
+};
+
+/// A consumed message plus its provenance (stream + offset), which
+/// consumers use for exactly-once offset commits.
+struct ConsumedMessage {
+  Message message;
+  uint32_t stream_index = 0;
+  uint64_t offset = 0;
+};
+
+}  // namespace streamlake::streaming
+
+#endif  // STREAMLAKE_STREAMING_MESSAGE_H_

@@ -1,0 +1,38 @@
+#include "streaming/producer.h"
+
+namespace streamlake::streaming {
+
+Result<uint64_t> Producer::Send(const std::string& topic,
+                                const Message& message) {
+  SL_ASSIGN_OR_RETURN(auto route,
+                      dispatcher_->RouteProduce(topic, message.key));
+  uint64_t& next = next_seq_[route.stream_object_id];
+  uint64_t seq = ++next;
+  auto offset = route.worker->Produce(route.stream_object_id, {message},
+                                      producer_id_, seq);
+  if (offset.ok()) {
+    last_ = LastSend{topic, message, seq};
+    has_last_ = true;
+  }
+  return offset;
+}
+
+Status Producer::SendBatch(const std::string& topic,
+                           const std::vector<Message>& messages) {
+  for (const Message& message : messages) {
+    SL_ASSIGN_OR_RETURN([[maybe_unused]] uint64_t offset,
+                        Send(topic, message));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Producer::ResendLast() {
+  if (!has_last_) return Status::InvalidArgument("nothing to resend");
+  SL_ASSIGN_OR_RETURN(auto route,
+                      dispatcher_->RouteProduce(last_.topic, last_.message.key));
+  // Same (producer_id, seq): the stream object identifies the duplicate.
+  return route.worker->Produce(route.stream_object_id, {last_.message},
+                               producer_id_, last_.seq);
+}
+
+}  // namespace streamlake::streaming

@@ -1,0 +1,53 @@
+#ifndef STREAMLAKE_STREAMING_PRODUCER_H_
+#define STREAMLAKE_STREAMING_PRODUCER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "streaming/dispatcher.h"
+#include "streaming/message.h"
+
+namespace streamlake::streaming {
+
+/// \brief Kafka-compatible producer (Fig. 7): publishes messages to topics
+/// through the dispatcher's routing.
+///
+/// Every message carries a (producer_id, sequence) pair, so a network
+/// retry (Resend) is deduplicated by the stream object — idempotent writes.
+class Producer {
+ public:
+  explicit Producer(StreamDispatcher* dispatcher)
+      : dispatcher_(dispatcher),
+        producer_id_(dispatcher->NextProducerId()) {}
+
+  /// Publish one message; returns the offset it landed at in its stream.
+  Result<uint64_t> Send(const std::string& topic, const Message& message);
+
+  /// Publish a batch routed by each message's key.
+  Status SendBatch(const std::string& topic,
+                   const std::vector<Message>& messages);
+
+  /// Re-send the last Send() verbatim, as a client would after a timeout.
+  /// The duplicate is dropped server-side (same producer sequence).
+  Result<uint64_t> ResendLast();
+
+  uint64_t producer_id() const { return producer_id_; }
+
+ private:
+  struct LastSend {
+    std::string topic;
+    Message message;
+    uint64_t seq = 0;
+  };
+
+  StreamDispatcher* dispatcher_;
+  const uint64_t producer_id_;
+  std::map<uint64_t, uint64_t> next_seq_;  // per stream object
+  LastSend last_;
+  bool has_last_ = false;
+};
+
+}  // namespace streamlake::streaming
+
+#endif  // STREAMLAKE_STREAMING_PRODUCER_H_

@@ -1,0 +1,71 @@
+#include "streaming/topic_config.h"
+
+namespace streamlake::streaming {
+
+void TopicConfig::EncodeTo(Bytes* dst) const {
+  PutVarint64(dst, stream_num);
+  PutVarint64(dst, quota);
+  dst->push_back(scm_cache ? 1 : 0);
+
+  dst->push_back(convert_2_table.enabled ? 1 : 0);
+  convert_2_table.table_schema.EncodeTo(dst);
+  PutLengthPrefixed(dst, std::string_view(convert_2_table.table_path));
+  convert_2_table.partition_spec.EncodeTo(dst);
+  PutVarint64(dst, convert_2_table.split_offset);
+  PutVarint64(dst, convert_2_table.split_time_sec);
+  dst->push_back(convert_2_table.delete_msg ? 1 : 0);
+
+  dst->push_back(archive.enabled ? 1 : 0);
+  PutLengthPrefixed(dst, std::string_view(archive.external_archive_url));
+  PutVarint64(dst, archive.archive_size_mb);
+  dst->push_back(archive.row_2_col ? 1 : 0);
+}
+
+Result<TopicConfig> TopicConfig::DecodeFrom(ByteView data) {
+  Decoder dec(data);
+  TopicConfig config;
+  uint64_t streams;
+  if (!dec.GetVarint(&streams) || !dec.GetVarint(&config.quota)) {
+    return Status::Corruption("topic config header");
+  }
+  config.stream_num = static_cast<uint32_t>(streams);
+  auto get_bool = [&dec](bool* out) {
+    if (dec.Remaining() < 1) return false;
+    *out = *dec.position() != 0;
+    dec.Skip(1);
+    return true;
+  };
+  if (!get_bool(&config.scm_cache)) return Status::Corruption("scm flag");
+
+  if (!get_bool(&config.convert_2_table.enabled)) {
+    return Status::Corruption("convert flag");
+  }
+  SL_ASSIGN_OR_RETURN(config.convert_2_table.table_schema,
+                      format::Schema::DecodeFrom(&dec));
+  if (!dec.GetString(&config.convert_2_table.table_path)) {
+    return Status::Corruption("table path");
+  }
+  SL_ASSIGN_OR_RETURN(config.convert_2_table.partition_spec,
+                      table::PartitionSpec::DecodeFrom(&dec));
+  if (!dec.GetVarint(&config.convert_2_table.split_offset) ||
+      !dec.GetVarint(&config.convert_2_table.split_time_sec)) {
+    return Status::Corruption("convert triggers");
+  }
+  if (!get_bool(&config.convert_2_table.delete_msg)) {
+    return Status::Corruption("delete_msg flag");
+  }
+
+  if (!get_bool(&config.archive.enabled)) {
+    return Status::Corruption("archive flag");
+  }
+  if (!dec.GetString(&config.archive.external_archive_url) ||
+      !dec.GetVarint(&config.archive.archive_size_mb)) {
+    return Status::Corruption("archive fields");
+  }
+  if (!get_bool(&config.archive.row_2_col)) {
+    return Status::Corruption("row_2_col flag");
+  }
+  return config;
+}
+
+}  // namespace streamlake::streaming

@@ -1,0 +1,59 @@
+#ifndef STREAMLAKE_STREAMING_TOPIC_CONFIG_H_
+#define STREAMLAKE_STREAMING_TOPIC_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "format/schema.h"
+#include "table/metadata.h"
+
+namespace streamlake::streaming {
+
+/// The convert_2_table block of a topic configuration (Fig. 8): automatic
+/// stream-to-table conversion parameters.
+struct ConvertToTableConfig {
+  bool enabled = false;
+  format::Schema table_schema;
+  std::string table_path;
+  /// Partitioning of the converted table.
+  table::PartitionSpec partition_spec;
+  /// Convert after this many accumulated messages (Fig. 8: 10^7)...
+  uint64_t split_offset = 10'000'000;
+  /// ...or after this many seconds (Fig. 8: 36000).
+  uint64_t split_time_sec = 36000;
+  /// Drop converted messages from the stream tier (saves the second copy).
+  bool delete_msg = false;
+};
+
+/// The archive block of a topic configuration (Fig. 8).
+struct ArchiveConfig {
+  bool enabled = false;
+  /// Export target; empty = the StreamLake archive storage pool.
+  std::string external_archive_url;
+  /// Data volume in MB that triggers archiving (Fig. 8: 262144).
+  uint64_t archive_size_mb = 262144;
+  /// Archive in columnar format (EC+Col-store of Fig. 14d).
+  bool row_2_col = true;
+};
+
+/// Per-topic configuration, mirroring the JSON of Fig. 8.
+struct TopicConfig {
+  /// Parallelism: number of streams (partitions) of the topic.
+  uint32_t stream_num = 3;
+  /// Max messages/second per stream; 0 = unlimited (Fig. 8: 10^6).
+  uint64_t quota = 0;
+  /// Serve reads through the storage-class-memory cache.
+  bool scm_cache = false;
+  ConvertToTableConfig convert_2_table;
+  ArchiveConfig archive;
+
+  /// Serialization for the dispatcher's fault-tolerant KV store, so the
+  /// topic survives a dispatcher restart.
+  void EncodeTo(Bytes* dst) const;
+  static Result<TopicConfig> DecodeFrom(ByteView data);
+};
+
+}  // namespace streamlake::streaming
+
+#endif  // STREAMLAKE_STREAMING_TOPIC_CONFIG_H_

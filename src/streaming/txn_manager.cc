@@ -1,0 +1,116 @@
+#include "streaming/txn_manager.h"
+
+namespace streamlake::streaming {
+
+namespace {
+
+const char* StateName(TxnState state) {
+  switch (state) {
+    case TxnState::kOpen:
+      return "OPEN";
+    case TxnState::kPrepared:
+      return "PREPARED";
+    case TxnState::kCommitted:
+      return "COMMITTED";
+    case TxnState::kAborted:
+      return "ABORTED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<uint64_t> TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_txn_id_++;
+  txns_[id] = Txn{};
+  SL_RETURN_NOT_OK(LogState(id, TxnState::kOpen));
+  return id;
+}
+
+Status TransactionManager::LogState(uint64_t txn_id, TxnState state) {
+  return txn_log_->Put("txn/" + std::to_string(txn_id), StateName(state));
+}
+
+Status TransactionManager::Send(uint64_t txn_id, const std::string& topic,
+                                const Message& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  if (it->second.state != TxnState::kOpen) {
+    return Status::InvalidArgument("transaction not open");
+  }
+  it->second.messages.push_back(PendingMessage{topic, message});
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  Txn& txn = it->second;
+  if (txn.state != TxnState::kOpen) {
+    return Status::InvalidArgument("transaction not open");
+  }
+
+  // Phase 1 (prepare): resolve every participant route up front; any
+  // routing/validation failure aborts before a single byte is published.
+  struct Participant {
+    StreamDispatcher::Route route;
+    const PendingMessage* pending;
+  };
+  std::vector<Participant> participants;
+  participants.reserve(txn.messages.size());
+  for (const PendingMessage& pending : txn.messages) {
+    auto route = dispatcher_->RouteProduce(pending.topic, pending.message.key);
+    if (!route.ok()) {
+      txn.state = TxnState::kAborted;
+      SL_RETURN_NOT_OK(LogState(txn_id, TxnState::kAborted));
+      return Status::Aborted("prepare failed: " + route.status().ToString());
+    }
+    participants.push_back(Participant{*route, &pending});
+  }
+  txn.state = TxnState::kPrepared;
+  SL_RETURN_NOT_OK(LogState(txn_id, TxnState::kPrepared));
+
+  // Phase 2 (commit): publish everything. With the PREPARED record
+  // durable, a crashed coordinator re-drives this phase; idempotent
+  // producer sequences make the re-drive safe.
+  for (const Participant& p : participants) {
+    uint64_t& next = next_seq_[p.route.stream_object_id];
+    uint64_t seq = ++next;
+    auto offset = p.route.worker->Produce(p.route.stream_object_id,
+                                          {p.pending->message},
+                                          producer_id_, seq);
+    if (!offset.ok()) {
+      // Participants already published stay published; the guarantee is
+      // provided by the re-drive. Surface the failure.
+      return offset.status();
+    }
+  }
+  txn.state = TxnState::kCommitted;
+  SL_RETURN_NOT_OK(LogState(txn_id, TxnState::kCommitted));
+  txn.messages.clear();
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  if (it->second.state == TxnState::kCommitted) {
+    return Status::InvalidArgument("transaction already committed");
+  }
+  it->second.state = TxnState::kAborted;
+  it->second.messages.clear();
+  return LogState(txn_id, TxnState::kAborted);
+}
+
+Result<TxnState> TransactionManager::GetState(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return Status::NotFound("unknown transaction");
+  return it->second.state;
+}
+
+}  // namespace streamlake::streaming

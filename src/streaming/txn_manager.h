@@ -1,0 +1,70 @@
+#ifndef STREAMLAKE_STREAMING_TXN_MANAGER_H_
+#define STREAMLAKE_STREAMING_TXN_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "streaming/dispatcher.h"
+#include "streaming/message.h"
+
+namespace streamlake::streaming {
+
+enum class TxnState { kOpen, kPrepared, kCommitted, kAborted };
+
+/// \brief Transactional produce with exactly-once semantics via two-phase
+/// commit (Section V-A, Delivery Guarantee #4).
+///
+/// Messages buffered under a transaction stay invisible to consumers until
+/// Commit succeeds: phase 1 validates every participant (topic/stream
+/// routing, quota headroom) and logs PREPARED; phase 2 appends all
+/// messages and logs COMMITTED. "All results in a transaction are visible
+/// or invisible at the same time" — failure anywhere before phase 2 leaves
+/// nothing published, and the txn log in the KV store records the outcome.
+class TransactionManager {
+ public:
+  TransactionManager(StreamDispatcher* dispatcher, kv::KvStore* txn_log)
+      : dispatcher_(dispatcher),
+        txn_log_(txn_log),
+        producer_id_(dispatcher->NextProducerId()) {}
+
+  /// Open a transaction.
+  Result<uint64_t> Begin();
+
+  /// Buffer a message under the transaction (not yet visible).
+  Status Send(uint64_t txn_id, const std::string& topic,
+              const Message& message);
+
+  /// Two-phase commit: prepare all participants, then publish atomically.
+  Status Commit(uint64_t txn_id);
+
+  /// Drop all buffered messages.
+  Status Abort(uint64_t txn_id);
+
+  Result<TxnState> GetState(uint64_t txn_id) const;
+
+ private:
+  struct PendingMessage {
+    std::string topic;
+    Message message;
+  };
+  struct Txn {
+    TxnState state = TxnState::kOpen;
+    std::vector<PendingMessage> messages;
+  };
+
+  Status LogState(uint64_t txn_id, TxnState state);
+
+  StreamDispatcher* dispatcher_;
+  kv::KvStore* txn_log_;
+  const uint64_t producer_id_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Txn> txns_;
+  uint64_t next_txn_id_ = 1;
+  std::map<uint64_t, uint64_t> next_seq_;  // per stream object
+};
+
+}  // namespace streamlake::streaming
+
+#endif  // STREAMLAKE_STREAMING_TXN_MANAGER_H_

@@ -1,0 +1,115 @@
+#include "table/lakehouse.h"
+
+namespace streamlake::table {
+
+LakehouseService::LakehouseService(MetadataStore* meta,
+                                   storage::ObjectStore* objects,
+                                   sim::SimClock* clock,
+                                   sim::NetworkModel* compute_link,
+                                   TableOptions default_options)
+    : meta_(meta),
+      objects_(objects),
+      clock_(clock),
+      compute_link_(compute_link),
+      default_options_(default_options) {}
+
+Result<Table*> LakehouseService::CreateTable(const std::string& name,
+                                             const format::Schema& schema,
+                                             const PartitionSpec& partition_spec,
+                                             const TableOptions* options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = meta_->GetTableInfo(name);
+  if (existing.ok() && !existing->soft_deleted) {
+    return Status::AlreadyExists("table " + name);
+  }
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("schema must have columns");
+  }
+  if (partition_spec.partitioned() &&
+      schema.FieldIndex(partition_spec.column) < 0) {
+    return Status::InvalidArgument("partition column not in schema");
+  }
+
+  TableInfo info;
+  info.table_id = next_table_id_++;
+  info.name = name;
+  info.path = "/tables/" + name;
+  info.schema = schema;
+  info.partition_spec = partition_spec;
+  info.created_at = static_cast<int64_t>(clock_->NowSeconds());
+  info.modified_at = info.created_at;
+  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  // Materialize the /data and /metadata directories (directory markers in
+  // the object namespace).
+  SL_RETURN_NOT_OK(objects_->Write(info.path + "/data/.dir", ByteView()));
+  SL_RETURN_NOT_OK(objects_->Write(info.path + "/metadata/.dir", ByteView()));
+
+  auto table = std::make_unique<Table>(
+      name, meta_, objects_, clock_, compute_link_,
+      options != nullptr ? *options : default_options_);
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> LakehouseService::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
+  if (info.soft_deleted) return Status::NotFound("table " + name + " dropped");
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    auto table = std::make_unique<Table>(name, meta_, objects_, clock_,
+                                         compute_link_, default_options_);
+    it = tables_.emplace(name, std::move(table)).first;
+  }
+  return it->second.get();
+}
+
+Status LakehouseService::DropTableSoft(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
+  if (info.soft_deleted) return Status::NotFound("table already dropped");
+  info.soft_deleted = true;
+  info.modified_at = static_cast<int64_t>(clock_->NowSeconds());
+  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  tables_.erase(name);
+  return Status::OK();
+}
+
+Status LakehouseService::DropTableHard(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
+  // Remove metadata entries (cache first, then disk — handled by the
+  // metadata store) for every snapshot/commit.
+  for (const auto& [snapshot_id, ts] : info.snapshot_log) {
+    meta_->DeleteSnapshot(info.path, snapshot_id);
+  }
+  for (uint64_t seq = 1; seq < info.next_commit_seq; ++seq) {
+    meta_->DeleteCommit(info.path, seq);
+  }
+  // Remove all data and metadata objects under the table path.
+  for (const std::string& path : objects_->List(info.path + "/")) {
+    SL_RETURN_NOT_OK(objects_->Delete(path));
+  }
+  SL_RETURN_NOT_OK(meta_->DeleteTableInfo(name));
+  tables_.erase(name);
+  return Status::OK();
+}
+
+Result<Table*> LakehouseService::RestoreTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
+  if (!info.soft_deleted) {
+    return Status::InvalidArgument("table " + name + " is not dropped");
+  }
+  info.soft_deleted = false;
+  info.modified_at = static_cast<int64_t>(clock_->NowSeconds());
+  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  auto table = std::make_unique<Table>(name, meta_, objects_, clock_,
+                                       compute_link_, default_options_);
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+}  // namespace streamlake::table

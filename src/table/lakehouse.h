@@ -1,0 +1,62 @@
+#ifndef STREAMLAKE_TABLE_LAKEHOUSE_H_
+#define STREAMLAKE_TABLE_LAKEHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "table/table.h"
+
+namespace streamlake::table {
+
+/// \brief The lakehouse service: CREATE TABLE / DROP TABLE (soft + hard) /
+/// restore, and the handle registry for Table objects (Section V-B).
+class LakehouseService {
+ public:
+  LakehouseService(MetadataStore* meta, storage::ObjectStore* objects,
+                   sim::SimClock* clock, sim::NetworkModel* compute_link,
+                   TableOptions default_options = TableOptions());
+
+  /// CREATE TABLE: register schema/path/partitioning in the catalog and
+  /// create the /data and /metadata directories.
+  Result<Table*> CreateTable(const std::string& name,
+                             const format::Schema& schema,
+                             const PartitionSpec& partition_spec,
+                             const TableOptions* options = nullptr);
+
+  /// Resolve a live table.
+  Result<Table*> GetTable(const std::string& name);
+
+  /// Drop table soft: unregister but keep data for restoration.
+  Status DropTableSoft(const std::string& name);
+
+  /// Drop table hard: delete /data and /metadata and clear the catalog
+  /// (clearing the acceleration cache first, then the persistent layer).
+  Status DropTableHard(const std::string& name);
+
+  /// Restore a soft-dropped table: "a new table can be created and linked
+  /// to the original table path".
+  Result<Table*> RestoreTable(const std::string& name);
+
+  std::vector<std::string> ListTables() const { return meta_->ListTables(); }
+
+  /// MetaFresher pass: flush cached metadata to persistent files.
+  Result<size_t> FlushMetadata() { return meta_->FlushPending(); }
+
+  MetadataStore* metadata_store() { return meta_; }
+
+ private:
+  MetadataStore* meta_;
+  storage::ObjectStore* objects_;
+  sim::SimClock* clock_;
+  sim::NetworkModel* compute_link_;
+  TableOptions default_options_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t next_table_id_ = 1;
+};
+
+}  // namespace streamlake::table
+
+#endif  // STREAMLAKE_TABLE_LAKEHOUSE_H_

@@ -1,0 +1,188 @@
+#include "table/metadata_store.h"
+
+namespace streamlake::table {
+
+std::string MetadataStore::CatalogKey(const std::string& name) {
+  return "catalog/" + name;
+}
+std::string MetadataStore::CommitKey(const std::string& path, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(seq));
+  return "meta/" + path + "/commit/" + buf;
+}
+std::string MetadataStore::SnapshotKey(const std::string& path, uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(id));
+  return "meta/" + path + "/snapshot/" + buf;
+}
+std::string MetadataStore::CommitFilePath(const std::string& path,
+                                          uint64_t seq) {
+  return path + "/metadata/commit-" + std::to_string(seq);
+}
+std::string MetadataStore::SnapshotFilePath(const std::string& path,
+                                            uint64_t id) {
+  return path + "/metadata/snapshot-" + std::to_string(id);
+}
+std::string MetadataStore::CatalogFilePath(const std::string& name) {
+  return "/catalog/" + name;
+}
+
+Status MetadataStore::WriteEntry(const std::string& cache_key,
+                                 const std::string& file_path, ByteView data) {
+  if (mode_ == MetadataMode::kFileBased) {
+    // Every metadata update is a small object-store write.
+    return objects_->Write(file_path, data);
+  }
+  // Accelerated: write to the KV cache; the file write is deferred to the
+  // MetaFresher (FlushPending).
+  SL_RETURN_NOT_OK(cache_->Put(cache_key, ByteView(data).ToStringView()));
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace_back(cache_key, file_path);
+  return Status::OK();
+}
+
+Result<Bytes> MetadataStore::ReadEntry(const std::string& cache_key,
+                                       const std::string& file_path,
+                                       MetadataCounters* counters) {
+  if (mode_ == MetadataMode::kAccelerated) {
+    auto cached = cache_->Get(cache_key);
+    if (cached.ok()) {
+      if (counters != nullptr) {
+        counters->reads += 1;
+        counters->bytes_read += cached->size();
+      }
+      return ToBytes(*cached);
+    }
+    // Fall through to the persistent layer (entry evicted or pre-dating
+    // the cache).
+  }
+  auto data = objects_->Read(file_path);
+  if (data.ok() && counters != nullptr) {
+    counters->reads += 1;
+    counters->small_ios += 1;
+    counters->bytes_read += data->size();
+  }
+  return data;
+}
+
+Status MetadataStore::DeleteEntry(const std::string& cache_key,
+                                  const std::string& file_path) {
+  if (mode_ == MetadataMode::kAccelerated) {
+    // Drop Table Hard ordering: "the operation to delete the metadata will
+    // first clear it from the cache, and then delete it from the disk."
+    cache_->Delete(cache_key);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      it = (it->first == cache_key) ? pending_.erase(it) : it + 1;
+    }
+  }
+  if (objects_->Exists(file_path)) {
+    return objects_->Delete(file_path);
+  }
+  return Status::OK();
+}
+
+Status MetadataStore::PutTableInfo(const TableInfo& info) {
+  Bytes encoded;
+  info.EncodeTo(&encoded);
+  return WriteEntry(CatalogKey(info.name), CatalogFilePath(info.name),
+                    ByteView(encoded));
+}
+
+Result<TableInfo> MetadataStore::GetTableInfo(const std::string& name,
+                                              MetadataCounters* counters) {
+  SL_ASSIGN_OR_RETURN(
+      Bytes data, ReadEntry(CatalogKey(name), CatalogFilePath(name), counters));
+  return TableInfo::DecodeFrom(ByteView(data));
+}
+
+Status MetadataStore::DeleteTableInfo(const std::string& name) {
+  return DeleteEntry(CatalogKey(name), CatalogFilePath(name));
+}
+
+std::vector<std::string> MetadataStore::ListTables() const {
+  std::vector<std::string> names;
+  if (mode_ == MetadataMode::kAccelerated) {
+    for (const auto& [key, value] : cache_->Scan("catalog/", "catalog0")) {
+      names.push_back(key.substr(8));
+    }
+  } else {
+    for (const std::string& path : objects_->List("/catalog/")) {
+      names.push_back(path.substr(9));
+    }
+  }
+  return names;
+}
+
+Status MetadataStore::PutCommit(const std::string& table_path,
+                                const CommitFile& commit) {
+  Bytes encoded;
+  commit.EncodeTo(&encoded);
+  return WriteEntry(CommitKey(table_path, commit.commit_seq),
+                    CommitFilePath(table_path, commit.commit_seq),
+                    ByteView(encoded));
+}
+
+Result<CommitFile> MetadataStore::GetCommit(const std::string& table_path,
+                                            uint64_t seq,
+                                            MetadataCounters* counters) {
+  SL_ASSIGN_OR_RETURN(Bytes data,
+                      ReadEntry(CommitKey(table_path, seq),
+                                CommitFilePath(table_path, seq), counters));
+  return CommitFile::DecodeFrom(ByteView(data));
+}
+
+Status MetadataStore::DeleteCommit(const std::string& table_path,
+                                   uint64_t seq) {
+  return DeleteEntry(CommitKey(table_path, seq),
+                     CommitFilePath(table_path, seq));
+}
+
+Status MetadataStore::PutSnapshot(const std::string& table_path,
+                                  const SnapshotMeta& snap) {
+  Bytes encoded;
+  snap.EncodeTo(&encoded);
+  return WriteEntry(SnapshotKey(table_path, snap.snapshot_id),
+                    SnapshotFilePath(table_path, snap.snapshot_id),
+                    ByteView(encoded));
+}
+
+Result<SnapshotMeta> MetadataStore::GetSnapshot(const std::string& table_path,
+                                                uint64_t id,
+                                                MetadataCounters* counters) {
+  SL_ASSIGN_OR_RETURN(Bytes data,
+                      ReadEntry(SnapshotKey(table_path, id),
+                                SnapshotFilePath(table_path, id), counters));
+  return SnapshotMeta::DecodeFrom(ByteView(data));
+}
+
+Status MetadataStore::DeleteSnapshot(const std::string& table_path,
+                                     uint64_t id) {
+  return DeleteEntry(SnapshotKey(table_path, id),
+                     SnapshotFilePath(table_path, id));
+}
+
+Result<size_t> MetadataStore::FlushPending() {
+  std::deque<std::pair<std::string, std::string>> to_flush;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_flush.swap(pending_);
+  }
+  size_t flushed = 0;
+  for (const auto& [cache_key, file_path] : to_flush) {
+    auto value = cache_->Get(cache_key);
+    if (!value.ok()) continue;  // deleted before the flush caught up
+    SL_RETURN_NOT_OK(objects_->Write(file_path, ByteView(*value)));
+    ++flushed;
+  }
+  return flushed;
+}
+
+size_t MetadataStore::pending_flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace streamlake::table

@@ -1,0 +1,754 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace streamlake::table {
+
+namespace {
+
+/// Min/max stats of every column of `rows`.
+std::map<std::string, format::ColumnStats> ComputeStats(
+    const format::Schema& schema, const std::vector<format::Row>& rows) {
+  std::map<std::string, format::ColumnStats> stats;
+  if (rows.empty()) return stats;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    format::ColumnStats s;
+    s.min = rows[0].fields[c];
+    s.max = rows[0].fields[c];
+    for (const format::Row& row : rows) {
+      if (format::CompareValues(row.fields[c], *s.min) < 0) {
+        s.min = row.fields[c];
+      }
+      if (format::CompareValues(row.fields[c], *s.max) > 0) {
+        s.max = row.fields[c];
+      }
+    }
+    stats[schema.field(c).name] = std::move(s);
+  }
+  return stats;
+}
+
+/// Value range covered by a partition string under `spec`, for pruning:
+/// identity -> [v, v]; day=N -> [N*86400, (N+1)*86400 - 1] on the source
+/// column.
+bool PartitionRange(const PartitionSpec& spec, const format::Schema& schema,
+                    const std::string& partition, format::Value* min,
+                    format::Value* max) {
+  if (!spec.partitioned() || partition.empty()) return false;
+  int col = schema.FieldIndex(spec.column);
+  if (col < 0) return false;
+  switch (spec.transform) {
+    case PartitionSpec::Transform::kIdentity: {
+      switch (schema.field(col).type) {
+        case format::DataType::kString:
+          *min = partition;
+          *max = partition;
+          return true;
+        case format::DataType::kInt64: {
+          int64_t v = std::stoll(partition);
+          *min = v;
+          *max = v;
+          return true;
+        }
+        default:
+          return false;
+      }
+    }
+    case PartitionSpec::Transform::kDay: {
+      if (partition.rfind("day=", 0) != 0) return false;
+      int64_t day = std::stoll(partition.substr(4));
+      *min = day * 86400;
+      *max = (day + 1) * 86400 - 1;
+      return true;
+    }
+    case PartitionSpec::Transform::kMonth: {
+      if (partition.rfind("month=", 0) != 0) return false;
+      int64_t month = std::stoll(partition.substr(6));
+      *min = month * (86400 * 30);
+      *max = (month + 1) * (86400 * 30) - 1;
+      return true;
+    }
+    case PartitionSpec::Transform::kNone:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Table::Table(std::string name, MetadataStore* meta,
+             storage::ObjectStore* objects, sim::SimClock* clock,
+             sim::NetworkModel* compute_link, TableOptions options)
+    : name_(std::move(name)),
+      meta_(meta),
+      objects_(objects),
+      clock_(clock),
+      compute_link_(compute_link),
+      options_(options) {}
+
+Result<TableInfo> Table::Info(MetadataCounters* counters) const {
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_, counters));
+  if (info.soft_deleted) {
+    return Status::NotFound("table " + name_ + " is dropped");
+  }
+  return info;
+}
+
+Result<DataFileMeta> Table::WriteDataFile(const TableInfo& info,
+                                          const std::string& partition,
+                                          const std::vector<format::Row>& rows) {
+  format::LakeFileWriter writer(info.schema, options_.file_options);
+  SL_RETURN_NOT_OK(writer.AppendBatch(rows));
+  SL_ASSIGN_OR_RETURN(Bytes file, writer.Finish());
+
+  DataFileMeta meta;
+  meta.partition = partition;
+  meta.record_count = rows.size();
+  meta.file_bytes = file.size();
+  meta.column_stats = ComputeStats(info.schema, rows);
+  std::string dir = partition.empty() ? "" : partition + "/";
+  meta.path = info.path + "/data/" + dir + "f-" +
+              std::to_string(info.table_id) + "-" +
+              std::to_string(clock_->NowNanos()) + "-" +
+              std::to_string(reinterpret_cast<uintptr_t>(&meta) & 0xFFFF);
+  SL_RETURN_NOT_OK(objects_->Write(meta.path, ByteView(file)));
+  return meta;
+}
+
+Status Table::CommitChanges(const CommitRequest& request) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
+  if (info.soft_deleted) return Status::NotFound("table dropped");
+
+  // Optimistic validation for rewrites: a commit after our base that
+  // touched the same partitions conflicts ("both compaction and data
+  // ingestion require commits, which may have conflicts, leading to
+  // compaction failure").
+  if (request.is_rewrite && request.base_snapshot_id != 0 &&
+      info.current_snapshot_id != request.base_snapshot_id) {
+    std::set<std::string> ours;
+    for (const DataFileMeta& f : request.added) ours.insert(f.partition);
+    for (const DataFileMeta& f : request.removed) ours.insert(f.partition);
+    // Find commits after the base snapshot.
+    SL_ASSIGN_OR_RETURN(
+        SnapshotMeta base,
+        meta_->GetSnapshot(info.path, request.base_snapshot_id, nullptr));
+    SL_ASSIGN_OR_RETURN(
+        SnapshotMeta head,
+        meta_->GetSnapshot(info.path, info.current_snapshot_id, nullptr));
+    std::set<uint64_t> base_commits(base.commit_seqs.begin(),
+                                    base.commit_seqs.end());
+    for (uint64_t seq : head.commit_seqs) {
+      if (base_commits.count(seq)) continue;
+      SL_ASSIGN_OR_RETURN(CommitFile commit,
+                          meta_->GetCommit(info.path, seq, nullptr));
+      for (const std::string& p : commit.TouchedPartitions()) {
+        if (ours.count(p)) {
+          return Status::Conflict("partition '" + p +
+                                  "' changed since base snapshot");
+        }
+      }
+    }
+  }
+
+  CommitFile commit;
+  commit.commit_seq = info.next_commit_seq++;
+  commit.timestamp = static_cast<int64_t>(clock_->NowSeconds());
+  commit.added = request.added;
+  commit.removed = request.removed;
+  for (DataFileMeta& f : commit.added) {
+    if (f.added_seq == 0) f.added_seq = commit.commit_seq;
+  }
+  for (const query::Conjunction& predicate : request.delete_predicates) {
+    commit.deletes.push_back(DeleteRecord{commit.commit_seq, predicate});
+  }
+  SL_RETURN_NOT_OK(meta_->PutCommit(info.path, commit));
+
+  SnapshotMeta snap;
+  if (info.current_snapshot_id != 0) {
+    SL_ASSIGN_OR_RETURN(
+        snap, meta_->GetSnapshot(info.path, info.current_snapshot_id, nullptr));
+  }
+  snap.snapshot_id = info.next_snapshot_id++;
+  snap.timestamp = commit.timestamp;
+  snap.commit_seqs.push_back(commit.commit_seq);
+  snap.added_files = commit.added.size();
+  snap.removed_files = commit.removed.size();
+  snap.added_rows = 0;
+  snap.removed_rows = 0;
+  for (const DataFileMeta& f : commit.added) snap.added_rows += f.record_count;
+  for (const DataFileMeta& f : commit.removed) {
+    snap.removed_rows += f.record_count;
+  }
+  snap.total_files += commit.added.size() - commit.removed.size();
+  snap.total_rows += snap.added_rows - snap.removed_rows;
+  SL_RETURN_NOT_OK(meta_->PutSnapshot(info.path, snap));
+
+  // Readers at the old snapshot keep their view; this flips visibility
+  // ("changes made by a writer will not be visible to readers until they
+  // are committed and recorded in a snapshot").
+  info.current_snapshot_id = snap.snapshot_id;
+  info.modified_at = commit.timestamp;
+  info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
+  return meta_->PutTableInfo(info);
+}
+
+Status Table::Insert(const std::vector<format::Row>& rows) {
+  if (rows.empty()) return Status::OK();
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info());
+  for (const format::Row& row : rows) {
+    SL_RETURN_NOT_OK(info.schema.ValidateRow(row));
+  }
+  // Group rows by partition, then write files of at most
+  // max_rows_per_file rows each.
+  std::map<std::string, std::vector<format::Row>> by_partition;
+  for (const format::Row& row : rows) {
+    SL_ASSIGN_OR_RETURN(std::string partition,
+                        info.partition_spec.PartitionOf(info.schema, row));
+    by_partition[partition].push_back(row);
+  }
+  CommitRequest request;
+  for (auto& [partition, part_rows] : by_partition) {
+    for (size_t begin = 0; begin < part_rows.size();
+         begin += options_.max_rows_per_file) {
+      size_t end =
+          std::min(begin + options_.max_rows_per_file, part_rows.size());
+      std::vector<format::Row> chunk(part_rows.begin() + begin,
+                                     part_rows.begin() + end);
+      SL_ASSIGN_OR_RETURN(DataFileMeta meta,
+                          WriteDataFile(info, partition, chunk));
+      request.added.push_back(std::move(meta));
+    }
+  }
+  return CommitChanges(request);
+}
+
+Result<std::vector<DataFileMeta>> Table::ReplaySnapshot(
+    const TableInfo& info, uint64_t snapshot_id, MetadataCounters* counters,
+    uint64_t* commit_meta_bytes_sum, uint64_t* commit_meta_bytes_max,
+    std::vector<DeleteRecord>* deletes) {
+  std::map<std::string, DataFileMeta> live;
+  if (snapshot_id == 0) return std::vector<DataFileMeta>();
+  SL_ASSIGN_OR_RETURN(SnapshotMeta snap,
+                      meta_->GetSnapshot(info.path, snapshot_id, counters));
+  for (uint64_t seq : snap.commit_seqs) {
+    SL_ASSIGN_OR_RETURN(CommitFile commit,
+                        meta_->GetCommit(info.path, seq, counters));
+    size_t bytes = commit.ByteSize();
+    if (commit_meta_bytes_sum != nullptr) *commit_meta_bytes_sum += bytes;
+    if (commit_meta_bytes_max != nullptr) {
+      *commit_meta_bytes_max = std::max<uint64_t>(*commit_meta_bytes_max, bytes);
+    }
+    for (const DataFileMeta& f : commit.removed) live.erase(f.path);
+    for (const DataFileMeta& f : commit.added) live[f.path] = f;
+    if (deletes != nullptr) {
+      for (const DeleteRecord& d : commit.deletes) deletes->push_back(d);
+    }
+  }
+  std::vector<DataFileMeta> files;
+  files.reserve(live.size());
+  for (auto& [path, meta] : live) files.push_back(std::move(meta));
+  return files;
+}
+
+bool Table::RowMasked(const std::vector<DeleteRecord>& deletes,
+                      uint64_t added_seq, const format::Schema& schema,
+                      const format::Row& row) {
+  for (const DeleteRecord& d : deletes) {
+    if (d.seq > added_seq && d.predicate.Matches(schema, row)) return true;
+  }
+  return false;
+}
+
+bool Table::FileMayMatch(const TableInfo& info, const DataFileMeta& file,
+                         const query::Conjunction& where) const {
+  // Partition-range pruning.
+  format::Value pmin, pmax;
+  if (PartitionRange(info.partition_spec, info.schema, file.partition, &pmin,
+                     &pmax)) {
+    format::ColumnStats stats;
+    stats.min = pmin;
+    stats.max = pmax;
+    if (!where.MayMatchStats(info.partition_spec.column, stats)) return false;
+  }
+  // File-level column stats pruning.
+  for (const auto& [column, stats] : file.column_stats) {
+    if (!where.MayMatchStats(column, stats)) return false;
+  }
+  return true;
+}
+
+bool Table::PartitionFullyCovered(const TableInfo& info,
+                                  const std::string& partition,
+                                  const query::Conjunction& where) const {
+  if (where.empty()) return true;  // DELETE without WHERE kills everything
+  if (!info.partition_spec.partitioned()) return false;
+  format::Value pmin, pmax;
+  if (!PartitionRange(info.partition_spec, info.schema, partition, &pmin,
+                      &pmax)) {
+    return false;
+  }
+  for (const query::Predicate& predicate : where.predicates()) {
+    if (predicate.column != info.partition_spec.column) return false;
+    if (format::TypeOf(pmin) != format::TypeOf(predicate.literal)) {
+      return false;
+    }
+    // Every value in [pmin, pmax] must satisfy the predicate.
+    if (!predicate.Matches(pmin) || !predicate.Matches(pmax)) return false;
+  }
+  return true;
+}
+
+Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
+                                         const SelectOptions& options,
+                                         SelectMetrics* metrics) {
+  SelectMetrics local_metrics;
+  SelectMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = SelectMetrics();
+  uint64_t start_ns = clock_->NowNanos();
+
+  // 1. Catalog: table profile + snapshot descriptions.
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_, &m->metadata));
+  if (info.soft_deleted) return Status::NotFound("table dropped");
+
+  uint64_t snapshot_id = options.snapshot_id;
+  if (snapshot_id == 0) {
+    if (options.as_of_timestamp >= 0) {
+      // Time travel: latest snapshot at or before the requested time.
+      for (const auto& [id, ts] : info.snapshot_log) {
+        if (ts <= options.as_of_timestamp) snapshot_id = id;
+      }
+      if (snapshot_id == 0) {
+        return Status::NotFound("no snapshot at or before requested time");
+      }
+    } else {
+      snapshot_id = info.current_snapshot_id;
+    }
+  }
+
+  query::Executor executor(info.schema, spec);
+  if (snapshot_id == 0) {
+    m->elapsed_ns = clock_->NowNanos() - start_ns;
+    return executor.Finalize();  // empty table
+  }
+
+  // 2+3. Snapshot + commits -> live file list + outstanding merge-on-read
+  // deletes. File-based catalogs hold every commit in compute memory at
+  // once; acceleration streams them.
+  uint64_t commit_sum = 0, commit_max = 0;
+  std::vector<DeleteRecord> delete_records;
+  SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
+                      ReplaySnapshot(info, snapshot_id, &m->metadata,
+                                     &commit_sum, &commit_max,
+                                     &delete_records));
+  uint64_t metadata_memory =
+      meta_->mode() == MetadataMode::kFileBased ? commit_sum : commit_max;
+  m->peak_memory_bytes = std::max(m->peak_memory_bytes, metadata_memory);
+  if (options.memory_budget_bytes > 0 &&
+      m->peak_memory_bytes > options.memory_budget_bytes) {
+    return Status::OutOfMemory("metadata working set " +
+                               std::to_string(m->peak_memory_bytes) +
+                               "B exceeds compute memory");
+  }
+
+  // 4. Prune by partition + file stats, then scan survivors.
+  for (const DataFileMeta& file : files) {
+    if (!FileMayMatch(info, file, spec.where)) {
+      ++m->files_skipped;
+      m->data_bytes_skipped += file.file_bytes;
+      continue;
+    }
+    ++m->files_scanned;
+    {
+      std::lock_guard<std::mutex> access_lock(access_mu_);
+      ++partition_access_[file.partition];
+    }
+    SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
+    m->data_bytes_read += data.size();
+    uint64_t file_bytes = data.size();
+    SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
+                        format::LakeFileReader::Open(std::move(data)));
+
+    if (!options.pushdown) {
+      // Whole file crosses the network to the compute engine and sits in
+      // its memory during the scan.
+      compute_link_->ChargeTransfer(file_bytes);
+      m->bytes_to_compute += file_bytes;
+      m->peak_memory_bytes =
+          std::max(m->peak_memory_bytes, metadata_memory + file_bytes);
+      if (options.memory_budget_bytes > 0 &&
+          m->peak_memory_bytes > options.memory_budget_bytes) {
+        return Status::OutOfMemory("file scan exceeds compute memory");
+      }
+    }
+
+    for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+      // Row-group skipping via footer stats.
+      bool may_match = true;
+      for (size_t c = 0; c < info.schema.num_fields(); ++c) {
+        if (!spec.where.MayMatchStats(info.schema.field(c).name,
+                                      reader.row_group(g).columns[c].stats)) {
+          may_match = false;
+          break;
+        }
+      }
+      if (!may_match) {
+        ++m->row_groups_skipped;
+        continue;
+      }
+      ++m->row_groups_scanned;
+      SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows,
+                          reader.ReadRowGroup(g));
+      // Merge-on-read: mask rows hit by deletes newer than this file.
+      if (!delete_records.empty()) {
+        std::vector<format::Row> visible;
+        visible.reserve(rows.size());
+        for (format::Row& row : rows) {
+          if (!RowMasked(delete_records, file.added_seq, info.schema, row)) {
+            visible.push_back(std::move(row));
+          }
+        }
+        rows = std::move(visible);
+      }
+      if (options.pushdown) {
+        // Storage-side filter/aggregate: only results cross the network.
+        uint64_t matched_bytes = 0;
+        for (const format::Row& row : rows) {
+          if (spec.where.Matches(info.schema, row)) matched_bytes += 64;
+        }
+        compute_link_->ChargeTransfer(matched_bytes);
+        m->bytes_to_compute += matched_bytes;
+      }
+      SL_RETURN_NOT_OK(executor.Consume(rows));
+    }
+  }
+  SL_ASSIGN_OR_RETURN(query::QueryResult result, executor.Finalize());
+  m->elapsed_ns = clock_->NowNanos() - start_ns;
+  return result;
+}
+
+std::map<std::string, uint64_t> Table::PartitionAccessCounts() const {
+  std::lock_guard<std::mutex> lock(access_mu_);
+  return partition_access_;
+}
+
+Result<std::vector<DataFileMeta>> Table::LiveFiles(
+    uint64_t snapshot_id, MetadataCounters* counters) {
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info(counters));
+  uint64_t id = snapshot_id == 0 ? info.current_snapshot_id : snapshot_id;
+  return ReplaySnapshot(info, id, counters, nullptr, nullptr);
+}
+
+Result<uint64_t> Table::Delete(const query::Conjunction& where) {
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info());
+  std::vector<DeleteRecord> prior_deletes;
+  SL_ASSIGN_OR_RETURN(
+      std::vector<DataFileMeta> files,
+      ReplaySnapshot(info, info.current_snapshot_id, nullptr, nullptr,
+                     nullptr, &prior_deletes));
+
+  // Split candidates: fully-covered partitions drop by metadata only; the
+  // rest need the rewrite (copy-on-write) or delete-predicate
+  // (merge-on-read) path.
+  CommitRequest metadata_only;
+  metadata_only.base_snapshot_id = info.current_snapshot_id;
+  metadata_only.is_rewrite = true;
+  uint64_t deleted_rows = 0;
+  std::vector<DataFileMeta> touched;
+  for (const DataFileMeta& file : files) {
+    if (!FileMayMatch(info, file, where)) continue;
+    if (PartitionFullyCovered(info, file.partition, where)) {
+      metadata_only.removed.push_back(file);
+      deleted_rows += file.record_count;
+    } else {
+      touched.push_back(file);
+    }
+  }
+  if (!metadata_only.removed.empty()) {
+    // Files stay on disk for time travel; ExpireSnapshots reclaims them.
+    SL_RETURN_NOT_OK(CommitChanges(metadata_only));
+  }
+  if (touched.empty()) return deleted_rows;
+
+  if (options_.delete_mode == DeleteMode::kMergeOnRead) {
+    // Count the rows the predicate will mask (a read-only scan), then
+    // record the delete; no data files are rewritten.
+    for (const DataFileMeta& file : touched) {
+      SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
+      SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
+                          format::LakeFileReader::Open(std::move(data)));
+      SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, reader.ReadAll());
+      for (const format::Row& row : rows) {
+        if (where.Matches(info.schema, row) &&
+            !RowMasked(prior_deletes, file.added_seq, info.schema, row)) {
+          ++deleted_rows;
+        }
+      }
+    }
+    CommitRequest request;
+    request.base_snapshot_id = info.current_snapshot_id;
+    request.delete_predicates.push_back(where);
+    SL_RETURN_NOT_OK(CommitChanges(request));
+    return deleted_rows;
+  }
+
+  SL_ASSIGN_OR_RETURN(uint64_t rewritten,
+                      RewriteMatching(where, /*keep_rewritten=*/false, "",
+                                      nullptr));
+  return deleted_rows + rewritten;
+}
+
+Result<uint64_t> Table::Update(const query::Conjunction& where,
+                               const std::string& column,
+                               const format::Value& value) {
+  return RewriteMatching(where, /*keep_rewritten=*/true, column, &value);
+}
+
+Result<uint64_t> Table::RewriteMatching(const query::Conjunction& where,
+                                        bool keep_rewritten,
+                                        const std::string& set_column,
+                                        const format::Value* set_value) {
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info());
+  int set_col = -1;
+  if (set_value != nullptr) {
+    set_col = info.schema.FieldIndex(set_column);
+    if (set_col < 0) {
+      return Status::InvalidArgument("unknown column " + set_column);
+    }
+    if (format::TypeOf(*set_value) != info.schema.field(set_col).type) {
+      return Status::InvalidArgument("SET value type mismatch");
+    }
+  }
+  std::vector<DeleteRecord> prior_deletes;
+  SL_ASSIGN_OR_RETURN(
+      std::vector<DataFileMeta> files,
+      ReplaySnapshot(info, info.current_snapshot_id, nullptr, nullptr,
+                     nullptr, &prior_deletes));
+  CommitRequest request;
+  request.base_snapshot_id = info.current_snapshot_id;
+  request.is_rewrite = true;
+  uint64_t affected = 0;
+  for (const DataFileMeta& file : files) {
+    if (!FileMayMatch(info, file, where)) continue;
+    SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
+    SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
+                        format::LakeFileReader::Open(std::move(data)));
+    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, reader.ReadAll());
+    std::vector<format::Row> rewritten;
+    rewritten.reserve(rows.size());
+    uint64_t matched = 0;
+    uint64_t masked = 0;
+    for (format::Row& row : rows) {
+      // Rewriting physically applies outstanding merge-on-read deletes:
+      // masked rows are dropped, never resurrected.
+      if (RowMasked(prior_deletes, file.added_seq, info.schema, row)) {
+        ++masked;
+        continue;
+      }
+      if (where.Matches(info.schema, row)) {
+        ++matched;
+        if (keep_rewritten) {
+          row.fields[set_col] = *set_value;
+          rewritten.push_back(std::move(row));
+        }
+      } else {
+        rewritten.push_back(std::move(row));
+      }
+    }
+    if (matched == 0 && masked == 0) {
+      continue;  // stats were conservative; file untouched
+    }
+    affected += matched;
+    request.removed.push_back(file);
+    if (!rewritten.empty()) {
+      SL_ASSIGN_OR_RETURN(DataFileMeta meta,
+                          WriteDataFile(info, file.partition, rewritten));
+      request.added.push_back(std::move(meta));
+    }
+  }
+  if (request.removed.empty()) return affected;
+  // Replaced files stay on disk for time travel until snapshot expiration.
+  SL_RETURN_NOT_OK(CommitChanges(request));
+  return affected;
+}
+
+Result<CompactionResult> Table::CompactPartition(const std::string& partition,
+                                                 uint64_t base_snapshot_id) {
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info());
+  uint64_t base = base_snapshot_id == 0 ? info.current_snapshot_id
+                                        : base_snapshot_id;
+  std::vector<DeleteRecord> prior_deletes;
+  SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
+                      ReplaySnapshot(info, base, nullptr, nullptr, nullptr,
+                                     &prior_deletes));
+
+  // Binpack: gather the partition's small files, largest first, into bins
+  // of ~target_file_bytes.
+  std::vector<DataFileMeta> small;
+  for (const DataFileMeta& file : files) {
+    if (file.partition == partition &&
+        file.file_bytes < options_.target_file_bytes) {
+      small.push_back(file);
+    }
+  }
+  CompactionResult result;
+  result.files_before = small.size();
+  if (small.size() < 2) {
+    result.files_after = small.size();
+    return result;  // nothing to gain
+  }
+  std::sort(small.begin(), small.end(),
+            [](const DataFileMeta& a, const DataFileMeta& b) {
+              return a.file_bytes > b.file_bytes;
+            });
+
+  CommitRequest request;
+  request.base_snapshot_id = base;
+  request.is_rewrite = true;
+  std::vector<format::Row> bin_rows;
+  uint64_t bin_bytes = 0;
+  auto flush_bin = [&]() -> Status {
+    if (bin_rows.empty()) return Status::OK();
+    SL_ASSIGN_OR_RETURN(DataFileMeta meta,
+                        WriteDataFile(info, partition, bin_rows));
+    request.added.push_back(std::move(meta));
+    bin_rows.clear();
+    bin_bytes = 0;
+    return Status::OK();
+  };
+  for (const DataFileMeta& file : small) {
+    SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
+    result.bytes_rewritten += data.size();
+    SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
+                        format::LakeFileReader::Open(std::move(data)));
+    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, reader.ReadAll());
+    for (format::Row& row : rows) {
+      // Compaction physically applies outstanding merge-on-read deletes.
+      if (RowMasked(prior_deletes, file.added_seq, info.schema, row)) {
+        continue;
+      }
+      bin_rows.push_back(std::move(row));
+    }
+    bin_bytes += file.file_bytes;
+    request.removed.push_back(file);
+    if (bin_bytes >= options_.target_file_bytes) {
+      SL_RETURN_NOT_OK(flush_bin());
+    }
+  }
+  SL_RETURN_NOT_OK(flush_bin());
+  result.files_after = request.added.size();
+
+  Status commit_status = CommitChanges(request);
+  if (!commit_status.ok()) {
+    // Roll back the files we wrote; the commit never became visible.
+    for (const DataFileMeta& f : request.added) {
+      objects_->Delete(f.path);
+    }
+    return commit_status;
+  }
+  // Merged-away files stay for time travel until snapshot expiration.
+  return result;
+}
+
+Result<size_t> Table::RewriteManifest() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
+  if (info.soft_deleted) return Status::NotFound("table dropped");
+  if (info.current_snapshot_id == 0) return size_t{0};
+  SL_ASSIGN_OR_RETURN(
+      SnapshotMeta head,
+      meta_->GetSnapshot(info.path, info.current_snapshot_id, nullptr));
+  if (head.commit_seqs.size() <= 1) return size_t{0};
+
+  // Replay the chain into the live file set and write it as one commit.
+  // Files keep their original added_seq and outstanding merge-on-read
+  // deletes carry over with their original sequences, so read-time
+  // masking is unchanged.
+  std::vector<DeleteRecord> outstanding;
+  SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
+                      ReplaySnapshot(info, info.current_snapshot_id, nullptr,
+                                     nullptr, nullptr, &outstanding));
+  size_t squashed = head.commit_seqs.size();
+
+  CommitFile consolidated;
+  consolidated.commit_seq = info.next_commit_seq++;
+  consolidated.timestamp = static_cast<int64_t>(clock_->NowSeconds());
+  consolidated.added = files;
+  consolidated.deletes = std::move(outstanding);
+  SL_RETURN_NOT_OK(meta_->PutCommit(info.path, consolidated));
+
+  SnapshotMeta snap = head;
+  snap.snapshot_id = info.next_snapshot_id++;
+  snap.timestamp = consolidated.timestamp;
+  snap.commit_seqs = {consolidated.commit_seq};
+  snap.added_files = 0;
+  snap.removed_files = 0;
+  snap.added_rows = 0;
+  snap.removed_rows = 0;
+  SL_RETURN_NOT_OK(meta_->PutSnapshot(info.path, snap));
+
+  info.current_snapshot_id = snap.snapshot_id;
+  info.modified_at = snap.timestamp;
+  info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
+  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  return squashed;
+}
+
+Status Table::ExpireSnapshots(int64_t before_timestamp) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
+  std::vector<std::pair<uint64_t, int64_t>> kept;
+  std::set<uint64_t> kept_commits;
+  std::vector<uint64_t> expired;
+  std::set<uint64_t> expired_commits;
+  for (const auto& [id, ts] : info.snapshot_log) {
+    // The current snapshot never expires.
+    bool expires = ts < before_timestamp && id != info.current_snapshot_id;
+    auto snap = meta_->GetSnapshot(info.path, id, nullptr);
+    if (expires) {
+      expired.push_back(id);
+      if (snap.ok()) {
+        expired_commits.insert(snap->commit_seqs.begin(),
+                               snap->commit_seqs.end());
+      }
+    } else {
+      kept.emplace_back(id, ts);
+      if (snap.ok()) {
+        kept_commits.insert(snap->commit_seqs.begin(),
+                            snap->commit_seqs.end());
+      }
+    }
+  }
+  for (uint64_t id : expired) {
+    SL_RETURN_NOT_OK(meta_->DeleteSnapshot(info.path, id));
+  }
+  // Commits only referenced by expired snapshots go too.
+  for (uint64_t seq : expired_commits) {
+    if (!kept_commits.count(seq)) {
+      SL_RETURN_NOT_OK(meta_->DeleteCommit(info.path, seq));
+    }
+  }
+  info.snapshot_log = std::move(kept);
+  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+
+  // Physical GC: delete data files no retained snapshot references
+  // (rewrites keep their replaced files on disk for time travel; this is
+  // where that space comes back).
+  std::set<std::string> referenced;
+  for (const auto& [id, ts] : info.snapshot_log) {
+    auto files = ReplaySnapshot(info, id, nullptr, nullptr, nullptr);
+    if (!files.ok()) continue;
+    for (const DataFileMeta& f : *files) referenced.insert(f.path);
+  }
+  for (const std::string& path : objects_->List(info.path + "/data/")) {
+    if (path.ends_with("/.dir")) continue;  // directory marker
+    if (!referenced.count(path)) {
+      SL_RETURN_NOT_OK(objects_->Delete(path));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace streamlake::table

@@ -1,0 +1,195 @@
+#ifndef STREAMLAKE_TABLE_TABLE_H_
+#define STREAMLAKE_TABLE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "sim/clock.h"
+#include "sim/network_model.h"
+#include "storage/object_store.h"
+#include "table/metadata_store.h"
+
+namespace streamlake::table {
+
+/// How DELETE is executed (Section VI-A discusses the query cost of
+/// "merge-on-read tables").
+enum class DeleteMode {
+  /// Rewrite affected files immediately (expensive writes, cheap reads).
+  kCopyOnWrite,
+  /// Record a delete predicate; readers mask matching rows until
+  /// compaction applies the delete physically (cheap writes, read cost
+  /// grows with outstanding deletes).
+  kMergeOnRead,
+};
+
+struct TableOptions {
+  /// Max rows per data file written by one Insert (ingestion granularity —
+  /// streaming ingestion with small batches is what creates the small-file
+  /// problem LakeBrain compacts away).
+  size_t max_rows_per_file = 65536;
+  /// Binpack target for compaction ("target file size").
+  uint64_t target_file_bytes = 4ULL << 20;
+  DeleteMode delete_mode = DeleteMode::kCopyOnWrite;
+  format::LakeFileOptions file_options;
+};
+
+struct SelectOptions {
+  /// Push filters + aggregation into the storage side; off ships whole
+  /// files to the compute engine.
+  bool pushdown = true;
+  /// Compute-engine memory (Fig. 15b); 0 = unlimited. Exceeding it fails
+  /// with OutOfMemory.
+  uint64_t memory_budget_bytes = 0;
+  /// Time travel: read the table as of this timestamp (seconds); -1 = head.
+  int64_t as_of_timestamp = -1;
+  /// Or pin an explicit snapshot id; 0 = pick by time/head.
+  uint64_t snapshot_id = 0;
+};
+
+struct SelectMetrics {
+  MetadataCounters metadata;
+  uint64_t files_scanned = 0;
+  uint64_t files_skipped = 0;      // skipped via partition/file stats
+  uint64_t row_groups_scanned = 0;
+  uint64_t row_groups_skipped = 0;
+  uint64_t data_bytes_read = 0;    // bytes pulled from the storage pools
+  uint64_t data_bytes_skipped = 0; // bytes avoided by skipping
+  uint64_t bytes_to_compute = 0;   // bytes shipped over the compute link
+  uint64_t peak_memory_bytes = 0;  // compute-side working set
+  uint64_t elapsed_ns = 0;         // simulated wall time of the query
+};
+
+struct CompactionResult {
+  uint64_t files_before = 0;
+  uint64_t files_after = 0;
+  uint64_t bytes_rewritten = 0;
+};
+
+/// \brief One lakehouse table object (Section V-B): ACID inserts, reads
+/// with data skipping and pushdown, deletes/updates, snapshots with time
+/// travel, and the compaction primitive LakeBrain drives.
+///
+/// Concurrency: multiple readers + one writer per commit, with optimistic
+/// validation — rewrite commits (delete/update/compaction) fail with
+/// Conflict when a commit after their base touched the same partitions.
+class Table {
+ public:
+  Table(std::string name, MetadataStore* meta, storage::ObjectStore* objects,
+        sim::SimClock* clock, sim::NetworkModel* compute_link,
+        TableOptions options);
+
+  const std::string& name() const { return name_; }
+
+  /// INSERT: persist rows as data files under their partitions, then
+  /// commit (metadata caching per Fig. 9 when accelerated).
+  Status Insert(const std::vector<format::Row>& rows);
+
+  /// SELECT with pruning, optional pushdown, optional time travel.
+  Result<query::QueryResult> Select(const query::QuerySpec& spec,
+                                    const SelectOptions& options = {},
+                                    SelectMetrics* metrics = nullptr);
+
+  /// DELETE: metadata-only for fully-covered partitions, file rewrite
+  /// otherwise. Returns rows deleted.
+  Result<uint64_t> Delete(const query::Conjunction& where);
+
+  /// UPDATE ... SET column = value WHERE where. Returns rows updated.
+  Result<uint64_t> Update(const query::Conjunction& where,
+                          const std::string& column,
+                          const format::Value& value);
+
+  /// Live data files of a snapshot (0 = head). LakeBrain's state features
+  /// come from here.
+  Result<std::vector<DataFileMeta>> LiveFiles(
+      uint64_t snapshot_id = 0, MetadataCounters* counters = nullptr);
+
+  /// Binpack-merge the files of `partition` smaller than the target file
+  /// size into ~target-size files. `base_snapshot_id` is the snapshot the
+  /// caller planned on; ingestion into the partition after it causes a
+  /// Conflict (the failure mode the RL agent learns to avoid).
+  Result<CompactionResult> CompactPartition(const std::string& partition,
+                                            uint64_t base_snapshot_id = 0);
+
+  /// Drop snapshots (and commits only they reference) older than
+  /// `before_timestamp`, bounding time travel.
+  Status ExpireSnapshots(int64_t before_timestamp);
+
+  /// Metadata compaction: squash the current snapshot's commit chain into
+  /// one consolidated commit (what the MetaFresher's aggregation enables).
+  /// Reading the head afterwards replays a single commit instead of the
+  /// whole history; older snapshots keep their original chains for time
+  /// travel. Returns the number of commits squashed.
+  Result<size_t> RewriteManifest();
+
+  Result<TableInfo> Info(MetadataCounters* counters = nullptr) const;
+
+  /// How often each partition's files were scanned by SELECTs — the "data
+  /// access frequency" partition feature of the LakeBrain state
+  /// (Section VI-A).
+  std::map<std::string, uint64_t> PartitionAccessCounts() const;
+
+  const TableOptions& options() const { return options_; }
+
+ private:
+  struct CommitRequest {
+    uint64_t base_snapshot_id = 0;
+    std::vector<DataFileMeta> added;
+    std::vector<DataFileMeta> removed;
+    std::vector<query::Conjunction> delete_predicates;  // merge-on-read
+    bool is_rewrite = false;
+  };
+
+  /// Apply a commit with optimistic validation; advances the snapshot.
+  Status CommitChanges(const CommitRequest& request);
+
+  /// Write one data file; returns its metadata.
+  Result<DataFileMeta> WriteDataFile(const TableInfo& info,
+                                     const std::string& partition,
+                                     const std::vector<format::Row>& rows);
+
+  /// Reconstruct the live file set (and, when `deletes` is non-null, the
+  /// outstanding merge-on-read deletes) of a snapshot by replaying
+  /// commits.
+  Result<std::vector<DataFileMeta>> ReplaySnapshot(
+      const TableInfo& info, uint64_t snapshot_id,
+      MetadataCounters* counters, uint64_t* commit_meta_bytes_sum,
+      uint64_t* commit_meta_bytes_max,
+      std::vector<DeleteRecord>* deletes = nullptr);
+
+  /// Is `row` of a file added at `added_seq` masked by a later delete?
+  static bool RowMasked(const std::vector<DeleteRecord>& deletes,
+                        uint64_t added_seq, const format::Schema& schema,
+                        const format::Row& row);
+
+  /// Can a file possibly contain matching rows?
+  bool FileMayMatch(const TableInfo& info, const DataFileMeta& file,
+                    const query::Conjunction& where) const;
+
+  /// Does the partition value guarantee every row matches `where`?
+  bool PartitionFullyCovered(const TableInfo& info,
+                             const std::string& partition,
+                             const query::Conjunction& where) const;
+
+  Result<uint64_t> RewriteMatching(const query::Conjunction& where,
+                                   bool keep_rewritten,
+                                   const std::string& set_column,
+                                   const format::Value* set_value);
+
+  const std::string name_;
+  MetadataStore* meta_;
+  storage::ObjectStore* objects_;
+  sim::SimClock* clock_;
+  sim::NetworkModel* compute_link_;
+  TableOptions options_;
+  std::mutex commit_mu_;
+  mutable std::mutex access_mu_;
+  std::map<std::string, uint64_t> partition_access_;
+};
+
+}  // namespace streamlake::table
+
+#endif  // STREAMLAKE_TABLE_TABLE_H_

@@ -1,0 +1,87 @@
+#include "workload/dpi_log.h"
+
+namespace streamlake::workload {
+
+namespace {
+
+const char* kProvinceNames[] = {
+    "beijing",  "shanghai", "guangdong", "sichuan",  "hubei",    "zhejiang",
+    "jiangsu",  "shandong", "henan",     "hebei",    "hunan",    "anhui",
+    "fujian",   "jiangxi",  "liaoning",  "shaanxi",  "guangxi",  "yunnan",
+    "guizhou",  "shanxi",   "chongqing", "jilin",    "tianjin",  "xinjiang",
+    "heilongjiang", "gansu", "hainan",   "ningxia",  "qinghai",  "xizang",
+    "neimenggu"};
+
+}  // namespace
+
+DpiLogGenerator::DpiLogGenerator(DpiLogOptions options)
+    : options_(options),
+      rng_(options.seed),
+      current_time_(options.start_time) {
+  for (int i = 0; i < options_.num_provinces; ++i) {
+    provinces_.push_back(kProvinceNames[i % 31]);
+  }
+  urls_.push_back(FinAppUrl());
+  for (int i = 1; i < options_.num_urls; ++i) {
+    urls_.push_back("http://app-" + std::to_string(i) + ".example.com");
+  }
+  // Pad payload so the encoded record lands near packet_bytes. The other
+  // fields encode to roughly 60-80 bytes. Payloads are slices of a random
+  // corpus at a large prime stride: cheap to generate, and (like real
+  // packet payloads) essentially incompressible.
+  size_t overhead = 80;
+  payload_len_ =
+      options_.packet_bytes > overhead ? options_.packet_bytes - overhead : 1;
+  corpus_.resize((1 << 20) + payload_len_);
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    corpus_[i] = static_cast<char>('!' + rng_.Uniform(94));
+  }
+}
+
+format::Schema DpiLogGenerator::Schema() {
+  return format::Schema{{"url", format::DataType::kString},
+                        {"start_time", format::DataType::kInt64},
+                        {"province", format::DataType::kString},
+                        {"user_id", format::DataType::kInt64},
+                        {"bytes", format::DataType::kInt64},
+                        {"payload", format::DataType::kString}};
+}
+
+format::Row DpiLogGenerator::NextRow() {
+  time_accum_ += options_.time_step_seconds;
+  if (time_accum_ >= 1.0) {
+    current_time_ += static_cast<int64_t>(time_accum_);
+    time_accum_ -= static_cast<int64_t>(time_accum_);
+  }
+  size_t corpus_offset = (row_counter_++ * 104729) % (1 << 20);
+  format::Row row;
+  row.fields = {
+      format::Value(urls_[rng_.Zipf(urls_.size())]),
+      format::Value(current_time_),
+      format::Value(provinces_[rng_.Zipf(provinces_.size(), 0.5)]),
+      format::Value(static_cast<int64_t>(rng_.Uniform(options_.num_users))),
+      format::Value(static_cast<int64_t>(64 + rng_.Uniform(1400))),
+      format::Value(corpus_.substr(corpus_offset, payload_len_)),
+  };
+  return row;
+}
+
+std::vector<format::Row> DpiLogGenerator::NextBatch(size_t n) {
+  std::vector<format::Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rows.push_back(NextRow());
+  return rows;
+}
+
+streaming::Message DpiLogGenerator::NextMessage() {
+  format::Row row = NextRow();
+  Bytes value;
+  format::EncodeRow(Schema(), row, &value);
+  streaming::Message message;
+  message.key = std::get<std::string>(row.fields[2]);  // province
+  message.value = BytesToString(value);
+  message.timestamp = std::get<int64_t>(row.fields[1]);
+  return message;
+}
+
+}  // namespace streamlake::workload

@@ -1,0 +1,64 @@
+#ifndef STREAMLAKE_WORKLOAD_DPI_LOG_H_
+#define STREAMLAKE_WORKLOAD_DPI_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "format/row_codec.h"
+#include "format/schema.h"
+#include "streaming/message.h"
+
+namespace streamlake::workload {
+
+/// Synthetic China-Mobile-style DPI (deep packet inspection) log records —
+/// the substitute for the production packets of Section VII ("each packet
+/// has an average size of 1.2 KB"). URL and province popularity are
+/// Zipf-skewed like real carrier traffic.
+struct DpiLogOptions {
+  uint64_t seed = 42;
+  size_t packet_bytes = 1200;  // average encoded record size
+  int num_provinces = 31;
+  int num_urls = 200;
+  int num_users = 100000;
+  int64_t start_time = 1656806400;  // July 2nd, 2022 (paper's window)
+  /// Seconds of event time advanced per generated record.
+  double time_step_seconds = 0.01;
+};
+
+class DpiLogGenerator {
+ public:
+  explicit DpiLogGenerator(DpiLogOptions options = DpiLogOptions());
+
+  /// url, start_time, province, user_id, bytes, payload.
+  static format::Schema Schema();
+
+  format::Row NextRow();
+  std::vector<format::Row> NextBatch(size_t n);
+
+  /// The row encoded as a stream message (value = row-codec bytes), as the
+  /// collection job publishes it.
+  streaming::Message NextMessage();
+
+  /// The fixed URL the Fig. 13 DAU query filters on; generated with rank-0
+  /// popularity so it matches a meaningful fraction of records.
+  static const char* FinAppUrl() { return "http://streamlake_fin_app.com"; }
+
+  int64_t current_time() const { return current_time_; }
+  const DpiLogOptions& options() const { return options_; }
+
+ private:
+  DpiLogOptions options_;
+  Random rng_;
+  int64_t current_time_;
+  double time_accum_ = 0;
+  std::vector<std::string> provinces_;
+  std::vector<std::string> urls_;
+  std::string corpus_;
+  size_t payload_len_ = 0;
+  uint64_t row_counter_ = 0;
+};
+
+}  // namespace streamlake::workload
+
+#endif  // STREAMLAKE_WORKLOAD_DPI_LOG_H_

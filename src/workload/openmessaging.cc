@@ -1,0 +1,67 @@
+#include "workload/openmessaging.h"
+
+#include <algorithm>
+
+namespace streamlake::workload {
+
+Result<OmbResult> OmbDriver::Run(const OmbConfig& config) {
+  if (!dispatcher_->HasTopic(config.topic)) {
+    streaming::TopicConfig topic_config;
+    topic_config.stream_num = config.partitions;
+    SL_RETURN_NOT_OK(dispatcher_->CreateTopic(config.topic, topic_config));
+  }
+  streaming::Producer producer(dispatcher_);
+  streaming::Consumer consumer(dispatcher_, offsets_, "omb-driver");
+  SL_RETURN_NOT_OK(consumer.Subscribe(config.topic));
+
+  const uint64_t start_ns = clock_->NowNanos();
+  const double ns_per_message = 1e9 / config.target_rate;
+  const std::string payload(config.message_bytes, 'm');
+
+  OmbResult result;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(config.total_messages);
+
+  auto drain = [&]() -> Status {
+    for (;;) {
+      SL_ASSIGN_OR_RETURN(auto polled, consumer.Poll(config.consume_batch));
+      if (polled.empty()) return Status::OK();
+      uint64_t now = clock_->NowNanos();
+      for (const streaming::ConsumedMessage& consumed : polled) {
+        // Send time travels in the message timestamp (sim nanoseconds).
+        latencies_us.push_back(
+            (now - static_cast<uint64_t>(consumed.message.timestamp)) / 1e3);
+        ++result.messages_consumed;
+      }
+      if (polled.size() < config.consume_batch) return Status::OK();
+    }
+  };
+
+  for (uint64_t i = 0; i < config.total_messages; ++i) {
+    // Pace arrivals at the offered rate.
+    uint64_t arrival = start_ns + static_cast<uint64_t>(i * ns_per_message);
+    clock_->AdvanceTo(arrival);
+    streaming::Message message("key-" + std::to_string(i % 1024), payload);
+    message.timestamp = static_cast<int64_t>(clock_->NowNanos());
+    SL_ASSIGN_OR_RETURN([[maybe_unused]] uint64_t offset,
+                        producer.Send(config.topic, message));
+    ++result.messages_produced;
+    if ((i + 1) % config.poll_every == 0) SL_RETURN_NOT_OK(drain());
+  }
+  SL_RETURN_NOT_OK(drain());
+
+  result.duration_sec = (clock_->NowNanos() - start_ns) / 1e9;
+  if (result.duration_sec > 0) {
+    result.produce_throughput = result.messages_produced / result.duration_sec;
+  }
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    result.end_to_end_p50_us = latencies_us[latencies_us.size() / 2];
+    result.end_to_end_p99_us =
+        latencies_us[latencies_us.size() * 99 / 100];
+    result.end_to_end_max_us = latencies_us.back();
+  }
+  return result;
+}
+
+}  // namespace streamlake::workload

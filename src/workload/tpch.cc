@@ -1,0 +1,118 @@
+#include "workload/tpch.h"
+
+namespace streamlake::workload {
+
+namespace {
+
+const char* kShipModes[] = {"AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB",  "REG AIR"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+
+}  // namespace
+
+TpchLineitemGenerator::TpchLineitemGenerator(TpchOptions options)
+    : options_(options), rng_(options.seed) {}
+
+format::Schema TpchLineitemGenerator::Schema() {
+  return format::Schema{{"l_orderkey", format::DataType::kInt64},
+                        {"l_partkey", format::DataType::kInt64},
+                        {"l_quantity", format::DataType::kInt64},
+                        {"l_extendedprice", format::DataType::kDouble},
+                        {"l_discount", format::DataType::kDouble},
+                        {"l_shipdate", format::DataType::kInt64},
+                        {"l_receiptdate", format::DataType::kInt64},
+                        {"l_shipmode", format::DataType::kString},
+                        {"l_returnflag", format::DataType::kString}};
+}
+
+format::Row TpchLineitemGenerator::NextRow() {
+  // Orders carry 1-7 lineitems; keep a simple per-row order advance.
+  if (rng_.OneIn(4)) ++next_orderkey_;
+  int64_t quantity = 1 + static_cast<int64_t>(rng_.Uniform(50));
+  double price = 900.0 + rng_.NextDouble() * 104000.0;
+  double discount = 0.01 * static_cast<double>(rng_.Uniform(11));
+  int64_t shipdate =
+      kShipDateMin +
+      static_cast<int64_t>(rng_.Uniform(kShipDateMax - kShipDateMin));
+  // Receipt 1-30 days after ship.
+  int64_t receipt = shipdate + 86400 * (1 + rng_.Uniform(30));
+  format::Row row;
+  row.fields = {
+      format::Value(next_orderkey_),
+      format::Value(static_cast<int64_t>(1 + rng_.Uniform(200000))),
+      format::Value(quantity),
+      format::Value(price),
+      format::Value(discount),
+      format::Value(shipdate),
+      format::Value(receipt),
+      format::Value(std::string(kShipModes[rng_.Uniform(7)])),
+      format::Value(std::string(kReturnFlags[rng_.Uniform(3)])),
+  };
+  return row;
+}
+
+std::vector<format::Row> TpchLineitemGenerator::NextBatch(size_t n) {
+  std::vector<format::Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rows.push_back(NextRow());
+  return rows;
+}
+
+std::vector<format::Row> TpchLineitemGenerator::GenerateAll() {
+  return NextBatch(total_rows());
+}
+
+query::QuerySpec TpchQueryGenerator::NextQuery() {
+  query::QuerySpec spec;
+  spec.aggregates = {query::AggregateSpec::CountStar()};
+  int num_predicates = 1 + static_cast<int>(rng_.Uniform(3));
+  for (int p = 0; p < num_predicates; ++p) {
+    switch (rng_.Uniform(4)) {
+      case 0: {
+        // Shipdate window of 1 week .. 1 year.
+        int64_t span = 86400 * (7 + rng_.Uniform(358));
+        int64_t lo = TpchLineitemGenerator::kShipDateMin +
+                     rng_.Uniform(TpchLineitemGenerator::kShipDateMax -
+                                  TpchLineitemGenerator::kShipDateMin - span);
+        spec.where.Add(query::Predicate::Ge("l_shipdate", format::Value(lo)));
+        spec.where.Add(
+            query::Predicate::Lt("l_shipdate", format::Value(lo + span)));
+        break;
+      }
+      case 1: {
+        int64_t q = 1 + rng_.Uniform(50);
+        spec.where.Add(rng_.OneIn(2)
+                           ? query::Predicate::Le("l_quantity",
+                                                  format::Value(q))
+                           : query::Predicate::Gt("l_quantity",
+                                                  format::Value(q)));
+        break;
+      }
+      case 2: {
+        double d = 0.01 * static_cast<double>(rng_.Uniform(11));
+        spec.where.Add(query::Predicate::Le("l_discount", format::Value(d)));
+        break;
+      }
+      case 3: {
+        std::vector<format::Value> modes;
+        size_t count = 1 + rng_.Uniform(3);
+        for (size_t i = 0; i < count; ++i) {
+          modes.emplace_back(
+              std::string(kShipModes[rng_.Uniform(7)]));
+        }
+        spec.where.Add(query::Predicate::In("l_shipmode", std::move(modes)));
+        break;
+      }
+    }
+  }
+  return spec;
+}
+
+std::vector<query::QuerySpec> TpchQueryGenerator::Generate(size_t n) {
+  std::vector<query::QuerySpec> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) queries.push_back(NextQuery());
+  return queries;
+}
+
+}  // namespace streamlake::workload

@@ -1,0 +1,64 @@
+#ifndef STREAMLAKE_WORKLOAD_TPCH_H_
+#define STREAMLAKE_WORKLOAD_TPCH_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "format/schema.h"
+#include "query/executor.h"
+
+namespace streamlake::workload {
+
+/// dbgen-like generator for the TPC-H lineitem table (the Fig. 16 test
+/// bed), scaled down: `rows_per_sf` rows per scale factor instead of 6M.
+struct TpchOptions {
+  uint64_t seed = 7;
+  double scale_factor = 1.0;
+  uint64_t rows_per_sf = 60000;
+};
+
+class TpchLineitemGenerator {
+ public:
+  explicit TpchLineitemGenerator(TpchOptions options = TpchOptions());
+
+  /// l_orderkey, l_partkey, l_quantity, l_extendedprice, l_discount,
+  /// l_shipdate (epoch seconds), l_receiptdate, l_shipmode, l_returnflag.
+  static format::Schema Schema();
+
+  format::Row NextRow();
+  std::vector<format::Row> NextBatch(size_t n);
+
+  uint64_t total_rows() const {
+    return static_cast<uint64_t>(options_.scale_factor * options_.rows_per_sf);
+  }
+
+  /// Generate the whole (scaled) table.
+  std::vector<format::Row> GenerateAll();
+
+  /// Ship dates span 1992-01-01 .. 1998-12-01 like TPC-H.
+  static constexpr int64_t kShipDateMin = 694224000;   // 1992-01-01
+  static constexpr int64_t kShipDateMax = 912470400;   // 1998-12-01
+
+ private:
+  TpchOptions options_;
+  Random rng_;
+  int64_t next_orderkey_ = 1;
+};
+
+/// Random predicate workloads over lineitem, following the generation
+/// method of [47]: each query draws 1-3 pushdown predicates over shipdate
+/// ranges, quantity ranges, discount ranges, and shipmode IN-lists.
+class TpchQueryGenerator {
+ public:
+  explicit TpchQueryGenerator(uint64_t seed = 11) : rng_(seed) {}
+
+  query::QuerySpec NextQuery();
+  std::vector<query::QuerySpec> Generate(size_t n);
+
+ private:
+  Random rng_;
+};
+
+}  // namespace streamlake::workload
+
+#endif  // STREAMLAKE_WORKLOAD_TPCH_H_

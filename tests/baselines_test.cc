@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mini_hdfs.h"
+#include "baselines/mini_kafka.h"
+#include "common/random.h"
+
+namespace streamlake::baselines {
+namespace {
+
+struct BaselineFixture {
+  sim::SimClock clock;
+  storage::StoragePool pool{"hdd", sim::MediaType::kSasHdd, &clock};
+  BaselineFixture() { pool.AddCluster(3, 2, 2ULL << 30); }
+};
+
+TEST(MiniHdfsTest, WriteReadDeleteList) {
+  BaselineFixture f;
+  MiniHdfs hdfs(&f.pool);
+  Bytes data = ToBytes("normalized records batch 1");
+  ASSERT_TRUE(hdfs.WriteFile("/etl/stage1/part-0", ByteView(data)).ok());
+  ASSERT_TRUE(hdfs.WriteFile("/etl/stage1/part-1", ByteView(data)).ok());
+  ASSERT_TRUE(hdfs.WriteFile("/etl/stage2/part-0", ByteView(data)).ok());
+
+  auto read = hdfs.ReadFile("/etl/stage1/part-0");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  EXPECT_EQ(*hdfs.FileSize("/etl/stage1/part-0"), data.size());
+  EXPECT_EQ(hdfs.List("/etl/stage1/").size(), 2u);
+  EXPECT_EQ(hdfs.List("/etl/").size(), 3u);
+
+  ASSERT_TRUE(hdfs.DeleteFile("/etl/stage1/part-0").ok());
+  EXPECT_FALSE(hdfs.Exists("/etl/stage1/part-0"));
+  EXPECT_TRUE(hdfs.ReadFile("/etl/stage1/part-0").status().IsNotFound());
+  EXPECT_TRUE(hdfs.DeleteFile("/etl/stage1/part-0").IsNotFound());
+}
+
+TEST(MiniHdfsTest, TripleReplicationCostsThreeX) {
+  BaselineFixture f;
+  MiniHdfs hdfs(&f.pool);
+  Bytes data(1 << 20, 'd');
+  ASSERT_TRUE(hdfs.WriteFile("/f", ByteView(data)).ok());
+  EXPECT_EQ(hdfs.TotalLogicalBytes(), data.size());
+  EXPECT_EQ(hdfs.TotalPhysicalBytes(), 3 * data.size());
+  EXPECT_EQ(f.pool.AggregateStats().bytes_written, 3 * data.size());
+}
+
+TEST(MiniHdfsTest, MultiBlockFilesAndNodeFailure) {
+  BaselineFixture f;
+  MiniHdfs::Options options;
+  options.block_size = 1 << 20;
+  MiniHdfs hdfs(&f.pool, options);
+  Random rng(1);
+  Bytes data;
+  for (int i = 0; i < (3 << 20) + 12345; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.Uniform(256)));
+  }
+  ASSERT_TRUE(hdfs.WriteFile("/big", ByteView(data)).ok());
+  // Replication tolerates 2 node losses.
+  f.pool.SetNodeFailed(0, true);
+  f.pool.SetNodeFailed(1, true);
+  auto read = hdfs.ReadFile("/big");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  f.pool.SetNodeFailed(2, true);
+  EXPECT_FALSE(hdfs.ReadFile("/big").ok());
+}
+
+TEST(MiniHdfsTest, OverwriteFreesOldBlocks) {
+  BaselineFixture f;
+  MiniHdfs hdfs(&f.pool);
+  ASSERT_TRUE(hdfs.WriteFile("/f", ByteView(Bytes(1 << 20, 'a'))).ok());
+  uint64_t after_first = f.pool.AllocatedBytes();
+  ASSERT_TRUE(hdfs.WriteFile("/f", ByteView(Bytes(1 << 20, 'b'))).ok());
+  EXPECT_EQ(f.pool.AllocatedBytes(), after_first);
+  EXPECT_EQ(hdfs.TotalLogicalBytes(), 1u << 20);
+}
+
+TEST(MiniKafkaTest, ProduceFetchOrdered) {
+  BaselineFixture f;
+  MiniKafka kafka(&f.pool);
+  ASSERT_TRUE(kafka.CreateTopic("t", 2).ok());
+  EXPECT_TRUE(kafka.CreateTopic("t", 2).IsAlreadyExists());
+  EXPECT_TRUE(kafka.CreateTopic("bad", 0).IsInvalidArgument());
+
+  for (int i = 0; i < 20; ++i) {
+    auto result = kafka.Produce(
+        "t", streaming::Message("key-A", "m" + std::to_string(i)));
+    ASSERT_TRUE(result.ok());
+  }
+  // All keyed messages land in one partition, in order.
+  uint32_t p = 0;
+  auto end0 = kafka.EndOffset("t", 0);
+  ASSERT_TRUE(end0.ok());
+  if (*end0 == 0) p = 1;
+  auto fetched = kafka.Fetch("t", p, 0, 100);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ((*fetched)[i].value, "m" + std::to_string(i));
+  }
+  // Fetch from the middle.
+  auto tail = kafka.Fetch("t", p, 15, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 5u);
+}
+
+TEST(MiniKafkaTest, SegmentsRollAndRemainReadable) {
+  BaselineFixture f;
+  MiniKafka::Options options;
+  options.segment_bytes = 4096;
+  MiniKafka kafka(&f.pool, options);
+  ASSERT_TRUE(kafka.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        kafka.Produce("t", streaming::Message("k", std::string(200, 'v'))).ok());
+  }
+  auto all = kafka.Fetch("t", 0, 0, 1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 100u);
+  EXPECT_EQ(*kafka.EndOffset("t", 0), 100u);
+}
+
+TEST(MiniKafkaTest, ReplicationTriplesStorage) {
+  BaselineFixture f;
+  MiniKafka kafka(&f.pool);
+  ASSERT_TRUE(kafka.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        kafka.Produce("t", streaming::Message("k", std::string(1000, 'x'))).ok());
+  }
+  ASSERT_TRUE(kafka.Flush().ok());  // force page-cache writeback
+  EXPECT_EQ(kafka.TotalPhysicalBytes(), 3 * kafka.TotalLogicalBytes());
+  EXPECT_EQ(f.pool.AggregateStats().bytes_written,
+            kafka.TotalPhysicalBytes());
+}
+
+TEST(MiniKafkaTest, PageCacheServesActiveSegment) {
+  BaselineFixture f;
+  MiniKafka kafka(&f.pool);
+  ASSERT_TRUE(kafka.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kafka.Produce("t", streaming::Message("k", "v")).ok());
+  }
+  uint64_t reads_before = f.pool.AggregateStats().read_ops;
+  auto fetched = kafka.Fetch("t", 0, 0, 100);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->size(), 10u);
+  // Active segment fetch never touched the disks.
+  EXPECT_EQ(f.pool.AggregateStats().read_ops, reads_before);
+}
+
+TEST(MiniKafkaTest, DeleteTopicFreesSpace) {
+  BaselineFixture f;
+  MiniKafka kafka(&f.pool);
+  ASSERT_TRUE(kafka.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(kafka.Produce("t", streaming::Message("k", "v")).ok());
+  EXPECT_GT(f.pool.AllocatedBytes(), 0u);
+  ASSERT_TRUE(kafka.DeleteTopic("t").ok());
+  EXPECT_EQ(f.pool.AllocatedBytes(), 0u);
+  EXPECT_TRUE(kafka.Produce("t", streaming::Message("k", "v")).status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace streamlake::baselines

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/streamlake.h"
+#include "workload/dpi_log.h"
+
+namespace streamlake::core {
+namespace {
+
+TEST(StreamLakeTest, EndToEndStreamToQueryPipeline) {
+  // The whole Fig. 12 flow inside one system: produce log messages,
+  // convert to a table, query with pushdown, all on one data copy.
+  StreamLake lake;
+
+  streaming::TopicConfig config;
+  config.stream_num = 3;
+  config.convert_2_table.enabled = true;
+  config.convert_2_table.table_schema = workload::DpiLogGenerator::Schema();
+  config.convert_2_table.table_path = "dpi";
+  config.convert_2_table.partition_spec =
+      table::PartitionSpec::Identity("province");
+  config.convert_2_table.split_offset = 1;
+  config.convert_2_table.delete_msg = true;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("logs", config).ok());
+
+  workload::DpiLogGenerator gen;
+  auto producer = lake.NewProducer();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(producer.Send("logs", gen.NextMessage()).ok());
+  }
+
+  auto converted = lake.converter().Run("logs");
+  ASSERT_TRUE(converted.ok()) << converted.status().ToString();
+  EXPECT_EQ(converted->converted_records, 300u);
+  EXPECT_EQ(converted->trimmed_records, 300u);  // single copy retained
+
+  auto table = lake.lakehouse().GetTable("dpi");
+  ASSERT_TRUE(table.ok());
+  query::QuerySpec dau;
+  dau.where.Add(query::Predicate::Eq(
+      "url", format::Value(std::string(workload::DpiLogGenerator::FinAppUrl()))));
+  dau.group_by = {"province"};
+  dau.aggregates = {query::AggregateSpec::CountStar("DAU")};
+  auto result = (*table)->Select(dau);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rows.size(), 0u);
+
+  ASSERT_TRUE(lake.RunBackgroundWork().ok());
+  EXPECT_GT(lake.PhysicalBytesAllocated(), 0u);
+}
+
+TEST(StreamLakeTest, ConsumerSeesLiveMessages) {
+  StreamLake lake;
+  streaming::TopicConfig config;
+  config.stream_num = 2;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("t", config).ok());
+  auto producer = lake.NewProducer();
+  ASSERT_TRUE(producer.Send("t", streaming::Message("k", "hello")).ok());
+  auto consumer = lake.NewConsumer("g");
+  ASSERT_TRUE(consumer.Subscribe("t").ok());
+  auto polled = consumer.Poll();
+  ASSERT_TRUE(polled.ok());
+  ASSERT_EQ(polled->size(), 1u);
+  EXPECT_EQ((*polled)[0].message.value, "hello");
+}
+
+TEST(StreamLakeTest, TransactionsThroughFacade) {
+  StreamLake lake;
+  streaming::TopicConfig config;
+  config.stream_num = 1;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("t", config).ok());
+  auto txns = lake.NewTransactionManager();
+  auto txn = txns.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txns.Send(*txn, "t", streaming::Message("k", "v")).ok());
+  ASSERT_TRUE(txns.Commit(*txn).ok());
+  auto consumer = lake.NewConsumer("g");
+  ASSERT_TRUE(consumer.Subscribe("t").ok());
+  EXPECT_EQ(consumer.Poll()->size(), 1u);
+}
+
+TEST(StreamLakeTest, TieringMovesColdDataToHdd) {
+  StreamLakeOptions options;
+  options.tiering_policy.cold_after_ns = 10 * sim::kSecond;
+  options.plog.plog.capacity = 1 << 20;  // small plogs seal quickly
+  StreamLake lake(options);
+
+  streaming::TopicConfig config;
+  config.stream_num = 1;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("t", config).ok());
+  auto producer = lake.NewProducer();
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(
+        producer.Send("t", streaming::Message("k", std::string(2000, 'x'))).ok());
+  }
+  auto id = lake.dispatcher().StreamObjectId("t", 0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(lake.stream_objects().GetObject(*id)->Flush().ok());
+
+  EXPECT_EQ(lake.hdd_pool().AllocatedBytes(), 0u);
+  lake.clock().Advance(3600 * sim::kSecond);
+  ASSERT_TRUE(lake.RunBackgroundWork().ok());
+  EXPECT_GT(lake.hdd_pool().AllocatedBytes(), 0u);
+
+  // Cold data still readable end-to-end.
+  auto consumer = lake.NewConsumer("g");
+  ASSERT_TRUE(consumer.Subscribe("t").ok());
+  auto polled = consumer.Poll(10000);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled->size(), 800u);
+}
+
+TEST(StreamLakeTest, ClusterReportReflectsActivity) {
+  StreamLake lake;
+  streaming::TopicConfig config;
+  config.stream_num = 2;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("t", config).ok());
+  auto producer = lake.NewProducer();
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(producer.Send("t", streaming::Message("k", "v")).ok());
+  }
+  ASSERT_TRUE(lake.lakehouse()
+                  .CreateTable("tbl",
+                               format::Schema{{"x", format::DataType::kInt64}},
+                               table::PartitionSpec::None())
+                  .ok());
+
+  StreamLake::ClusterReport report = lake.Report();
+  EXPECT_GT(report.ssd_capacity, 0u);
+  EXPECT_GT(report.ssd_allocated, 0u);
+  EXPECT_GT(report.plogs, 0u);
+  EXPECT_GT(report.plog_live_bytes, 0u);
+  EXPECT_EQ(report.stream_workers, 3u);
+  EXPECT_EQ(report.stream_objects, 2u);
+  EXPECT_EQ(report.tables, 1u);
+  EXPECT_GT(report.bus_io.messages, 0u);
+  std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("workers: 3"), std::string::npos);
+  EXPECT_NE(rendered.find("tables: 1"), std::string::npos);
+}
+
+TEST(StreamLakeTest, PmemCacheConfigurable) {
+  StreamLakeOptions set2;
+  set2.with_pmem_cache = true;
+  StreamLake lake(set2);
+  streaming::TopicConfig config;
+  config.stream_num = 1;
+  config.scm_cache = true;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("t", config).ok());
+  auto producer = lake.NewProducer();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(producer.Send("t", streaming::Message("k", "v")).ok());
+  }
+  auto consumer = lake.NewConsumer("g");
+  ASSERT_TRUE(consumer.Subscribe("t").ok());
+  ASSERT_TRUE(consumer.Poll(1000).ok());
+  EXPECT_GT(lake.stream_objects().cache()->hits() +
+                lake.stream_objects().cache()->misses(),
+            0u);
+}
+
+}  // namespace
+}  // namespace streamlake::core

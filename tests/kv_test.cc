@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "kv/kv_store.h"
+#include "sim/clock.h"
+#include "sim/device_model.h"
+
+namespace streamlake::kv {
+namespace {
+
+TEST(WriteBatchTest, EncodeDecodeRoundTrip) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Delete("b");
+  batch.Put("key with spaces", std::string(1000, 'x'));
+  Bytes encoded;
+  batch.EncodeTo(&encoded);
+
+  WriteBatch decoded;
+  size_t consumed = decoded.DecodeFrom(ByteView(encoded));
+  EXPECT_EQ(consumed, encoded.size());
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded.ops()[0].key, "a");
+  EXPECT_EQ(decoded.ops()[0].value, "1");
+  EXPECT_TRUE(decoded.ops()[1].is_delete);
+  EXPECT_EQ(decoded.ops()[1].key, "b");
+  EXPECT_EQ(decoded.ops()[2].value, std::string(1000, 'x'));
+}
+
+TEST(WriteBatchTest, DecodeRejectsCorruption) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  Bytes encoded;
+  batch.EncodeTo(&encoded);
+  encoded[encoded.size() - 1] ^= 0xFF;  // flip a payload bit -> CRC mismatch
+  WriteBatch decoded;
+  EXPECT_EQ(decoded.DecodeFrom(ByteView(encoded)), 0u);
+}
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("k1", "v1").ok());
+  auto got = store.Get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v1");
+  ASSERT_TRUE(store.Delete("k1").ok());
+  EXPECT_TRUE(store.Get("k1").status().IsNotFound());
+  EXPECT_TRUE(store.Get("never").status().IsNotFound());
+}
+
+TEST(KvStoreTest, OverwriteKeepsLatest) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("k", "old").ok());
+  ASSERT_TRUE(store.Put("k", "new").ok());
+  EXPECT_EQ(*store.Get("k"), "new");
+}
+
+TEST(KvStoreTest, BatchIsAtomicAndSingleSequence) {
+  KvStore store;
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("c");
+  ASSERT_TRUE(store.Write(batch).ok());
+  EXPECT_EQ(store.LatestSequence(), 1u);  // one sequence for the whole batch
+  EXPECT_EQ(*store.Get("a"), "1");
+  EXPECT_EQ(*store.Get("b"), "2");
+}
+
+TEST(KvStoreTest, SnapshotIsolatesReaders) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("k", "v1").ok());
+  Snapshot snap = store.GetSnapshot();
+  ASSERT_TRUE(store.Put("k", "v2").ok());
+  ASSERT_TRUE(store.Put("new", "x").ok());
+
+  EXPECT_EQ(*store.Get("k", snap), "v1");
+  EXPECT_TRUE(store.Get("new", snap).status().IsNotFound());
+  EXPECT_EQ(*store.Get("k"), "v2");
+}
+
+TEST(KvStoreTest, SnapshotSeesThroughLaterDelete) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  Snapshot snap = store.GetSnapshot();
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(*store.Get("k", snap), "v");
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+}
+
+TEST(KvStoreTest, ScanOrderedRange) {
+  KvStore store;
+  for (std::string k : {"b", "a", "d", "c", "e"}) {
+    ASSERT_TRUE(store.Put(k, "v" + k).ok());
+  }
+  ASSERT_TRUE(store.Delete("c").ok());
+  auto rows = store.Scan("a", "e");
+  ASSERT_EQ(rows.size(), 3u);  // a, b, d (c deleted, e excluded)
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[1].first, "b");
+  EXPECT_EQ(rows[2].first, "d");
+
+  auto all = store.Scan("", "");
+  EXPECT_EQ(all.size(), 4u);
+
+  auto limited = store.Scan("", "", 2);
+  EXPECT_EQ(limited.size(), 2u);
+}
+
+TEST(KvStoreTest, ScanWithSnapshot) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("p/1", "a").ok());
+  ASSERT_TRUE(store.Put("p/2", "b").ok());
+  Snapshot snap = store.GetSnapshot();
+  ASSERT_TRUE(store.Put("p/3", "c").ok());
+  ASSERT_TRUE(store.Delete("p/1").ok());
+
+  auto rows = store.Scan("p/", "p0", snap);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "p/1");
+  EXPECT_EQ(rows[1].first, "p/2");
+}
+
+TEST(KvStoreTest, LiveKeyCount) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.LiveKeyCount(), 1u);
+}
+
+TEST(KvStoreTest, ReleaseVersionsKeepsVisibleVersion) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("k", "v1").ok());  // seq 1
+  ASSERT_TRUE(store.Put("k", "v2").ok());  // seq 2
+  ASSERT_TRUE(store.Put("k", "v3").ok());  // seq 3
+  store.ReleaseVersionsBefore(3);
+  // Version at seq >= 3 plus the visible-at-3 version remain.
+  EXPECT_EQ(*store.Get("k"), "v3");
+  EXPECT_EQ(*store.Get("k", Snapshot{3}), "v3");
+}
+
+TEST(KvStoreTest, ReleaseVersionsCollectsDeadKeys) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("gone", "v").ok());
+  ASSERT_TRUE(store.Delete("gone").ok());  // seq 2
+  ASSERT_TRUE(store.Put("kept", "v").ok());
+  store.ReleaseVersionsBefore(10);
+  EXPECT_TRUE(store.Get("gone").status().IsNotFound());
+  EXPECT_EQ(store.LiveKeyCount(), 1u);
+}
+
+TEST(KvStoreTest, WalRecoveryRebuildsState) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  WriteBatch batch;
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(store.Write(batch).ok());
+
+  KvStore recovered;
+  auto applied = recovered.Recover(ByteView(store.WalContents()));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2u);
+  EXPECT_TRUE(recovered.Get("a").status().IsNotFound());
+  EXPECT_EQ(*recovered.Get("b"), "2");
+}
+
+TEST(KvStoreTest, WalRecoveryStopsAtTornTail) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  Bytes wal = store.WalContents();
+  wal.resize(wal.size() - 3);  // simulate a crash mid-write
+
+  KvStore recovered;
+  auto applied = recovered.Recover(ByteView(wal));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(*recovered.Get("a"), "1");
+  EXPECT_TRUE(recovered.Get("b").status().IsNotFound());
+}
+
+TEST(KvStoreTest, RecoverRequiresEmptyStore) {
+  KvStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  EXPECT_TRUE(
+      store.Recover(ByteView(store.WalContents())).status().IsInvalidArgument());
+}
+
+TEST(KvStoreTest, WalDeviceIsCharged) {
+  sim::SimClock clock;
+  sim::DeviceModel ssd(sim::DeviceProfile::NvmeSsd(), &clock);
+  KvOptions options;
+  options.wal_device = &ssd;
+  KvStore store(options);
+  ASSERT_TRUE(store.Put("k", std::string(4096, 'x')).ok());
+  EXPECT_EQ(ssd.stats().write_ops, 1u);
+  EXPECT_GT(ssd.stats().bytes_written, 4096u);
+  EXPECT_GT(clock.NowNanos(), 0u);
+}
+
+TEST(KvStoreTest, ConcurrentWritersDoNotLoseUpdates) {
+  KvStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(store
+                        .Put("t" + std::to_string(t) + "/" + std::to_string(i),
+                             "v")
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.LiveKeyCount(), kThreads * kPerThread);
+  EXPECT_EQ(store.LatestSequence(), kThreads * kPerThread);
+}
+
+// Property: a randomized interleaving of puts/deletes matches a reference
+// std::map, both at head and via a snapshot taken mid-way.
+TEST(KvStoreProperty, MatchesReferenceModel) {
+  Random rng(2024);
+  KvStore store;
+  std::map<std::string, std::string> model;
+  std::map<std::string, std::string> model_at_snap;
+  Snapshot snap{};
+  constexpr int kOps = 3000;
+  for (int i = 0; i < kOps; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(100));
+    if (rng.OneIn(4)) {
+      ASSERT_TRUE(store.Delete(key).ok());
+      model.erase(key);
+    } else {
+      std::string value = rng.NextString(8);
+      ASSERT_TRUE(store.Put(key, value).ok());
+      model[key] = value;
+    }
+    if (i == kOps / 2) {
+      snap = store.GetSnapshot();
+      model_at_snap = model;
+    }
+  }
+  auto rows = store.Scan("", "");
+  ASSERT_EQ(rows.size(), model.size());
+  size_t idx = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(rows[idx].first, k);
+    EXPECT_EQ(rows[idx].second, v);
+    ++idx;
+  }
+  auto snap_rows = store.Scan("", "", snap);
+  ASSERT_EQ(snap_rows.size(), model_at_snap.size());
+  idx = 0;
+  for (const auto& [k, v] : model_at_snap) {
+    EXPECT_EQ(snap_rows[idx].first, k);
+    EXPECT_EQ(snap_rows[idx].second, v);
+    ++idx;
+  }
+}
+
+}  // namespace
+}  // namespace streamlake::kv

@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lakebrain/compaction.h"
+#include "table/lakehouse.h"
+#include "lakebrain/dqn.h"
+#include "lakebrain/mlp.h"
+#include "lakebrain/partition_advisor.h"
+#include "lakebrain/qdtree.h"
+#include "lakebrain/spn.h"
+#include "workload/tpch.h"
+
+namespace streamlake::lakebrain {
+namespace {
+
+// ---------------- MLP ----------------
+
+TEST(MlpTest, LearnsLinearFunction) {
+  // y = 2x0 - 3x1 + 1, trained head 0.
+  Mlp mlp({2, 16, 1}, 5);
+  Random rng(6);
+  for (int step = 0; step < 8000; ++step) {
+    double x0 = rng.NextDouble() * 2 - 1;
+    double x1 = rng.NextDouble() * 2 - 1;
+    double y = 2 * x0 - 3 * x1 + 1;
+    mlp.TrainStep({x0, x1}, 0, y, 0.01);
+  }
+  double total_error = 0;
+  for (int i = 0; i < 100; ++i) {
+    double x0 = rng.NextDouble() * 2 - 1;
+    double x1 = rng.NextDouble() * 2 - 1;
+    double y = 2 * x0 - 3 * x1 + 1;
+    total_error += std::fabs(mlp.Forward({x0, x1})[0] - y);
+  }
+  EXPECT_LT(total_error / 100, 0.3);
+}
+
+TEST(MlpTest, CopyFromSynchronizesOutputs) {
+  Mlp a({3, 8, 2}, 1);
+  Mlp b({3, 8, 2}, 2);
+  std::vector<double> x = {0.1, -0.5, 0.7};
+  EXPECT_NE(a.Forward(x)[0], b.Forward(x)[0]);
+  b.CopyFrom(a);
+  EXPECT_EQ(a.Forward(x)[0], b.Forward(x)[0]);
+  EXPECT_EQ(a.Forward(x)[1], b.Forward(x)[1]);
+}
+
+// ---------------- DQN ----------------
+
+TEST(DqnTest, EpsilonDecays) {
+  DqnOptions options;
+  options.epsilon_decay_steps = 100;
+  DqnAgent agent(options);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0);
+  std::vector<double> state(options.state_dim, 0.0);
+  for (int i = 0; i < 200; ++i) agent.SelectAction(state);
+  EXPECT_NEAR(agent.epsilon(), options.epsilon_end, 1e-9);
+}
+
+TEST(DqnTest, LearnsTrivialBanditPolicy) {
+  // Two-state contextual bandit: in state [1,0] action 1 pays, in state
+  // [0,1] action 0 pays. The agent must learn the mapping.
+  DqnOptions options;
+  options.state_dim = 2;
+  options.num_actions = 2;
+  options.hidden = {16};
+  options.epsilon_decay_steps = 1500;
+  options.gamma = 0.0;  // bandit
+  options.learning_rate = 5e-3;
+  DqnAgent agent(options);
+  Random rng(9);
+  for (int step = 0; step < 4000; ++step) {
+    bool flip = rng.OneIn(2);
+    std::vector<double> state = flip ? std::vector<double>{1, 0}
+                                     : std::vector<double>{0, 1};
+    int action = agent.SelectAction(state);
+    double reward = (flip ? action == 1 : action == 0) ? 1.0 : -1.0;
+    agent.Observe(state, action, reward, state, true);
+    agent.TrainStep();
+  }
+  EXPECT_EQ(agent.GreedyAction({1, 0}), 1);
+  EXPECT_EQ(agent.GreedyAction({0, 1}), 0);
+}
+
+// ---------------- Block utilization ----------------
+
+TEST(BlockUtilizationTest, Formula) {
+  // Files 512KB each with 1MB blocks: each uses half a block.
+  std::vector<uint64_t> halves(4, 512 * 1024);
+  EXPECT_DOUBLE_EQ(BlockUtilization(halves, 1 << 20), 0.5);
+  // Exact multiples: full utilization.
+  std::vector<uint64_t> exact = {1 << 20, 2 << 20};
+  EXPECT_DOUBLE_EQ(BlockUtilization(exact, 1 << 20), 1.0);
+  // Empty set: defined as fully utilized.
+  EXPECT_DOUBLE_EQ(BlockUtilization({}, 1 << 20), 1.0);
+}
+
+TEST(BlockUtilizationTest, MergingSmallFilesImproves) {
+  std::vector<uint64_t> small(16, 100 * 1024);  // 16 x 100KB, 1MB blocks
+  double before = BlockUtilization(small, 1 << 20);
+  std::vector<uint64_t> merged = {16 * 100 * 1024};
+  double after = BlockUtilization(merged, 1 << 20);
+  EXPECT_GT(after, before * 3);
+}
+
+TEST(CompactionFeaturesTest, ExpectedImprovementPositiveForSmallFiles) {
+  std::vector<table::DataFileMeta> files;
+  for (int i = 0; i < 10; ++i) {
+    table::DataFileMeta meta;
+    meta.partition = "p";
+    meta.file_bytes = 50 * 1024;
+    files.push_back(meta);
+  }
+  double improvement = AutoCompactionAgent::ExpectedImprovement(
+      files, "p", 1 << 20, 4 << 20);
+  EXPECT_GT(improvement, 0.3);
+  // One big file: nothing to merge.
+  std::vector<table::DataFileMeta> big(1);
+  big[0].partition = "p";
+  big[0].file_bytes = 8 << 20;
+  EXPECT_NEAR(AutoCompactionAgent::ExpectedImprovement(big, "p", 1 << 20,
+                                                       4 << 20),
+              0.0, 1e-9);
+}
+
+// ---------------- Auto-compaction end-to-end ----------------
+
+struct CompactionFixture {
+  sim::SimClock clock;
+  storage::StoragePool pool{"ssd", sim::MediaType::kNvmeSsd, &clock};
+  sim::NetworkModel compute_link{sim::NetworkProfile::Rdma(), &clock};
+  kv::KvStore object_index;
+  kv::KvStore meta_cache;
+  std::unique_ptr<storage::PlogStore> plogs;
+  std::unique_ptr<storage::ObjectStore> objects;
+  std::unique_ptr<table::MetadataStore> meta;
+  std::unique_ptr<table::LakehouseService> lakehouse;
+  table::Table* table = nullptr;
+
+  CompactionFixture() {
+    pool.AddCluster(3, 2, 1ULL << 30);
+    storage::PlogStoreConfig config;
+    config.num_shards = 16;
+    config.plog.capacity = 64 << 20;
+    config.plog.redundancy = storage::RedundancyConfig::Replication(3);
+    plogs = std::make_unique<storage::PlogStore>(&pool, config, &clock);
+    objects = std::make_unique<storage::ObjectStore>(plogs.get(),
+                                                     &object_index);
+    meta = std::make_unique<table::MetadataStore>(
+        objects.get(), &meta_cache, table::MetadataMode::kAccelerated);
+    lakehouse = std::make_unique<table::LakehouseService>(
+        meta.get(), objects.get(), &clock, &compute_link);
+    auto created = lakehouse->CreateTable(
+        "t",
+        format::Schema{{"k", format::DataType::kInt64},
+                       {"p", format::DataType::kString}},
+        table::PartitionSpec::Identity("p"));
+    EXPECT_TRUE(created.ok());
+    table = *created;
+  }
+
+  void IngestSmallFiles(const std::string& partition, int n) {
+    for (int i = 0; i < n; ++i) {
+      format::Row row;
+      row.fields = {format::Value(static_cast<int64_t>(i)),
+                    format::Value(partition)};
+      ASSERT_TRUE(table->Insert({row}).ok());
+    }
+  }
+};
+
+TEST(AutoCompactionTest, CompactActionImprovesUtilizationAndRewards) {
+  CompactionFixture f;
+  f.IngestSmallFiles("hot", 12);
+
+  AutoCompactionAgent::Options options;
+  options.block_size = 4096;
+  options.training = false;  // deterministic greedy for this test
+  AutoCompactionAgent agent(options);
+
+  GlobalFeatures global;
+  global.target_file_bytes = 1 << 20;
+  // Force the compact action by stepping until the greedy policy picks it
+  // or probing both actions: drive directly through the table instead.
+  auto files = f.table->LiveFiles();
+  ASSERT_TRUE(files.ok());
+  double before = ComputePartitionFeatures(*files, "hot", 4096, 0)
+                      .partition_utilization;
+  auto result = f.table->CompactPartition("hot");
+  ASSERT_TRUE(result.ok());
+  files = f.table->LiveFiles();
+  ASSERT_TRUE(files.ok());
+  double after = ComputePartitionFeatures(*files, "hot", 4096, 0)
+                     .partition_utilization;
+  EXPECT_GT(after, before);
+}
+
+TEST(AutoCompactionTest, StepReportsConflictRewardPerPaper) {
+  CompactionFixture f;
+  f.IngestSmallFiles("hot", 8);
+
+  AutoCompactionAgent::Options options;
+  options.block_size = 4096;
+  options.training = true;
+  options.dqn.epsilon_start = 1.0;  // always explore; both actions occur
+  options.dqn.epsilon_end = 1.0;
+  AutoCompactionAgent agent(options);
+
+  GlobalFeatures global;
+  global.target_file_bytes = 1 << 20;
+  bool saw_conflict = false;
+  bool saw_success = false;
+  for (int round = 0; round < 40 && !(saw_conflict && saw_success); ++round) {
+    auto info = f.table->Info();
+    ASSERT_TRUE(info.ok());
+    uint64_t stale_base = info->current_snapshot_id;
+    bool racing = round % 2 == 0;
+    if (racing) f.IngestSmallFiles("hot", 1);  // lands after the plan
+    auto decision = agent.Step(f.table, "hot", global, 1.0,
+                               racing ? stale_base : 0);
+    ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+    if (decision->attempted && decision->conflicted) {
+      saw_conflict = true;
+      EXPECT_LT(decision->reward, 0);  // -(1 - expected improvement)
+    }
+    if (decision->attempted && decision->succeeded) {
+      saw_success = true;
+      EXPECT_GT(decision->utilization_after,
+                decision->utilization_before - 1e-9);
+    }
+    if (f.table->LiveFiles()->size() < 4) f.IngestSmallFiles("hot", 6);
+  }
+  EXPECT_TRUE(saw_conflict);
+  EXPECT_TRUE(saw_success);
+  EXPECT_GT(agent.agent().replay_size(), 0u);
+}
+
+TEST(DefaultCompactorTest, RunsOnInterval) {
+  CompactionFixture f;
+  f.IngestSmallFiles("p1", 6);
+  DefaultCompactor compactor(f.table, /*interval_seconds=*/30);
+
+  auto first = compactor.MaybeRun(f.clock.NowSeconds());
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->ran);
+  EXPECT_EQ(first->partitions_compacted, 1u);
+
+  // Within the interval: no run.
+  auto again = compactor.MaybeRun(f.clock.NowSeconds() + 10);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->ran);
+
+  f.IngestSmallFiles("p1", 6);
+  auto later = compactor.MaybeRun(f.clock.NowSeconds() + 31);
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later->ran);
+  EXPECT_EQ(later->partitions_compacted, 1u);
+}
+
+// ---------------- SPN ----------------
+
+TEST(SpnTest, EstimatesSimpleSelectivities) {
+  workload::TpchOptions options;
+  options.rows_per_sf = 4000;
+  workload::TpchLineitemGenerator gen(options);
+  std::vector<format::Row> rows = gen.GenerateAll();
+  format::Schema schema = workload::TpchLineitemGenerator::Schema();
+
+  auto spn = SumProductNetwork::Train(schema, rows);
+  ASSERT_TRUE(spn.ok());
+  EXPECT_GT(spn->num_nodes(), 1u);
+
+  // Quantity uniform in [1,50]: P(q <= 25) ~ 0.5.
+  query::Conjunction half{query::Predicate::Le("l_quantity",
+                                               format::Value(int64_t{25}))};
+  EXPECT_NEAR(spn->EstimateSelectivity(half), 0.5, 0.08);
+
+  // Whole domain ~ 1; empty range ~ 0.
+  query::Conjunction all{query::Predicate::Le("l_quantity",
+                                              format::Value(int64_t{50}))};
+  EXPECT_GT(spn->EstimateSelectivity(all), 0.95);
+  query::Conjunction none{query::Predicate::Gt("l_quantity",
+                                               format::Value(int64_t{50}))};
+  EXPECT_LT(spn->EstimateSelectivity(none), 0.02);
+}
+
+TEST(SpnTest, ConjunctionsOfIndependentColumnsMultiply) {
+  workload::TpchOptions options;
+  options.rows_per_sf = 4000;
+  workload::TpchLineitemGenerator gen(options);
+  std::vector<format::Row> rows = gen.GenerateAll();
+  format::Schema schema = workload::TpchLineitemGenerator::Schema();
+  auto spn = SumProductNetwork::Train(schema, rows);
+  ASSERT_TRUE(spn.ok());
+
+  query::Conjunction combo{
+      query::Predicate::Le("l_quantity", format::Value(int64_t{25})),
+      query::Predicate::Le("l_discount", format::Value(0.05))};
+  // True joint ~ 0.5 * 6/11 = 0.27.
+  double truth = 0;
+  for (const format::Row& row : rows) {
+    if (combo.Matches(schema, row)) truth += 1;
+  }
+  truth /= rows.size();
+  EXPECT_NEAR(spn->EstimateSelectivity(combo), truth, 0.08);
+}
+
+TEST(SpnTest, CapturesCorrelatedColumns) {
+  // receiptdate = shipdate + [1,30] days: strongly correlated. A naive
+  // independence assumption would misestimate P(ship > X AND receipt < X).
+  workload::TpchOptions options;
+  options.rows_per_sf = 4000;
+  workload::TpchLineitemGenerator gen(options);
+  std::vector<format::Row> rows = gen.GenerateAll();
+  format::Schema schema = workload::TpchLineitemGenerator::Schema();
+  auto spn = SumProductNetwork::Train(schema, rows);
+  ASSERT_TRUE(spn.ok());
+
+  int64_t mid = (workload::TpchLineitemGenerator::kShipDateMin +
+                 workload::TpchLineitemGenerator::kShipDateMax) /
+                2;
+  query::Conjunction impossible{
+      query::Predicate::Gt("l_shipdate", format::Value(mid)),
+      query::Predicate::Lt("l_receiptdate", format::Value(mid))};
+  // Truth is 0 (receipt always after ship). Independence would give
+  // ~0.25; the SPN must stay well below that.
+  EXPECT_LT(spn->EstimateSelectivity(impossible), 0.1);
+}
+
+TEST(SpnTest, WorkloadAccuracySweep) {
+  workload::TpchOptions options;
+  options.rows_per_sf = 5000;
+  workload::TpchLineitemGenerator gen(options);
+  std::vector<format::Row> rows = gen.GenerateAll();
+  format::Schema schema = workload::TpchLineitemGenerator::Schema();
+  // Train on a 20% sample (paper trains on 3% of a bigger table).
+  std::vector<format::Row> sample;
+  for (size_t i = 0; i < rows.size(); i += 5) sample.push_back(rows[i]);
+  auto spn = SumProductNetwork::Train(schema, sample);
+  ASSERT_TRUE(spn.ok());
+
+  workload::TpchQueryGenerator queries(21);
+  double total_abs_error = 0;
+  constexpr int kQueries = 30;
+  for (int q = 0; q < kQueries; ++q) {
+    query::QuerySpec spec = queries.NextQuery();
+    double truth = 0;
+    for (const format::Row& row : rows) {
+      if (spec.where.Matches(schema, row)) truth += 1;
+    }
+    truth /= rows.size();
+    total_abs_error += std::fabs(spn->EstimateSelectivity(spec.where) - truth);
+  }
+  EXPECT_LT(total_abs_error / kQueries, 0.08);
+}
+
+TEST(SpnTest, RejectsEmptySample) {
+  EXPECT_FALSE(SumProductNetwork::Train(
+                   format::Schema{{"x", format::DataType::kInt64}}, {})
+                   .ok());
+}
+
+// ---------------- QD-tree ----------------
+
+TEST(QdTreeTest, ContradictionLogic) {
+  using query::Predicate;
+  std::vector<std::pair<Predicate, bool>> constraints = {
+      {Predicate::Lt("t", format::Value(int64_t{100})), true}};
+  // Query wants t >= 100: contradiction.
+  EXPECT_TRUE(ConstraintsContradict(
+      constraints,
+      query::Conjunction{Predicate::Ge("t", format::Value(int64_t{100}))}));
+  // Query wants t >= 50: overlaps.
+  EXPECT_FALSE(ConstraintsContradict(
+      constraints,
+      query::Conjunction{Predicate::Ge("t", format::Value(int64_t{50}))}));
+  // Negated branch: NOT(t < 100) == t >= 100 contradicts t < 100... as a
+  // query via Lt:
+  std::vector<std::pair<Predicate, bool>> negated = {
+      {Predicate::Lt("t", format::Value(int64_t{100})), false}};
+  EXPECT_TRUE(ConstraintsContradict(
+      negated,
+      query::Conjunction{Predicate::Lt("t", format::Value(int64_t{100}))}));
+  // Eq vs IN without the value.
+  std::vector<std::pair<Predicate, bool>> in_set = {
+      {Predicate::In("m", {format::Value(std::string("AIR"))}), true}};
+  EXPECT_TRUE(ConstraintsContradict(
+      in_set,
+      query::Conjunction{Predicate::Eq("m", format::Value(std::string("RAIL")))}));
+}
+
+TEST(QdTreeTest, PartitionsRoutesAndSkips) {
+  workload::TpchOptions options;
+  options.rows_per_sf = 6000;
+  workload::TpchLineitemGenerator gen(options);
+  std::vector<format::Row> rows = gen.GenerateAll();
+  format::Schema schema = workload::TpchLineitemGenerator::Schema();
+  auto spn = SumProductNetwork::Train(schema, rows);
+  ASSERT_TRUE(spn.ok());
+
+  workload::TpchQueryGenerator queries(31);
+  std::vector<query::Conjunction> workload;
+  std::vector<query::QuerySpec> specs = queries.Generate(60);
+  for (const auto& spec : specs) workload.push_back(spec.where);
+
+  QdTreeOptions tree_options;
+  tree_options.min_partition_rows = 200;
+  tree_options.max_leaves = 16;
+  auto tree = QdTree::Build(schema, workload, *spn, rows.size(), tree_options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_GT(tree->num_leaves(), 2u);
+  EXPECT_LE(tree->num_leaves(), 16u);
+
+  // Every row routes to a valid leaf.
+  std::vector<uint64_t> counts(tree->num_leaves(), 0);
+  for (const format::Row& row : rows) {
+    int leaf = tree->AssignRow(row);
+    ASSERT_GE(leaf, 0);
+    ASSERT_LT(leaf, static_cast<int>(tree->num_leaves()));
+    counts[leaf]++;
+  }
+
+  // Soundness: a leaf not in MatchingLeaves never holds a matching row,
+  // and the tree skips a meaningful share of rows across the workload.
+  uint64_t total_scanned = 0, total_rows = 0;
+  for (const auto& where : workload) {
+    std::vector<int> matching = tree->MatchingLeaves(where);
+    std::set<int> matching_set(matching.begin(), matching.end());
+    for (const format::Row& row : rows) {
+      if (where.Matches(schema, row)) {
+        ASSERT_TRUE(matching_set.count(tree->AssignRow(row)))
+            << "row matched query but its leaf was skipped";
+      }
+    }
+    for (int leaf : matching) total_scanned += counts[leaf];
+    total_rows += rows.size();
+  }
+  EXPECT_LT(total_scanned, total_rows * 9 / 10);  // >10% skipped on average
+}
+
+TEST(PartitionAdvisorTest, AdviseAndRepartitionImproveSkipping) {
+  CompactionFixture f;  // reuse the lakehouse fixture
+  auto created = f.lakehouse->CreateTable(
+      "lineitem", workload::TpchLineitemGenerator::Schema(),
+      table::PartitionSpec::None());
+  ASSERT_TRUE(created.ok());
+  table::Table* source = *created;
+  workload::TpchOptions gen_options;
+  gen_options.rows_per_sf = 20000;
+  workload::TpchLineitemGenerator gen(gen_options);
+  ASSERT_TRUE(source->Insert(gen.GenerateAll()).ok());
+
+  workload::TpchQueryGenerator queries(13);
+  std::vector<query::Conjunction> workload;
+  std::vector<query::QuerySpec> eval = queries.Generate(30);
+  for (const auto& spec : eval) workload.push_back(spec.where);
+
+  PartitionAdvisor::Options options;
+  options.sample_fraction = 0.05;
+  options.tree.min_partition_rows = 500;
+  options.tree.max_leaves = 24;
+  PartitionAdvisor advisor(options);
+  auto plan = advisor.Advise(source, workload);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(plan->tree.num_leaves(), 2u);
+  EXPECT_EQ(plan->table_rows, 20000u);
+
+  auto stats = advisor.Repartition(f.lakehouse.get(), source, "lineitem_v2",
+                                   *plan);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_moved, 20000u);
+  EXPECT_GT(stats->partitions, 2u);
+
+  // Identical answers, materially better skipping.
+  auto target = f.lakehouse->GetTable("lineitem_v2");
+  ASSERT_TRUE(target.ok());
+  uint64_t source_skipped = 0, target_skipped = 0;
+  uint64_t source_total = 0, target_total = 0;
+  for (const query::QuerySpec& spec : eval) {
+    table::SelectMetrics source_metrics, target_metrics;
+    auto source_result = source->Select(spec, {}, &source_metrics);
+    auto target_result = (*target)->Select(spec, {}, &target_metrics);
+    ASSERT_TRUE(source_result.ok() && target_result.ok());
+    ASSERT_EQ(source_result->rows.size(), target_result->rows.size());
+    if (!source_result->rows.empty()) {
+      EXPECT_EQ(std::get<int64_t>(source_result->rows[0].fields[0]),
+                std::get<int64_t>(target_result->rows[0].fields[0]));
+    }
+    source_skipped += source_metrics.data_bytes_skipped;
+    source_total += source_metrics.data_bytes_skipped +
+                    source_metrics.data_bytes_read;
+    target_skipped += target_metrics.data_bytes_skipped;
+    target_total += target_metrics.data_bytes_skipped +
+                    target_metrics.data_bytes_read;
+  }
+  double source_frac =
+      source_total == 0 ? 0 : static_cast<double>(source_skipped) / source_total;
+  double target_frac =
+      target_total == 0 ? 0 : static_cast<double>(target_skipped) / target_total;
+  EXPECT_GT(target_frac, source_frac + 0.2);  // >=20pp more bytes skipped
+}
+
+TEST(PartitionAdvisorTest, EmptyTableRejected) {
+  CompactionFixture f;
+  auto created = f.lakehouse->CreateTable(
+      "empty", workload::TpchLineitemGenerator::Schema(),
+      table::PartitionSpec::None());
+  ASSERT_TRUE(created.ok());
+  PartitionAdvisor advisor;
+  EXPECT_TRUE(advisor.Advise(*created, {}).status().IsInvalidArgument());
+}
+
+TEST(QdTreeTest, NoWorkloadMeansOneLeaf) {
+  format::Schema schema = workload::TpchLineitemGenerator::Schema();
+  workload::TpchOptions options;
+  options.rows_per_sf = 500;
+  workload::TpchLineitemGenerator gen(options);
+  auto rows = gen.GenerateAll();
+  auto spn = SumProductNetwork::Train(schema, rows);
+  ASSERT_TRUE(spn.ok());
+  auto tree = QdTree::Build(schema, {}, *spn, rows.size());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 1u);
+  EXPECT_EQ(tree->AssignRow(rows[0]), 0);
+}
+
+}  // namespace
+}  // namespace streamlake::lakebrain

@@ -1,0 +1,223 @@
+// Robustness: decoders must reject arbitrary corrupt input with an error,
+// never crash or mis-read, and concurrent use of the lakehouse must stay
+// consistent. These are fuzz-style property tests with deterministic
+// seeds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "core/streamlake.h"
+#include "format/lakefile.h"
+#include "format/row_codec.h"
+#include "kv/write_batch.h"
+#include "stream/stream_record.h"
+#include "table/metadata.h"
+
+namespace streamlake {
+namespace {
+
+Bytes RandomBytes(Random* rng, size_t max_len) {
+  Bytes out;
+  size_t n = rng->Uniform(max_len);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<uint8_t>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+/// Flip, truncate, or splice a valid encoding.
+Bytes Mutate(const Bytes& valid, Random* rng) {
+  Bytes out = valid;
+  switch (rng->Uniform(3)) {
+    case 0:  // bit flips
+      for (int i = 0; i < 4 && !out.empty(); ++i) {
+        out[rng->Uniform(out.size())] ^= 1 << rng->Uniform(8);
+      }
+      break;
+    case 1:  // truncation
+      if (!out.empty()) out.resize(rng->Uniform(out.size()));
+      break;
+    case 2: {  // splice random garbage
+      Bytes garbage = RandomBytes(rng, 64);
+      size_t at = out.empty() ? 0 : rng->Uniform(out.size());
+      out.insert(out.begin() + at, garbage.begin(), garbage.end());
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(FuzzTest, LakeFileOpenNeverCrashes) {
+  Random rng(1234);
+  format::Schema schema{{"a", format::DataType::kInt64},
+                        {"b", format::DataType::kString}};
+  format::LakeFileWriter writer(schema);
+  for (int i = 0; i < 200; ++i) {
+    format::Row row;
+    row.fields = {format::Value(static_cast<int64_t>(i)),
+                  format::Value(rng.NextString(10))};
+    ASSERT_TRUE(writer.Append(row).ok());
+  }
+  Bytes valid = *writer.Finish();
+
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes input = trial % 3 == 0 ? RandomBytes(&rng, 2000) : Mutate(valid, &rng);
+    auto reader = format::LakeFileReader::Open(input);
+    if (!reader.ok()) continue;  // rejected: fine
+    // Footer happened to parse; reads must still fail cleanly or succeed.
+    for (size_t g = 0; g < reader->num_row_groups(); ++g) {
+      auto rows = reader->ReadRowGroup(g);
+      (void)rows;  // either outcome acceptable; must not crash
+    }
+  }
+}
+
+TEST(FuzzTest, SliceAndRowDecodersNeverCrash) {
+  Random rng(77);
+  format::Schema schema{{"x", format::DataType::kDouble},
+                        {"y", format::DataType::kString},
+                        {"z", format::DataType::kBool}};
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes garbage = RandomBytes(&rng, 400);
+    (void)stream::DecodeSlice(ByteView(garbage));
+    (void)format::DecodeRow(schema, ByteView(garbage));
+    kv::WriteBatch batch;
+    (void)batch.DecodeFrom(ByteView(garbage));
+    (void)table::CommitFile::DecodeFrom(ByteView(garbage));
+    (void)table::SnapshotMeta::DecodeFrom(ByteView(garbage));
+    (void)table::TableInfo::DecodeFrom(ByteView(garbage));
+  }
+}
+
+TEST(FuzzTest, MutatedCommitsRoundTripOrReject) {
+  Random rng(99);
+  table::CommitFile commit;
+  commit.commit_seq = 42;
+  commit.timestamp = 1656806400;
+  for (int i = 0; i < 5; ++i) {
+    table::DataFileMeta meta;
+    meta.path = "/t/data/f-" + std::to_string(i);
+    meta.partition = "p" + std::to_string(i % 2);
+    meta.record_count = 100 + i;
+    meta.file_bytes = 5000 + i;
+    meta.column_stats["c"] = format::ColumnStats{
+        format::Value(static_cast<int64_t>(i)),
+        format::Value(static_cast<int64_t>(i + 10))};
+    commit.added.push_back(meta);
+  }
+  Bytes valid;
+  commit.EncodeTo(&valid);
+  // Valid input round-trips.
+  auto decoded = table::CommitFile::DecodeFrom(ByteView(valid));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->added.size(), 5u);
+  // Mutations either decode to *something* or error; never crash.
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = Mutate(valid, &rng);
+    (void)table::CommitFile::DecodeFrom(ByteView(mutated));
+  }
+}
+
+TEST(ConcurrencyTest, ParallelInsertersAndReaders) {
+  core::StreamLake lake;
+  auto created = lake.lakehouse().CreateTable(
+      "t",
+      format::Schema{{"k", format::DataType::kInt64},
+                     {"p", format::DataType::kString}},
+      table::PartitionSpec::Identity("p"));
+  ASSERT_TRUE(created.ok());
+  table::Table* table = *created;
+
+  constexpr int kWriters = 4;
+  constexpr int kBatches = 25;
+  constexpr int kRowsPerBatch = 20;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+
+  std::thread reader([&] {
+    // Concurrent reads must always see a consistent snapshot: the count
+    // is a multiple of the batch size (commits are atomic).
+    while (!stop.load()) {
+      query::QuerySpec spec;
+      spec.aggregates = {query::AggregateSpec::CountStar()};
+      auto result = table->Select(spec);
+      if (!result.ok()) {
+        ++reader_errors;
+        continue;
+      }
+      int64_t count = std::get<int64_t>(result->rows[0].fields[0]);
+      if (count % kRowsPerBatch != 0) ++reader_errors;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<format::Row> rows;
+        for (int i = 0; i < kRowsPerBatch; ++i) {
+          format::Row row;
+          row.fields = {format::Value(static_cast<int64_t>(w * 10000 + b)),
+                        format::Value("p" + std::to_string(w))};
+          rows.push_back(std::move(row));
+        }
+        ASSERT_TRUE(table->Insert(rows).ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(reader_errors.load(), 0);
+  query::QuerySpec spec;
+  spec.aggregates = {query::AggregateSpec::CountStar()};
+  auto final_count = table->Select(spec);
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(std::get<int64_t>(final_count->rows[0].fields[0]),
+            kWriters * kBatches * kRowsPerBatch);
+}
+
+TEST(ConcurrencyTest, ParallelProducersOneConsumerSeesEverything) {
+  core::StreamLake lake;
+  streaming::TopicConfig config;
+  config.stream_num = 4;
+  ASSERT_TRUE(lake.dispatcher().CreateTopic("t", config).ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto producer = lake.NewProducer();
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(producer
+                        .Send("t", streaming::Message(
+                                       "key-" + std::to_string(p),
+                                       std::to_string(p * 100000 + i)))
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  auto consumer = lake.NewConsumer("g");
+  ASSERT_TRUE(consumer.Subscribe("t").ok());
+  auto polled = consumer.Poll(kProducers * kPerProducer + 100);
+  ASSERT_TRUE(polled.ok());
+  ASSERT_EQ(polled->size(), kProducers * kPerProducer);
+  // Per-key order is preserved despite concurrency.
+  std::map<std::string, int64_t> last_seen;
+  for (const auto& consumed : *polled) {
+    int64_t v = std::stoll(consumed.message.value);
+    auto it = last_seen.find(consumed.message.key);
+    if (it != last_seen.end()) EXPECT_GT(v, it->second);
+    last_seen[consumed.message.key] = v;
+  }
+}
+
+}  // namespace
+}  // namespace streamlake

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/device_model.h"
+#include "sim/network_model.h"
+
+namespace streamlake::sim {
+namespace {
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0u);
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowNanos(), 150u);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 150e-9);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBack) {
+  SimClock clock;
+  clock.AdvanceTo(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  clock.Reset();
+  EXPECT_EQ(clock.NowNanos(), 0u);
+}
+
+TEST(DeviceModelTest, SsdFasterThanHddSlowerThanPmem) {
+  SimClock clock;
+  DeviceModel ssd(DeviceProfile::NvmeSsd(), &clock);
+  DeviceModel hdd(DeviceProfile::SasHdd(), &clock);
+  DeviceModel pmem(DeviceProfile::Pmem(), &clock);
+  constexpr uint64_t kBytes = 4096;
+  EXPECT_LT(pmem.ReadCostNanos(kBytes), ssd.ReadCostNanos(kBytes));
+  EXPECT_LT(ssd.ReadCostNanos(kBytes), hdd.ReadCostNanos(kBytes));
+}
+
+TEST(DeviceModelTest, CostScalesWithSize) {
+  SimClock clock;
+  DeviceModel ssd(DeviceProfile::NvmeSsd(), &clock);
+  // Doubling a large transfer roughly doubles the bandwidth term.
+  uint64_t c1 = ssd.ReadCostNanos(100 << 20);
+  uint64_t c2 = ssd.ReadCostNanos(200 << 20);
+  EXPECT_GT(c2, c1 * 3 / 2);
+  EXPECT_LT(c2, c1 * 5 / 2);
+}
+
+TEST(DeviceModelTest, ChargeAdvancesClockAndCounts) {
+  SimClock clock;
+  DeviceModel ssd(DeviceProfile::NvmeSsd(), &clock);
+  uint64_t cost = ssd.ChargeWrite(8192);
+  EXPECT_EQ(clock.NowNanos(), cost);
+  ssd.ChargeRead(1024);
+  DeviceStats stats = ssd.stats();
+  EXPECT_EQ(stats.write_ops, 1u);
+  EXPECT_EQ(stats.read_ops, 1u);
+  EXPECT_EQ(stats.bytes_written, 8192u);
+  EXPECT_EQ(stats.bytes_read, 1024u);
+  EXPECT_EQ(stats.busy_ns, clock.NowNanos());
+  ssd.ResetStats();
+  EXPECT_EQ(ssd.stats().read_ops, 0u);
+}
+
+TEST(NetworkModelTest, RdmaCheaperPerMessageThanTcp) {
+  SimClock clock;
+  NetworkModel rdma(NetworkProfile::Rdma(), &clock);
+  NetworkModel tcp(NetworkProfile::Tcp(), &clock);
+  // Small messages are dominated by per-message overhead: RDMA wins big.
+  EXPECT_LT(rdma.TransferCostNanos(1024) * 5, tcp.TransferCostNanos(1024));
+  // Huge transfers converge: both are bandwidth-bound on the same wire.
+  uint64_t big = 1ULL << 30;
+  double ratio = static_cast<double>(tcp.TransferCostNanos(big)) /
+                 static_cast<double>(rdma.TransferCostNanos(big));
+  EXPECT_LT(ratio, 1.01);
+}
+
+TEST(NetworkModelTest, ChargeAccumulatesStats) {
+  SimClock clock;
+  NetworkModel net(NetworkProfile::Rdma(), &clock);
+  net.ChargeTransfer(1000);
+  net.ChargeTransfer(2000);
+  NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, 3000u);
+  EXPECT_EQ(stats.busy_ns, clock.NowNanos());
+}
+
+TEST(NetworkModelTest, ProfileFactories) {
+  EXPECT_EQ(NetworkProfile::ForTransport(TransportType::kRdma).name, "rdma");
+  EXPECT_EQ(NetworkProfile::ForTransport(TransportType::kTcp).name, "tcp");
+  EXPECT_EQ(NetworkProfile::ForTransport(TransportType::kLocal).name, "local");
+  EXPECT_EQ(DeviceProfile::ForMedia(MediaType::kSasHdd).name, "sas_hdd");
+  EXPECT_EQ(DeviceProfile::ForMedia(MediaType::kDram).name, "dram");
+}
+
+TEST(SimIntegrationTest, IoAggregationAmortizesPerOpCost) {
+  // The stream path's I/O aggregation claim: N small writes cost more than
+  // one aggregated write of the same total size.
+  SimClock clock;
+  DeviceModel ssd(DeviceProfile::NvmeSsd(), &clock);
+  uint64_t small_total = 0;
+  for (int i = 0; i < 64; ++i) small_total += ssd.WriteCostNanos(1024);
+  uint64_t aggregated = ssd.WriteCostNanos(64 * 1024);
+  EXPECT_GT(small_total, 10 * aggregated);
+}
+
+}  // namespace
+}  // namespace streamlake::sim

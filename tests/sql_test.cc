@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/streamlake.h"
+#include "query/sql_parser.h"
+#include "sql/engine.h"
+
+namespace streamlake {
+namespace {
+
+using query::ParseSql;
+using query::SqlStatement;
+
+// ---------------- parser ----------------
+
+TEST(SqlParserTest, Fig13DauQuery) {
+  auto parsed = ParseSql(
+      "Select COUNT(*) as DAU "
+      "From TB_DPI_LOG_HOURS "
+      "Where url = 'http://streamlake_fin_app.com' "
+      "and start_time >= 1656806400 --July 3rd, 2022\n"
+      "and start_time < 1656892800 --July 4th, 2022\n"
+      "Group By province");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, SqlStatement::Kind::kSelect);
+  EXPECT_EQ(parsed->table, "TB_DPI_LOG_HOURS");
+  ASSERT_EQ(parsed->select.aggregates.size(), 1u);
+  EXPECT_EQ(parsed->select.aggregates[0].alias, "DAU");
+  EXPECT_EQ(parsed->select.group_by,
+            (std::vector<std::string>{"province"}));
+  ASSERT_EQ(parsed->select.where.predicates().size(), 3u);
+  EXPECT_EQ(parsed->select.where.predicates()[0].column, "url");
+  EXPECT_EQ(parsed->select.where.predicates()[1].op, query::CompareOp::kGe);
+  EXPECT_EQ(std::get<int64_t>(parsed->select.where.predicates()[2].literal),
+            1656892800);
+}
+
+TEST(SqlParserTest, SelectVariants) {
+  auto star = ParseSql("SELECT * FROM t");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(star->select.projection.empty());
+  EXPECT_TRUE(star->select.aggregates.empty());
+
+  auto projection = ParseSql("SELECT a, b FROM t WHERE c IN ('x', 'y')");
+  ASSERT_TRUE(projection.ok());
+  EXPECT_EQ(projection->select.projection,
+            (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(projection->select.where.predicates().size(), 1u);
+  EXPECT_EQ(projection->select.where.predicates()[0].in_list.size(), 2u);
+
+  auto aggs = ParseSql(
+      "SELECT province, COUNT(*), SUM(bytes), AVG(bytes) AS mean "
+      "FROM t GROUP BY province ORDER BY mean DESC LIMIT 10");
+  ASSERT_TRUE(aggs.ok()) << aggs.status().ToString();
+  EXPECT_EQ(aggs->select.aggregates.size(), 3u);
+  EXPECT_EQ(aggs->select.aggregates[2].alias, "mean");
+  EXPECT_EQ(aggs->select.order_by, "mean");
+  EXPECT_TRUE(aggs->select.order_descending);
+  EXPECT_EQ(aggs->select.limit, 10u);
+
+  auto doubles = ParseSql("SELECT * FROM t WHERE d <= 0.05 AND b = TRUE");
+  ASSERT_TRUE(doubles.ok());
+  EXPECT_DOUBLE_EQ(
+      std::get<double>(doubles->select.where.predicates()[0].literal), 0.05);
+  EXPECT_EQ(std::get<bool>(doubles->select.where.predicates()[1].literal),
+            true);
+}
+
+TEST(SqlParserTest, InsertDeleteUpdate) {
+  auto insert = ParseSql(
+      "INSERT INTO orders VALUES (1, 'created', 100), (2, 'shipped', 200)");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->kind, SqlStatement::Kind::kInsert);
+  ASSERT_EQ(insert->insert_rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(insert->insert_rows[1][1]), "shipped");
+
+  auto del = ParseSql("DELETE FROM orders WHERE order_id = 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, SqlStatement::Kind::kDelete);
+  EXPECT_EQ(del->where.predicates().size(), 1u);
+
+  auto update = ParseSql(
+      "UPDATE orders SET status = 'done' WHERE order_id >= 5");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->kind, SqlStatement::Kind::kUpdate);
+  EXPECT_EQ(update->set_column, "status");
+  EXPECT_EQ(std::get<std::string>(update->set_value), "done");
+}
+
+TEST(SqlParserTest, ErrorsAreDiagnosed) {
+  EXPECT_TRUE(ParseSql("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("DROP TABLE t").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t WHERE a !! 3").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t WHERE a = 'unterminated").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT SUM(*) FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT a, COUNT(*) FROM t GROUP BY b").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t LIMIT ten").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t garbage").status()
+                  .IsInvalidArgument());
+}
+
+// ---------------- engine ----------------
+
+struct SqlFixture {
+  core::StreamLake lake;
+  std::unique_ptr<sql::Engine> engine;
+
+  SqlFixture() {
+    auto created = lake.lakehouse().CreateTable(
+        "TB_DPI_LOG_HOURS",
+        format::Schema{{"url", format::DataType::kString},
+                       {"start_time", format::DataType::kInt64},
+                       {"province", format::DataType::kString},
+                       {"bytes", format::DataType::kInt64}},
+        table::PartitionSpec::Identity("province"));
+    EXPECT_TRUE(created.ok());
+    engine = std::make_unique<sql::Engine>(&lake.lakehouse());
+  }
+};
+
+TEST(SqlEngineTest, EndToEndDau) {
+  SqlFixture f;
+  // Load via SQL.
+  for (int i = 0; i < 40; ++i) {
+    std::string url = i % 2 ? "'http://streamlake_fin_app.com'" : "'http://x'";
+    std::string province = i % 4 ? "'beijing'" : "'hubei'";
+    auto inserted = f.engine->Execute(
+        "INSERT INTO TB_DPI_LOG_HOURS VALUES (" + url + ", " +
+        std::to_string(1656806400 + i) + ", " + province + ", 100)");
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  }
+  // The Fig. 13 query verbatim.
+  auto dau = f.engine->Execute(
+      "SELECT COUNT(*) AS DAU FROM TB_DPI_LOG_HOURS "
+      "WHERE url = 'http://streamlake_fin_app.com' "
+      "AND start_time >= 1656806400 AND start_time < 1656892800 "
+      "GROUP BY province");
+  ASSERT_TRUE(dau.ok()) << dau.status().ToString();
+  EXPECT_EQ(dau->column_names,
+            (std::vector<std::string>{"province", "DAU"}));
+  int64_t total = 0;
+  for (const format::Row& row : dau->rows) {
+    total += std::get<int64_t>(row.fields[1]);
+  }
+  EXPECT_EQ(total, 20);
+
+  // UPDATE + DELETE through SQL.
+  auto updated = f.engine->Execute(
+      "UPDATE TB_DPI_LOG_HOURS SET bytes = 999 WHERE start_time < 1656806410");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(std::get<int64_t>(updated->rows[0].fields[0]), 10);
+
+  auto deleted = f.engine->Execute(
+      "DELETE FROM TB_DPI_LOG_HOURS WHERE province = 'hubei'");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(std::get<int64_t>(deleted->rows[0].fields[0]), 10);
+
+  auto remaining = f.engine->Execute(
+      "SELECT COUNT(*) FROM TB_DPI_LOG_HOURS");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(std::get<int64_t>(remaining->rows[0].fields[0]), 30);
+}
+
+TEST(SqlEngineTest, SelectWithOrderLimitAndMetrics) {
+  SqlFixture f;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(f.engine
+                    ->Execute("INSERT INTO TB_DPI_LOG_HOURS VALUES ('u', " +
+                              std::to_string(i) + ", 'p" +
+                              std::to_string(i % 3) + "', " +
+                              std::to_string(i * 10) + ")")
+                    .ok());
+  }
+  table::SelectMetrics metrics;
+  auto top = f.engine->Execute(
+      "SELECT province, SUM(bytes) AS total FROM TB_DPI_LOG_HOURS "
+      "GROUP BY province ORDER BY total DESC LIMIT 2",
+      &metrics);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->rows.size(), 2u);
+  EXPECT_GE(std::get<double>(top->rows[0].fields[1]),
+            std::get<double>(top->rows[1].fields[1]));
+  EXPECT_GT(metrics.files_scanned, 0u);
+
+  EXPECT_TRUE(f.engine->Execute("SELECT * FROM missing_table").status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace streamlake

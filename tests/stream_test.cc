@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/stream_c_api.h"
+#include "stream/stream_object.h"
+
+namespace streamlake::stream {
+namespace {
+
+struct StreamFixture {
+  sim::SimClock clock;
+  storage::StoragePool pool{"ssd", sim::MediaType::kNvmeSsd, &clock};
+  sim::DeviceModel pmem{sim::DeviceProfile::Pmem(), &clock};
+  kv::KvStore index;
+  std::unique_ptr<storage::PlogStore> plogs;
+  std::unique_ptr<StreamObjectManager> manager;
+
+  explicit StreamFixture(bool with_pmem = false) {
+    pool.AddCluster(3, 2, 64 << 20);
+    storage::PlogStoreConfig config;
+    config.num_shards = 8;
+    config.plog.capacity = 8 << 20;
+    config.plog.stripe_unit = 4096;
+    config.plog.redundancy = storage::RedundancyConfig::Replication(3);
+    plogs = std::make_unique<storage::PlogStore>(&pool, config, &clock);
+    manager = std::make_unique<StreamObjectManager>(
+        plogs.get(), &index, &clock, with_pmem ? &pmem : nullptr, 64);
+  }
+
+  StreamObject* NewObject(StreamObjectOptions options = {}) {
+    auto id = manager->CreateObject(options);
+    EXPECT_TRUE(id.ok());
+    return manager->GetObject(*id);
+  }
+};
+
+StreamRecord MakeRecord(const std::string& key, const std::string& value,
+                        uint64_t producer = 0, uint64_t seq = 0) {
+  StreamRecord r;
+  r.key = key;
+  r.value = ToBytes(value);
+  r.timestamp = 1656806400;
+  r.producer_id = producer;
+  r.producer_seq = seq;
+  return r;
+}
+
+TEST(StreamRecordTest, SliceRoundTrip) {
+  std::vector<StreamRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(MakeRecord("k" + std::to_string(i),
+                                 "value-" + std::to_string(i), 7, i + 1));
+  }
+  Bytes encoded;
+  EncodeSlice(&encoded, records);
+  auto decoded = DecodeSlice(ByteView(encoded));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, records);
+}
+
+TEST(StreamObjectTest, AppendReadOrdered) {
+  StreamFixture f;
+  StreamObject* object = f.NewObject();
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(MakeRecord("k", "msg-" + std::to_string(i)));
+  }
+  auto offset = object->Append(batch);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 0u);
+  EXPECT_EQ(object->frontier(), 10u);
+
+  auto read = object->Read(0, 100);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(BytesToString((*read)[i].value), "msg-" + std::to_string(i));
+  }
+
+  // Second append returns the next offset; strict order preserved.
+  auto offset2 = object->Append({MakeRecord("k", "msg-10")});
+  ASSERT_TRUE(offset2.ok());
+  EXPECT_EQ(*offset2, 10u);
+  auto tail = object->Read(10, 10);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+}
+
+TEST(StreamObjectTest, ReadAtFrontierReturnsEmpty) {
+  StreamFixture f;
+  StreamObject* object = f.NewObject();
+  auto read = object->Read(0, 10);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  EXPECT_TRUE(object->Read(1, 10).status().IsInvalidArgument());
+}
+
+TEST(StreamObjectTest, SlicesPersistAt256Records) {
+  StreamFixture f;
+  StreamObject* object = f.NewObject();
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 600; ++i) {
+    batch.push_back(MakeRecord("k", std::string(100, 'v')));
+  }
+  ASSERT_TRUE(object->Append(batch).ok());
+  // 600 records -> two full slices persisted (512), 88 buffered.
+  EXPECT_EQ(object->persisted(), 512u);
+  EXPECT_EQ(object->frontier(), 600u);
+  ASSERT_TRUE(object->Flush().ok());
+  EXPECT_EQ(object->persisted(), 600u);
+
+  // Everything readable, spanning persisted slices and former tail.
+  auto read = object->Read(500, 100);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 100u);
+}
+
+TEST(StreamObjectTest, IoAggregationReducesStorageOps) {
+  StreamFixture f_agg;
+  StreamFixture f_direct;
+  StreamObjectOptions agg;
+  agg.io_aggregation = true;
+  StreamObjectOptions direct;
+  direct.io_aggregation = false;
+
+  auto run = [](StreamFixture& f, StreamObjectOptions options) {
+    StreamObject* object = f.NewObject(options);
+    for (int i = 0; i < 256; ++i) {
+      EXPECT_TRUE(object->Append({MakeRecord("k", std::string(100, 'x'))}).ok());
+    }
+    EXPECT_TRUE(object->Flush().ok());
+    return f.pool.AggregateStats().write_ops;
+  };
+  uint64_t agg_ops = run(f_agg, agg);
+  uint64_t direct_ops = run(f_direct, direct);
+  // One aggregated slice write (x3 replicas) vs 256 per-record writes.
+  EXPECT_LT(agg_ops * 50, direct_ops);
+}
+
+TEST(StreamObjectTest, IdempotentProducerDropsDuplicates) {
+  StreamFixture f;
+  StreamObject* object = f.NewObject();
+  ASSERT_TRUE(object->Append({MakeRecord("k", "v1", 42, 1)}).ok());
+  ASSERT_TRUE(object->Append({MakeRecord("k", "v2", 42, 2)}).ok());
+  // Network retry: same producer and sequence.
+  ASSERT_TRUE(object->Append({MakeRecord("k", "v2-dup", 42, 2)}).ok());
+  ASSERT_TRUE(object->Append({MakeRecord("k", "v1-dup", 42, 1)}).ok());
+  EXPECT_EQ(object->frontier(), 2u);
+  // A different producer with the same sequences is not a duplicate.
+  ASSERT_TRUE(object->Append({MakeRecord("k", "other", 43, 1)}).ok());
+  EXPECT_EQ(object->frontier(), 3u);
+}
+
+TEST(StreamObjectTest, QuotaEnforcedPerSimSecond) {
+  StreamFixture f;
+  StreamObjectOptions options;
+  options.io_quota_records_per_sec = 100;
+  StreamObject* object = f.NewObject(options);
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 100; ++i) batch.push_back(MakeRecord("k", "v"));
+  ASSERT_TRUE(object->Append(batch).ok());
+  EXPECT_TRUE(object->Append({MakeRecord("k", "v")}).status()
+                  .IsQuotaExceeded());
+  // A simulated second later the bucket refills.
+  f.clock.Advance(sim::kSecond);
+  EXPECT_TRUE(object->Append({MakeRecord("k", "v")}).ok());
+}
+
+TEST(StreamObjectTest, ScmCacheServesRepeatedReads) {
+  StreamFixture f(/*with_pmem=*/true);
+  StreamObjectOptions options;
+  options.use_scm_cache = true;
+  StreamObject* object = f.NewObject(options);
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 512; ++i) {
+    batch.push_back(MakeRecord("k", std::string(200, 'c')));
+  }
+  ASSERT_TRUE(object->Append(batch).ok());
+
+  // First read warms the cache (slices were cached at persist time too).
+  ASSERT_TRUE(object->Read(0, 512).ok());
+  uint64_t ssd_reads_before = f.pool.AggregateStats().read_ops;
+  ASSERT_TRUE(object->Read(0, 512).ok());
+  uint64_t ssd_reads_after = f.pool.AggregateStats().read_ops;
+  EXPECT_EQ(ssd_reads_before, ssd_reads_after);  // served from SCM
+  EXPECT_GT(f.manager->cache()->hits(), 0u);
+}
+
+TEST(StreamObjectTest, FindOffsetByTimestamp) {
+  StreamFixture f;
+  StreamObjectOptions options;
+  options.records_per_slice = 16;
+  StreamObject* object = f.NewObject(options);
+  // 100 records with timestamps 1000, 1010, 1020, ...
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 100; ++i) {
+    StreamRecord r = MakeRecord("k", "v" + std::to_string(i));
+    r.timestamp = 1000 + i * 10;
+    batch.push_back(std::move(r));
+  }
+  ASSERT_TRUE(object->Append(batch).ok());
+
+  // Exact hit, between-records hit, before-everything, after-everything.
+  EXPECT_EQ(*object->FindOffsetByTimestamp(1000), 0u);
+  EXPECT_EQ(*object->FindOffsetByTimestamp(1500), 50u);
+  EXPECT_EQ(*object->FindOffsetByTimestamp(1505), 51u);
+  EXPECT_EQ(*object->FindOffsetByTimestamp(0), 0u);
+  EXPECT_EQ(*object->FindOffsetByTimestamp(99999), 100u);  // frontier
+
+  // Offsets in the buffered (unpersisted) tail resolve too.
+  EXPECT_EQ(object->persisted(), 96u);  // 6 slices of 16
+  EXPECT_EQ(*object->FindOffsetByTimestamp(1000 + 97 * 10), 97u);
+
+  // The found offset is consumable.
+  auto read = object->Read(*object->FindOffsetByTimestamp(1500), 1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ((*read)[0].timestamp, 1500);
+}
+
+TEST(StreamObjectTest, DestroyMarksGarbageAndRejectsUse) {
+  StreamFixture f;
+  auto id = f.manager->CreateObject({});
+  ASSERT_TRUE(id.ok());
+  StreamObject* object = f.manager->GetObject(*id);
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 300; ++i) batch.push_back(MakeRecord("k", "v"));
+  ASSERT_TRUE(object->Append(batch).ok());
+  ASSERT_TRUE(f.manager->DestroyObject(*id).ok());
+  EXPECT_EQ(f.manager->GetObject(*id), nullptr);
+  EXPECT_TRUE(f.manager->DestroyObject(*id).IsNotFound());
+}
+
+TEST(StreamObjectTest, SurvivesNodeFailure) {
+  StreamFixture f;
+  StreamObject* object = f.NewObject();
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 256; ++i) {
+    batch.push_back(MakeRecord("k", "payload-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(object->Append(batch).ok());
+  f.pool.SetNodeFailed(0, true);
+  auto read = object->Read(0, 256);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 256u);
+}
+
+// Property: random interleavings of appends and reads always return the
+// exact record sequence.
+TEST(StreamObjectProperty, ReadMatchesAppendedSequence) {
+  StreamFixture f;
+  Random rng(99);
+  StreamObjectOptions options;
+  options.records_per_slice = 16;  // force frequent slice boundaries
+  StreamObject* object = f.NewObject(options);
+  std::vector<std::string> expected;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<StreamRecord> batch;
+    size_t n = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      std::string v = "r" + std::to_string(expected.size());
+      expected.push_back(v);
+      batch.push_back(MakeRecord(rng.NextString(4), v));
+    }
+    ASSERT_TRUE(object->Append(batch).ok());
+    // Random read-back of an arbitrary window.
+    uint64_t start = rng.Uniform(expected.size());
+    size_t want = 1 + rng.Uniform(30);
+    auto read = object->Read(start, want);
+    ASSERT_TRUE(read.ok());
+    size_t expect_count = std::min<size_t>(want, expected.size() - start);
+    ASSERT_EQ(read->size(), expect_count);
+    for (size_t i = 0; i < expect_count; ++i) {
+      EXPECT_EQ(BytesToString((*read)[i].value), expected[start + i]);
+    }
+  }
+}
+
+// Parameterized sweep: strict ordering and exact read-back hold across
+// aggregation modes, slice sizes, and redundancy schemes.
+struct StreamParamCase {
+  bool io_aggregation;
+  size_t records_per_slice;
+  bool erasure_coded;
+};
+
+class StreamObjectParam : public ::testing::TestWithParam<StreamParamCase> {};
+
+TEST_P(StreamObjectParam, OrderingAndReadbackInvariant) {
+  const StreamParamCase& param = GetParam();
+  StreamFixture f;
+  StreamObjectOptions options;
+  options.io_aggregation = param.io_aggregation;
+  options.records_per_slice = param.records_per_slice;
+  options.redundancy = param.erasure_coded
+                           ? storage::RedundancyConfig::ErasureCoding(2, 1)
+                           : storage::RedundancyConfig::Replication(3);
+  StreamObject* object = f.NewObject(options);
+  Random rng(17);
+  std::vector<std::string> expected;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<StreamRecord> batch;
+    size_t n = 1 + rng.Uniform(70);
+    for (size_t i = 0; i < n; ++i) {
+      std::string value = "m" + std::to_string(expected.size());
+      expected.push_back(value);
+      batch.push_back(MakeRecord("k", value));
+    }
+    auto offset = object->Append(std::move(batch));
+    ASSERT_TRUE(offset.ok());
+  }
+  ASSERT_TRUE(object->Flush().ok());
+  auto read = object->Read(0, expected.size() + 10);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(BytesToString((*read)[i].value), expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, StreamObjectParam,
+    ::testing::Values(StreamParamCase{true, 256, false},
+                      StreamParamCase{true, 8, false},
+                      StreamParamCase{false, 256, false},
+                      StreamParamCase{true, 256, true},
+                      StreamParamCase{true, 8, true},
+                      StreamParamCase{false, 256, true}));
+
+// ---------------- Fig. 3 C API ----------------
+
+TEST(StreamCApiTest, FullLifecycle) {
+  StreamFixture f;
+  SetServerStreamManager(f.manager.get());
+
+  CREATE_OPTIONS_S options;
+  options.redundancy_mode = 0;
+  options.replicas = 3;
+  object_id_t id = 0;
+  ASSERT_EQ(CreateServerStreamObject(&options, &id), 0);
+  ASSERT_NE(id, 0u);
+
+  IO_CONTENT_S io;
+  io.records = {MakeRecord("k", "hello world", 1, 1),
+                MakeRecord("k", "second", 1, 2)};
+  uint64_t offset = 99;
+  ASSERT_EQ(AppendServerStreamObject(&id, &io, &offset), 0);
+  EXPECT_EQ(offset, 0u);
+
+  READ_CTRL_S ctrl;
+  ctrl.max_records = 10;
+  IO_CONTENT_S out;
+  ASSERT_EQ(ReadServerStreamObject(&id, 0, &ctrl, &out), 0);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(BytesToString(out.records[0].value), "hello world");
+
+  ASSERT_EQ(DestroyServerStreamObject(&id), 0);
+  EXPECT_EQ(AppendServerStreamObject(&id, &io, &offset),
+            -static_cast<int32_t>(StatusCode::kNotFound));
+  SetServerStreamManager(nullptr);
+}
+
+TEST(StreamCApiTest, NullArgumentsRejected) {
+  EXPECT_EQ(CreateServerStreamObject(nullptr, nullptr),
+            -static_cast<int32_t>(StatusCode::kInvalidArgument));
+  EXPECT_EQ(DestroyServerStreamObject(nullptr),
+            -static_cast<int32_t>(StatusCode::kInvalidArgument));
+}
+
+}  // namespace
+}  // namespace streamlake::stream
