@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mor.dir/bench_ablation_mor.cc.o"
+  "CMakeFiles/bench_ablation_mor.dir/bench_ablation_mor.cc.o.d"
+  "bench_ablation_mor"
+  "bench_ablation_mor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

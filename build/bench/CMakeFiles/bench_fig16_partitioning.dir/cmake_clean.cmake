@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_partitioning.dir/bench_fig16_partitioning.cc.o"
+  "CMakeFiles/bench_fig16_partitioning.dir/bench_fig16_partitioning.cc.o.d"
+  "bench_fig16_partitioning"
+  "bench_fig16_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dau_pipeline.dir/dau_pipeline.cpp.o"
+  "CMakeFiles/dau_pipeline.dir/dau_pipeline.cpp.o.d"
+  "dau_pipeline"
+  "dau_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dau_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

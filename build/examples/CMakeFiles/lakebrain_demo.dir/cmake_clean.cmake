@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakebrain_demo.dir/lakebrain_demo.cpp.o"
+  "CMakeFiles/lakebrain_demo.dir/lakebrain_demo.cpp.o.d"
+  "lakebrain_demo"
+  "lakebrain_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakebrain_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

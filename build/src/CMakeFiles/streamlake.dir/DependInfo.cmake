@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/access_control.cc" "src/CMakeFiles/streamlake.dir/access/access_control.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/access/access_control.cc.o.d"
+  "/root/repo/src/access/block_service.cc" "src/CMakeFiles/streamlake.dir/access/block_service.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/access/block_service.cc.o.d"
+  "/root/repo/src/access/nas_service.cc" "src/CMakeFiles/streamlake.dir/access/nas_service.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/access/nas_service.cc.o.d"
+  "/root/repo/src/access/s3_gateway.cc" "src/CMakeFiles/streamlake.dir/access/s3_gateway.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/access/s3_gateway.cc.o.d"
+  "/root/repo/src/baselines/mini_hdfs.cc" "src/CMakeFiles/streamlake.dir/baselines/mini_hdfs.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/baselines/mini_hdfs.cc.o.d"
+  "/root/repo/src/baselines/mini_kafka.cc" "src/CMakeFiles/streamlake.dir/baselines/mini_kafka.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/baselines/mini_kafka.cc.o.d"
+  "/root/repo/src/codec/compression.cc" "src/CMakeFiles/streamlake.dir/codec/compression.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/codec/compression.cc.o.d"
+  "/root/repo/src/codec/encoding.cc" "src/CMakeFiles/streamlake.dir/codec/encoding.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/codec/encoding.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/streamlake.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/streamlake.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/streamlake.dir/common/random.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/streamlake.dir/common/status.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/common/status.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/streamlake.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/convert/converter.cc" "src/CMakeFiles/streamlake.dir/convert/converter.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/convert/converter.cc.o.d"
+  "/root/repo/src/core/streamlake.cc" "src/CMakeFiles/streamlake.dir/core/streamlake.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/core/streamlake.cc.o.d"
+  "/root/repo/src/format/lakefile.cc" "src/CMakeFiles/streamlake.dir/format/lakefile.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/format/lakefile.cc.o.d"
+  "/root/repo/src/format/row_codec.cc" "src/CMakeFiles/streamlake.dir/format/row_codec.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/format/row_codec.cc.o.d"
+  "/root/repo/src/format/schema.cc" "src/CMakeFiles/streamlake.dir/format/schema.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/format/schema.cc.o.d"
+  "/root/repo/src/format/types.cc" "src/CMakeFiles/streamlake.dir/format/types.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/format/types.cc.o.d"
+  "/root/repo/src/kv/kv_store.cc" "src/CMakeFiles/streamlake.dir/kv/kv_store.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/kv/kv_store.cc.o.d"
+  "/root/repo/src/kv/write_batch.cc" "src/CMakeFiles/streamlake.dir/kv/write_batch.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/kv/write_batch.cc.o.d"
+  "/root/repo/src/lakebrain/compaction.cc" "src/CMakeFiles/streamlake.dir/lakebrain/compaction.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/lakebrain/compaction.cc.o.d"
+  "/root/repo/src/lakebrain/dqn.cc" "src/CMakeFiles/streamlake.dir/lakebrain/dqn.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/lakebrain/dqn.cc.o.d"
+  "/root/repo/src/lakebrain/mlp.cc" "src/CMakeFiles/streamlake.dir/lakebrain/mlp.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/lakebrain/mlp.cc.o.d"
+  "/root/repo/src/lakebrain/partition_advisor.cc" "src/CMakeFiles/streamlake.dir/lakebrain/partition_advisor.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/lakebrain/partition_advisor.cc.o.d"
+  "/root/repo/src/lakebrain/qdtree.cc" "src/CMakeFiles/streamlake.dir/lakebrain/qdtree.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/lakebrain/qdtree.cc.o.d"
+  "/root/repo/src/lakebrain/spn.cc" "src/CMakeFiles/streamlake.dir/lakebrain/spn.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/lakebrain/spn.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/streamlake.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/streamlake.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "src/CMakeFiles/streamlake.dir/query/sql_parser.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/query/sql_parser.cc.o.d"
+  "/root/repo/src/sim/device_model.cc" "src/CMakeFiles/streamlake.dir/sim/device_model.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/sim/device_model.cc.o.d"
+  "/root/repo/src/sim/network_model.cc" "src/CMakeFiles/streamlake.dir/sim/network_model.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/sim/network_model.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/CMakeFiles/streamlake.dir/sql/engine.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/sql/engine.cc.o.d"
+  "/root/repo/src/storage/block_device.cc" "src/CMakeFiles/streamlake.dir/storage/block_device.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/block_device.cc.o.d"
+  "/root/repo/src/storage/erasure_coding.cc" "src/CMakeFiles/streamlake.dir/storage/erasure_coding.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/erasure_coding.cc.o.d"
+  "/root/repo/src/storage/gf256.cc" "src/CMakeFiles/streamlake.dir/storage/gf256.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/gf256.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/streamlake.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/plog.cc" "src/CMakeFiles/streamlake.dir/storage/plog.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/plog.cc.o.d"
+  "/root/repo/src/storage/plog_store.cc" "src/CMakeFiles/streamlake.dir/storage/plog_store.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/plog_store.cc.o.d"
+  "/root/repo/src/storage/repair.cc" "src/CMakeFiles/streamlake.dir/storage/repair.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/repair.cc.o.d"
+  "/root/repo/src/storage/replication.cc" "src/CMakeFiles/streamlake.dir/storage/replication.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/replication.cc.o.d"
+  "/root/repo/src/storage/storage_pool.cc" "src/CMakeFiles/streamlake.dir/storage/storage_pool.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/storage_pool.cc.o.d"
+  "/root/repo/src/storage/tiering.cc" "src/CMakeFiles/streamlake.dir/storage/tiering.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/storage/tiering.cc.o.d"
+  "/root/repo/src/stream/stream_c_api.cc" "src/CMakeFiles/streamlake.dir/stream/stream_c_api.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/stream/stream_c_api.cc.o.d"
+  "/root/repo/src/stream/stream_object.cc" "src/CMakeFiles/streamlake.dir/stream/stream_object.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/stream/stream_object.cc.o.d"
+  "/root/repo/src/stream/stream_record.cc" "src/CMakeFiles/streamlake.dir/stream/stream_record.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/stream/stream_record.cc.o.d"
+  "/root/repo/src/streaming/archive.cc" "src/CMakeFiles/streamlake.dir/streaming/archive.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/archive.cc.o.d"
+  "/root/repo/src/streaming/consumer.cc" "src/CMakeFiles/streamlake.dir/streaming/consumer.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/consumer.cc.o.d"
+  "/root/repo/src/streaming/dispatcher.cc" "src/CMakeFiles/streamlake.dir/streaming/dispatcher.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/dispatcher.cc.o.d"
+  "/root/repo/src/streaming/producer.cc" "src/CMakeFiles/streamlake.dir/streaming/producer.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/producer.cc.o.d"
+  "/root/repo/src/streaming/stream_worker.cc" "src/CMakeFiles/streamlake.dir/streaming/stream_worker.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/stream_worker.cc.o.d"
+  "/root/repo/src/streaming/topic_config.cc" "src/CMakeFiles/streamlake.dir/streaming/topic_config.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/topic_config.cc.o.d"
+  "/root/repo/src/streaming/txn_manager.cc" "src/CMakeFiles/streamlake.dir/streaming/txn_manager.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/streaming/txn_manager.cc.o.d"
+  "/root/repo/src/table/lakehouse.cc" "src/CMakeFiles/streamlake.dir/table/lakehouse.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/table/lakehouse.cc.o.d"
+  "/root/repo/src/table/metadata.cc" "src/CMakeFiles/streamlake.dir/table/metadata.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/table/metadata.cc.o.d"
+  "/root/repo/src/table/metadata_store.cc" "src/CMakeFiles/streamlake.dir/table/metadata_store.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/table/metadata_store.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/streamlake.dir/table/table.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/table/table.cc.o.d"
+  "/root/repo/src/workload/dpi_log.cc" "src/CMakeFiles/streamlake.dir/workload/dpi_log.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/workload/dpi_log.cc.o.d"
+  "/root/repo/src/workload/openmessaging.cc" "src/CMakeFiles/streamlake.dir/workload/openmessaging.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/workload/openmessaging.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/streamlake.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/streamlake.dir/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakebrain_test.dir/lakebrain_test.cc.o"
+  "CMakeFiles/lakebrain_test.dir/lakebrain_test.cc.o.d"
+  "lakebrain_test"
+  "lakebrain_test.pdb"
+  "lakebrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakebrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
