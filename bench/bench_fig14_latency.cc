@@ -50,9 +50,9 @@ ServiceModel Measure(bool with_pmem, bool io_aggregation) {
     std::vector<stream::StreamRecord> batch(1);
     batch[0].key = "k";
     batch[0].value = Bytes(kMessageBytes, 'm');
-    object->Append(std::move(batch));
+    SL_CHECK_OK(object->Append(std::move(batch)));
   }
-  object->Flush();
+  SL_CHECK_OK(object->Flush());
   ServiceModel model;
   model.produce_ns_per_msg =
       static_cast<double>(lake.clock().NowNanos() - t0) / kProbe;

@@ -25,7 +25,7 @@ int main() {
   }
   auto producer = lake.NewProducer();
   for (int i = 0; i < 5000; ++i) {
-    producer.Send("scale", streaming::Message("k" + std::to_string(i), "v"));
+    SL_CHECK_OK(producer.Send("scale", streaming::Message("k" + std::to_string(i), "v")));
   }
   std::printf("Fig. 14(c): partition scaling (metadata-only)\n\n");
   std::printf("%22s %16s %16s %14s\n", "partitions", "scale time (s)",
@@ -53,14 +53,14 @@ int main() {
 
   // Worker scaling is equally metadata-only.
   uint64_t t0 = lake.clock().NowNanos();
-  lake.dispatcher().ResizeWorkers(24);
+  SL_CHECK_OK(lake.dispatcher().ResizeWorkers(24));
   std::printf("\nworkers 3 -> 24 rebalanced %u streams in %.3f simulated s\n",
               *lake.dispatcher().NumStreams("scale"),
               (lake.clock().NowNanos() - t0) / 1e9);
 
   // Messages remain consumable across the resize.
   auto consumer = lake.NewConsumer("g");
-  consumer.Subscribe("scale");
+  SL_CHECK_OK(consumer.Subscribe("scale"));
   auto polled = consumer.Poll(10000);
   std::printf("post-scale consumption: %zu messages intact\n",
               polled.ok() ? polled->size() : 0);

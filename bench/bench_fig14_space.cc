@@ -44,7 +44,7 @@ double MeasureStrategy(storage::RedundancyConfig redundancy,
       std::exit(1);
     }
   }
-  store.FlushAll();
+  SL_CHECK_OK(store.FlushAll());
   return static_cast<double>(pool.AggregateStats().bytes_written) /
          original_size;
 }
@@ -66,7 +66,7 @@ int main() {
   }
   // Columnar conversion for EC+Col-store.
   format::LakeFileWriter writer(schema);
-  writer.AppendBatch(rows);
+  SL_CHECK_OK(writer.AppendBatch(rows));
   Bytes columnar = *writer.Finish();
   const uint64_t original = row_format.size();
 

@@ -34,9 +34,9 @@ double MeasureProduceServiceNs(bool with_pmem) {
     std::vector<stream::StreamRecord> batch(1);
     batch[0].key = "k";
     batch[0].value = Bytes(1024, 'm');
-    object->Append(std::move(batch));
+    SL_CHECK_OK(object->Append(std::move(batch)));
   }
-  object->Flush();
+  SL_CHECK_OK(object->Flush());
   return static_cast<double>(lake.clock().NowNanos() - t0) / kProbe;
 }
 

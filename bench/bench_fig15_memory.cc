@@ -35,7 +35,7 @@ core::StreamLake* BuildLake(table::MetadataMode mode) {
                   format::Value(static_cast<int64_t>(h * 7))};
     if (!(*created)->Insert({row}).ok()) std::exit(1);
   }
-  lake->lakehouse().FlushMetadata();
+  SL_CHECK_OK(lake->lakehouse().FlushMetadata());
   return lake;
 }
 

@@ -49,7 +49,7 @@ Point RunOnePoint(uint64_t partitions, table::MetadataMode mode) {
     if (!table->Insert({row}).ok()) std::exit(1);
   }
   // The MetaFresher has flushed by query time in steady state.
-  lake.lakehouse().FlushMetadata();
+  SL_CHECK_OK(lake.lakehouse().FlushMetadata());
 
   // 100 queries "akin to those in Fig. 13, using WHERE clause conditions
   // to utilize metadata for data filtering". Metadata time = the catalog/

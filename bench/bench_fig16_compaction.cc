@@ -134,7 +134,11 @@ EnvResult RunEnvironment(Strategy strategy, uint64_t total_rows,
     // Utilization sampled continuously "during system operation".
     {
       std::vector<uint64_t> sizes;
-      for (const auto& f : *table->LiveFiles()) sizes.push_back(f.file_bytes);
+      // Materialize before iterating: a range-for over *temporary-Result
+      // dangles (the Result dies before the loop body runs).
+      auto live = table->LiveFiles();
+      SL_CHECK_OK(live);
+      for (const auto& f : *live) sizes.push_back(f.file_bytes);
       result.avg_utilization += lakebrain::BlockUtilization(sizes, kBlockSize);
       ++util_samples;
     }

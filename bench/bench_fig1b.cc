@@ -63,22 +63,22 @@ int main() {
     hdfs_pool.AddCluster(3, 4, 64ULL << 30);
     baselines::MiniKafka kafka(&kafka_pool);
     baselines::MiniHdfs hdfs(&hdfs_pool);
-    kafka.CreateTopic("collect", 3);
+    SL_CHECK_OK(kafka.CreateTopic("collect", 3));
 
     workload::DpiLogGenerator gen;
     std::vector<format::Row> rows;
     double t0 = clock.NowSeconds();
     for (uint64_t i = 0; i < kPackets; ++i) {
       streaming::Message msg = gen.NextMessage();
-      kafka.Produce("collect", msg);
+      SL_CHECK_OK(kafka.Produce("collect", msg));
       rows.push_back(*format::DecodeRow(schema, ByteView(msg.value)));
     }
     for (int stage = 0; stage < 3; ++stage) {
       Bytes blob;
       for (const format::Row& row : rows) format::EncodeRow(schema, row, &blob);
-      hdfs.WriteFile("/etl/stage-" + std::to_string(stage), ByteView(blob));
+      SL_CHECK_OK(hdfs.WriteFile("/etl/stage-" + std::to_string(stage), ByteView(blob)));
     }
-    hdfs.ReadFile("/etl/stage-2");
+    SL_CHECK_OK(hdfs.ReadFile("/etl/stage-2"));
     double duration = clock.NowSeconds() - t0;
     kafka_demand = {duration, kafka_pool.AggregateStats().busy_ns / 1e9};
     hdfs_demand = {duration, hdfs_pool.AggregateStats().busy_ns / 1e9};
@@ -100,15 +100,15 @@ int main() {
         table::PartitionSpec::Identity("province");
     config.convert_2_table.split_offset = 1;
     config.convert_2_table.delete_msg = true;
-    lake.dispatcher().CreateTopic("collect", config);
+    SL_CHECK_OK(lake.dispatcher().CreateTopic("collect", config));
 
     workload::DpiLogGenerator gen;
     auto producer = lake.NewProducer();
     double t0 = lake.clock().NowSeconds();
     for (uint64_t i = 0; i < kPackets; ++i) {
-      producer.Send("collect", gen.NextMessage());
+      SL_CHECK_OK(producer.Send("collect", gen.NextMessage()));
     }
-    lake.converter().Run("collect");
+    SL_CHECK_OK(lake.converter().Run("collect"));
     auto table = *lake.lakehouse().GetTable("dpi");
 
     // Query speedup range: pushdown + skipping vs full-shuffle execution.

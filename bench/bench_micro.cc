@@ -115,7 +115,7 @@ BENCHMARK(BM_KvPut);
 void BM_KvGet(benchmark::State& state) {
   kv::KvStore store;
   for (int i = 0; i < 10000; ++i) {
-    store.Put("key-" + std::to_string(i), "value-" + std::to_string(i));
+    SL_CHECK_OK(store.Put("key-" + std::to_string(i), "value-" + std::to_string(i)));
   }
   uint64_t i = 0;
   for (auto _ : state) {
@@ -183,7 +183,7 @@ void BM_LakeFileWriteScan(benchmark::State& state) {
   std::vector<format::Row> rows = gen.NextBatch(4096);
   for (auto _ : state) {
     format::LakeFileWriter writer(workload::DpiLogGenerator::Schema());
-    writer.AppendBatch(rows);
+    SL_CHECK_OK(writer.AppendBatch(rows));
     auto file = writer.Finish();
     auto reader = format::LakeFileReader::Open(std::move(*file));
     benchmark::DoNotOptimize(reader->ReadAll());

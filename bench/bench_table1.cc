@@ -61,7 +61,7 @@ Row RunOnePoint(uint64_t packets) {
         table::PartitionSpec::Identity("province");
     config.convert_2_table.split_offset = 1;
     config.convert_2_table.delete_msg = true;  // one copy for both modes
-    lake.dispatcher().CreateTopic("collect", config);
+    SL_CHECK_OK(lake.dispatcher().CreateTopic("collect", config));
 
     // Message streaming: measure real-time produce throughput.
     workload::DpiLogGenerator gen;
@@ -92,10 +92,10 @@ Row RunOnePoint(uint64_t packets) {
     auto table = lake.lakehouse().GetTable("dpi");
     // Normalization + labeling as lakehouse updates (only changed rows
     // are written).
-    (*table)->Update(
+    SL_CHECK_OK((*table)->Update(
         query::Conjunction{query::Predicate::Lt("bytes",
                                                 format::Value(int64_t{80}))},
-        "bytes", format::Value(int64_t{80}));
+        "bytes", format::Value(int64_t{80})));
     query::QuerySpec dau;
     dau.where.Add(query::Predicate::Eq(
         "url",
@@ -107,7 +107,7 @@ Row RunOnePoint(uint64_t packets) {
       std::fprintf(stderr, "select: %s\n", result.status().ToString().c_str());
       std::exit(1);
     }
-    lake.RunBackgroundWork();
+    SL_CHECK_OK(lake.RunBackgroundWork());
     out.s_batch_sec = lake.clock().NowSeconds() - batch_start;
     out.s_storage_mb = lake.plogs().TotalLivePhysicalBytes() / 1048576.0;
   }
@@ -119,7 +119,7 @@ Row RunOnePoint(uint64_t packets) {
     pool.AddCluster(3, 4, 64ULL << 30);
     baselines::MiniKafka kafka(&pool);
     baselines::MiniHdfs hdfs(&pool);
-    kafka.CreateTopic("collect", 3);
+    SL_CHECK_OK(kafka.CreateTopic("collect", 3));
 
     workload::DpiLogGenerator gen;
     std::vector<format::Row> rows;
@@ -150,7 +150,7 @@ Row RunOnePoint(uint64_t packets) {
       for (const format::Row& row : rows) {
         format::EncodeRow(schema, row, &blob);
       }
-      hdfs.WriteFile("/etl/stage-" + std::to_string(stage), ByteView(blob));
+      SL_CHECK_OK(hdfs.WriteFile("/etl/stage-" + std::to_string(stage), ByteView(blob)));
     }
     auto final_copy = hdfs.ReadFile("/etl/stage-2");
     if (!final_copy.ok()) std::exit(1);

@@ -32,13 +32,13 @@ double RunStreamLakePipeline(int packets, uint64_t* storage_bytes) {
       table::PartitionSpec::Identity("province");
   config.convert_2_table.split_offset = 1;
   config.convert_2_table.delete_msg = true;
-  lake.dispatcher().CreateTopic("collect", config);
+  SL_CHECK_OK(lake.dispatcher().CreateTopic("collect", config));
 
   workload::DpiLogGenerator gen;
   auto producer = lake.NewProducer();
   // (a) Collection: packets land as stream messages.
   for (int i = 0; i < packets; ++i) {
-    producer.Send("collect", gen.NextMessage());
+    SL_CHECK_OK(producer.Send("collect", gen.NextMessage()));
   }
   double start = lake.clock().NowSeconds();
   // (b+c) Normalization + labeling happen on conversion: one table copy.
@@ -66,7 +66,7 @@ double RunBaselinePipeline(int packets, uint64_t* storage_bytes) {
   pool.AddCluster(3, 4, 64ULL << 30);
   baselines::MiniKafka kafka(&pool);
   baselines::MiniHdfs hdfs(&pool);
-  kafka.CreateTopic("collect", 3);
+  SL_CHECK_OK(kafka.CreateTopic("collect", 3));
 
   workload::DpiLogGenerator gen;
   format::Schema schema = workload::DpiLogGenerator::Schema();
@@ -74,7 +74,7 @@ double RunBaselinePipeline(int packets, uint64_t* storage_bytes) {
   std::vector<format::Row> rows;
   for (int i = 0; i < packets; ++i) {
     streaming::Message msg = gen.NextMessage();
-    kafka.Produce("collect", msg);
+    SL_CHECK_OK(kafka.Produce("collect", msg));
     rows.push_back(*format::DecodeRow(schema, ByteView(msg.value)));
   }
   double start = clock.NowSeconds();
@@ -83,7 +83,7 @@ double RunBaselinePipeline(int packets, uint64_t* storage_bytes) {
   for (int stage = 0; stage < 3; ++stage) {
     Bytes blob;
     for (const format::Row& row : rows) format::EncodeRow(schema, row, &blob);
-    hdfs.WriteFile("/etl/stage-" + std::to_string(stage), ByteView(blob));
+    SL_CHECK_OK(hdfs.WriteFile("/etl/stage-" + std::to_string(stage), ByteView(blob)));
   }
   // (d) Query: read the final stage fully (no pushdown) and aggregate.
   auto data = hdfs.ReadFile("/etl/stage-2");

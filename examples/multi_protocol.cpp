@@ -24,13 +24,13 @@ int main() {
   // --- Principals and ACLs ---
   std::string admin = acl.CreatePrincipal("admin");
   std::string analyst = acl.CreatePrincipal("analyst");
-  acl.Grant("admin", "/", access::Permission::kAdmin);
-  acl.Grant("analyst", "/s3/reports/", access::Permission::kRead);
+  SL_CHECK_OK(acl.Grant("admin", "/", access::Permission::kAdmin));
+  SL_CHECK_OK(acl.Grant("analyst", "/s3/reports/", access::Permission::kRead));
 
   // --- S3 protocol ---
   access::S3Gateway s3(&lake.objects(), &acl, &lake.data_bus());
-  s3.CreateBucket(admin, "reports");
-  s3.PutObject(admin, "reports", "q2.csv", ByteView("region,revenue\ncn,42\n"));
+  SL_CHECK_OK(s3.CreateBucket(admin, "reports"));
+  SL_CHECK_OK(s3.PutObject(admin, "reports", "q2.csv", ByteView("region,revenue\ncn,42\n")));
   auto fetched = s3.GetObject(analyst, "reports", "q2.csv");
   std::printf("S3: analyst reads %zu bytes from s3://reports/q2.csv\n",
               fetched.ok() ? fetched->size() : 0);
@@ -40,10 +40,10 @@ int main() {
 
   // --- NAS protocol over the same object namespace ---
   access::NasService nas(&lake.objects(), &acl, &lake.clock());
-  nas.MakeDirectory(admin, "/shared");
+  SL_CHECK_OK(nas.MakeDirectory(admin, "/shared"));
   auto handle = nas.Open(admin, "/shared/notes.txt", /*for_write=*/true);
-  nas.WriteAt(*handle, 0, ByteView("mounted via NFS\n"));
-  nas.Close(*handle);
+  SL_CHECK_OK(nas.WriteAt(*handle, 0, ByteView("mounted via NFS\n")));
+  SL_CHECK_OK(nas.Close(*handle));
   auto attrs = nas.GetAttributes(admin, "/shared/notes.txt");
   std::printf("NAS: /shared/notes.txt is %llu bytes\n",
               static_cast<unsigned long long>(attrs->size));
@@ -51,7 +51,7 @@ int main() {
   // --- Block protocol (iSCSI LUN, thin-provisioned) ---
   access::BlockService blocks(&lake.ssd_pool(), &acl);
   auto lun = blocks.CreateVolume(admin, 256ULL << 20);
-  blocks.Write(admin, *lun, 4096, ByteView("raw database pages"));
+  SL_CHECK_OK(blocks.Write(admin, *lun, 4096, ByteView("raw database pages")));
   auto sector = blocks.Read(admin, *lun, 4096, 18);
   std::printf("Block: LUN %llu read back '%s'; %llu bytes provisioned of "
               "256 MB\n",
@@ -81,8 +81,8 @@ int main() {
   std::printf("Replication: %llu objects (%llu bytes) mirrored to site B\n",
               static_cast<unsigned long long>(shipped->objects_shipped),
               static_cast<unsigned long long>(shipped->bytes_shipped));
-  s3.DeleteObject(admin, "reports", "q2.csv");
-  replication.RestoreObject("/s3/reports/q2.csv");
+  SL_CHECK_OK(s3.DeleteObject(admin, "reports", "q2.csv"));
+  SL_CHECK_OK(replication.RestoreObject("/s3/reports/q2.csv"));
   auto restored = s3.GetObject(admin, "reports", "q2.csv");
   std::printf("Disaster recovery: object restored from site B (%zu bytes)\n",
               restored.ok() ? restored->size() : 0);

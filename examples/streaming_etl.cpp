@@ -32,10 +32,10 @@ int main() {
     auto txn = txns.Begin();
     if (!txn.ok()) return 1;
     for (int i = 0; i < 100; ++i) {
-      txns.Send(*txn, "payments", gen.NextMessage());
+      SL_CHECK_OK(txns.Send(*txn, "payments", gen.NextMessage()));
     }
     if (batch % 5 == 4) {
-      txns.Abort(*txn);  // e.g. an upstream validation failed
+      SL_CHECK_OK(txns.Abort(*txn));  // e.g. an upstream validation failed
       ++aborted;
     } else {
       if (!txns.Commit(*txn).ok()) return 1;
@@ -52,8 +52,8 @@ int main() {
 
   // --- Elastic scaling: metadata-only, measured on the simulated clock ---
   uint64_t before_ns = lake.clock().NowNanos();
-  lake.dispatcher().ResizeWorkers(12);
-  lake.dispatcher().AddStreams("payments", 60);
+  SL_CHECK_OK(lake.dispatcher().ResizeWorkers(12));
+  SL_CHECK_OK(lake.dispatcher().AddStreams("payments", 60));
   uint64_t scale_ns = lake.clock().NowNanos() - before_ns;
   std::printf("scaled 4->64 partitions, 3->12 workers in %.3f simulated ms "
               "(no data migration)\n", scale_ns / 1e6);

@@ -38,19 +38,19 @@ int main() {
   table::Table* orders = *created;
 
   // Day 1: first batch lands.
-  orders->Insert({Order(1, "created", 100), Order(2, "created", 101)});
+  SL_CHECK_OK(orders->Insert({Order(1, "created", 100), Order(2, "created", 101)}));
   int64_t day1 = static_cast<int64_t>(lake.clock().NowSeconds());
   std::printf("day 1: %lld orders\n", static_cast<long long>(CountRows(orders)));
 
   // Day 2: more orders; one is updated, one deleted.
   lake.clock().Advance(86400 * sim::kSecond);
-  orders->Insert({Order(3, "created", 200), Order(4, "created", 201)});
-  orders->Update(
+  SL_CHECK_OK(orders->Insert({Order(3, "created", 200), Order(4, "created", 201)}));
+  SL_CHECK_OK(orders->Update(
       query::Conjunction{query::Predicate::Eq("order_id",
                                               format::Value(int64_t{1}))},
-      "status", format::Value(std::string("shipped")));
-  orders->Delete(query::Conjunction{
-      query::Predicate::Eq("order_id", format::Value(int64_t{2}))});
+      "status", format::Value(std::string("shipped"))));
+  SL_CHECK_OK(orders->Delete(query::Conjunction{
+      query::Predicate::Eq("order_id", format::Value(int64_t{2}))}));
   std::printf("day 2: %lld orders after update+delete\n",
               static_cast<long long>(CountRows(orders)));
 
@@ -73,7 +73,7 @@ int main() {
               std::get<std::string>(now->rows[0].fields[0]).c_str());
 
   // Drop table soft: unregistered, but the data survives for restoration.
-  lake.lakehouse().DropTableSoft("orders");
+  SL_CHECK_OK(lake.lakehouse().DropTableSoft("orders"));
   std::printf("after drop soft: GetTable -> %s\n",
               lake.lakehouse().GetTable("orders").status().ToString().c_str());
   auto restored = lake.lakehouse().RestoreTable("orders");
@@ -82,7 +82,7 @@ int main() {
               static_cast<long long>(CountRows(*restored)));
 
   // Snapshot expiration bounds how far back time travel goes.
-  (*restored)->ExpireSnapshots(day1 + 1);
+  SL_CHECK_OK((*restored)->ExpireSnapshots(day1 + 1));
   auto expired = (*restored)->Select(status_of_1, day1_view);
   std::printf("time travel after expiration: %s\n",
               expired.ok() ? "still available (unexpected)"

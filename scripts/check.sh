@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command verify: tier-1 build+tests, both sanitizer tiers, and the
+# static lint. Mirrors what CI should run; any failure fails the script.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   tier-1 + lint only (skip the sanitizer builds)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+if [[ $# -gt 0 ]]; then
+  case "$1" in
+    --fast) fast=1 ;;
+    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+  esac
+fi
+
+run_tier() {
+  local preset="$1"
+  echo "==> [$preset] configure + build + test"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+}
+
+echo "==> lint"
+python3 tools/lint.py
+
+run_tier default
+
+if [[ "$fast" == 0 ]]; then
+  run_tier asan-ubsan
+  run_tier tsan
+fi
+
+echo "==> all checks passed"

@@ -5,7 +5,7 @@
 namespace streamlake::access {
 
 std::string AccessController::CreatePrincipal(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto existing = principal_to_token_.find(name);
   if (existing != principal_to_token_.end()) return existing->second;
   // Token: an unguessable-looking hash of name + counter (simulation-
@@ -21,7 +21,7 @@ std::string AccessController::CreatePrincipal(const std::string& name) {
 }
 
 Status AccessController::RevokePrincipal(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = principal_to_token_.find(name);
   if (it == principal_to_token_.end()) {
     return Status::NotFound("principal " + name);
@@ -35,7 +35,7 @@ Status AccessController::RevokePrincipal(const std::string& name) {
 Status AccessController::Grant(const std::string& principal,
                                const std::string& resource_prefix,
                                Permission permission) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!principal_to_token_.count(principal)) {
     return Status::NotFound("principal " + principal);
   }
@@ -46,7 +46,7 @@ Status AccessController::Grant(const std::string& principal,
 Status AccessController::Revoke(const std::string& principal,
                                 const std::string& resource_prefix,
                                 Permission permission) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto principal_it = acls_.find(principal);
   if (principal_it == acls_.end()) {
     return Status::NotFound("no grants for " + principal);
@@ -62,7 +62,7 @@ Status AccessController::Revoke(const std::string& principal,
 
 Result<std::string> AccessController::Authenticate(
     const std::string& token) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = token_to_principal_.find(token);
   if (it == token_to_principal_.end()) {
     return Status::InvalidArgument("invalid access token");
@@ -73,7 +73,7 @@ Result<std::string> AccessController::Authenticate(
 bool AccessController::Authorize(const std::string& principal,
                                  const std::string& resource,
                                  Permission permission) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto principal_it = acls_.find(principal);
   if (principal_it == acls_.end()) return false;
   uint8_t wanted = static_cast<uint8_t>(permission);

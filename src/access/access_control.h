@@ -2,10 +2,10 @@
 #define STREAMLAKE_ACCESS_ACCESS_CONTROL_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace streamlake::access {
@@ -51,12 +51,13 @@ class AccessController {
                       Permission permission) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> token_to_principal_;
-  std::map<std::string, std::string> principal_to_token_;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> token_to_principal_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> principal_to_token_ GUARDED_BY(mu_);
   // principal -> (resource prefix -> permission bits)
-  std::map<std::string, std::map<std::string, uint8_t>> acls_;
-  uint64_t next_token_ = 1;
+  std::map<std::string, std::map<std::string, uint8_t>> acls_
+      GUARDED_BY(mu_);
+  uint64_t next_token_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace streamlake::access

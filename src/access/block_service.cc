@@ -9,7 +9,7 @@ Result<uint64_t> BlockService::CreateVolume(const std::string& token,
   SL_ASSIGN_OR_RETURN([[maybe_unused]] std::string principal,
                       acl_->Authenticate(token));
   if (size_bytes == 0) return Status::InvalidArgument("empty volume");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t lun = next_lun_++;
   volumes_[lun].size = size_bytes;
   return lun;
@@ -18,7 +18,7 @@ Result<uint64_t> BlockService::CreateVolume(const std::string& token,
 Status BlockService::DeleteVolume(const std::string& token, uint64_t lun) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(lun),
                                       Permission::kAdmin));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = volumes_.find(lun);
   if (it == volumes_.end()) return Status::NotFound("lun " + std::to_string(lun));
   for (auto& [chunk, extents] : it->second.chunks) {
@@ -48,7 +48,7 @@ Status BlockService::Write(const std::string& token, uint64_t lun,
                            uint64_t offset, ByteView data) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(lun),
                                       Permission::kWrite));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = volumes_.find(lun);
   if (it == volumes_.end()) return Status::NotFound("lun " + std::to_string(lun));
   Volume& volume = it->second;
@@ -75,7 +75,7 @@ Result<Bytes> BlockService::Read(const std::string& token, uint64_t lun,
                                  uint64_t offset, uint64_t length) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(lun),
                                       Permission::kRead));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = volumes_.find(lun);
   if (it == volumes_.end()) return Status::NotFound("lun " + std::to_string(lun));
   Volume& volume = it->second;
@@ -114,7 +114,7 @@ Result<uint64_t> BlockService::AllocatedBytes(const std::string& token,
                                               uint64_t lun) const {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(lun),
                                       Permission::kRead));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = volumes_.find(lun);
   if (it == volumes_.end()) return Status::NotFound("lun " + std::to_string(lun));
   return it->second.chunks.size() * chunk_bytes_ * replication_;

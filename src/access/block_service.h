@@ -2,11 +2,11 @@
 #define STREAMLAKE_ACCESS_BLOCK_SERVICE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "access/access_control.h"
+#include "common/mutex.h"
 #include "storage/storage_pool.h"
 
 namespace streamlake::access {
@@ -50,15 +50,16 @@ class BlockService {
     return "/block/lun-" + std::to_string(lun);
   }
   Result<std::vector<storage::Extent>*> EnsureChunk(Volume* volume,
-                                                    uint64_t chunk);
+                                                    uint64_t chunk)
+      REQUIRES(mu_);
 
   storage::StoragePool* pool_;
   AccessController* acl_;
   const uint64_t chunk_bytes_;
   const int replication_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, Volume> volumes_;
-  uint64_t next_lun_ = 1;
+  mutable Mutex mu_;
+  std::map<uint64_t, Volume> volumes_ GUARDED_BY(mu_);
+  uint64_t next_lun_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace streamlake::access

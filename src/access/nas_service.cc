@@ -10,7 +10,7 @@ Status NasService::MakeDirectory(const std::string& token,
                                       Permission::kWrite));
   std::string marker = NasPath(path) + "/.dir";
   if (objects_->Exists(marker)) return Status::AlreadyExists(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   mtimes_[NasPath(path)] = static_cast<int64_t>(clock_->NowSeconds());
   return objects_->Write(marker, ByteView());
 }
@@ -31,7 +31,7 @@ Result<uint64_t> NasService::Open(const std::string& token,
   } else if (!for_write) {
     return Status::NotFound(path);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t handle = next_handle_++;
   handles_[handle] = std::move(file);
   return handle;
@@ -39,7 +39,7 @@ Result<uint64_t> NasService::Open(const std::string& token,
 
 Result<Bytes> NasService::ReadAt(uint64_t handle, uint64_t offset,
                                  uint64_t length) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = handles_.find(handle);
   if (it == handles_.end()) return Status::InvalidArgument("stale handle");
   const Bytes& contents = it->second.contents;
@@ -49,7 +49,7 @@ Result<Bytes> NasService::ReadAt(uint64_t handle, uint64_t offset,
 }
 
 Status NasService::WriteAt(uint64_t handle, uint64_t offset, ByteView data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = handles_.find(handle);
   if (it == handles_.end()) return Status::InvalidArgument("stale handle");
   OpenFile& file = it->second;
@@ -63,7 +63,7 @@ Status NasService::WriteAt(uint64_t handle, uint64_t offset, ByteView data) {
 }
 
 Status NasService::Close(uint64_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = handles_.find(handle);
   if (it == handles_.end()) return Status::InvalidArgument("stale handle");
   Status status = Status::OK();
@@ -80,7 +80,7 @@ Status NasService::Close(uint64_t handle) {
 Status NasService::Remove(const std::string& token, const std::string& path) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, NasPath(path),
                                       Permission::kWrite));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   mtimes_.erase(NasPath(path));
   return objects_->Delete(NasPath(path));
 }
@@ -95,7 +95,7 @@ Result<FileAttributes> NasService::GetAttributes(const std::string& token,
   } else {
     SL_ASSIGN_OR_RETURN(attrs.size, objects_->Size(NasPath(path)));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = mtimes_.find(NasPath(path));
   if (it != mtimes_.end()) attrs.mtime = it->second;
   return attrs;
@@ -120,7 +120,7 @@ Result<std::vector<std::string>> NasService::ReadDirectory(
 }
 
 size_t NasService::open_handles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return handles_.size();
 }
 

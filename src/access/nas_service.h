@@ -2,11 +2,11 @@
 #define STREAMLAKE_ACCESS_NAS_SERVICE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "access/access_control.h"
+#include "common/mutex.h"
 #include "sim/clock.h"
 #include "storage/object_store.h"
 
@@ -63,10 +63,10 @@ class NasService {
   storage::ObjectStore* objects_;
   AccessController* acl_;
   sim::SimClock* clock_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, OpenFile> handles_;
-  std::map<std::string, int64_t> mtimes_;
-  uint64_t next_handle_ = 1;
+  mutable Mutex mu_;
+  std::map<uint64_t, OpenFile> handles_ GUARDED_BY(mu_);
+  std::map<std::string, int64_t> mtimes_ GUARDED_BY(mu_);
+  uint64_t next_handle_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace streamlake::access

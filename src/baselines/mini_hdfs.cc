@@ -36,7 +36,7 @@ Status MiniHdfs::WriteFile(const std::string& path, ByteView data) {
     pos += len;
   } while (pos < data.size());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = namespace_.find(path);
   if (it != namespace_.end()) {
     for (const Block& block : it->second.blocks) {
@@ -53,7 +53,7 @@ Result<Bytes> MiniHdfs::ReadFile(const std::string& path) const {
   std::vector<Block> blocks;
   uint64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = namespace_.find(path);
     if (it == namespace_.end()) return Status::NotFound(path);
     blocks = it->second.blocks;
@@ -80,7 +80,7 @@ Result<Bytes> MiniHdfs::ReadFile(const std::string& path) const {
 }
 
 Status MiniHdfs::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = namespace_.find(path);
   if (it == namespace_.end()) return Status::NotFound(path);
   for (const Block& block : it->second.blocks) {
@@ -93,19 +93,19 @@ Status MiniHdfs::DeleteFile(const std::string& path) {
 }
 
 bool MiniHdfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return namespace_.count(path) > 0;
 }
 
 Result<uint64_t> MiniHdfs::FileSize(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = namespace_.find(path);
   if (it == namespace_.end()) return Status::NotFound(path);
   return it->second.size;
 }
 
 std::vector<std::string> MiniHdfs::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (auto it = namespace_.lower_bound(prefix); it != namespace_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -115,14 +115,14 @@ std::vector<std::string> MiniHdfs::List(const std::string& prefix) const {
 }
 
 uint64_t MiniHdfs::TotalLogicalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [path, inode] : namespace_) total += inode.size;
   return total;
 }
 
 uint64_t MiniHdfs::TotalPhysicalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [path, inode] : namespace_) {
     total += inode.size * options_.replication;

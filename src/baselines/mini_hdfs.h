@@ -2,10 +2,10 @@
 #define STREAMLAKE_BASELINES_MINI_HDFS_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/storage_pool.h"
 
 namespace streamlake::baselines {
@@ -55,8 +55,8 @@ class MiniHdfs {
 
   storage::StoragePool* pool_;
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Inode> namespace_;  // the namenode
+  mutable Mutex mu_;
+  std::map<std::string, Inode> namespace_ GUARDED_BY(mu_);  // the namenode
 };
 
 }  // namespace streamlake::baselines

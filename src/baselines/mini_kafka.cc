@@ -45,7 +45,7 @@ MiniKafka::MiniKafka(storage::StoragePool* pool, Options options)
     : pool_(pool), options_(options) {}
 
 Status MiniKafka::CreateTopic(const std::string& topic, uint32_t partitions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (topics_.count(topic)) return Status::AlreadyExists(topic);
   if (partitions == 0) return Status::InvalidArgument("need >= 1 partition");
   Topic t;
@@ -55,7 +55,7 @@ Status MiniKafka::CreateTopic(const std::string& topic, uint32_t partitions) {
 }
 
 Status MiniKafka::DeleteTopic(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound(topic);
   for (Partition& partition : it->second.partitions) {
@@ -91,7 +91,7 @@ Result<MiniKafka::Segment*> MiniKafka::ActiveSegment(Partition* partition) {
 
 Result<MiniKafka::ProduceResult> MiniKafka::Produce(
     const std::string& topic, const streaming::Message& message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound(topic);
   Topic& t = it->second;
@@ -147,7 +147,7 @@ Result<MiniKafka::ProduceResult> MiniKafka::Produce(
 Result<std::vector<streaming::Message>> MiniKafka::Fetch(
     const std::string& topic, uint32_t partition_index, uint64_t offset,
     size_t max_messages) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound(topic);
   const Topic& t = it->second;
@@ -194,7 +194,7 @@ Result<std::vector<streaming::Message>> MiniKafka::Fetch(
 
 Result<uint64_t> MiniKafka::EndOffset(const std::string& topic,
                                       uint32_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound(topic);
   if (partition >= it->second.partitions.size()) {
@@ -204,14 +204,14 @@ Result<uint64_t> MiniKafka::EndOffset(const std::string& topic,
 }
 
 Result<uint32_t> MiniKafka::NumPartitions(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound(topic);
   return static_cast<uint32_t>(it->second.partitions.size());
 }
 
 Status MiniKafka::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, topic] : topics_) {
     for (Partition& partition : topic.partitions) {
       for (auto& segment : partition.segments) {
@@ -233,7 +233,7 @@ Status MiniKafka::Flush() {
 }
 
 uint64_t MiniKafka::TotalLogicalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, topic] : topics_) {
     for (const Partition& partition : topic.partitions) {

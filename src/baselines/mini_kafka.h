@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/storage_pool.h"
 #include "streaming/message.h"
 
@@ -86,12 +86,12 @@ class MiniKafka {
     uint64_t rr_cursor = 0;
   };
 
-  Result<Segment*> ActiveSegment(Partition* partition);
+  Result<Segment*> ActiveSegment(Partition* partition) REQUIRES(mu_);
 
   storage::StoragePool* pool_;
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Topic> topics_;
+  mutable Mutex mu_;
+  std::map<std::string, Topic> topics_ GUARDED_BY(mu_);
 };
 
 }  // namespace streamlake::baselines

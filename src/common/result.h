@@ -16,7 +16,7 @@ namespace streamlake {
 ///   if (!r.ok()) return r.status();
 ///   int port = *r;
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Construct from a value (implicit by design, like arrow::Result).
   Result(T value) : value_(std::move(value)) {}
@@ -55,6 +55,13 @@ class Result {
   Status status_;  // OK iff value_ holds a value
   std::optional<T> value_;
 };
+
+namespace internal {
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
 
 /// Assign the value of a Result expression to `lhs`, or early-return its
 /// error status. `lhs` may include a declaration: SL_ASSIGN_OR_RETURN(auto x,

@@ -2,6 +2,8 @@
 #define STREAMLAKE_COMMON_STATUS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -31,7 +33,11 @@ enum class StatusCode : uint8_t {
 ///
 /// Cheap to copy in the OK case (no allocation); error construction
 /// allocates the message. Never throw across StreamLake API boundaries.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning Status by
+/// value warn when the caller drops the result (enforced repo-wide by
+/// tools/lint.py and -Werror in scripts/check.sh).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -100,6 +106,11 @@ class Status {
   /// Renders e.g. "IOError: disk full" or "OK".
   std::string ToString() const;
 
+  /// Explicitly discard this status at best-effort call sites (cache drops,
+  /// rollback cleanup). Keeps [[nodiscard]] honest: every ignored Status is
+  /// greppable instead of silent.
+  void IgnoreError() const {}
+
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:
@@ -115,6 +126,27 @@ class Status {
   do {                                    \
     ::streamlake::Status _s = (expr);     \
     if (!_s.ok()) return _s;              \
+  } while (0)
+
+namespace internal {
+/// Overload set used by SL_CHECK_OK to extract the Status from either a
+/// Status or a Result<T> (result.h adds the Result overload).
+inline const Status& StatusOf(const Status& s) { return s; }
+}  // namespace internal
+
+/// Abort if a Status/Result expression is not OK. For benches, examples,
+/// and test harness code where a failure means the setup itself is broken
+/// and there is no caller to propagate to.
+#define SL_CHECK_OK(expr)                                             \
+  do {                                                                \
+    const auto& _sl_ok = (expr);                                      \
+    if (!_sl_ok.ok()) {                                               \
+      std::fprintf(                                                   \
+          stderr, "%s:%d: CHECK_OK failed: %s -> %s\n", __FILE__,     \
+          __LINE__, #expr,                                            \
+          ::streamlake::internal::StatusOf(_sl_ok).ToString().c_str()); \
+      std::abort();                                                   \
+    }                                                                 \
   } while (0)
 
 }  // namespace streamlake

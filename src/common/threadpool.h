@@ -1,12 +1,12 @@
 #ifndef STREAMLAKE_COMMON_THREADPOOL_H_
 #define STREAMLAKE_COMMON_THREADPOOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace streamlake {
 
@@ -35,13 +35,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers
-  std::condition_variable idle_cv_;   // signals Wait()
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar work_cv_;   // signals workers
+  CondVar idle_cv_;   // signals Wait()
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace streamlake

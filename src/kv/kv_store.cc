@@ -1,7 +1,7 @@
+#include "common/mutex.h"
 #include "kv/kv_store.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace streamlake::kv {
 
@@ -12,7 +12,7 @@ Status KvStore::Write(const WriteBatch& batch) {
   Bytes record;
   batch.EncodeTo(&record);
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     uint64_t seq = ++sequence_;
     for (const WriteBatch::Op& op : batch.ops()) {
       auto& versions = table_[op.key];
@@ -47,7 +47,7 @@ Result<std::string> KvStore::GetAtSequence(std::string_view key,
   if (options_.read_device != nullptr) {
     options_.read_device->ChargeRead(key.size() + 64);
   }
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return Status::NotFound(std::string(key));
   // Versions are appended in sequence order; find the last one <= sequence.
@@ -79,7 +79,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
     std::string_view start, std::string_view end, const Snapshot& snap,
     size_t limit) const {
   std::vector<std::pair<std::string, std::string>> out;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = table_.lower_bound(start);
   for (; it != table_.end() && out.size() < limit; ++it) {
     if (!end.empty() && it->first >= end) break;
@@ -102,7 +102,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
 }
 
 size_t KvStore::LiveKeyCount() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t count = 0;
   for (const auto& [key, versions] : table_) {
     if (!versions.empty() && versions.back().value.has_value()) ++count;
@@ -111,17 +111,17 @@ size_t KvStore::LiveKeyCount() const {
 }
 
 Snapshot KvStore::GetSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return Snapshot{sequence_};
 }
 
 uint64_t KvStore::LatestSequence() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return sequence_;
 }
 
 void KvStore::ReleaseVersionsBefore(uint64_t sequence) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = table_.begin();
   while (it != table_.end()) {
     auto& versions = it->second;
@@ -144,13 +144,13 @@ void KvStore::ReleaseVersionsBefore(uint64_t sequence) {
 }
 
 Bytes KvStore::WalContents() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return wal_;
 }
 
 Result<size_t> KvStore::Recover(ByteView wal) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     if (!table_.empty()) {
       return Status::InvalidArgument("Recover requires an empty store");
     }

@@ -4,10 +4,10 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "kv/write_batch.h"
@@ -97,10 +97,11 @@ class KvStore {
                                     uint64_t sequence) const;
 
   KvOptions options_;
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::vector<Version>, std::less<>> table_;
-  uint64_t sequence_ = 0;
-  Bytes wal_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::vector<Version>, std::less<>> table_
+      GUARDED_BY(mu_);
+  uint64_t sequence_ GUARDED_BY(mu_) = 0;
+  Bytes wal_ GUARDED_BY(mu_);
 };
 
 }  // namespace streamlake::kv

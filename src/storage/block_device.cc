@@ -20,7 +20,7 @@ Status BlockDevice::Write(uint64_t offset, ByteView data) {
                                      " write past capacity");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     uint64_t pos = 0;
     while (pos < data.size()) {
       uint64_t page = (offset + pos) / kPageSize;
@@ -46,7 +46,7 @@ Result<Bytes> BlockDevice::Read(uint64_t offset, uint64_t length) const {
   }
   Bytes out(length, 0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     uint64_t pos = 0;
     while (pos < length) {
       uint64_t page = (offset + pos) / kPageSize;
@@ -65,7 +65,7 @@ Result<Bytes> BlockDevice::Read(uint64_t offset, uint64_t length) const {
 }
 
 void BlockDevice::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pages_.clear();
   failed_.store(false);
 }

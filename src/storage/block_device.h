@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "sim/device_model.h"
 
@@ -54,8 +54,9 @@ class BlockDevice {
   sim::MediaType media_;
   mutable sim::DeviceModel model_;
   std::atomic<bool> failed_{false};
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Bytes> pages_;  // page index -> kPageSize bytes
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, Bytes> pages_
+      GUARDED_BY(mu_);  // page index -> kPageSize bytes
 };
 
 }  // namespace streamlake::storage

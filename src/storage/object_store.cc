@@ -23,7 +23,7 @@ std::string ObjectStore::RefKey(const PlogAddress& address) {
 }
 
 bool ObjectStore::IsWorm(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(worm_mu_);
+  MutexLock lock(&worm_mu_);
   for (const std::string& prefix : worm_prefixes_) {
     if (path.compare(0, prefix.size(), prefix) == 0) return true;
   }
@@ -31,7 +31,7 @@ bool ObjectStore::IsWorm(const std::string& path) const {
 }
 
 void ObjectStore::SetWormPrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(worm_mu_);
+  MutexLock lock(&worm_mu_);
   worm_prefixes_.push_back(prefix);
 }
 

@@ -1,10 +1,10 @@
 #ifndef STREAMLAKE_STORAGE_OBJECT_STORE_H_
 #define STREAMLAKE_STORAGE_OBJECT_STORE_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "kv/kv_store.h"
 #include "storage/plog_store.h"
 
@@ -76,8 +76,8 @@ class ObjectStore {
   PlogStore* plogs_;
   kv::KvStore* index_;
   uint64_t max_fragment_bytes_;
-  mutable std::mutex worm_mu_;
-  std::vector<std::string> worm_prefixes_;
+  mutable Mutex worm_mu_;
+  std::vector<std::string> worm_prefixes_ GUARDED_BY(worm_mu_);
 };
 
 }  // namespace streamlake::storage

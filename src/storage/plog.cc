@@ -58,7 +58,7 @@ Plog::Plog(StoragePool* pool, PlogConfig config, std::vector<Extent> extents,
 Plog::~Plog() = default;
 
 Result<uint64_t> Plog::Append(ByteView record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::InvalidArgument("plog freed");
   if (sealed_) return Status::InvalidArgument("plog sealed");
   uint64_t frame_size = kRecordHeader + record.size();
@@ -141,7 +141,7 @@ Status Plog::WriteStripesLocked(uint64_t first_stripe, ByteView data) {
 }
 
 Status Plog::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::InvalidArgument("plog freed");
   if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication ||
       pending_.empty()) {
@@ -162,18 +162,18 @@ Status Plog::Flush() {
 
 Status Plog::Seal() {
   SL_RETURN_NOT_OK(Flush());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sealed_ = true;
   return Status::OK();
 }
 
 bool Plog::sealed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sealed_;
 }
 
 Result<Bytes> Plog::ReadRecord(uint64_t offset) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::InvalidArgument("plog freed");
   SL_ASSIGN_OR_RETURN(Bytes header, ReadRangeLocked(offset, kRecordHeader));
   uint32_t len = DecodeFixed32(header.data());
@@ -190,7 +190,7 @@ Result<Bytes> Plog::ReadRecord(uint64_t offset) const {
 }
 
 Result<Bytes> Plog::ReadRange(uint64_t offset, uint64_t length) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::InvalidArgument("plog freed");
   return ReadRangeLocked(offset, length);
 }
@@ -319,7 +319,7 @@ Result<Bytes> Plog::ReconstructStripeLocked(uint64_t stripe_index) const {
 
 Status Plog::MigrateTo(StoragePool* target) {
   SL_RETURN_NOT_OK(Flush());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::InvalidArgument("plog freed");
   SL_ASSIGN_OR_RETURN(Bytes content, ReadRangeLocked(0, size_));
 
@@ -366,7 +366,7 @@ Status Plog::MigrateTo(StoragePool* target) {
 }
 
 std::vector<int> Plog::FailedExtents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<int> failed;
   for (size_t i = 0; i < extents_.size(); ++i) {
     if (extents_[i].device->failed()) failed.push_back(static_cast<int>(i));
@@ -375,7 +375,7 @@ std::vector<int> Plog::FailedExtents() const {
 }
 
 Status Plog::RepairFailedExtents() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::InvalidArgument("plog freed");
   std::vector<int> failed;
   for (size_t i = 0; i < extents_.size(); ++i) {
@@ -426,32 +426,32 @@ Status Plog::RepairFailedExtents() {
 }
 
 uint64_t Plog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return size_;
 }
 
 uint64_t Plog::record_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return record_count_;
 }
 
 void Plog::AddGarbage(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   garbage_bytes_ += bytes;
 }
 
 uint64_t Plog::garbage_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return garbage_bytes_;
 }
 
 uint64_t Plog::live_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return payload_bytes_ - std::min(payload_bytes_, garbage_bytes_);
 }
 
 Status Plog::Free() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (freed_) return Status::OK();
   for (const Extent& extent : extents_) pool_->FreeExtent(extent);
   extents_.clear();

@@ -2,9 +2,9 @@
 #define STREAMLAKE_STORAGE_PLOG_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/erasure_coding.h"
 #include "storage/storage_pool.h"
 
@@ -140,29 +140,33 @@ class Plog {
   uint64_t ExtentSize() const;
 
   // EC internals (mu_ held):
-  Status WriteStripeLocked(uint64_t stripe_index, ByteView data);
+  Status WriteStripeLocked(uint64_t stripe_index, ByteView data)
+      REQUIRES(mu_);
   /// Encode and persist one or more consecutive full stripes with a
   /// single device write per shard.
-  Status WriteStripesLocked(uint64_t first_stripe, ByteView data);
-  Result<Bytes> ReadRangeLocked(uint64_t offset, uint64_t length) const;
-  Result<Bytes> ReconstructStripeLocked(uint64_t stripe_index) const;
+  Status WriteStripesLocked(uint64_t first_stripe, ByteView data)
+      REQUIRES(mu_);
+  Result<Bytes> ReadRangeLocked(uint64_t offset, uint64_t length) const
+      REQUIRES(mu_);
+  Result<Bytes> ReconstructStripeLocked(uint64_t stripe_index) const
+      REQUIRES(mu_);
 
   StoragePool* pool_;
   PlogConfig config_;
   std::vector<Extent> extents_;
   std::unique_ptr<ReedSolomon> rs_;  // EC only
 
-  mutable std::mutex mu_;
-  uint64_t size_ = 0;          // logical frontier
-  uint64_t striped_bytes_ = 0; // EC: logical bytes durably striped
-  Bytes pending_;              // EC: stripe buffer (logical tail)
-  bool sealed_ = false;
-  bool freed_ = false;
-  uint64_t record_count_ = 0;
-  uint64_t payload_bytes_ = 0;
-  uint64_t garbage_bytes_ = 0;
+  mutable Mutex mu_;
+  uint64_t size_ GUARDED_BY(mu_) = 0;           // logical frontier
+  uint64_t striped_bytes_ GUARDED_BY(mu_) = 0;  // EC: bytes durably striped
+  Bytes pending_ GUARDED_BY(mu_);  // EC: stripe buffer (logical tail)
+  bool sealed_ GUARDED_BY(mu_) = false;
+  bool freed_ GUARDED_BY(mu_) = false;
+  uint64_t record_count_ GUARDED_BY(mu_) = 0;
+  uint64_t payload_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t garbage_bytes_ GUARDED_BY(mu_) = 0;
   uint64_t created_at_ns_ = 0;
-  uint64_t last_append_ns_ = 0;
+  uint64_t last_append_ns_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace streamlake::storage

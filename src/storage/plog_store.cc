@@ -18,7 +18,7 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
   if (shard >= config_.num_shards) {
     return Status::InvalidArgument("shard out of range");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Shard& s = shards_[shard];
   // Open the first PLog lazily; roll over when the active one fills up.
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -45,7 +45,7 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
 }
 
 Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (address.shard >= shards_.size()) {
     return Status::InvalidArgument("shard out of range");
   }
@@ -58,7 +58,7 @@ Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
 
 Status PlogStore::MarkGarbage(const PlogAddress& address,
                               uint64_t payload_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (address.shard >= shards_.size()) {
     return Status::InvalidArgument("shard out of range");
   }
@@ -75,7 +75,7 @@ Status PlogStore::MarkGarbage(const PlogAddress& address,
 }
 
 Status PlogStore::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (Shard& s : shards_) {
     if (!s.chain.empty() && !s.chain.back()->sealed()) {
       SL_RETURN_NOT_OK(s.chain.back()->Flush());
@@ -86,7 +86,7 @@ Status PlogStore::FlushAll() {
 
 void PlogStore::ForEachPlog(
     const std::function<void(uint32_t, uint32_t, Plog*)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
     const Shard& s = shards_[shard];
     for (uint32_t i = 0; i < s.chain.size(); ++i) {
@@ -99,7 +99,7 @@ Status PlogStore::MigratePlog(uint32_t shard, uint32_t index,
                               StoragePool* target) {
   Plog* plog = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shard >= shards_.size() || index >= shards_[shard].chain.size()) {
       return Status::NotFound("no such plog");
     }
@@ -112,7 +112,7 @@ Status PlogStore::MigratePlog(uint32_t shard, uint32_t index,
 }
 
 uint64_t PlogStore::TotalLogicalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const Shard& s : shards_) {
     for (const auto& plog : s.chain) total += plog->size();
@@ -121,7 +121,7 @@ uint64_t PlogStore::TotalLogicalBytes() const {
 }
 
 uint64_t PlogStore::TotalLiveBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const Shard& s : shards_) {
     for (const auto& plog : s.chain) total += plog->live_bytes();
@@ -135,7 +135,7 @@ uint64_t PlogStore::TotalLivePhysicalBytes() const {
 }
 
 uint64_t PlogStore::TotalPlogs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const Shard& s : shards_) total += s.chain.size();
   return total;

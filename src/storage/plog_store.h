@@ -3,9 +3,9 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "sim/clock.h"
 #include "storage/plog.h"
 
@@ -85,8 +85,8 @@ class PlogStore {
   StoragePool* pool_;
   PlogStoreConfig config_;
   sim::SimClock* clock_;
-  mutable std::mutex mu_;
-  std::vector<Shard> shards_;
+  mutable Mutex mu_;
+  std::vector<Shard> shards_ GUARDED_BY(mu_);
 };
 
 }  // namespace streamlake::storage

@@ -5,7 +5,7 @@ namespace streamlake::storage {
 Result<RepairService::RunStats> RepairService::Run() {
   RunStats stats;
   std::vector<Plog*> degraded;
-  plogs_->ForEachPlog([&](uint32_t shard, uint32_t index, Plog* plog) {
+  plogs_->ForEachPlog([&](uint32_t /*shard*/, uint32_t /*index*/, Plog* plog) {
     ++stats.plogs_scanned;
     if (!plog->FailedExtents().empty()) degraded.push_back(plog);
   });

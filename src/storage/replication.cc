@@ -29,7 +29,9 @@ RemoteReplicationService::Replicate(const std::string& prefix) {
   for (const std::string& path : remote_->List(prefix)) {
     if (!live.count(path)) {
       SL_RETURN_NOT_OK(remote_->Delete(path));
-      state_->Delete(StateKey(path));
+      // Drop the recorded CRC too: a stale entry would make a future run
+      // skip re-shipping an identical recreated object.
+      SL_RETURN_NOT_OK(state_->Delete(StateKey(path)));
       ++stats.objects_pruned;
     }
   }

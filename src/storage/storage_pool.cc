@@ -9,7 +9,7 @@ StoragePool::StoragePool(std::string name, sim::MediaType media,
     : name_(std::move(name)), media_(media), clock_(clock) {}
 
 uint32_t StoragePool::AddDevice(uint32_t node_id, uint64_t capacity_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint32_t id = static_cast<uint32_t>(devices_.size());
   devices_.push_back(std::make_unique<BlockDevice>(id, node_id, capacity_bytes,
                                                    media_, clock_));
@@ -57,7 +57,7 @@ bool StoragePool::TryAllocate(size_t idx, uint64_t size, Extent* out) {
 Result<std::vector<Extent>> StoragePool::AllocateExtents(int count,
                                                          uint64_t size,
                                                          bool distinct_nodes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (devices_.empty()) return Status::ResourceExhausted("pool has no disks");
   std::vector<Extent> extents;
   std::set<uint32_t> used_nodes;
@@ -97,33 +97,33 @@ Result<std::vector<Extent>> StoragePool::AllocateExtents(int count,
 }
 
 void StoragePool::FreeExtent(const Extent& extent) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   states_[extent.device->id()].free_list.emplace_back(extent.offset,
                                                       extent.size);
   allocated_bytes_ -= extent.size;
 }
 
 uint64_t StoragePool::TotalCapacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& dev : devices_) total += dev->capacity();
   return total;
 }
 
 uint64_t StoragePool::AllocatedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return allocated_bytes_;
 }
 
 void StoragePool::SetNodeFailed(uint32_t node_id, bool failed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& dev : devices_) {
     if (dev->node_id() == node_id) dev->SetFailed(failed);
   }
 }
 
 sim::DeviceStats StoragePool::AggregateStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sim::DeviceStats total;
   for (const auto& dev : devices_) {
     sim::DeviceStats s = dev->device_model().stats();

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/block_device.h"
 
 namespace streamlake::storage {
@@ -66,16 +66,16 @@ class StoragePool {
   };
 
   /// Try to carve `size` bytes from device `idx`; returns false when full.
-  bool TryAllocate(size_t idx, uint64_t size, Extent* out);
+  bool TryAllocate(size_t idx, uint64_t size, Extent* out) REQUIRES(mu_);
 
   std::string name_;
   sim::MediaType media_;
   sim::SimClock* clock_;
   std::vector<std::unique_ptr<BlockDevice>> devices_;
-  std::vector<DeviceState> states_;
-  mutable std::mutex mu_;
-  size_t rr_cursor_ = 0;  // round-robin start for load balance
-  uint64_t allocated_bytes_ = 0;
+  std::vector<DeviceState> states_ GUARDED_BY(mu_);
+  mutable Mutex mu_;
+  size_t rr_cursor_ GUARDED_BY(mu_) = 0;  // round-robin start
+  uint64_t allocated_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace streamlake::storage

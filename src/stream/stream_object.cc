@@ -8,7 +8,7 @@ namespace streamlake::stream {
 
 const std::vector<StreamRecord>* ScmSliceCache::Get(uint64_t object_id,
                                                     uint64_t slice_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find({object_id, slice_seq});
   if (it == index_.end()) {
     ++misses_;
@@ -22,7 +22,7 @@ const std::vector<StreamRecord>* ScmSliceCache::Get(uint64_t object_id,
 
 void ScmSliceCache::Put(uint64_t object_id, uint64_t slice_seq,
                         std::vector<StreamRecord> records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Key key{object_id, slice_seq};
   if (index_.count(key)) return;
   Entry entry;
@@ -131,7 +131,7 @@ Status StreamObject::CheckQuotaLocked(size_t incoming) {
 }
 
 Result<uint64_t> StreamObject::Append(std::vector<StreamRecord> records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   SL_RETURN_NOT_OK(CheckQuotaLocked(records.size()));
 
@@ -194,7 +194,7 @@ Status StreamObject::PersistSliceLocked(std::vector<StreamRecord> records) {
 
 Result<std::vector<StreamRecord>> StreamObject::Read(
     uint64_t offset, size_t max_records) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   if (offset > frontier_) {
     return Status::InvalidArgument("read past stream frontier");
@@ -240,11 +240,14 @@ Result<std::vector<StreamRecord>> StreamObject::Read(
 }
 
 Result<uint64_t> StreamObject::FindOffsetByTimestamp(int64_t timestamp) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
 
-  auto load_slice = [&](size_t i) -> Result<std::vector<StreamRecord>> {
-    SL_ASSIGN_OR_RETURN(Bytes raw, plogs_->Read(slices_[i].address));
+  // Takes the address by value so the lambda body touches no mu_-guarded
+  // state (thread-safety analysis treats lambdas as separate functions).
+  auto load_slice =
+      [this](storage::PlogAddress address) -> Result<std::vector<StreamRecord>> {
+    SL_ASSIGN_OR_RETURN(Bytes raw, plogs_->Read(address));
     return DecodeSlice(ByteView(raw));
   };
 
@@ -254,7 +257,7 @@ Result<uint64_t> StreamObject::FindOffsetByTimestamp(int64_t timestamp) const {
   size_t hi = slices_.size();
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
-    SL_ASSIGN_OR_RETURN(auto records, load_slice(mid));
+    SL_ASSIGN_OR_RETURN(auto records, load_slice(slices_[mid].address));
     if (!records.empty() && records.back().timestamp >= timestamp) {
       hi = mid;
     } else {
@@ -262,7 +265,7 @@ Result<uint64_t> StreamObject::FindOffsetByTimestamp(int64_t timestamp) const {
     }
   }
   if (lo < slices_.size()) {
-    SL_ASSIGN_OR_RETURN(auto records, load_slice(lo));
+    SL_ASSIGN_OR_RETURN(auto records, load_slice(slices_[lo].address));
     for (size_t i = 0; i < records.size(); ++i) {
       if (records[i].timestamp >= timestamp) {
         return slices_[lo].start_offset + i;
@@ -277,17 +280,17 @@ Result<uint64_t> StreamObject::FindOffsetByTimestamp(int64_t timestamp) const {
 }
 
 uint64_t StreamObject::frontier() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return frontier_;
 }
 
 uint64_t StreamObject::persisted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return persisted_;
 }
 
 Status StreamObject::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   Status s = PersistSliceLocked(std::move(active_));
   active_.clear();
@@ -295,7 +298,7 @@ Status StreamObject::Flush() {
 }
 
 Status StreamObject::RecoverFromIndex() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   if (!slices_.empty() || frontier_ != 0) {
     return Status::InvalidArgument("recovery requires a fresh object");
@@ -333,7 +336,7 @@ Status StreamObject::RecoverFromIndex() {
 }
 
 Status StreamObject::TrimTo(uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   if (offset > persisted_) {
     // Only persisted slices can be reclaimed; cap at the persisted bound.
@@ -352,12 +355,12 @@ Status StreamObject::TrimTo(uint64_t offset) {
 }
 
 uint64_t StreamObject::trimmed_until() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return trimmed_until_;
 }
 
 Status StreamObject::Destroy() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (destroyed_) return Status::OK();
   destroyed_ = true;
   for (size_t i = first_live_slice_; i < slices_.size(); ++i) {
@@ -385,7 +388,7 @@ StreamObjectManager::StreamObjectManager(storage::PlogStore* plogs,
 
 Result<uint64_t> StreamObjectManager::CreateObject(
     const StreamObjectOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t id = next_id_++;
   // Persist the options so RecoverAll() can rebuild the object.
   Bytes encoded;
@@ -398,7 +401,7 @@ Result<uint64_t> StreamObjectManager::CreateObject(
 }
 
 Result<size_t> StreamObjectManager::RecoverAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!objects_.empty()) {
     return Status::InvalidArgument("recovery requires an empty manager");
   }
@@ -421,13 +424,13 @@ Result<size_t> StreamObjectManager::RecoverAll() {
 }
 
 StreamObject* StreamObjectManager::GetObject(uint64_t object_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = objects_.find(object_id);
   return it == objects_.end() ? nullptr : it->second.get();
 }
 
 Status StreamObjectManager::DestroyObject(uint64_t object_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = objects_.find(object_id);
   if (it == objects_.end()) {
     return Status::NotFound("stream object " + std::to_string(object_id));
@@ -439,7 +442,7 @@ Status StreamObjectManager::DestroyObject(uint64_t object_id) {
 }
 
 size_t StreamObjectManager::num_objects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return objects_.size();
 }
 

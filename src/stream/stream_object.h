@@ -4,9 +4,9 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "kv/kv_store.h"
 #include "sim/clock.h"
 #include "sim/device_model.h"
@@ -61,11 +61,11 @@ class ScmSliceCache {
 
   sim::DeviceModel* pmem_;
   size_t capacity_;
-  std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::map<Key, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::map<Key, std::list<Entry>::iterator> index_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 /// \brief A stream object: the store-layer abstraction for one partition
@@ -136,8 +136,9 @@ class StreamObject {
     uint64_t payload_bytes = 0;
   };
 
-  Status PersistSliceLocked(std::vector<StreamRecord> records);
-  Status CheckQuotaLocked(size_t incoming);
+  Status PersistSliceLocked(std::vector<StreamRecord> records)
+      REQUIRES(mu_);
+  Status CheckQuotaLocked(size_t incoming) REQUIRES(mu_);
   std::string IndexKey(uint64_t slice_seq) const;
 
   const uint64_t id_;
@@ -147,19 +148,20 @@ class StreamObject {
   StreamObjectOptions options_;
   ScmSliceCache* cache_;  // may be nullptr
 
-  mutable std::mutex mu_;
-  std::vector<SliceMeta> slices_;
-  std::vector<StreamRecord> active_;  // buffered tail
-  uint64_t frontier_ = 0;
-  uint64_t persisted_ = 0;
-  std::unordered_map<uint64_t, uint64_t> producer_last_seq_;
-  uint64_t trimmed_until_ = 0;
-  size_t first_live_slice_ = 0;
-  uint64_t next_slice_seq_ = 0;
+  mutable Mutex mu_;
+  std::vector<SliceMeta> slices_ GUARDED_BY(mu_);
+  std::vector<StreamRecord> active_ GUARDED_BY(mu_);  // buffered tail
+  uint64_t frontier_ GUARDED_BY(mu_) = 0;
+  uint64_t persisted_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, uint64_t> producer_last_seq_
+      GUARDED_BY(mu_);
+  uint64_t trimmed_until_ GUARDED_BY(mu_) = 0;
+  size_t first_live_slice_ GUARDED_BY(mu_) = 0;
+  uint64_t next_slice_seq_ GUARDED_BY(mu_) = 0;
   // Quota token accounting.
-  uint64_t quota_epoch_ns_ = 0;
-  uint64_t quota_consumed_ = 0;
-  bool destroyed_ = false;
+  uint64_t quota_epoch_ns_ GUARDED_BY(mu_) = 0;
+  uint64_t quota_consumed_ GUARDED_BY(mu_) = 0;
+  bool destroyed_ GUARDED_BY(mu_) = false;
 };
 
 /// Creates, resolves, and destroys stream objects; owns the SCM cache.
@@ -194,9 +196,10 @@ class StreamObjectManager {
   kv::KvStore* index_;
   sim::SimClock* clock_;
   std::unique_ptr<ScmSliceCache> cache_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, std::unique_ptr<StreamObject>> objects_;
-  uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<uint64_t, std::unique_ptr<StreamObject>> objects_
+      GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace streamlake::stream

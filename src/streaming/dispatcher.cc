@@ -40,7 +40,7 @@ Status StreamDispatcher::AssignStreamLocked(uint64_t stream_object_id,
 
 Status StreamDispatcher::CreateTopic(const std::string& topic,
                                      const TopicConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (topics_.count(topic)) {
     return Status::AlreadyExists("topic " + topic);
   }
@@ -70,7 +70,7 @@ Status StreamDispatcher::CreateTopic(const std::string& topic,
 }
 
 Status StreamDispatcher::DeleteTopic(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   for (size_t i = 0; i < it->second.stream_object_ids.size(); ++i) {
@@ -91,7 +91,7 @@ Status StreamDispatcher::DeleteTopic(const std::string& topic) {
 }
 
 Result<size_t> StreamDispatcher::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!topics_.empty()) {
     return Status::InvalidArgument("recovery requires an empty dispatcher");
   }
@@ -139,20 +139,20 @@ Result<size_t> StreamDispatcher::Recover() {
 }
 
 bool StreamDispatcher::HasTopic(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return topics_.count(topic) > 0;
 }
 
 Result<TopicConfig> StreamDispatcher::GetTopicConfig(
     const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   return it->second.config;
 }
 
 Result<uint32_t> StreamDispatcher::NumStreams(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   return static_cast<uint32_t>(it->second.stream_object_ids.size());
@@ -160,7 +160,7 @@ Result<uint32_t> StreamDispatcher::NumStreams(const std::string& topic) const {
 
 Result<uint64_t> StreamDispatcher::StreamObjectId(const std::string& topic,
                                                   uint32_t index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   if (index >= it->second.stream_object_ids.size()) {
@@ -171,7 +171,7 @@ Result<uint64_t> StreamDispatcher::StreamObjectId(const std::string& topic,
 
 Result<StreamDispatcher::Route> StreamDispatcher::RouteProduce(
     const std::string& topic, const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   TopicState& state = it->second;
@@ -192,7 +192,7 @@ Result<StreamDispatcher::Route> StreamDispatcher::RouteProduce(
 
 Result<StreamDispatcher::Route> StreamDispatcher::RouteFetch(
     const std::string& topic, uint32_t stream_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   if (stream_index >= it->second.stream_object_ids.size()) {
@@ -217,16 +217,19 @@ Status StreamDispatcher::RebalanceLocked(uint32_t worker_count) {
 }
 
 Status StreamDispatcher::ResizeWorkers(uint32_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (count == 0) return Status::InvalidArgument("need at least one worker");
   for (uint32_t w = static_cast<uint32_t>(workers_.size()); w < count; ++w) {
     workers_.push_back(std::make_unique<StreamWorker>(w, objects_, bus_));
     last_heartbeat_ns_.push_back(clock_->NowNanos());
   }
-  // Rebalance over the surviving workers; shrinking drops the (now empty)
-  // tail afterwards. No stream data moves.
+  // Rebalance over the surviving workers; shrinking retires the (now
+  // empty) tail afterwards. No stream data moves.
   SL_RETURN_NOT_OK(RebalanceLocked(count));
   if (count < workers_.size()) {
+    for (size_t w = count; w < workers_.size(); ++w) {
+      retired_workers_.push_back(std::move(workers_[w]));
+    }
     workers_.resize(count);
     last_heartbeat_ns_.resize(count);
   }
@@ -234,7 +237,7 @@ Status StreamDispatcher::ResizeWorkers(uint32_t count) {
 }
 
 void StreamDispatcher::Heartbeat(uint32_t worker_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (worker_index < last_heartbeat_ns_.size()) {
     last_heartbeat_ns_[worker_index] = clock_->NowNanos();
   }
@@ -242,7 +245,7 @@ void StreamDispatcher::Heartbeat(uint32_t worker_index) {
 
 Result<StreamDispatcher::HealthSweepStats> StreamDispatcher::SweepDeadWorkers(
     uint64_t timeout_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   HealthSweepStats stats;
   const uint64_t now = clock_->NowNanos();
   std::vector<bool> dead(workers_.size(), false);
@@ -279,7 +282,7 @@ Result<StreamDispatcher::HealthSweepStats> StreamDispatcher::SweepDeadWorkers(
 
 Status StreamDispatcher::AddStreams(const std::string& topic,
                                     uint32_t additional) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   TopicState& state = it->second;
@@ -300,17 +303,17 @@ Status StreamDispatcher::AddStreams(const std::string& topic,
 }
 
 uint32_t StreamDispatcher::num_workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<uint32_t>(workers_.size());
 }
 
 StreamWorker* StreamDispatcher::worker(uint32_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return index < workers_.size() ? workers_[index].get() : nullptr;
 }
 
 uint64_t StreamDispatcher::NextProducerId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_producer_id_++;
 }
 

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "kv/kv_store.h"
 #include "sim/clock.h"
 #include "sim/network_model.h"
@@ -88,21 +88,28 @@ class StreamDispatcher {
     uint64_t next_rr = 0;  // round-robin cursor for empty keys
   };
 
-  Status AssignStreamLocked(uint64_t stream_object_id, uint32_t worker_index);
-  Result<uint64_t> CreateStreamObjectLocked(const TopicConfig& config);
-  Status RebalanceLocked(uint32_t worker_count);
+  Status AssignStreamLocked(uint64_t stream_object_id, uint32_t worker_index)
+      REQUIRES(mu_);
+  Result<uint64_t> CreateStreamObjectLocked(const TopicConfig& config)
+      REQUIRES(mu_);
+  Status RebalanceLocked(uint32_t worker_count) REQUIRES(mu_);
 
   stream::StreamObjectManager* objects_;
   kv::KvStore* meta_;
   sim::NetworkModel* bus_;
   sim::SimClock* clock_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<StreamWorker>> workers_;
-  std::vector<uint64_t> last_heartbeat_ns_;
-  std::map<std::string, TopicState> topics_;
-  std::map<uint64_t, uint32_t> stream_to_worker_;
-  uint64_t next_producer_id_ = 1;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<StreamWorker>> workers_ GUARDED_BY(mu_);
+  // Workers removed by a shrink. Kept alive for the dispatcher's lifetime:
+  // RouteProduce/RouteFetch hand out raw StreamWorker pointers that callers
+  // use after mu_ is released, so destroying a shrunk-away worker would be
+  // a use-after-free under concurrent produce.
+  std::vector<std::unique_ptr<StreamWorker>> retired_workers_ GUARDED_BY(mu_);
+  std::vector<uint64_t> last_heartbeat_ns_ GUARDED_BY(mu_);
+  std::map<std::string, TopicState> topics_ GUARDED_BY(mu_);
+  std::map<uint64_t, uint32_t> stream_to_worker_ GUARDED_BY(mu_);
+  uint64_t next_producer_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace streamlake::streaming

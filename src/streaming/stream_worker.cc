@@ -3,22 +3,22 @@
 namespace streamlake::streaming {
 
 void StreamWorker::AssignStream(uint64_t stream_object_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   streams_.insert(stream_object_id);
 }
 
 void StreamWorker::UnassignStream(uint64_t stream_object_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   streams_.erase(stream_object_id);
 }
 
 size_t StreamWorker::num_streams() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return streams_.size();
 }
 
 bool StreamWorker::HandlesStream(uint64_t stream_object_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return streams_.count(stream_object_id) > 0;
 }
 

@@ -2,10 +2,10 @@
 #define STREAMLAKE_STREAMING_STREAM_WORKER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "sim/network_model.h"
 #include "stream/stream_object.h"
 #include "streaming/message.h"
@@ -51,8 +51,8 @@ class StreamWorker {
   const uint32_t id_;
   stream::StreamObjectManager* objects_;
   sim::NetworkModel* bus_;
-  mutable std::mutex mu_;
-  std::set<uint64_t> streams_;
+  mutable Mutex mu_;
+  std::set<uint64_t> streams_ GUARDED_BY(mu_);
 };
 
 }  // namespace streamlake::streaming

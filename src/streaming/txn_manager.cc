@@ -21,7 +21,7 @@ const char* StateName(TxnState state) {
 }  // namespace
 
 Result<uint64_t> TransactionManager::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t id = next_txn_id_++;
   txns_[id] = Txn{};
   SL_RETURN_NOT_OK(LogState(id, TxnState::kOpen));
@@ -34,7 +34,7 @@ Status TransactionManager::LogState(uint64_t txn_id, TxnState state) {
 
 Status TransactionManager::Send(uint64_t txn_id, const std::string& topic,
                                 const Message& message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("unknown transaction");
   if (it->second.state != TxnState::kOpen) {
@@ -45,7 +45,7 @@ Status TransactionManager::Send(uint64_t txn_id, const std::string& topic,
 }
 
 Status TransactionManager::Commit(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("unknown transaction");
   Txn& txn = it->second;
@@ -95,7 +95,7 @@ Status TransactionManager::Commit(uint64_t txn_id) {
 }
 
 Status TransactionManager::Abort(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("unknown transaction");
   if (it->second.state == TxnState::kCommitted) {
@@ -107,7 +107,7 @@ Status TransactionManager::Abort(uint64_t txn_id) {
 }
 
 Result<TxnState> TransactionManager::GetState(uint64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("unknown transaction");
   return it->second.state;

@@ -2,10 +2,10 @@
 #define STREAMLAKE_STREAMING_TXN_MANAGER_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "streaming/dispatcher.h"
 #include "streaming/message.h"
 
@@ -59,10 +59,10 @@ class TransactionManager {
   StreamDispatcher* dispatcher_;
   kv::KvStore* txn_log_;
   const uint64_t producer_id_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, Txn> txns_;
-  uint64_t next_txn_id_ = 1;
-  std::map<uint64_t, uint64_t> next_seq_;  // per stream object
+  mutable Mutex mu_;
+  std::map<uint64_t, Txn> txns_ GUARDED_BY(mu_);
+  uint64_t next_txn_id_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, uint64_t> next_seq_ GUARDED_BY(mu_);  // per stream object
 };
 
 }  // namespace streamlake::streaming

@@ -17,7 +17,7 @@ Result<Table*> LakehouseService::CreateTable(const std::string& name,
                                              const format::Schema& schema,
                                              const PartitionSpec& partition_spec,
                                              const TableOptions* options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto existing = meta_->GetTableInfo(name);
   if (existing.ok() && !existing->soft_deleted) {
     return Status::AlreadyExists("table " + name);
@@ -53,7 +53,7 @@ Result<Table*> LakehouseService::CreateTable(const std::string& name,
 }
 
 Result<Table*> LakehouseService::GetTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
   if (info.soft_deleted) return Status::NotFound("table " + name + " dropped");
   auto it = tables_.find(name);
@@ -66,7 +66,7 @@ Result<Table*> LakehouseService::GetTable(const std::string& name) {
 }
 
 Status LakehouseService::DropTableSoft(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
   if (info.soft_deleted) return Status::NotFound("table already dropped");
   info.soft_deleted = true;
@@ -77,15 +77,15 @@ Status LakehouseService::DropTableSoft(const std::string& name) {
 }
 
 Status LakehouseService::DropTableHard(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
   // Remove metadata entries (cache first, then disk — handled by the
   // metadata store) for every snapshot/commit.
   for (const auto& [snapshot_id, ts] : info.snapshot_log) {
-    meta_->DeleteSnapshot(info.path, snapshot_id);
+    SL_RETURN_NOT_OK(meta_->DeleteSnapshot(info.path, snapshot_id));
   }
   for (uint64_t seq = 1; seq < info.next_commit_seq; ++seq) {
-    meta_->DeleteCommit(info.path, seq);
+    SL_RETURN_NOT_OK(meta_->DeleteCommit(info.path, seq));
   }
   // Remove all data and metadata objects under the table path.
   for (const std::string& path : objects_->List(info.path + "/")) {
@@ -97,7 +97,7 @@ Status LakehouseService::DropTableHard(const std::string& name) {
 }
 
 Result<Table*> LakehouseService::RestoreTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name));
   if (!info.soft_deleted) {
     return Status::InvalidArgument("table " + name + " is not dropped");

@@ -3,9 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "table/table.h"
 
 namespace streamlake::table {
@@ -52,9 +52,9 @@ class LakehouseService {
   sim::SimClock* clock_;
   sim::NetworkModel* compute_link_;
   TableOptions default_options_;
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  uint64_t next_table_id_ = 1;
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
+  uint64_t next_table_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace streamlake::table

@@ -38,7 +38,7 @@ Status MetadataStore::WriteEntry(const std::string& cache_key,
   // Accelerated: write to the KV cache; the file write is deferred to the
   // MetaFresher (FlushPending).
   SL_RETURN_NOT_OK(cache_->Put(cache_key, ByteView(data).ToStringView()));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_.emplace_back(cache_key, file_path);
   return Status::OK();
 }
@@ -72,8 +72,10 @@ Status MetadataStore::DeleteEntry(const std::string& cache_key,
   if (mode_ == MetadataMode::kAccelerated) {
     // Drop Table Hard ordering: "the operation to delete the metadata will
     // first clear it from the cache, and then delete it from the disk."
-    cache_->Delete(cache_key);
-    std::lock_guard<std::mutex> lock(mu_);
+    // A failed cache drop must abort the disk delete, or a reader could
+    // resurrect the entry from the stale cache.
+    SL_RETURN_NOT_OK(cache_->Delete(cache_key));
+    MutexLock lock(&mu_);
     for (auto it = pending_.begin(); it != pending_.end();) {
       it = (it->first == cache_key) ? pending_.erase(it) : it + 1;
     }
@@ -167,7 +169,7 @@ Status MetadataStore::DeleteSnapshot(const std::string& table_path,
 Result<size_t> MetadataStore::FlushPending() {
   std::deque<std::pair<std::string, std::string>> to_flush;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     to_flush.swap(pending_);
   }
   size_t flushed = 0;
@@ -181,7 +183,7 @@ Result<size_t> MetadataStore::FlushPending() {
 }
 
 size_t MetadataStore::pending_flushes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 

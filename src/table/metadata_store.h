@@ -2,9 +2,9 @@
 #define STREAMLAKE_TABLE_METADATA_STORE_H_
 
 #include <deque>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "kv/kv_store.h"
 #include "storage/object_store.h"
 #include "table/metadata.h"
@@ -87,8 +87,9 @@ class MetadataStore {
   storage::ObjectStore* objects_;
   kv::KvStore* cache_;
   MetadataMode mode_;
-  mutable std::mutex mu_;
-  std::deque<std::pair<std::string, std::string>> pending_;  // key, file path
+  mutable Mutex mu_;
+  std::deque<std::pair<std::string, std::string>> pending_
+      GUARDED_BY(mu_);  // key, file path
 };
 
 }  // namespace streamlake::table

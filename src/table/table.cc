@@ -118,7 +118,7 @@ Result<DataFileMeta> Table::WriteDataFile(const TableInfo& info,
 }
 
 Status Table::CommitChanges(const CommitRequest& request) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(&commit_mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
   if (info.soft_deleted) return Status::NotFound("table dropped");
 
@@ -362,7 +362,7 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
     }
     ++m->files_scanned;
     {
-      std::lock_guard<std::mutex> access_lock(access_mu_);
+      MutexLock access_lock(&access_mu_);
       ++partition_access_[file.partition];
     }
     SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
@@ -430,7 +430,7 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
 }
 
 std::map<std::string, uint64_t> Table::PartitionAccessCounts() const {
-  std::lock_guard<std::mutex> lock(access_mu_);
+  MutexLock lock(&access_mu_);
   return partition_access_;
 }
 
@@ -643,8 +643,10 @@ Result<CompactionResult> Table::CompactPartition(const std::string& partition,
   Status commit_status = CommitChanges(request);
   if (!commit_status.ok()) {
     // Roll back the files we wrote; the commit never became visible.
+    // Best-effort: a leaked orphan file is preferable to masking the
+    // original commit error.
     for (const DataFileMeta& f : request.added) {
-      objects_->Delete(f.path);
+      objects_->Delete(f.path).IgnoreError();
     }
     return commit_status;
   }
@@ -653,7 +655,7 @@ Result<CompactionResult> Table::CompactPartition(const std::string& partition,
 }
 
 Result<size_t> Table::RewriteManifest() {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(&commit_mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
   if (info.soft_deleted) return Status::NotFound("table dropped");
   if (info.current_snapshot_id == 0) return size_t{0};
@@ -697,7 +699,7 @@ Result<size_t> Table::RewriteManifest() {
 }
 
 Status Table::ExpireSnapshots(int64_t before_timestamp) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(&commit_mu_);
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
   std::vector<std::pair<uint64_t, int64_t>> kept;
   std::set<uint64_t> kept_commits;

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "query/executor.h"
 #include "sim/clock.h"
 #include "sim/network_model.h"
@@ -185,9 +185,11 @@ class Table {
   sim::SimClock* clock_;
   sim::NetworkModel* compute_link_;
   TableOptions options_;
-  std::mutex commit_mu_;
-  mutable std::mutex access_mu_;
-  std::map<std::string, uint64_t> partition_access_;
+  // Serializes the optimistic-commit protocol (validate + publish); the
+  // committed state itself lives in the metadata store.
+  Mutex commit_mu_;
+  mutable Mutex access_mu_ ACQUIRED_AFTER(commit_mu_);
+  std::map<std::string, uint64_t> partition_access_ GUARDED_BY(access_mu_);
 };
 
 }  // namespace streamlake::table

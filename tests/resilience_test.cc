@@ -78,7 +78,7 @@ TEST(RepairTest, UnrecoverableBeyondFaultTolerance) {
   ASSERT_TRUE(addr.ok());
   // Find the two nodes holding the replicas and fail both.
   std::set<uint32_t> nodes;
-  f.plogs->ForEachPlog([&](uint32_t, uint32_t, Plog* plog) {
+  f.plogs->ForEachPlog([&](uint32_t, uint32_t, Plog*) {
     // Repair needs to see both extents failed; fail every node to be sure.
   });
   for (uint32_t n = 0; n < 4; ++n) f.pool.SetNodeFailed(n, true);

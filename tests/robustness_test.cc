@@ -214,7 +214,9 @@ TEST(ConcurrencyTest, ParallelProducersOneConsumerSeesEverything) {
   for (const auto& consumed : *polled) {
     int64_t v = std::stoll(consumed.message.value);
     auto it = last_seen.find(consumed.message.key);
-    if (it != last_seen.end()) EXPECT_GT(v, it->second);
+    if (it != last_seen.end()) {
+      EXPECT_GT(v, it->second);
+    }
     last_seen[consumed.message.key] = v;
   }
 }

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""StreamLake static lint: correctness conventions the compiler can't enforce.
+
+Rules
+  R1  [[nodiscard]] must stay on Status (src/common/status.h) and Result<T>
+      (src/common/result.h) so dropped error returns warn everywhere.
+  R2  Naked standard locking primitives (std::mutex, std::shared_mutex,
+      std::lock_guard, std::unique_lock, std::shared_lock, std::scoped_lock,
+      std::condition_variable) are banned outside src/common/mutex.h.
+      Use the annotated Mutex / SharedMutex / MutexLock / CondVar wrappers,
+      which Clang's -Wthread-safety analysis can see through.
+  R3  Include hygiene:
+      a. <mutex>, <shared_mutex>, <condition_variable> may only be included
+         by src/common/mutex.h.
+      b. Any file naming a wrapper type (Mutex, MutexLock, CondVar,
+         GUARDED_BY, ...) must include "common/mutex.h" directly or via its
+         own header (include-what-you-use for the locking layer).
+      c. No parent-relative includes (#include "../...").
+      d. Headers under src/ carry a STREAMLAKE_*_H_ include guard.
+
+Run from the repo root:  python3 tools/lint.py
+Registered as the `lint` ctest, so tier-1 verify runs it automatically.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+MUTEX_HEADER = os.path.join("src", "common", "mutex.h")
+
+BANNED_PRIMITIVES = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock|condition_variable(_any)?)\b")
+BANNED_INCLUDES = re.compile(
+    r'#\s*include\s*<(mutex|shared_mutex|condition_variable)>')
+WRAPPER_USE = re.compile(
+    r"\b(MutexLock|WriterMutexLock|ReaderMutexLock|CondVar|GUARDED_BY|"
+    r"PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|SCOPED_CAPABILITY)\b")
+RELATIVE_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+LOCAL_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments and string literals so banned tokens in
+    prose or messages don't trip the lint."""
+    text = re.sub(r'"(\\.|[^"\\])*"', '""', text)
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+def source_files():
+    for d in SCAN_DIRS:
+        for root, _, names in os.walk(os.path.join(REPO, d)):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    yield os.path.relpath(os.path.join(root, name), REPO)
+
+
+def direct_includes(path):
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        return set(LOCAL_INCLUDE.findall(f.read()))
+
+
+def check_nodiscard(errors):
+    expectations = [
+        (os.path.join("src", "common", "status.h"),
+         r"class\s+\[\[nodiscard\]\]\s+Status\b", "Status"),
+        (os.path.join("src", "common", "result.h"),
+         r"class\s+\[\[nodiscard\]\]\s+Result\b", "Result<T>"),
+    ]
+    for path, pattern, what in expectations:
+        with open(os.path.join(REPO, path), encoding="utf-8") as f:
+            if not re.search(pattern, f.read()):
+                errors.append(
+                    f"{path}: R1: {what} lost its [[nodiscard]] attribute")
+
+
+def sibling_header(path):
+    base, ext = os.path.splitext(path)
+    if ext in (".cc", ".cpp"):
+        h = base + ".h"
+        if os.path.exists(os.path.join(REPO, h)):
+            return os.path.relpath(h, "src") if h.startswith("src" + os.sep) \
+                else h
+    return None
+
+
+def main():
+    errors = []
+    check_nodiscard(errors)
+
+    for path in source_files():
+        is_mutex_header = path == MUTEX_HEADER
+        with open(os.path.join(REPO, path), encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments(raw)
+
+        # Token rules scan comment-stripped code; include rules scan raw
+        # lines (stripping also blanks string literals, hiding "..." paths).
+        for lineno, line in enumerate(code.split("\n"), 1):
+            if not is_mutex_header:
+                m = BANNED_PRIMITIVES.search(line)
+                if m:
+                    errors.append(
+                        f"{path}:{lineno}: R2: naked std::{m.group(1)}; use "
+                        "the annotated wrappers from common/mutex.h")
+        for lineno, line in enumerate(raw.split("\n"), 1):
+            if not is_mutex_header:
+                m = BANNED_INCLUDES.search(line)
+                if m:
+                    errors.append(
+                        f"{path}:{lineno}: R3a: #include <{m.group(1)}> is "
+                        "reserved for common/mutex.h")
+            if RELATIVE_INCLUDE.search(line):
+                errors.append(
+                    f"{path}:{lineno}: R3c: parent-relative include; use a "
+                    "src/-rooted path")
+
+        if not is_mutex_header and WRAPPER_USE.search(code):
+            includes = direct_includes(path)
+            header = sibling_header(path)
+            if "common/mutex.h" not in includes and (
+                    header is None or "common/mutex.h" not in
+                    direct_includes(os.path.join("src", header) if
+                                    os.path.exists(os.path.join(
+                                        REPO, "src", header)) else header)):
+                errors.append(
+                    f"{path}: R3b: uses locking wrappers without including "
+                    '"common/mutex.h" (directly or via its own header)')
+
+        if path.startswith("src" + os.sep) and path.endswith(".h"):
+            if not re.search(r"#ifndef STREAMLAKE_\w+_H_", raw):
+                errors.append(
+                    f"{path}: R3d: missing STREAMLAKE_*_H_ include guard")
+
+    if errors:
+        print(f"lint: {len(errors)} violation(s)")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
