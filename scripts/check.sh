@@ -1,32 +1,80 @@
 #!/usr/bin/env bash
-# One-command verify: tier-1 build+tests, both sanitizer tiers, and the
-# static lint. Mirrors what CI should run; any failure fails the script.
+# One-command verify: static lint, clang-tidy, tier-1 build+tests, and both
+# sanitizer tiers. Mirrors what CI runs; any failure fails the script, and a
+# per-tier summary prints at the end either way.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast   tier-1 + lint only (skip the sanitizer builds)
+# Usage: scripts/check.sh [--fast] [--no-tidy]
+#   --fast      lint + tidy + tier-1 only (skip the sanitizer builds)
+#   --no-tidy   skip clang-tidy (without this flag a missing clang-tidy
+#               binary is an error, not a silent skip)
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 fast=0
-if [[ $# -gt 0 ]]; then
-  case "$1" in
+tidy=1
+for arg in "$@"; do
+  case "$arg" in
     --fast) fast=1 ;;
-    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+    --no-tidy) tidy=0 ;;
+    *) echo "usage: scripts/check.sh [--fast] [--no-tidy]" >&2; exit 2 ;;
   esac
-fi
+done
+
+declare -a summary=()
+failed=0
+
+record() {  # record <name> <exit-code>
+  if [[ "$2" == 0 ]]; then
+    summary+=("PASS  $1")
+  else
+    summary+=("FAIL  $1")
+    failed=1
+  fi
+}
+
+print_summary() {
+  echo
+  echo "==> summary"
+  for line in "${summary[@]}"; do
+    echo "  $line"
+  done
+}
+trap print_summary EXIT
+
+run_step() {  # run_step <name> <cmd...>
+  local name="$1"
+  shift
+  echo "==> [$name]"
+  "$@"
+  record "$name" "$?"
+}
 
 run_tier() {
   local preset="$1"
   echo "==> [$preset] configure + build + test"
-  cmake --preset "$preset"
-  cmake --build --preset "$preset" -j "$jobs"
-  ctest --preset "$preset" -j "$jobs"
+  cmake --preset "$preset" &&
+    cmake --build --preset "$preset" -j "$jobs" &&
+    ctest --preset "$preset" -j "$jobs"
+  record "$preset" "$?"
 }
 
-echo "==> lint"
-python3 tools/lint.py
+run_step lint python3 tools/lint.py
+run_step lint-selftest python3 tools/lint_test.py
+
+if [[ "$tidy" == 1 ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "error: clang-tidy not found on PATH." >&2
+    echo "  Install it (e.g. apt-get install clang-tidy) or rerun with" >&2
+    echo "  scripts/check.sh --no-tidy to run every other check." >&2
+    record clang-tidy 1
+    exit 1
+  fi
+  run_step clang-tidy tools/run_clang_tidy.sh
+else
+  summary+=("SKIP  clang-tidy (--no-tidy)")
+fi
 
 run_tier default
 
@@ -35,4 +83,7 @@ if [[ "$fast" == 0 ]]; then
   run_tier tsan
 fi
 
-echo "==> all checks passed"
+if [[ "$failed" == 0 ]]; then
+  echo "==> all checks passed"
+fi
+exit "$failed"

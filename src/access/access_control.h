@@ -51,7 +51,7 @@ class AccessController {
                       Permission permission) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kAccessControl, "access.acl"};
   std::map<std::string, std::string> token_to_principal_ GUARDED_BY(mu_);
   std::map<std::string, std::string> principal_to_token_ GUARDED_BY(mu_);
   // principal -> (resource prefix -> permission bits)

@@ -57,7 +57,7 @@ class BlockService {
   AccessController* acl_;
   const uint64_t chunk_bytes_;
   const int replication_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kBlockService, "access.block_service"};
   std::map<uint64_t, Volume> volumes_ GUARDED_BY(mu_);
   uint64_t next_lun_ GUARDED_BY(mu_) = 1;
 };

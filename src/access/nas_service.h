@@ -63,7 +63,7 @@ class NasService {
   storage::ObjectStore* objects_;
   AccessController* acl_;
   sim::SimClock* clock_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kNasService, "access.nas_service"};
   std::map<uint64_t, OpenFile> handles_ GUARDED_BY(mu_);
   std::map<std::string, int64_t> mtimes_ GUARDED_BY(mu_);
   uint64_t next_handle_ GUARDED_BY(mu_) = 1;

@@ -55,7 +55,7 @@ class MiniHdfs {
 
   storage::StoragePool* pool_;
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMiniHdfs, "baselines.mini_hdfs"};
   std::map<std::string, Inode> namespace_ GUARDED_BY(mu_);  // the namenode
 };
 

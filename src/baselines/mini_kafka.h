@@ -90,7 +90,7 @@ class MiniKafka {
 
   storage::StoragePool* pool_;
   Options options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMiniKafka, "baselines.mini_kafka"};
   std::map<std::string, Topic> topics_ GUARDED_BY(mu_);
 };
 

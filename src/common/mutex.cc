@@ -1,0 +1,205 @@
+// Runtime lock-hierarchy checker backing src/common/mutex.h.
+//
+// Per-thread state is a stack of currently held locks (rank, name,
+// instance). Process-wide state is the observed lock-order graph: one edge
+// per distinct (holder-name -> acquired-name) pair ever seen. The graph is
+// keyed by lock *name* (one per class-level role, e.g. "kv.store"), not by
+// instance, so a cycle between any two instances of the same pair of roles
+// is visible no matter which instances a given run touched.
+//
+// This file is the one place allowed to use std::mutex directly (the
+// registry guard cannot itself be a ranked Mutex); tools/lint.py exempts
+// it alongside mutex.h.
+
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace streamlake {
+namespace lock_order {
+
+#if SL_LOCK_ORDER_CHECK
+
+namespace {
+
+struct HeldLock {
+  LockRank rank;
+  const char* name;
+  const void* id;
+};
+
+// Held-lock stack for this thread, innermost (most recent) last. The
+// strict-descending rule keeps it sorted: back() is always the minimum
+// rank, so a single comparison against back() checks against all.
+thread_local std::vector<HeldLock> t_held;
+
+struct Graph {
+  std::mutex mu;
+  // (from-name, to-name) -> (from-rank, to-rank)
+  std::map<std::pair<std::string, std::string>,
+           std::pair<LockRank, LockRank>>
+      edges;
+};
+
+// Leaked intentionally: lock acquisitions can happen during static
+// destruction and must never touch a destroyed registry.
+Graph& GlobalGraph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+void RecordEdge(const HeldLock& from, LockRank to_rank, const char* to) {
+  Graph& g = GlobalGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.edges.emplace(std::make_pair(std::string(from.name), std::string(to)),
+                  std::make_pair(from.rank, to_rank));
+}
+
+[[noreturn]] void Die(const char* verb, LockRank rank, const char* name) {
+  std::fprintf(stderr,
+               "\n*** streamlake lock-order violation ***\n"
+               "  %s: \"%s\" (rank %u)\n"
+               "  while holding (outermost first):\n",
+               verb, name, static_cast<unsigned>(rank));
+  for (const HeldLock& held : t_held) {
+    std::fprintf(stderr, "    \"%s\" (rank %u)\n", held.name,
+                 static_cast<unsigned>(held.rank));
+  }
+  std::fprintf(stderr,
+               "  rule: a mutex may be acquired only while every held rank "
+               "is strictly greater\n"
+               "  (outer layers lock first; equal ranks never nest). "
+               "See DESIGN.md, \"Lock hierarchy\".\n");
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(LockRank rank, const char* name, const void* id) {
+  if (!t_held.empty()) {
+    const HeldLock& innermost = t_held.back();
+    if (rank >= innermost.rank) {
+      Die("acquiring", rank, name);
+    }
+    RecordEdge(innermost, rank, name);
+  }
+  t_held.push_back(HeldLock{rank, name, id});
+}
+
+void OnTryAcquire(LockRank rank, const char* name, const void* id) {
+  // No rank check: a failed try-lock returns instead of blocking, so
+  // try-acquisitions cannot close a deadlock cycle. Still recorded on the
+  // stack (it IS held now) but deliberately kept out of the order graph.
+  t_held.push_back(HeldLock{rank, name, id});
+}
+
+void OnRelease(const void* id, const char* name) {
+  // Reverse search instead of asserting LIFO: hand-over-hand or
+  // out-of-order unlocks are legal, only acquisition order is ranked.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->id == id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "\n*** streamlake lock-order violation ***\n"
+               "  releasing \"%s\" which this thread does not hold\n",
+               name);
+  std::abort();
+}
+
+void AssertHeld(const void* id, const char* name) {
+  for (const HeldLock& held : t_held) {
+    if (held.id == id) return;
+  }
+  std::fprintf(stderr,
+               "\n*** streamlake AssertHeld failure ***\n"
+               "  \"%s\" is not held by the current thread\n",
+               name);
+  std::abort();
+}
+
+std::vector<LockOrderEdge> GraphEdges() {
+  Graph& g = GlobalGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  std::vector<LockOrderEdge> out;
+  out.reserve(g.edges.size());
+  for (const auto& [names, ranks] : g.edges) {
+    out.push_back(LockOrderEdge{names.first, names.second, ranks.first,
+                                ranks.second});
+  }
+  return out;
+}
+
+bool GraphIsAcyclic(std::string* cycle_out) {
+  std::vector<LockOrderEdge> edges = GraphEdges();
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const LockOrderEdge& e : edges) adj[e.from].push_back(e.to);
+
+  // Iterative three-color DFS; a back edge to a gray node is a cycle.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      auto& out_edges = adj[node];
+      if (next < out_edges.size()) {
+        const std::string& succ = out_edges[next++];
+        if (color[succ] == 1) {
+          if (cycle_out != nullptr) {
+            // succ is gray, so it is on the DFS stack: the cycle is the
+            // stack segment from succ to the top, closed back onto succ.
+            std::string desc;
+            bool in_cycle = false;
+            for (const auto& [n, unused2] : stack) {
+              (void)unused2;
+              if (n == succ) in_cycle = true;
+              if (in_cycle) desc += n + " -> ";
+            }
+            *cycle_out = desc + succ;
+          }
+          return false;
+        }
+        if (color[succ] == 0) {
+          color[succ] = 1;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+void ResetGraphForTest() {
+  Graph& g = GlobalGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.edges.clear();
+}
+
+size_t HeldByCurrentThread() { return t_held.size(); }
+
+#else  // !SL_LOCK_ORDER_CHECK
+
+std::vector<LockOrderEdge> GraphEdges() { return {}; }
+bool GraphIsAcyclic(std::string* cycle_out) {
+  if (cycle_out != nullptr) cycle_out->clear();
+  return true;
+}
+void ResetGraphForTest() {}
+size_t HeldByCurrentThread() { return 0; }
+
+#endif  // SL_LOCK_ORDER_CHECK
+
+}  // namespace lock_order
+}  // namespace streamlake

@@ -3,8 +3,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <vector>
 
 // ---------------------------------------------------------------------------
 // Clang thread-safety annotation macros.
@@ -54,44 +57,242 @@
 #define EXCLUSIVE_LOCKS_REQUIRED(...) REQUIRES(__VA_ARGS__)
 #define SHARED_LOCKS_REQUIRED(...) REQUIRES_SHARED(__VA_ARGS__)
 
+// ---------------------------------------------------------------------------
+// Lock-hierarchy (rank) checking.
+//
+// Every Mutex/SharedMutex is constructed with a LockRank and an instance
+// name. In checking builds (STREAMLAKE_LOCK_ORDER_CHECK=1, the default for
+// everything except pure Release configurations) each blocking acquisition
+// verifies that the new lock's rank is STRICTLY BELOW every rank the thread
+// already holds, maintains a per-thread stack of held locks, and feeds a
+// process-wide observed lock-order graph. A rank inversion aborts the
+// process with both lock names and the offending acquisition order — an
+// ABBA deadlock becomes a deterministic crash in any single test run that
+// exercises either side of the cycle. In release builds the checking
+// compiles to nothing: Lock() is exactly mu_.lock().
+// ---------------------------------------------------------------------------
+
+#if defined(STREAMLAKE_LOCK_ORDER_CHECK) && STREAMLAKE_LOCK_ORDER_CHECK
+#define SL_LOCK_ORDER_CHECK 1
+#else
+#define SL_LOCK_ORDER_CHECK 0
+#endif
+
 namespace streamlake {
 
-/// \brief Annotated exclusive mutex. The only lock type allowed outside this
-/// header — tools/lint.py bans naked std::mutex elsewhere so every guarded
-/// field in the codebase is visible to Clang's thread-safety analysis.
+/// \brief Global lock hierarchy, one band per subsystem layer, ordered
+/// innermost (acquired last) to outermost (acquired first):
+/// common < storage < kv < table < stream < streaming < core < baselines
+/// < access. A thread may only acquire a mutex whose rank is strictly
+/// below every rank it already holds, so call chains must take locks in
+/// strictly descending rank order. Siblings inside a band get distinct
+/// values (same-rank acquisition is also a violation — it would permit
+/// ABBA between two instances). See DESIGN.md "Lock hierarchy" for the
+/// rank table and how to pick a rank for a new mutex.
+enum class LockRank : uint16_t {
+  // ---- common: leaf utilities, acquired last ----
+  kThreadPool = 10,
+
+  // ---- storage: device/pool/plog write path (Fig. 4) ----
+  kBlockDevice = 20,      // page map of one simulated disk
+  kStoragePool = 22,      // extent allocator; held while touching devices
+  kPlog = 24,             // one persistence log; held across device I/O
+  kPlogStore = 26,        // shard chains; held across Plog calls
+  kObjectStoreWorm = 28,  // WORM prefix list (leaf within object store)
+
+  // ---- kv: the fault-tolerant KV engine backing every index ----
+  kKvStore = 30,
+
+  // ---- table: lakehouse metadata + commit protocol ----
+  kMetadataStore = 40,  // MetaFresher pending-flush queue
+  kTableAccess = 42,    // partition access counters (leaf)
+  kTableCommit = 44,    // commit protocol; held across metadata/KV/object IO
+  kLakehouse = 46,      // catalog of open tables
+
+  // ---- stream: stream objects over PLogs ----
+  kScmSliceCache = 50,       // SCM slice LRU (leaf within stream)
+  kStreamObject = 52,        // held across PLog append + KV index update
+  kStreamObjectManager = 54, // object directory; held across object calls
+
+  // ---- streaming: dispatcher / workers / transactions ----
+  kStreamWorker = 56,      // assigned-stream set
+  kStreamDispatcher = 58,  // topology; held across worker/manager/KV calls
+  kTxnManager = 60,        // 2PC; held across dispatcher + worker produce
+
+  // ---- core: the facade owns no locks today; reserved for it ----
+  kCore = 70,
+
+  // ---- baselines: self-contained mini systems over the storage band ----
+  kMiniHdfs = 80,
+  kMiniKafka = 82,
+
+  // ---- access: protocol gateways, acquired first ----
+  kAccessControl = 90,  // ACL tables (taken under the services below)
+  kBlockService = 92,   // volume map; held across pool/device I/O
+  kNasService = 94,     // handle table; held across object-store I/O
+};
+
+namespace lock_order {
+
+#if SL_LOCK_ORDER_CHECK
+/// Called before a blocking acquisition: aborts on rank inversion, records
+/// the (held-top -> acquired) edge, and pushes onto the per-thread stack.
+void OnAcquire(LockRank rank, const char* name, const void* id);
+/// Called after a successful try-acquisition: pushes without checking.
+/// Non-blocking acquisitions cannot contribute to a deadlock cycle (they
+/// fail instead of blocking), so they are exempt from the rank rule.
+void OnTryAcquire(LockRank rank, const char* name, const void* id);
+/// Called at release: pops the matching entry from the per-thread stack.
+void OnRelease(const void* id, const char* name);
+/// Aborts unless the current thread's stack contains `id`.
+void AssertHeld(const void* id, const char* name);
+#endif
+
+/// One observed acquired-while-held pair. Recorded per (class-level) lock
+/// name: every time a thread acquires `to` while `from` is its most
+/// recently acquired held lock.
+struct LockOrderEdge {
+  std::string from;
+  std::string to;
+  LockRank from_rank;
+  LockRank to_rank;
+};
+
+/// Snapshot of the process-wide observed lock-order graph. Empty when
+/// checking is compiled out.
+std::vector<LockOrderEdge> GraphEdges();
+
+/// DFS cycle check over the observed graph. Trivially true when checking
+/// is compiled out (and true by construction under the strict-descending
+/// rule — asserted independently by tests/lock_order_test.cc). On failure
+/// `cycle_out` (if non-null) receives a printable cycle description.
+bool GraphIsAcyclic(std::string* cycle_out = nullptr);
+
+/// Clears the observed graph (tests only).
+void ResetGraphForTest();
+
+/// Number of locks the calling thread currently holds (0 when checking is
+/// compiled out).
+size_t HeldByCurrentThread();
+
+}  // namespace lock_order
+
+/// \brief Annotated, ranked exclusive mutex. The only lock type allowed
+/// outside this header — tools/lint.py bans naked std::mutex elsewhere so
+/// every guarded field in the codebase is visible to Clang's thread-safety
+/// analysis, and requires every member declaration to name its LockRank so
+/// the hierarchy stays total.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+#if SL_LOCK_ORDER_CHECK
+  explicit Mutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+#else
+  explicit Mutex(LockRank /*rank*/, const char* /*name*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnAcquire(rank_, name_, this);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnRelease(this, name_);
+#endif
+    mu_.unlock();
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+#if SL_LOCK_ORDER_CHECK
+    if (acquired) lock_order::OnTryAcquire(rank_, name_, this);
+#endif
+    return acquired;
+  }
 
   /// Static-analysis assertion that this mutex is held (e.g. in a callback
-  /// invoked from a locked region the analysis cannot see through).
-  void AssertHeld() ASSERT_CAPABILITY(this) {}
+  /// invoked from a locked region the analysis cannot see through). In
+  /// checking builds this is also verified at runtime against the
+  /// per-thread held-lock stack.
+  void AssertHeld() ASSERT_CAPABILITY(this) {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::AssertHeld(this, name_);
+#endif
+  }
+
+#if SL_LOCK_ORDER_CHECK
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+#endif
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if SL_LOCK_ORDER_CHECK
+  const LockRank rank_;
+  const char* const name_;
+#endif
 };
 
-/// \brief Annotated reader-writer mutex (MetaFresher KV cache read path).
+/// \brief Annotated, ranked reader-writer mutex (MetaFresher KV cache read
+/// path). Shared acquisitions participate in the rank hierarchy exactly
+/// like exclusive ones: a reader blocked behind a pending writer deadlocks
+/// an ABBA cycle just as effectively.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+#if SL_LOCK_ORDER_CHECK
+  explicit SharedMutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+#else
+  explicit SharedMutex(LockRank /*rank*/, const char* /*name*/) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnAcquire(rank_, name_, this);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnRelease(this, name_);
+#endif
+    mu_.unlock();
+  }
+
+  void LockShared() ACQUIRE_SHARED() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnAcquire(rank_, name_, this);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() RELEASE_SHARED() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnRelease(this, name_);
+#endif
+    mu_.unlock_shared();
+  }
+
+#if SL_LOCK_ORDER_CHECK
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+#endif
 
  private:
   std::shared_mutex mu_;
+#if SL_LOCK_ORDER_CHECK
+  const LockRank rank_;
+  const char* const name_;
+#endif
 };
 
 /// \brief RAII scoped lock over Mutex, LevelDB-style: MutexLock l(&mu_);
@@ -146,6 +347,10 @@ class SCOPED_CAPABILITY ReaderMutexLock {
 ///
 ///   MutexLock lock(&mu_);
 ///   while (queue_.empty() && !shutdown_) work_cv_.Wait(&mu_);
+///
+/// Waiting does not touch the lock-order stack: the mutex is logically
+/// still held by this thread (it is reacquired before Wait returns, and
+/// nothing else can be acquired in between).
 class CondVar {
  public:
   CondVar() = default;

@@ -35,7 +35,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPool, "common.threadpool"};
   CondVar work_cv_;   // signals workers
   CondVar idle_cv_;   // signals Wait()
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

@@ -97,7 +97,7 @@ class KvStore {
                                     uint64_t sequence) const;
 
   KvOptions options_;
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kKvStore, "kv.store"};
   std::map<std::string, std::vector<Version>, std::less<>> table_
       GUARDED_BY(mu_);
   uint64_t sequence_ GUARDED_BY(mu_) = 0;

@@ -54,7 +54,7 @@ class BlockDevice {
   sim::MediaType media_;
   mutable sim::DeviceModel model_;
   std::atomic<bool> failed_{false};
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kBlockDevice, "storage.block_device"};
   std::unordered_map<uint64_t, Bytes> pages_
       GUARDED_BY(mu_);  // page index -> kPageSize bytes
 };

@@ -76,7 +76,8 @@ class ObjectStore {
   PlogStore* plogs_;
   kv::KvStore* index_;
   uint64_t max_fragment_bytes_;
-  mutable Mutex worm_mu_;
+  mutable Mutex worm_mu_{LockRank::kObjectStoreWorm,
+                         "storage.object_store.worm"};
   std::vector<std::string> worm_prefixes_ GUARDED_BY(worm_mu_);
 };
 

@@ -156,7 +156,7 @@ class Plog {
   std::vector<Extent> extents_;
   std::unique_ptr<ReedSolomon> rs_;  // EC only
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPlog, "storage.plog"};
   uint64_t size_ GUARDED_BY(mu_) = 0;           // logical frontier
   uint64_t striped_bytes_ GUARDED_BY(mu_) = 0;  // EC: bytes durably striped
   Bytes pending_ GUARDED_BY(mu_);  // EC: stripe buffer (logical tail)

@@ -85,7 +85,7 @@ class PlogStore {
   StoragePool* pool_;
   PlogStoreConfig config_;
   sim::SimClock* clock_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPlogStore, "storage.plog_store"};
   std::vector<Shard> shards_ GUARDED_BY(mu_);
 };
 

@@ -73,7 +73,7 @@ class StoragePool {
   sim::SimClock* clock_;
   std::vector<std::unique_ptr<BlockDevice>> devices_;
   std::vector<DeviceState> states_ GUARDED_BY(mu_);
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStoragePool, "storage.pool"};
   size_t rr_cursor_ GUARDED_BY(mu_) = 0;  // round-robin start
   uint64_t allocated_bytes_ GUARDED_BY(mu_) = 0;
 };

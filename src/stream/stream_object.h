@@ -61,7 +61,7 @@ class ScmSliceCache {
 
   sim::DeviceModel* pmem_;
   size_t capacity_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kScmSliceCache, "stream.scm_cache"};
   std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
   std::map<Key, std::list<Entry>::iterator> index_ GUARDED_BY(mu_);
   uint64_t hits_ GUARDED_BY(mu_) = 0;
@@ -148,7 +148,7 @@ class StreamObject {
   StreamObjectOptions options_;
   ScmSliceCache* cache_;  // may be nullptr
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStreamObject, "stream.object"};
   std::vector<SliceMeta> slices_ GUARDED_BY(mu_);
   std::vector<StreamRecord> active_ GUARDED_BY(mu_);  // buffered tail
   uint64_t frontier_ GUARDED_BY(mu_) = 0;
@@ -196,7 +196,8 @@ class StreamObjectManager {
   kv::KvStore* index_;
   sim::SimClock* clock_;
   std::unique_ptr<ScmSliceCache> cache_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStreamObjectManager,
+                    "stream.object_manager"};
   std::map<uint64_t, std::unique_ptr<StreamObject>> objects_
       GUARDED_BY(mu_);
   uint64_t next_id_ GUARDED_BY(mu_) = 1;

@@ -99,7 +99,7 @@ class StreamDispatcher {
   sim::NetworkModel* bus_;
   sim::SimClock* clock_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStreamDispatcher, "streaming.dispatcher"};
   std::vector<std::unique_ptr<StreamWorker>> workers_ GUARDED_BY(mu_);
   // Workers removed by a shrink. Kept alive for the dispatcher's lifetime:
   // RouteProduce/RouteFetch hand out raw StreamWorker pointers that callers

@@ -51,7 +51,7 @@ class StreamWorker {
   const uint32_t id_;
   stream::StreamObjectManager* objects_;
   sim::NetworkModel* bus_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStreamWorker, "streaming.worker"};
   std::set<uint64_t> streams_ GUARDED_BY(mu_);
 };
 

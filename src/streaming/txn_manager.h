@@ -59,7 +59,7 @@ class TransactionManager {
   StreamDispatcher* dispatcher_;
   kv::KvStore* txn_log_;
   const uint64_t producer_id_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTxnManager, "streaming.txn_manager"};
   std::map<uint64_t, Txn> txns_ GUARDED_BY(mu_);
   uint64_t next_txn_id_ GUARDED_BY(mu_) = 1;
   std::map<uint64_t, uint64_t> next_seq_ GUARDED_BY(mu_);  // per stream object

@@ -52,7 +52,7 @@ class LakehouseService {
   sim::SimClock* clock_;
   sim::NetworkModel* compute_link_;
   TableOptions default_options_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kLakehouse, "table.lakehouse"};
   std::map<std::string, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
   uint64_t next_table_id_ GUARDED_BY(mu_) = 1;
 };

@@ -87,7 +87,7 @@ class MetadataStore {
   storage::ObjectStore* objects_;
   kv::KvStore* cache_;
   MetadataMode mode_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetadataStore, "table.metadata_store"};
   std::deque<std::pair<std::string, std::string>> pending_
       GUARDED_BY(mu_);  // key, file path
 };

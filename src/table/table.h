@@ -187,8 +187,9 @@ class Table {
   TableOptions options_;
   // Serializes the optimistic-commit protocol (validate + publish); the
   // committed state itself lives in the metadata store.
-  Mutex commit_mu_;
-  mutable Mutex access_mu_ ACQUIRED_AFTER(commit_mu_);
+  Mutex commit_mu_{LockRank::kTableCommit, "table.commit"};
+  mutable Mutex access_mu_ ACQUIRED_AFTER(commit_mu_){
+      LockRank::kTableAccess, "table.access"};
   std::map<std::string, uint64_t> partition_access_ GUARDED_BY(access_mu_);
 };
 

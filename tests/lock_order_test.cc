@@ -1,0 +1,282 @@
+// Lock-hierarchy checker tests: deliberate rank inversions must abort the
+// process (death tests), legal descending acquisition must not, and the
+// lock-order graph observed while driving representative end-to-end
+// workloads through every subsystem layer must be acyclic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "access/access_control.h"
+#include "access/block_service.h"
+#include "access/nas_service.h"
+#include "common/mutex.h"
+#include "core/streamlake.h"
+#include "workload/dpi_log.h"
+
+namespace streamlake {
+namespace {
+
+#if SL_LOCK_ORDER_CHECK
+
+// Death tests fork the whole binary; keep the parent single-threaded at
+// fork time ("threadsafe" re-executes the child from scratch, which also
+// keeps these valid under TSan).
+class LockOrderDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(LockOrderDeathTest, RankInversionAborts) {
+  Mutex low{LockRank::kKvStore, "test.low"};
+  Mutex high{LockRank::kLakehouse, "test.high"};
+  EXPECT_DEATH(
+      {
+        MutexLock inner(&low);
+        MutexLock outer(&high);  // ascending rank while holding low: ABBA
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderDeathTest, EqualRankAborts) {
+  // Two instances of the same rank may never nest: with no defined order
+  // between siblings, opposite nesting in another thread would deadlock.
+  Mutex a{LockRank::kKvStore, "test.a"};
+  Mutex b{LockRank::kKvStore, "test.b"};
+  EXPECT_DEATH(
+      {
+        MutexLock la(&a);
+        MutexLock lb(&b);
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderDeathTest, RecursiveAcquireAborts) {
+  // std::mutex would deadlock silently; the checker turns it into a
+  // diagnosed crash (self-edge is an equal-rank acquisition).
+  Mutex mu{LockRank::kKvStore, "test.recursive"};
+  EXPECT_DEATH(
+      {
+        MutexLock outer(&mu);
+        mu.Lock();
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderDeathTest, SharedAcquisitionChecksRankToo) {
+  // A reader blocked behind a pending writer closes an ABBA cycle exactly
+  // like an exclusive acquisition would.
+  SharedMutex low{LockRank::kKvStore, "test.shared.low"};
+  Mutex high{LockRank::kTableCommit, "test.high"};
+  EXPECT_DEATH(
+      {
+        ReaderMutexLock reader(&low);
+        MutexLock writer(&high);
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderDeathTest, ReleasingUnheldLockAborts) {
+  Mutex mu{LockRank::kKvStore, "test.unheld"};
+  EXPECT_DEATH(mu.Unlock(), "does not hold");
+}
+
+TEST_F(LockOrderDeathTest, AssertHeldAbortsWhenNotHeld) {
+  Mutex mu{LockRank::kKvStore, "test.assert"};
+  EXPECT_DEATH(mu.AssertHeld(), "not held");
+}
+
+TEST(LockOrderTest, DescendingAcquisitionIsLegal) {
+  Mutex outer{LockRank::kLakehouse, "test.outer"};
+  Mutex inner{LockRank::kKvStore, "test.inner"};
+  {
+    MutexLock lo(&outer);
+    MutexLock li(&inner);
+    EXPECT_EQ(lock_order::HeldByCurrentThread(), 2u);
+  }
+  EXPECT_EQ(lock_order::HeldByCurrentThread(), 0u);
+}
+
+TEST(LockOrderTest, TryLockIsExemptFromRankOrder) {
+  // A try-acquisition fails instead of blocking, so it cannot complete a
+  // deadlock cycle; taking one "out of order" is legal by design.
+  Mutex low{LockRank::kKvStore, "test.try.low"};
+  Mutex high{LockRank::kLakehouse, "test.try.high"};
+  MutexLock hold_low(&low);
+  ASSERT_TRUE(high.TryLock());
+  EXPECT_EQ(lock_order::HeldByCurrentThread(), 2u);
+  high.Unlock();
+}
+
+TEST(LockOrderTest, AssertHeldPassesWhileHolding) {
+  Mutex mu{LockRank::kKvStore, "test.assert.ok"};
+  MutexLock lock(&mu);
+  mu.AssertHeld();
+}
+
+TEST(LockOrderTest, HeldStackIsPerThread) {
+  Mutex outer{LockRank::kLakehouse, "test.per_thread"};
+  size_t other_thread_held = 99;
+  std::atomic<bool> sampled{false};
+  std::thread t;
+  {
+    MutexLock lock(&outer);
+    EXPECT_EQ(lock_order::HeldByCurrentThread(), 1u);
+    t = std::thread([&] {
+      other_thread_held = lock_order::HeldByCurrentThread();
+      sampled.store(true);
+    });
+    // Hold the lock until the other thread has sampled its own (empty)
+    // stack; join only after releasing (lint R5: no joins under a lock).
+    while (!sampled.load()) std::this_thread::yield();
+  }
+  t.join();
+  EXPECT_EQ(other_thread_held, 0u);
+  EXPECT_EQ(lock_order::HeldByCurrentThread(), 0u);
+}
+
+TEST(LockOrderTest, NestedAcquisitionRecordsGraphEdge) {
+  lock_order::ResetGraphForTest();
+  Mutex outer{LockRank::kLakehouse, "test.edge.outer"};
+  Mutex inner{LockRank::kKvStore, "test.edge.inner"};
+  {
+    MutexLock lo(&outer);
+    MutexLock li(&inner);
+  }
+  bool found = false;
+  for (const auto& e : lock_order::GraphEdges()) {
+    if (e.from == "test.edge.outer" && e.to == "test.edge.inner") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end workloads: drive every layer (streaming txn path, conversion,
+// lakehouse query, tiering/background work, access gateways), then assert
+// the observed lock-order graph is a DAG and every edge points down-rank.
+// ---------------------------------------------------------------------------
+
+TEST(LockOrderGraphTest, EndToEndWorkloadsObserveAcyclicGraph) {
+  lock_order::ResetGraphForTest();
+
+  {
+    // Stream -> table reunion flow, the deepest lock chain in the system:
+    // txn_manager -> dispatcher -> worker -> object manager -> stream
+    // object -> {plog_store -> plog -> pool -> device, kv index}.
+    core::StreamLakeOptions options;
+    options.tiering_policy.cold_after_ns = 10 * sim::kSecond;
+    options.plog.plog.capacity = 1 << 20;
+    core::StreamLake lake(options);
+
+    streaming::TopicConfig config;
+    config.stream_num = 3;
+    config.convert_2_table.enabled = true;
+    config.convert_2_table.table_schema = workload::DpiLogGenerator::Schema();
+    config.convert_2_table.table_path = "dpi";
+    config.convert_2_table.partition_spec =
+        table::PartitionSpec::Identity("province");
+    config.convert_2_table.split_offset = 1;
+    config.convert_2_table.delete_msg = true;
+    ASSERT_TRUE(lake.dispatcher().CreateTopic("logs", config).ok());
+
+    workload::DpiLogGenerator gen;
+    auto producer = lake.NewProducer();
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(producer.Send("logs", gen.NextMessage()).ok());
+    }
+
+    auto txns = lake.NewTransactionManager();
+    auto txn = txns.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txns.Send(*txn, "logs", gen.NextMessage()).ok());
+    ASSERT_TRUE(txns.Commit(*txn).ok());
+
+    auto consumer = lake.NewConsumer("g");
+    ASSERT_TRUE(consumer.Subscribe("logs").ok());
+    ASSERT_TRUE(consumer.Poll().ok());
+
+    auto converted = lake.converter().Run("logs");
+    ASSERT_TRUE(converted.ok()) << converted.status().ToString();
+
+    auto table = lake.lakehouse().GetTable("dpi");
+    ASSERT_TRUE(table.ok());
+    query::QuerySpec spec;
+    spec.group_by = {"province"};
+    spec.aggregates = {query::AggregateSpec::CountStar("c")};
+    ASSERT_TRUE((*table)->Select(spec).ok());
+
+    lake.clock().Advance(3600 * sim::kSecond);
+    ASSERT_TRUE(lake.RunBackgroundWork().ok());
+  }
+
+  {
+    // Access gateways over the storage band: nas -> object store -> kv /
+    // plog chain, block -> acl + pool -> device.
+    sim::SimClock clock;
+    storage::StoragePool pool{"ssd", sim::MediaType::kNvmeSsd, &clock};
+    pool.AddCluster(3, 2, 256 << 20);
+    kv::KvStore index;
+    storage::PlogStoreConfig config;
+    config.plog.capacity = 16 << 20;
+    storage::PlogStore plogs(&pool, config, &clock);
+    storage::ObjectStore objects(&plogs, &index);
+    access::AccessController acl;
+    std::string token = acl.CreatePrincipal("root");
+    ASSERT_TRUE(acl.Grant("root", "/", access::Permission::kAdmin).ok());
+
+    access::BlockService block(&pool, &acl);
+    auto lun = block.CreateVolume(token, 64 << 20);
+    ASSERT_TRUE(lun.ok());
+    ASSERT_TRUE(block.Write(token, *lun, 0, Bytes(8192, 'b')).ok());
+    ASSERT_TRUE(block.Read(token, *lun, 0, 8192).ok());
+
+    access::NasService nas(&objects, &acl, &clock);
+    ASSERT_TRUE(nas.MakeDirectory(token, "/dir").ok());
+    auto handle = nas.Open(token, "/dir/f", /*for_write=*/true);
+    ASSERT_TRUE(handle.ok());
+    ASSERT_TRUE(nas.WriteAt(*handle, 0, Bytes(4096, 'n')).ok());
+    ASSERT_TRUE(nas.Close(*handle).ok());
+  }
+
+  auto edges = lock_order::GraphEdges();
+  EXPECT_FALSE(edges.empty())
+      << "workloads exercised no nested acquisitions; the graph assertion "
+         "is vacuous";
+
+  // Every observed edge must point strictly down-rank (this is what the
+  // runtime rule enforces; if it ever regresses, catch it here too)...
+  for (const auto& e : edges) {
+    EXPECT_LT(static_cast<unsigned>(e.to_rank),
+              static_cast<unsigned>(e.from_rank))
+        << e.from << " -> " << e.to;
+  }
+
+  // ...and therefore the graph as a whole must be acyclic.
+  std::string cycle;
+  EXPECT_TRUE(lock_order::GraphIsAcyclic(&cycle)) << "cycle: " << cycle;
+}
+
+#else  // !SL_LOCK_ORDER_CHECK
+
+TEST(LockOrderTest, CheckingCompiledOut) {
+  // Release configuration: the checker must cost nothing and the graph API
+  // must degrade to trivially-true answers.
+  Mutex mu{LockRank::kKvStore, "test.release"};
+  {
+    MutexLock lock(&mu);
+    EXPECT_EQ(lock_order::HeldByCurrentThread(), 0u);
+  }
+  EXPECT_TRUE(lock_order::GraphEdges().empty());
+  std::string cycle = "unchanged?";
+  EXPECT_TRUE(lock_order::GraphIsAcyclic(&cycle));
+  EXPECT_TRUE(cycle.empty());
+}
+
+#endif  // SL_LOCK_ORDER_CHECK
+
+}  // namespace
+}  // namespace streamlake

@@ -6,20 +6,31 @@ Rules
       (src/common/result.h) so dropped error returns warn everywhere.
   R2  Naked standard locking primitives (std::mutex, std::shared_mutex,
       std::lock_guard, std::unique_lock, std::shared_lock, std::scoped_lock,
-      std::condition_variable) are banned outside src/common/mutex.h.
+      std::condition_variable) are banned outside src/common/mutex.{h,cc}.
       Use the annotated Mutex / SharedMutex / MutexLock / CondVar wrappers,
       which Clang's -Wthread-safety analysis can see through.
   R3  Include hygiene:
       a. <mutex>, <shared_mutex>, <condition_variable> may only be included
-         by src/common/mutex.h.
+         by src/common/mutex.{h,cc}.
       b. Any file naming a wrapper type (Mutex, MutexLock, CondVar,
          GUARDED_BY, ...) must include "common/mutex.h" directly or via its
          own header (include-what-you-use for the locking layer).
       c. No parent-relative includes (#include "../...").
       d. Headers under src/ carry a STREAMLAKE_*_H_ include guard.
+  R4  Every Mutex / SharedMutex member declared under src/ names its
+      LockRank in the declaration, keeping the lock hierarchy total (see
+      DESIGN.md, "Lock hierarchy").
+  R5  No blocking calls inside a MutexLock / WriterMutexLock /
+      ReaderMutexLock scope: real-time sleeps (std::this_thread::sleep_*,
+      sleep/usleep/nanosleep), thread .join(), argument-less .Wait() /
+      ->Wait() (ThreadPool-style barrier waits; CondVar::Wait(&mu) takes
+      the mutex argument and is exempt), and SimClock sleep-style helpers
+      (SleepFor/SleepUntil) should never run under a module lock.
 
 Run from the repo root:  python3 tools/lint.py
-Registered as the `lint` ctest, so tier-1 verify runs it automatically.
+Registered as the `lint` ctest, so tier-1 verify runs it automatically;
+tools/lint_test.py (`lint_selftest` ctest) exercises these rules on
+synthetic sources.
 """
 
 import os
@@ -28,7 +39,12 @@ import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCAN_DIRS = ("src", "tests", "bench", "examples")
-MUTEX_HEADER = os.path.join("src", "common", "mutex.h")
+# The wrapper implementation itself is the one place allowed to use the
+# standard primitives and their headers (R2/R3a).
+MUTEX_FILES = (
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "mutex.cc"),
+)
 
 BANNED_PRIMITIVES = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
@@ -41,14 +57,163 @@ WRAPPER_USE = re.compile(
 RELATIVE_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 LOCAL_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 
+# R4: a Mutex/SharedMutex variable declaration (not a pointer/reference
+# parameter, which matches `Mutex*` / `Mutex&` and is skipped by \s+\w).
+MUTEX_DECL = re.compile(r"\b(Mutex|SharedMutex)\s+(\w+)")
+
+# R5: lock-scope openers and the blocking calls banned inside them.
+LOCK_SCOPE = re.compile(
+    r"\b(MutexLock|WriterMutexLock|ReaderMutexLock)\s+\w+\s*[({]")
+BLOCKING_CALL = re.compile(
+    r"(std::this_thread::sleep_(for|until)\b"
+    r"|\b(::)?(sleep|usleep|nanosleep)\s*\("
+    r"|\.join\s*\(\s*\)"
+    r"|(\.|->)Wait\s*\(\s*\)"
+    r"|(\.|->)Sleep(For|Until)\s*\()")
+
 
 def strip_comments(text):
-    """Remove // and /* */ comments and string literals so banned tokens in
-    prose or messages don't trip the lint."""
-    text = re.sub(r'"(\\.|[^"\\])*"', '""', text)
-    text = re.sub(r"//[^\n]*", "", text)
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
-    return text
+    """Blank out comments, string literals (including raw strings), and
+    character literals so banned tokens in prose or messages don't trip the
+    lint. Newlines are preserved, so line numbers in the result match the
+    original text — unlike a regex pass, which raw strings like
+    R"(// not a comment)" and escaped quotes would derail."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":  # block comment
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == "R" and nxt == '"':  # raw string literal R"delim(...)delim"
+            j = text.find("(", i + 2)
+            if j == -1:
+                out.append(c)
+                i += 1
+                continue
+            delim = text[i + 2:j]
+            end = text.find(")" + delim + '"', j + 1)
+            if end == -1:
+                out.append(c)
+                i += 1
+                continue
+            out.append('""')
+            out.append("\n" * text.count("\n", i, end))
+            i = end + len(delim) + 2
+        elif c == '"':  # ordinary string literal, honouring \" escapes
+            out.append('""')
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated; don't eat the file
+                    break
+                i += 1
+            i += 1
+        elif c == "'":  # character literal, honouring \' escapes
+            out.append("''")
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    break
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lineno_at(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def check_rank_declared(path, code, errors):
+    """R4: every Mutex/SharedMutex member under src/ carries a LockRank
+    initializer. Scans to the end of the declaration statement (the next
+    ';'), so multi-line brace initializers are handled."""
+    for m in MUTEX_DECL.finditer(code):
+        stmt_end = code.find(";", m.end())
+        stmt = code[m.start():stmt_end if stmt_end != -1 else len(code)]
+        if "LockRank::" not in stmt:
+            errors.append(
+                f"{path}:{lineno_at(code, m.start())}: R4: {m.group(1)} "
+                f"'{m.group(2)}' declared without a LockRank; every lock "
+                "names its place in the hierarchy (DESIGN.md)")
+
+
+def check_blocking_under_lock(path, code, errors):
+    """R5: flag blocking calls between a scoped-lock declaration and the
+    close of its enclosing compound statement (tracked by brace depth)."""
+    regions = []  # (start_pos, end_pos) of live lock scopes
+    for m in LOCK_SCOPE.finditer(code):
+        depth = 0
+        end = len(code)
+        for i in range(m.end(), len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth < 0:
+                    end = i
+                    break
+        regions.append((m.end(), end))
+    for m in BLOCKING_CALL.finditer(code):
+        if any(start <= m.start() < end for start, end in regions):
+            errors.append(
+                f"{path}:{lineno_at(code, m.start())}: R5: blocking call "
+                f"'{m.group(0).strip()}' inside a scoped-lock region; "
+                "release the lock before sleeping, joining, or waiting")
+
+
+def lint_text(path, raw):
+    """All single-file rules, on in-memory text (self-test entry point)."""
+    errors = []
+    is_mutex_file = path in MUTEX_FILES
+    code = strip_comments(raw)
+
+    # Token rules scan comment-stripped code; include rules scan raw
+    # lines (stripping also blanks string literals, hiding "..." paths).
+    for lineno, line in enumerate(code.split("\n"), 1):
+        if not is_mutex_file:
+            m = BANNED_PRIMITIVES.search(line)
+            if m:
+                errors.append(
+                    f"{path}:{lineno}: R2: naked std::{m.group(1)}; use "
+                    "the annotated wrappers from common/mutex.h")
+    for lineno, line in enumerate(raw.split("\n"), 1):
+        if not is_mutex_file:
+            m = BANNED_INCLUDES.search(line)
+            if m:
+                errors.append(
+                    f"{path}:{lineno}: R3a: #include <{m.group(1)}> is "
+                    "reserved for common/mutex.h")
+        if RELATIVE_INCLUDE.search(line):
+            errors.append(
+                f"{path}:{lineno}: R3c: parent-relative include; use a "
+                "src/-rooted path")
+
+    if path.startswith("src" + os.sep) and path.endswith(".h"):
+        if not re.search(r"#ifndef STREAMLAKE_\w+_H_", raw):
+            errors.append(
+                f"{path}: R3d: missing STREAMLAKE_*_H_ include guard")
+
+    if path.startswith("src" + os.sep) and not is_mutex_file:
+        check_rank_declared(path, code, errors)
+
+    check_blocking_under_lock(path, code, errors)
+    return errors
 
 
 def source_files():
@@ -93,33 +258,13 @@ def main():
     check_nodiscard(errors)
 
     for path in source_files():
-        is_mutex_header = path == MUTEX_HEADER
         with open(os.path.join(REPO, path), encoding="utf-8") as f:
             raw = f.read()
-        code = strip_comments(raw)
+        errors.extend(lint_text(path, raw))
 
-        # Token rules scan comment-stripped code; include rules scan raw
-        # lines (stripping also blanks string literals, hiding "..." paths).
-        for lineno, line in enumerate(code.split("\n"), 1):
-            if not is_mutex_header:
-                m = BANNED_PRIMITIVES.search(line)
-                if m:
-                    errors.append(
-                        f"{path}:{lineno}: R2: naked std::{m.group(1)}; use "
-                        "the annotated wrappers from common/mutex.h")
-        for lineno, line in enumerate(raw.split("\n"), 1):
-            if not is_mutex_header:
-                m = BANNED_INCLUDES.search(line)
-                if m:
-                    errors.append(
-                        f"{path}:{lineno}: R3a: #include <{m.group(1)}> is "
-                        "reserved for common/mutex.h")
-            if RELATIVE_INCLUDE.search(line):
-                errors.append(
-                    f"{path}:{lineno}: R3c: parent-relative include; use a "
-                    "src/-rooted path")
-
-        if not is_mutex_header and WRAPPER_USE.search(code):
+        # R3b needs the filesystem (sibling-header lookup), so it stays out
+        # of lint_text.
+        if path not in MUTEX_FILES and WRAPPER_USE.search(strip_comments(raw)):
             includes = direct_includes(path)
             header = sibling_header(path)
             if "common/mutex.h" not in includes and (
@@ -130,11 +275,6 @@ def main():
                 errors.append(
                     f"{path}: R3b: uses locking wrappers without including "
                     '"common/mutex.h" (directly or via its own header)')
-
-        if path.startswith("src" + os.sep) and path.endswith(".h"):
-            if not re.search(r"#ifndef STREAMLAKE_\w+_H_", raw):
-                errors.append(
-                    f"{path}: R3d: missing STREAMLAKE_*_H_ include guard")
 
     if errors:
         print(f"lint: {len(errors)} violation(s)")

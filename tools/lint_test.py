@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py, run as the `lint_selftest` ctest.
+
+Feeds synthetic C++ sources through lint_text()/strip_comments() and checks
+each rule fires (and doesn't fire) where intended. Uses unittest from the
+stdlib so it runs anywhere lint.py does.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint  # noqa: E402
+
+
+def src(name="src/x/mod.h"):
+    return os.path.join(*name.split("/"))
+
+
+GUARD = "#ifndef STREAMLAKE_X_MOD_H_\n"
+
+
+class StripCommentsTest(unittest.TestCase):
+    def test_line_and_block_comments_removed(self):
+        out = lint.strip_comments("a; // std::mutex\n/* std::mutex */ b;\n")
+        self.assertNotIn("std::mutex", out)
+        self.assertIn("a;", out)
+        self.assertIn("b;", out)
+
+    def test_string_literals_blanked(self):
+        out = lint.strip_comments('Log("use std::mutex here");\n')
+        self.assertNotIn("std::mutex", out)
+        self.assertIn("Log", out)
+
+    def test_escaped_quote_does_not_leak_string(self):
+        # With naive regex stripping, the \" ends the literal early and the
+        # rest of the line (std::mutex) leaks into "code".
+        out = lint.strip_comments('Log("escaped \\" quote std::mutex");\n')
+        self.assertNotIn("std::mutex", out)
+
+    def test_raw_string_literal_blanked(self):
+        text = 'auto s = R"(std::mutex // not a comment)"; int x;\n'
+        out = lint.strip_comments(text)
+        self.assertNotIn("std::mutex", out)
+        self.assertIn("int x;", out)
+
+    def test_raw_string_with_custom_delimiter(self):
+        text = 'auto s = R"foo(contains )" inside std::mutex)foo"; y;\n'
+        out = lint.strip_comments(text)
+        self.assertNotIn("std::mutex", out)
+        self.assertIn("y;", out)
+
+    def test_comment_after_raw_string_still_stripped(self):
+        out = lint.strip_comments('auto s = R"(x)";  // std::mutex\n')
+        self.assertNotIn("std::mutex", out)
+
+    def test_char_literal_quote_does_not_derail(self):
+        out = lint.strip_comments("char c = '\"'; std::mutex m;\n")
+        self.assertIn("std::mutex", out)  # real code survives stripping
+
+    def test_newlines_preserved_for_line_numbers(self):
+        text = "a;\n/* two\nline comment */\nstd::mutex m;\n"
+        out = lint.strip_comments(text)
+        self.assertEqual(text.count("\n"), out.count("\n"))
+        line = out.split("\n").index("std::mutex m;") + 1
+        self.assertEqual(line, 4)
+
+
+class RuleTest(unittest.TestCase):
+    def errors(self, text, path=None):
+        return lint.lint_text(path or src(), GUARD + text)
+
+    def assert_rule(self, rule, text, path=None):
+        errs = self.errors(text, path)
+        self.assertTrue(any(f": {rule}: " in e for e in errs),
+                        f"{rule} did not fire; got {errs}")
+
+    def assert_clean(self, text, path=None):
+        self.assertEqual(self.errors(text, path), [])
+
+    # R2 / R3a ------------------------------------------------------------
+    def test_r2_naked_std_mutex(self):
+        self.assert_rule("R2", "std::mutex m;\n")
+
+    def test_r2_exempts_mutex_files(self):
+        for path in lint.MUTEX_FILES:
+            errs = lint.lint_text(
+                path, "#ifndef STREAMLAKE_COMMON_MUTEX_H_\nstd::mutex m;\n")
+            self.assertFalse(any(": R2: " in e for e in errs), errs)
+
+    def test_r2_ignores_comments_and_strings(self):
+        self.assert_clean("// std::mutex\nconst char* s = \"std::mutex\";\n")
+
+    def test_r3a_reserved_include(self):
+        self.assert_rule("R3a", "#include <mutex>\n")
+
+    # R3c / R3d -----------------------------------------------------------
+    def test_r3c_parent_relative_include(self):
+        self.assert_rule("R3c", '#include "../common/mutex.h"\n')
+
+    def test_r3d_missing_guard(self):
+        errs = lint.lint_text(src(), "int x;\n")
+        self.assertTrue(any(": R3d: " in e for e in errs), errs)
+
+    # R4 ------------------------------------------------------------------
+    def test_r4_member_without_rank(self):
+        self.assert_rule("R4", "class C {\n  Mutex mu_;\n};\n")
+
+    def test_r4_shared_mutex_without_rank(self):
+        self.assert_rule("R4", "class C {\n  SharedMutex mu_;\n};\n")
+
+    def test_r4_rank_on_declaration_is_clean(self):
+        self.assert_clean(
+            'class C {\n'
+            '  Mutex mu_{LockRank::kKvStore, "kv.store"};\n};\n')
+
+    def test_r4_multiline_initializer_is_clean(self):
+        self.assert_clean(
+            "class C {\n  mutable Mutex mu_{\n"
+            '      LockRank::kKvStore, "kv.store"};\n};\n')
+
+    def test_r4_skips_pointer_and_reference(self):
+        self.assert_clean("void f(Mutex* mu, Mutex& other);\n")
+
+    def test_r4_only_applies_under_src(self):
+        errs = lint.lint_text(os.path.join("tests", "t.cc"),
+                              "Mutex mu_;\n")
+        self.assertFalse(any(": R4: " in e for e in errs), errs)
+
+    # R5 ------------------------------------------------------------------
+    def test_r5_sleep_under_lock(self):
+        self.assert_rule(
+            "R5",
+            "void F() {\n  MutexLock lock(&mu_);\n"
+            "  std::this_thread::sleep_for(1ms);\n}\n")
+
+    def test_r5_join_under_reader_lock(self):
+        self.assert_rule(
+            "R5",
+            "void F() {\n  ReaderMutexLock lock(&mu_);\n  t.join();\n}\n")
+
+    def test_r5_argless_wait_under_lock(self):
+        self.assert_rule(
+            "R5",
+            "void F() {\n  WriterMutexLock lock(&mu_);\n  pool->Wait();\n}\n")
+
+    def test_r5_condvar_wait_with_mutex_arg_is_exempt(self):
+        self.assert_clean(
+            "void F() {\n  MutexLock lock(&mu_);\n"
+            "  while (q_.empty()) cv_.Wait(&mu_);\n}\n")
+
+    def test_r5_sleep_after_scope_closes_is_clean(self):
+        self.assert_clean(
+            "void F() {\n  {\n    MutexLock lock(&mu_);\n    n_++;\n  }\n"
+            "  std::this_thread::sleep_for(1ms);\n}\n")
+
+
+class RepoTest(unittest.TestCase):
+    def test_whole_repo_is_clean(self):
+        # The shipped tree must satisfy its own lint (same check as the
+        # `lint` ctest, via the public entry point).
+        self.assertEqual(lint.main(), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every translation unit, driven
+# by the compilation database CMake exports (CMAKE_EXPORT_COMPILE_COMMANDS
+# is ON globally; any configured preset's build dir works).
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#   build-dir   directory containing compile_commands.json (default: build,
+#               configured with the default preset if missing)
+#
+# Exits non-zero on any finding (WarningsAsErrors: '*') or if clang-tidy
+# is not installed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH." >&2
+  echo "  install it (e.g. apt-get install clang-tidy) or, for the other" >&2
+  echo "  checks only, use scripts/check.sh --no-tidy" >&2
+  exit 2
+fi
+
+build_dir="${1:-build}"
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "==> no $build_dir/compile_commands.json; configuring default preset"
+  cmake --preset default >/dev/null
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+mapfile -t sources < <(find src tests bench examples \
+                            -name '*.cc' -o -name '*.cpp' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found (run from the repo root)" >&2
+  exit 2
+fi
+
+echo "==> clang-tidy (${#sources[@]} files, $jobs jobs)"
+printf '%s\0' "${sources[@]}" |
+  xargs -0 -n 1 -P "$jobs" clang-tidy -p "$build_dir" --quiet
+echo "==> clang-tidy clean"
