@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/streamlake.h"
 
 using namespace streamlake;
@@ -111,7 +112,8 @@ void PrintSweep(const char* title, const ServiceModel& set1,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig14_latency", &argc, argv);
   std::printf("Fig. 14(a): message latency vs offered rate (1 KB messages)\n\n");
   ServiceModel set1 = Measure(/*with_pmem=*/false, /*aggregation=*/true);
   ServiceModel set2 = Measure(/*with_pmem=*/true, /*aggregation=*/true);
@@ -126,5 +128,11 @@ int main() {
   ServiceModel set2_noagg = Measure(true, /*aggregation=*/false);
   PrintSweep("Ablation, I/O aggregation disabled (latency-sensitive mode):",
              set1_noagg, set2_noagg);
-  return 0;
+  report.Add("set1.produce_ns_per_msg", set1.produce_ns_per_msg);
+  report.Add("set2.produce_ns_per_msg", set2.produce_ns_per_msg);
+  report.Add("set1.consume_fixed_ns", set1.consume_fixed_ns);
+  report.Add("set2.consume_fixed_ns", set2.consume_fixed_ns);
+  report.Add("set1.latency_us_at_100k", LatencyUs(set1, 100e3));
+  report.Add("set2.latency_us_at_100k", LatencyUs(set2, 100e3));
+  return report.WriteIfRequested() ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/streamlake.h"
 
 using namespace streamlake;
@@ -42,7 +43,8 @@ double MeasureProduceServiceNs(bool with_pmem) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig14_throughput", &argc, argv);
   double set1_service = MeasureProduceServiceNs(false);
   double set2_service = MeasureProduceServiceNs(true);
   // The stream service spreads load across workers/streams; the testbed
@@ -63,5 +65,10 @@ int main() {
     std::printf("%14.0f %18.0f %18.0f\n", rate, std::min(rate, cap1),
                 std::min(rate, cap2));
   }
-  return 0;
+  report.Add("set1.service_ns", set1_service);
+  report.Add("set2.service_ns", set2_service);
+  report.Add("set1.capacity_msg_per_sec", cap1);
+  report.Add("set2.capacity_msg_per_sec", cap2);
+  report.Add("capacity_ratio", cap2 / cap1);
+  return report.WriteIfRequested() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/streamlake.h"
 #include "workload/dpi_log.h"
 
@@ -77,7 +78,8 @@ Point RunOnePoint(uint64_t partitions, table::MetadataMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig15_metadata", &argc, argv);
   std::printf("Fig. 15(a): metadata operation time vs partitions "
               "(100 queries, partition counts scaled 1/10)\n\n");
   std::printf("%12s | %20s %12s | %20s %12s\n", "partitions",
@@ -93,6 +95,13 @@ int main() {
                 static_cast<unsigned long long>(file_based.small_ios),
                 accel.metadata_ms,
                 static_cast<unsigned long long>(accel.small_ios));
+    std::string p = "p" + std::to_string(partitions);
+    report.Add("no_accel." + p + ".metadata_ms", file_based.metadata_ms);
+    report.Add("no_accel." + p + ".small_ios",
+               static_cast<double>(file_based.small_ios));
+    report.Add("accel." + p + ".metadata_ms", accel.metadata_ms);
+    report.Add("accel." + p + ".small_ios",
+               static_cast<double>(accel.small_ios));
   }
-  return 0;
+  return report.WriteIfRequested() ? 0 : 1;
 }

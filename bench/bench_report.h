@@ -1,0 +1,81 @@
+// Machine-readable benchmark output for the CI regression gate.
+//
+// Each bench main constructs a BenchReport before parsing its own flags,
+// Add()s the headline numbers it already prints, and calls
+// WriteIfRequested() before exiting. When the binary is invoked with
+// --json_out=PATH the report is written there as
+//
+//   {"bench": "<name>",
+//    "metrics": {"<metric>": <value>, ...},
+//    "registry": { ...MetricsRegistry JSON snapshot... }}
+//
+// (conventionally PATH is BENCH_<name>.json). Without the flag nothing is
+// written, so interactive runs keep their plain-text output only. The
+// constructor strips --json_out from argv so flag parsers downstream
+// (e.g. google-benchmark's Initialize in bench_micro) never see it.
+// tools/bench_compare.py consumes these files.
+
+#ifndef STREAMLAKE_BENCH_BENCH_REPORT_H_
+#define STREAMLAKE_BENCH_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace streamlake::bench {
+
+class BenchReport {
+ public:
+  BenchReport(std::string name, int* argc, char** argv)
+      : name_(std::move(name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      std::string arg = argv[i];
+      const std::string prefix = "--json_out=";
+      if (arg.rfind(prefix, 0) == 0) {
+        path_ = arg.substr(prefix.size());
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  void Add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  /// Returns false only when a requested write failed (missing directory,
+  /// permissions); benches treat that as a fatal setup error.
+  bool WriteIfRequested() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_report: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"metrics\": {", name_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.17g", i == 0 ? "" : ", ",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "}, \"registry\": %s}\n",
+                 MetricsRegistry::Global().JsonReport().c_str());
+    std::fclose(f);
+    return true;
+  }
+
+  bool requested() const { return !path_.empty(); }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace streamlake::bench
+
+#endif  // STREAMLAKE_BENCH_BENCH_REPORT_H_

@@ -91,6 +91,9 @@ namespace streamlake {
 /// rank table and how to pick a rank for a new mutex.
 enum class LockRank : uint16_t {
   // ---- common: leaf utilities, acquired last ----
+  kMetricsRegistry = 2,  // metric name->object map; registration is lazy
+                         // (function-local statics on hot paths), so this
+                         // must be acquirable under any other held lock
   kThreadPool = 10,
 
   // ---- storage: device/pool/plog write path (Fig. 4) ----

@@ -1,5 +1,6 @@
 #include "convert/converter.h"
 
+#include "common/metrics.h"
 #include "format/row_codec.h"
 #include "streaming/producer.h"
 
@@ -48,6 +49,9 @@ Result<ConversionService::RunStats> ConversionService::Run(
       now - last_run >= static_cast<int64_t>(convert.split_time_sec);
   if (!force && !count_trigger && !time_trigger) return stats;
   stats.triggered = true;
+  static Counter* triggered_runs =
+      MetricsRegistry::Global().GetCounter("convert.runs_triggered");
+  triggered_runs->Increment();
   if (unconverted == 0) {
     SL_RETURN_NOT_OK(meta_->Put(LastRunKey(topic), std::to_string(now)));
     return stats;
@@ -99,6 +103,15 @@ Result<ConversionService::RunStats> ConversionService::Run(
     }
   }
   SL_RETURN_NOT_OK(meta_->Put(LastRunKey(topic), std::to_string(now)));
+  static Counter* converted =
+      MetricsRegistry::Global().GetCounter("convert.converted_records");
+  static Counter* parse_errors =
+      MetricsRegistry::Global().GetCounter("convert.parse_errors");
+  static Counter* trimmed =
+      MetricsRegistry::Global().GetCounter("convert.trimmed_records");
+  converted->Increment(stats.converted_records);
+  parse_errors->Increment(stats.parse_errors);
+  trimmed->Increment(stats.trimmed_records);
   return stats;
 }
 
@@ -127,6 +140,9 @@ Result<uint64_t> ConversionService::PlaybackToStream(
                         producer.Send(topic, message));
     ++produced;
   }
+  static Counter* playback =
+      MetricsRegistry::Global().GetCounter("convert.playback_records");
+  playback->Increment(produced);
   return produced;
 }
 

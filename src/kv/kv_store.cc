@@ -3,14 +3,24 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace streamlake::kv {
 
 KvStore::KvStore(KvOptions options) : options_(options) {}
 
 Status KvStore::Write(const WriteBatch& batch) {
   if (batch.empty()) return Status::OK();
+  static Counter* batches =
+      MetricsRegistry::Global().GetCounter("kv.write.batches");
+  static Counter* ops = MetricsRegistry::Global().GetCounter("kv.write.ops");
+  static Counter* bytes =
+      MetricsRegistry::Global().GetCounter("kv.write.bytes");
   Bytes record;
   batch.EncodeTo(&record);
+  batches->Increment();
+  ops->Increment(batch.ops().size());
+  bytes->Increment(record.size());
   {
     WriterMutexLock lock(&mu_);
     uint64_t seq = ++sequence_;
@@ -44,20 +54,33 @@ Status KvStore::Delete(std::string_view key) {
 
 Result<std::string> KvStore::GetAtSequence(std::string_view key,
                                            uint64_t sequence) const {
+  static Counter* gets = MetricsRegistry::Global().GetCounter("kv.get.ops");
+  static Counter* hits = MetricsRegistry::Global().GetCounter("kv.get.hits");
+  static Counter* misses =
+      MetricsRegistry::Global().GetCounter("kv.get.misses");
+  gets->Increment();
   if (options_.read_device != nullptr) {
     options_.read_device->ChargeRead(key.size() + 64);
   }
   ReaderMutexLock lock(&mu_);
   auto it = table_.find(key);
-  if (it == table_.end()) return Status::NotFound(std::string(key));
+  if (it == table_.end()) {
+    misses->Increment();
+    return Status::NotFound(std::string(key));
+  }
   // Versions are appended in sequence order; find the last one <= sequence.
   const auto& versions = it->second;
   for (auto rit = versions.rbegin(); rit != versions.rend(); ++rit) {
     if (rit->sequence <= sequence) {
-      if (!rit->value.has_value()) return Status::NotFound(std::string(key));
+      if (!rit->value.has_value()) {
+        misses->Increment();
+        return Status::NotFound(std::string(key));
+      }
+      hits->Increment();
       return *rit->value;
     }
   }
+  misses->Increment();
   return Status::NotFound(std::string(key));
 }
 
@@ -78,6 +101,9 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
 std::vector<std::pair<std::string, std::string>> KvStore::Scan(
     std::string_view start, std::string_view end, const Snapshot& snap,
     size_t limit) const {
+  static Counter* scans = MetricsRegistry::Global().GetCounter("kv.scan.ops");
+  static Counter* rows = MetricsRegistry::Global().GetCounter("kv.scan.rows");
+  scans->Increment();
   std::vector<std::pair<std::string, std::string>> out;
   ReaderMutexLock lock(&mu_);
   auto it = table_.lower_bound(start);
@@ -98,6 +124,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
     for (const auto& [k, v] : out) bytes += k.size() + v.size();
     options_.read_device->ChargeRead(bytes + 64);
   }
+  rows->Increment(out.size());
   return out;
 }
 

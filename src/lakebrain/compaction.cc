@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/metrics.h"
+
 namespace streamlake::lakebrain {
 
 double BlockUtilization(const std::vector<uint64_t>& file_sizes,
@@ -88,6 +90,18 @@ Result<CompactionDecision> AutoCompactionAgent::Step(
       files, partition, options_.block_size, access_frequency);
   std::vector<double> state = BuildStateVector(global, features);
 
+  static Counter* steps =
+      MetricsRegistry::Global().GetCounter("lakebrain.compaction.steps");
+  static Counter* attempts =
+      MetricsRegistry::Global().GetCounter("lakebrain.compaction.attempts");
+  static Counter* successes =
+      MetricsRegistry::Global().GetCounter("lakebrain.compaction.successes");
+  static Counter* conflicts =
+      MetricsRegistry::Global().GetCounter("lakebrain.compaction.conflicts");
+  static Counter* files_merged =
+      MetricsRegistry::Global().GetCounter("lakebrain.compaction.files_merged");
+  steps->Increment();
+
   int action = options_.training ? agent_.SelectAction(state)
                                  : agent_.GreedyAction(state);
   CompactionDecision decision;
@@ -99,10 +113,13 @@ Result<CompactionDecision> AutoCompactionAgent::Step(
 
   if (action == 1) {
     decision.attempted = true;
+    attempts->Increment();
     auto result = table->CompactPartition(partition, base_snapshot_id);
     if (result.ok()) {
       decision.succeeded = true;
+      successes->Increment();
       decision.files_merged = result->files_before;
+      files_merged->Increment(result->files_before);
       SL_ASSIGN_OR_RETURN(auto new_files, table->LiveFiles());
       PartitionFeatures after = ComputePartitionFeatures(
           new_files, partition, options_.block_size, access_frequency);
@@ -114,6 +131,7 @@ Result<CompactionDecision> AutoCompactionAgent::Step(
                         options_.compaction_cost;
     } else if (result.status().IsConflict()) {
       decision.conflicted = true;
+      conflicts->Increment();
       decision.utilization_after = decision.utilization_before;
       // "If it fails, the reward is the minus of (1 - the expected
       // improvement of the block utilization)."

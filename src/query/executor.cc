@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace streamlake::query {
 
 namespace {
@@ -199,6 +201,12 @@ Result<QueryResult> Executor::Finalize() {
   QueryResult result;
   result.rows_scanned = rows_scanned_;
   result.rows_matched = rows_matched_;
+  static Counter* rows_scanned =
+      MetricsRegistry::Global().GetCounter("query.rows_scanned");
+  static Counter* rows_matched =
+      MetricsRegistry::Global().GetCounter("query.rows_matched");
+  rows_scanned->Increment(rows_scanned_);
+  rows_matched->Increment(rows_matched_);
 
   if (spec_.aggregates.empty()) {
     if (projection_cols_.empty()) {

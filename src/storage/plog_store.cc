@@ -1,6 +1,7 @@
 #include "storage/plog_store.h"
 
 #include "common/hash.h"
+#include "common/metrics.h"
 
 namespace streamlake::storage {
 
@@ -18,6 +19,12 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
   if (shard >= config_.num_shards) {
     return Status::InvalidArgument("shard out of range");
   }
+  static Counter* append_ops =
+      MetricsRegistry::Global().GetCounter("storage.plog.append_ops");
+  static Counter* append_bytes =
+      MetricsRegistry::Global().GetCounter("storage.plog.append_bytes");
+  static Counter* seals =
+      MetricsRegistry::Global().GetCounter("storage.plog.seals");
   MutexLock lock(&mu_);
   Shard& s = shards_[shard];
   // Open the first PLog lazily; roll over when the active one fills up.
@@ -31,6 +38,8 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
     auto offset = active->Append(record);
     if (offset.ok()) {
       active->set_last_append_ns(clock_->NowNanos());
+      append_ops->Increment();
+      append_bytes->Increment(record.size());
       PlogAddress address;
       address.shard = shard;
       address.plog_index = static_cast<uint32_t>(s.chain.size() - 1);
@@ -40,11 +49,16 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
     if (!offset.status().IsResourceExhausted()) return offset.status();
     // Active PLog full: seal and retry on a fresh one.
     SL_RETURN_NOT_OK(active->Seal());
+    seals->Increment();
   }
   return Status::ResourceExhausted("record larger than plog capacity");
 }
 
 Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
+  static Counter* read_ops =
+      MetricsRegistry::Global().GetCounter("storage.plog.read_ops");
+  static Counter* read_bytes =
+      MetricsRegistry::Global().GetCounter("storage.plog.read_bytes");
   MutexLock lock(&mu_);
   if (address.shard >= shards_.size()) {
     return Status::InvalidArgument("shard out of range");
@@ -53,7 +67,12 @@ Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
   if (address.plog_index >= s.chain.size()) {
     return Status::NotFound("plog index out of range");
   }
-  return s.chain[address.plog_index]->ReadRecord(address.offset);
+  auto data = s.chain[address.plog_index]->ReadRecord(address.offset);
+  if (data.ok()) {
+    read_ops->Increment();
+    read_bytes->Increment(data->size());
+  }
+  return data;
 }
 
 Status PlogStore::MarkGarbage(const PlogAddress& address,

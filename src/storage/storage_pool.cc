@@ -6,7 +6,16 @@ namespace streamlake::storage {
 
 StoragePool::StoragePool(std::string name, sim::MediaType media,
                          sim::SimClock* clock)
-    : name_(std::move(name)), media_(media), clock_(clock) {}
+    : name_(std::move(name)), media_(media), clock_(clock) {
+  auto& registry = MetricsRegistry::Global();
+  const std::string prefix = "storage.pool." + name_ + ".";
+  alloc_ops_ = registry.GetCounter(prefix + "alloc_ops");
+  alloc_bytes_ = registry.GetCounter(prefix + "alloc_bytes");
+  freed_bytes_ = registry.GetCounter(prefix + "freed_bytes");
+  allocated_gauge_ = registry.GetGauge(prefix + "allocated_bytes");
+  tier_read_bytes_ = registry.GetGauge(prefix + "device_read_bytes");
+  tier_write_bytes_ = registry.GetGauge(prefix + "device_write_bytes");
+}
 
 uint32_t StoragePool::AddDevice(uint32_t node_id, uint64_t capacity_bytes) {
   MutexLock lock(&mu_);
@@ -93,6 +102,9 @@ Result<std::vector<Extent>> StoragePool::AllocateExtents(int count,
     }
   }
   allocated_bytes_ += static_cast<uint64_t>(count) * size;
+  alloc_ops_->Increment();
+  alloc_bytes_->Increment(static_cast<uint64_t>(count) * size);
+  allocated_gauge_->Set(static_cast<int64_t>(allocated_bytes_));
   return extents;
 }
 
@@ -101,6 +113,8 @@ void StoragePool::FreeExtent(const Extent& extent) {
   states_[extent.device->id()].free_list.emplace_back(extent.offset,
                                                       extent.size);
   allocated_bytes_ -= extent.size;
+  freed_bytes_->Increment(extent.size);
+  allocated_gauge_->Set(static_cast<int64_t>(allocated_bytes_));
 }
 
 uint64_t StoragePool::TotalCapacity() const {
@@ -133,6 +147,10 @@ sim::DeviceStats StoragePool::AggregateStats() const {
     total.bytes_written += s.bytes_written;
     total.busy_ns += s.busy_ns;
   }
+  // Export the tier's cumulative device I/O so registry snapshots carry
+  // per-pool numbers (sampled whenever the pool is inspected).
+  tier_read_bytes_->Set(static_cast<int64_t>(total.bytes_read));
+  tier_write_bytes_->Set(static_cast<int64_t>(total.bytes_written));
   return total;
 }
 

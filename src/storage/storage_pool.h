@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "storage/block_device.h"
 
@@ -71,6 +72,14 @@ class StoragePool {
   std::string name_;
   sim::MediaType media_;
   sim::SimClock* clock_;
+  // Per-tier registry metrics (`storage.pool.<name>.*`); pools sharing a
+  // name (e.g. every test's "ssd") aggregate into the same counters.
+  Counter* alloc_ops_;
+  Counter* alloc_bytes_;
+  Counter* freed_bytes_;
+  Gauge* allocated_gauge_;
+  Gauge* tier_read_bytes_;
+  Gauge* tier_write_bytes_;
   std::vector<std::unique_ptr<BlockDevice>> devices_;
   std::vector<DeviceState> states_ GUARDED_BY(mu_);
   mutable Mutex mu_{LockRank::kStoragePool, "storage.pool"};

@@ -2,9 +2,18 @@
 
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace streamlake::storage {
 
 Result<TieringService::RunStats> TieringService::Run() {
+  static Counter* runs =
+      MetricsRegistry::Global().GetCounter("storage.tiering.runs");
+  static Counter* migrated_plogs =
+      MetricsRegistry::Global().GetCounter("storage.tiering.migrated_plogs");
+  static Counter* migrated_bytes =
+      MetricsRegistry::Global().GetCounter("storage.tiering.migrated_bytes");
+  runs->Increment();
   struct Candidate {
     uint32_t shard;
     uint32_t index;
@@ -37,6 +46,8 @@ Result<TieringService::RunStats> TieringService::Run() {
     SL_RETURN_NOT_OK(plogs_->MigratePlog(c.shard, c.index, cold_));
     ++stats.migrated_plogs;
     stats.migrated_bytes += c.bytes;
+    migrated_plogs->Increment();
+    migrated_bytes->Increment(c.bytes);
   }
   return stats;
 }

@@ -2,19 +2,29 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace streamlake::stream {
 
 // ---------------- ScmSliceCache ----------------
 
 const std::vector<StreamRecord>* ScmSliceCache::Get(uint64_t object_id,
                                                     uint64_t slice_seq) {
+  // Per-instance hits_/misses_ back the cache's own accessors; the
+  // registry counters aggregate across instances for observability.
+  static Counter* cache_hits =
+      MetricsRegistry::Global().GetCounter("stream.scm_cache.hits");
+  static Counter* cache_misses =
+      MetricsRegistry::Global().GetCounter("stream.scm_cache.misses");
   MutexLock lock(&mu_);
   auto it = index_.find({object_id, slice_seq});
   if (it == index_.end()) {
     ++misses_;
+    cache_misses->Increment();
     return nullptr;
   }
   ++hits_;
+  cache_hits->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
   if (pmem_ != nullptr) pmem_->ChargeRead(it->second->bytes);
   return &it->second->records;
@@ -131,10 +141,17 @@ Status StreamObject::CheckQuotaLocked(size_t incoming) {
 }
 
 Result<uint64_t> StreamObject::Append(std::vector<StreamRecord> records) {
+  static Counter* append_batches =
+      MetricsRegistry::Global().GetCounter("stream.object.append_batches");
+  static Counter* append_records =
+      MetricsRegistry::Global().GetCounter("stream.object.append_records");
+  static Counter* append_bytes =
+      MetricsRegistry::Global().GetCounter("stream.object.append_bytes");
   MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   SL_RETURN_NOT_OK(CheckQuotaLocked(records.size()));
 
+  append_batches->Increment();
   uint64_t start_offset = frontier_;
   for (StreamRecord& record : records) {
     // Idempotent writes: drop producer retries ("duplicate messages sent
@@ -147,6 +164,8 @@ Result<uint64_t> StreamObject::Append(std::vector<StreamRecord> records) {
         it->second = record.producer_seq;
       }
     }
+    append_records->Increment();
+    append_bytes->Increment(record.key.size() + record.value.size());
     active_.push_back(std::move(record));
     ++frontier_;
     if (active_.size() >= options_.records_per_slice ||
@@ -160,8 +179,14 @@ Result<uint64_t> StreamObject::Append(std::vector<StreamRecord> records) {
 
 Status StreamObject::PersistSliceLocked(std::vector<StreamRecord> records) {
   if (records.empty()) return Status::OK();
+  static Counter* slices_persisted =
+      MetricsRegistry::Global().GetCounter("stream.object.slices_persisted");
+  static Histogram* slice_bytes =
+      MetricsRegistry::Global().GetHistogram("stream.object.slice_bytes");
   Bytes encoded;
   EncodeSlice(&encoded, records);
+  slices_persisted->Increment();
+  slice_bytes->Record(encoded.size());
 
   SliceMeta meta;
   meta.seq = next_slice_seq_++;
@@ -194,6 +219,11 @@ Status StreamObject::PersistSliceLocked(std::vector<StreamRecord> records) {
 
 Result<std::vector<StreamRecord>> StreamObject::Read(
     uint64_t offset, size_t max_records) const {
+  static Counter* read_ops =
+      MetricsRegistry::Global().GetCounter("stream.object.read_ops");
+  static Counter* read_records =
+      MetricsRegistry::Global().GetCounter("stream.object.read_records");
+  read_ops->Increment();
   MutexLock lock(&mu_);
   if (destroyed_) return Status::InvalidArgument("stream object destroyed");
   if (offset > frontier_) {
@@ -236,6 +266,7 @@ Result<std::vector<StreamRecord>> StreamObject::Read(
       ++pos;
     }
   }
+  read_records->Increment(out.size());
   return out;
 }
 

@@ -50,7 +50,7 @@ Result<ArchiveService::RunStats> ArchiveService::Run(const std::string& topic,
   for (uint32_t s = 0; s < streams; ++s) {
     if (tails[s].empty()) continue;
     std::string path = "/archive/" + topic + "/" + std::to_string(s) + "-" +
-                       std::to_string(file_counter_++);
+                       std::to_string(next_file_seq_++);
     Bytes file;
     if (config.archive.row_2_col) {
       // Columnar conversion: dictionary/RLE + compression shrink the

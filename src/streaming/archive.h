@@ -36,7 +36,7 @@ class ArchiveService {
   StreamDispatcher* dispatcher_;
   storage::ObjectStore* archive_store_;
   kv::KvStore* meta_;
-  uint64_t file_counter_ = 0;
+  uint64_t next_file_seq_ = 0;
 };
 
 }  // namespace streamlake::streaming

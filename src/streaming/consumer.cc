@@ -1,5 +1,7 @@
 #include "streaming/consumer.h"
 
+#include "common/metrics.h"
+
 namespace streamlake::streaming {
 
 std::string Consumer::OffsetKey(const std::string& topic,
@@ -43,6 +45,12 @@ Result<std::vector<ConsumedMessage>> Consumer::Poll(size_t max_messages) {
       }
     }
   }
+  static Counter* polls =
+      MetricsRegistry::Global().GetCounter("streaming.consumer.polls");
+  static Counter* messages =
+      MetricsRegistry::Global().GetCounter("streaming.consumer.messages");
+  polls->Increment();
+  messages->Increment(out.size());
   return out;
 }
 

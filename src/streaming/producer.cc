@@ -1,9 +1,14 @@
 #include "streaming/producer.h"
 
+#include "common/metrics.h"
+
 namespace streamlake::streaming {
 
 Result<uint64_t> Producer::Send(const std::string& topic,
                                 const Message& message) {
+  static Counter* sends =
+      MetricsRegistry::Global().GetCounter("streaming.producer.messages");
+  sends->Increment();
   SL_ASSIGN_OR_RETURN(auto route,
                       dispatcher_->RouteProduce(topic, message.key));
   uint64_t& next = next_seq_[route.stream_object_id];

@@ -1,6 +1,63 @@
 #include "table/metadata_store.h"
 
+#include "common/metrics.h"
+
 namespace streamlake::table {
+
+// Registry handles for the metadata hot path (names: DESIGN.md,
+// "Observability"). Function-scope statics would also work, but the
+// read path has several call sites sharing these.
+namespace {
+
+struct MetadataMetrics {
+  Counter* reads;
+  Counter* bytes_read;
+  Counter* small_ios;
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* writes;
+  Counter* flush_batches;
+  Counter* flush_entries;
+  Gauge* pending_flushes;
+
+  static const MetadataMetrics& Get() {
+    static const MetadataMetrics m = [] {
+      auto& r = MetricsRegistry::Global();
+      return MetadataMetrics{
+          r.GetCounter("table.metadata.reads"),
+          r.GetCounter("table.metadata.bytes_read"),
+          r.GetCounter("table.metadata.small_ios"),
+          r.GetCounter("table.metadata.cache_hits"),
+          r.GetCounter("table.metadata.cache_misses"),
+          r.GetCounter("table.metadata.writes"),
+          r.GetCounter("table.metadata.flush_batches"),
+          r.GetCounter("table.metadata.flush_entries"),
+          r.GetGauge("table.metadata.pending_flushes"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+MetadataCounters MetadataCounters::Capture() {
+  auto& registry = MetricsRegistry::Global();
+  MetadataCounters sample;
+  sample.reads = registry.CounterValue("table.metadata.reads");
+  sample.bytes_read = registry.CounterValue("table.metadata.bytes_read");
+  sample.small_ios = registry.CounterValue("table.metadata.small_ios");
+  return sample;
+}
+
+MetadataCounters MetadataCounters::operator-(
+    const MetadataCounters& start) const {
+  MetadataCounters delta;
+  delta.reads = reads - start.reads;
+  delta.bytes_read = bytes_read - start.bytes_read;
+  delta.small_ios = small_ios - start.small_ios;
+  return delta;
+}
 
 std::string MetadataStore::CatalogKey(const std::string& name) {
   return "catalog/" + name;
@@ -31,6 +88,8 @@ std::string MetadataStore::CatalogFilePath(const std::string& name) {
 
 Status MetadataStore::WriteEntry(const std::string& cache_key,
                                  const std::string& file_path, ByteView data) {
+  const auto& metrics = MetadataMetrics::Get();
+  metrics.writes->Increment();
   if (mode_ == MetadataMode::kFileBased) {
     // Every metadata update is a small object-store write.
     return objects_->Write(file_path, data);
@@ -38,31 +97,32 @@ Status MetadataStore::WriteEntry(const std::string& cache_key,
   // Accelerated: write to the KV cache; the file write is deferred to the
   // MetaFresher (FlushPending).
   SL_RETURN_NOT_OK(cache_->Put(cache_key, ByteView(data).ToStringView()));
+  metrics.pending_flushes->Add(1);
   MutexLock lock(&mu_);
   pending_.emplace_back(cache_key, file_path);
   return Status::OK();
 }
 
 Result<Bytes> MetadataStore::ReadEntry(const std::string& cache_key,
-                                       const std::string& file_path,
-                                       MetadataCounters* counters) {
+                                       const std::string& file_path) {
+  const auto& metrics = MetadataMetrics::Get();
   if (mode_ == MetadataMode::kAccelerated) {
     auto cached = cache_->Get(cache_key);
     if (cached.ok()) {
-      if (counters != nullptr) {
-        counters->reads += 1;
-        counters->bytes_read += cached->size();
-      }
+      metrics.cache_hits->Increment();
+      metrics.reads->Increment();
+      metrics.bytes_read->Increment(cached->size());
       return ToBytes(*cached);
     }
+    metrics.cache_misses->Increment();
     // Fall through to the persistent layer (entry evicted or pre-dating
     // the cache).
   }
   auto data = objects_->Read(file_path);
-  if (data.ok() && counters != nullptr) {
-    counters->reads += 1;
-    counters->small_ios += 1;
-    counters->bytes_read += data->size();
+  if (data.ok()) {
+    metrics.reads->Increment();
+    metrics.small_ios->Increment();
+    metrics.bytes_read->Increment(data->size());
   }
   return data;
 }
@@ -77,7 +137,12 @@ Status MetadataStore::DeleteEntry(const std::string& cache_key,
     SL_RETURN_NOT_OK(cache_->Delete(cache_key));
     MutexLock lock(&mu_);
     for (auto it = pending_.begin(); it != pending_.end();) {
-      it = (it->first == cache_key) ? pending_.erase(it) : it + 1;
+      if (it->first == cache_key) {
+        it = pending_.erase(it);
+        MetadataMetrics::Get().pending_flushes->Add(-1);
+      } else {
+        ++it;
+      }
     }
   }
   if (objects_->Exists(file_path)) {
@@ -93,10 +158,9 @@ Status MetadataStore::PutTableInfo(const TableInfo& info) {
                     ByteView(encoded));
 }
 
-Result<TableInfo> MetadataStore::GetTableInfo(const std::string& name,
-                                              MetadataCounters* counters) {
-  SL_ASSIGN_OR_RETURN(
-      Bytes data, ReadEntry(CatalogKey(name), CatalogFilePath(name), counters));
+Result<TableInfo> MetadataStore::GetTableInfo(const std::string& name) {
+  SL_ASSIGN_OR_RETURN(Bytes data,
+                      ReadEntry(CatalogKey(name), CatalogFilePath(name)));
   return TableInfo::DecodeFrom(ByteView(data));
 }
 
@@ -128,11 +192,9 @@ Status MetadataStore::PutCommit(const std::string& table_path,
 }
 
 Result<CommitFile> MetadataStore::GetCommit(const std::string& table_path,
-                                            uint64_t seq,
-                                            MetadataCounters* counters) {
-  SL_ASSIGN_OR_RETURN(Bytes data,
-                      ReadEntry(CommitKey(table_path, seq),
-                                CommitFilePath(table_path, seq), counters));
+                                            uint64_t seq) {
+  SL_ASSIGN_OR_RETURN(Bytes data, ReadEntry(CommitKey(table_path, seq),
+                                            CommitFilePath(table_path, seq)));
   return CommitFile::DecodeFrom(ByteView(data));
 }
 
@@ -152,11 +214,9 @@ Status MetadataStore::PutSnapshot(const std::string& table_path,
 }
 
 Result<SnapshotMeta> MetadataStore::GetSnapshot(const std::string& table_path,
-                                                uint64_t id,
-                                                MetadataCounters* counters) {
-  SL_ASSIGN_OR_RETURN(Bytes data,
-                      ReadEntry(SnapshotKey(table_path, id),
-                                SnapshotFilePath(table_path, id), counters));
+                                                uint64_t id) {
+  SL_ASSIGN_OR_RETURN(Bytes data, ReadEntry(SnapshotKey(table_path, id),
+                                            SnapshotFilePath(table_path, id)));
   return SnapshotMeta::DecodeFrom(ByteView(data));
 }
 
@@ -172,6 +232,9 @@ Result<size_t> MetadataStore::FlushPending() {
     MutexLock lock(&mu_);
     to_flush.swap(pending_);
   }
+  const auto& metrics = MetadataMetrics::Get();
+  metrics.pending_flushes->Add(-static_cast<int64_t>(to_flush.size()));
+  if (!to_flush.empty()) metrics.flush_batches->Increment();
   size_t flushed = 0;
   for (const auto& [cache_key, file_path] : to_flush) {
     auto value = cache_->Get(cache_key);
@@ -179,6 +242,7 @@ Result<size_t> MetadataStore::FlushPending() {
     SL_RETURN_NOT_OK(objects_->Write(file_path, ByteView(*value)));
     ++flushed;
   }
+  metrics.flush_entries->Increment(flushed);
   return flushed;
 }
 

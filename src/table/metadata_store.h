@@ -21,10 +21,21 @@ enum class MetadataMode {
   kAccelerated,
 };
 
+/// \brief Point-in-time sample of the process-wide `table.metadata.*`
+/// registry counters (common/metrics.h). The metadata path reports
+/// through MetricsRegistry; per-operation numbers (Table::SelectMetrics)
+/// are deltas between two samples: exact in single-threaded tests and
+/// benches, an upper bound when other threads touch table metadata
+/// concurrently.
 struct MetadataCounters {
   uint64_t reads = 0;        // metadata objects / KV entries read
   uint64_t bytes_read = 0;   // metadata bytes pulled into the reader
   uint64_t small_ios = 0;    // object-store reads (the Fig. 15a pain)
+
+  /// Sample the registry counters now.
+  static MetadataCounters Capture();
+  /// Work done between `start` (the earlier sample) and *this.
+  MetadataCounters operator-(const MetadataCounters& start) const;
 };
 
 /// \brief Storage for catalog entries, commits, and snapshots, in either
@@ -45,21 +56,18 @@ class MetadataStore {
 
   // ---- catalog ----
   Status PutTableInfo(const TableInfo& info);
-  Result<TableInfo> GetTableInfo(const std::string& name,
-                                 MetadataCounters* counters = nullptr);
+  Result<TableInfo> GetTableInfo(const std::string& name);
   Status DeleteTableInfo(const std::string& name);
   std::vector<std::string> ListTables() const;
 
   // ---- commits ----
   Status PutCommit(const std::string& table_path, const CommitFile& commit);
-  Result<CommitFile> GetCommit(const std::string& table_path, uint64_t seq,
-                               MetadataCounters* counters = nullptr);
+  Result<CommitFile> GetCommit(const std::string& table_path, uint64_t seq);
   Status DeleteCommit(const std::string& table_path, uint64_t seq);
 
   // ---- snapshots ----
   Status PutSnapshot(const std::string& table_path, const SnapshotMeta& snap);
-  Result<SnapshotMeta> GetSnapshot(const std::string& table_path, uint64_t id,
-                                   MetadataCounters* counters = nullptr);
+  Result<SnapshotMeta> GetSnapshot(const std::string& table_path, uint64_t id);
   Status DeleteSnapshot(const std::string& table_path, uint64_t id);
 
   /// MetaFresher: flush cached metadata entries to persistent files.
@@ -77,8 +85,7 @@ class MetadataStore {
   static std::string CatalogFilePath(const std::string& name);
 
   Result<Bytes> ReadEntry(const std::string& cache_key,
-                          const std::string& file_path,
-                          MetadataCounters* counters);
+                          const std::string& file_path);
   Status WriteEntry(const std::string& cache_key, const std::string& file_path,
                     ByteView data);
   Status DeleteEntry(const std::string& cache_key,

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
+
 namespace streamlake::table {
 
 namespace {
@@ -88,8 +90,8 @@ Table::Table(std::string name, MetadataStore* meta,
       compute_link_(compute_link),
       options_(options) {}
 
-Result<TableInfo> Table::Info(MetadataCounters* counters) const {
-  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_, counters));
+Result<TableInfo> Table::Info() const {
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
   if (info.soft_deleted) {
     return Status::NotFound("table " + name_ + " is dropped");
   }
@@ -134,16 +136,16 @@ Status Table::CommitChanges(const CommitRequest& request) {
     // Find commits after the base snapshot.
     SL_ASSIGN_OR_RETURN(
         SnapshotMeta base,
-        meta_->GetSnapshot(info.path, request.base_snapshot_id, nullptr));
+        meta_->GetSnapshot(info.path, request.base_snapshot_id));
     SL_ASSIGN_OR_RETURN(
         SnapshotMeta head,
-        meta_->GetSnapshot(info.path, info.current_snapshot_id, nullptr));
+        meta_->GetSnapshot(info.path, info.current_snapshot_id));
     std::set<uint64_t> base_commits(base.commit_seqs.begin(),
                                     base.commit_seqs.end());
     for (uint64_t seq : head.commit_seqs) {
       if (base_commits.count(seq)) continue;
       SL_ASSIGN_OR_RETURN(CommitFile commit,
-                          meta_->GetCommit(info.path, seq, nullptr));
+                          meta_->GetCommit(info.path, seq));
       for (const std::string& p : commit.TouchedPartitions()) {
         if (ours.count(p)) {
           return Status::Conflict("partition '" + p +
@@ -169,7 +171,7 @@ Status Table::CommitChanges(const CommitRequest& request) {
   SnapshotMeta snap;
   if (info.current_snapshot_id != 0) {
     SL_ASSIGN_OR_RETURN(
-        snap, meta_->GetSnapshot(info.path, info.current_snapshot_id, nullptr));
+        snap, meta_->GetSnapshot(info.path, info.current_snapshot_id));
   }
   snap.snapshot_id = info.next_snapshot_id++;
   snap.timestamp = commit.timestamp;
@@ -226,16 +228,16 @@ Status Table::Insert(const std::vector<format::Row>& rows) {
 }
 
 Result<std::vector<DataFileMeta>> Table::ReplaySnapshot(
-    const TableInfo& info, uint64_t snapshot_id, MetadataCounters* counters,
+    const TableInfo& info, uint64_t snapshot_id,
     uint64_t* commit_meta_bytes_sum, uint64_t* commit_meta_bytes_max,
     std::vector<DeleteRecord>* deletes) {
   std::map<std::string, DataFileMeta> live;
   if (snapshot_id == 0) return std::vector<DataFileMeta>();
   SL_ASSIGN_OR_RETURN(SnapshotMeta snap,
-                      meta_->GetSnapshot(info.path, snapshot_id, counters));
+                      meta_->GetSnapshot(info.path, snapshot_id));
   for (uint64_t seq : snap.commit_seqs) {
     SL_ASSIGN_OR_RETURN(CommitFile commit,
-                        meta_->GetCommit(info.path, seq, counters));
+                        meta_->GetCommit(info.path, seq));
     size_t bytes = commit.ByteSize();
     if (commit_meta_bytes_sum != nullptr) *commit_meta_bytes_sum += bytes;
     if (commit_meta_bytes_max != nullptr) {
@@ -308,9 +310,17 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
   SelectMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = SelectMetrics();
   uint64_t start_ns = clock_->NowNanos();
+  // Per-query metadata I/O is the delta of the process-wide counters over
+  // the query (exact when single-threaded, an upper bound otherwise).
+  MetadataCounters metadata_start = MetadataCounters::Capture();
+  static Counter* selects =
+      MetricsRegistry::Global().GetCounter("table.select.queries");
+  static Histogram* select_sim_ns =
+      MetricsRegistry::Global().GetHistogram("table.select.sim_ns");
+  selects->Increment();
 
   // 1. Catalog: table profile + snapshot descriptions.
-  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_, &m->metadata));
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
   if (info.soft_deleted) return Status::NotFound("table dropped");
 
   uint64_t snapshot_id = options.snapshot_id;
@@ -330,7 +340,9 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
 
   query::Executor executor(info.schema, spec);
   if (snapshot_id == 0) {
+    m->metadata = MetadataCounters::Capture() - metadata_start;
     m->elapsed_ns = clock_->NowNanos() - start_ns;
+    select_sim_ns->Record(m->elapsed_ns);
     return executor.Finalize();  // empty table
   }
 
@@ -340,9 +352,9 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
   uint64_t commit_sum = 0, commit_max = 0;
   std::vector<DeleteRecord> delete_records;
   SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
-                      ReplaySnapshot(info, snapshot_id, &m->metadata,
-                                     &commit_sum, &commit_max,
-                                     &delete_records));
+                      ReplaySnapshot(info, snapshot_id, &commit_sum,
+                                     &commit_max, &delete_records));
+  m->metadata = MetadataCounters::Capture() - metadata_start;
   uint64_t metadata_memory =
       meta_->mode() == MetadataMode::kFileBased ? commit_sum : commit_max;
   m->peak_memory_bytes = std::max(m->peak_memory_bytes, metadata_memory);
@@ -425,7 +437,9 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
     }
   }
   SL_ASSIGN_OR_RETURN(query::QueryResult result, executor.Finalize());
+  m->metadata = MetadataCounters::Capture() - metadata_start;
   m->elapsed_ns = clock_->NowNanos() - start_ns;
+  select_sim_ns->Record(m->elapsed_ns);
   return result;
 }
 
@@ -434,11 +448,10 @@ std::map<std::string, uint64_t> Table::PartitionAccessCounts() const {
   return partition_access_;
 }
 
-Result<std::vector<DataFileMeta>> Table::LiveFiles(
-    uint64_t snapshot_id, MetadataCounters* counters) {
-  SL_ASSIGN_OR_RETURN(TableInfo info, Info(counters));
+Result<std::vector<DataFileMeta>> Table::LiveFiles(uint64_t snapshot_id) {
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info());
   uint64_t id = snapshot_id == 0 ? info.current_snapshot_id : snapshot_id;
-  return ReplaySnapshot(info, id, counters, nullptr, nullptr);
+  return ReplaySnapshot(info, id, nullptr, nullptr);
 }
 
 Result<uint64_t> Table::Delete(const query::Conjunction& where) {
@@ -447,7 +460,7 @@ Result<uint64_t> Table::Delete(const query::Conjunction& where) {
   SL_ASSIGN_OR_RETURN(
       std::vector<DataFileMeta> files,
       ReplaySnapshot(info, info.current_snapshot_id, nullptr, nullptr,
-                     nullptr, &prior_deletes));
+                     &prior_deletes));
 
   // Split candidates: fully-covered partitions drop by metadata only; the
   // rest need the rewrite (copy-on-write) or delete-predicate
@@ -525,7 +538,7 @@ Result<uint64_t> Table::RewriteMatching(const query::Conjunction& where,
   SL_ASSIGN_OR_RETURN(
       std::vector<DataFileMeta> files,
       ReplaySnapshot(info, info.current_snapshot_id, nullptr, nullptr,
-                     nullptr, &prior_deletes));
+                     &prior_deletes));
   CommitRequest request;
   request.base_snapshot_id = info.current_snapshot_id;
   request.is_rewrite = true;
@@ -581,7 +594,7 @@ Result<CompactionResult> Table::CompactPartition(const std::string& partition,
                                         : base_snapshot_id;
   std::vector<DeleteRecord> prior_deletes;
   SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
-                      ReplaySnapshot(info, base, nullptr, nullptr, nullptr,
+                      ReplaySnapshot(info, base, nullptr, nullptr,
                                      &prior_deletes));
 
   // Binpack: gather the partition's small files, largest first, into bins
@@ -661,7 +674,7 @@ Result<size_t> Table::RewriteManifest() {
   if (info.current_snapshot_id == 0) return size_t{0};
   SL_ASSIGN_OR_RETURN(
       SnapshotMeta head,
-      meta_->GetSnapshot(info.path, info.current_snapshot_id, nullptr));
+      meta_->GetSnapshot(info.path, info.current_snapshot_id));
   if (head.commit_seqs.size() <= 1) return size_t{0};
 
   // Replay the chain into the live file set and write it as one commit.
@@ -671,7 +684,7 @@ Result<size_t> Table::RewriteManifest() {
   std::vector<DeleteRecord> outstanding;
   SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
                       ReplaySnapshot(info, info.current_snapshot_id, nullptr,
-                                     nullptr, nullptr, &outstanding));
+                                     nullptr, &outstanding));
   size_t squashed = head.commit_seqs.size();
 
   CommitFile consolidated;
@@ -708,7 +721,7 @@ Status Table::ExpireSnapshots(int64_t before_timestamp) {
   for (const auto& [id, ts] : info.snapshot_log) {
     // The current snapshot never expires.
     bool expires = ts < before_timestamp && id != info.current_snapshot_id;
-    auto snap = meta_->GetSnapshot(info.path, id, nullptr);
+    auto snap = meta_->GetSnapshot(info.path, id);
     if (expires) {
       expired.push_back(id);
       if (snap.ok()) {
@@ -740,7 +753,7 @@ Status Table::ExpireSnapshots(int64_t before_timestamp) {
   // where that space comes back).
   std::set<std::string> referenced;
   for (const auto& [id, ts] : info.snapshot_log) {
-    auto files = ReplaySnapshot(info, id, nullptr, nullptr, nullptr);
+    auto files = ReplaySnapshot(info, id, nullptr, nullptr);
     if (!files.ok()) continue;
     for (const DataFileMeta& f : *files) referenced.insert(f.path);
   }

@@ -51,6 +51,8 @@ struct SelectOptions {
 };
 
 struct SelectMetrics {
+  /// Delta of the process-wide `table.metadata.*` registry counters over
+  /// this query (see MetadataCounters::Capture).
   MetadataCounters metadata;
   uint64_t files_scanned = 0;
   uint64_t files_skipped = 0;      // skipped via partition/file stats
@@ -104,8 +106,7 @@ class Table {
 
   /// Live data files of a snapshot (0 = head). LakeBrain's state features
   /// come from here.
-  Result<std::vector<DataFileMeta>> LiveFiles(
-      uint64_t snapshot_id = 0, MetadataCounters* counters = nullptr);
+  Result<std::vector<DataFileMeta>> LiveFiles(uint64_t snapshot_id = 0);
 
   /// Binpack-merge the files of `partition` smaller than the target file
   /// size into ~target-size files. `base_snapshot_id` is the snapshot the
@@ -125,7 +126,7 @@ class Table {
   /// travel. Returns the number of commits squashed.
   Result<size_t> RewriteManifest();
 
-  Result<TableInfo> Info(MetadataCounters* counters = nullptr) const;
+  Result<TableInfo> Info() const;
 
   /// How often each partition's files were scanned by SELECTs — the "data
   /// access frequency" partition feature of the LakeBrain state
@@ -156,8 +157,7 @@ class Table {
   /// commits.
   Result<std::vector<DataFileMeta>> ReplaySnapshot(
       const TableInfo& info, uint64_t snapshot_id,
-      MetadataCounters* counters, uint64_t* commit_meta_bytes_sum,
-      uint64_t* commit_meta_bytes_max,
+      uint64_t* commit_meta_bytes_sum, uint64_t* commit_meta_bytes_max,
       std::vector<DeleteRecord>* deletes = nullptr);
 
   /// Is `row` of a file added at `added_seq` masked by a later delete?

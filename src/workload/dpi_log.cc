@@ -53,7 +53,7 @@ format::Row DpiLogGenerator::NextRow() {
     current_time_ += static_cast<int64_t>(time_accum_);
     time_accum_ -= static_cast<int64_t>(time_accum_);
   }
-  size_t corpus_offset = (row_counter_++ * 104729) % (1 << 20);
+  size_t corpus_offset = (next_row_seq_++ * 104729) % (1 << 20);
   format::Row row;
   row.fields = {
       format::Value(urls_[rng_.Zipf(urls_.size())]),

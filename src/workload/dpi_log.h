@@ -56,7 +56,7 @@ class DpiLogGenerator {
   std::vector<std::string> urls_;
   std::string corpus_;
   size_t payload_len_ = 0;
-  uint64_t row_counter_ = 0;
+  uint64_t next_row_seq_ = 0;
 };
 
 }  // namespace streamlake::workload

@@ -583,16 +583,18 @@ TEST(TableTest, RewriteManifestSquashesCommitChain) {
   ASSERT_TRUE(info.ok());
   uint64_t pre_squash_snapshot = info->current_snapshot_id;
 
-  MetadataCounters before{};
-  ASSERT_TRUE(table->LiveFiles(0, &before).ok());
+  MetadataCounters start = MetadataCounters::Capture();
+  ASSERT_TRUE(table->LiveFiles().ok());
+  MetadataCounters before = MetadataCounters::Capture() - start;
   EXPECT_GT(before.reads, 30u);  // replays every commit
 
   auto squashed = table->RewriteManifest();
   ASSERT_TRUE(squashed.ok()) << squashed.status().ToString();
   EXPECT_EQ(*squashed, 30u);
 
-  MetadataCounters after{};
-  auto files = table->LiveFiles(0, &after);
+  start = MetadataCounters::Capture();
+  auto files = table->LiveFiles();
+  MetadataCounters after = MetadataCounters::Capture() - start;
   ASSERT_TRUE(files.ok());
   EXPECT_LT(after.reads, 5u);  // one snapshot + one consolidated commit
   EXPECT_EQ(files->size(), 30u);

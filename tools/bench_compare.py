@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare bench outputs against a baseline.
+
+Inputs are any mix of
+  * BenchReport files (BENCH_<name>.json, written by bench binaries run
+    with --json_out=PATH; see bench/bench_report.h):
+        {"bench": "fig15_metadata", "metrics": {...}, "registry": {...}}
+    Metrics flatten to "<bench>.<metric>"; registry counters flatten to
+    "<bench>.registry.<counter>". Both are simulated-clock / logical-count
+    values, fully deterministic, so tight tolerances are safe.
+  * google-benchmark JSON (--benchmark_format=json --benchmark_out=PATH):
+        {"context": {...}, "benchmarks": [{"name": ..., "real_time": ...}]}
+    Each entry flattens to "gbench.<name>.real_time" (and .cpu_time).
+    These are wall-clock and machine-dependent; the checked-in baseline
+    deliberately tracks none of them (see DESIGN.md, "Observability").
+
+The baseline (bench/baseline.json) lists the tracked metrics:
+    {"default_tolerance": 0.25,
+     "metrics": [{"name": "...", "value": 123.0, "direction": "lower"},
+                 {"name": "...", "value": 456.0, "direction": "higher",
+                  "tolerance": 0.10}, ...]}
+"direction" says which way is better: a "lower"-is-better metric fails when
+measured > value * (1 + tolerance); a "higher"-is-better metric fails when
+measured < value * (1 - tolerance). A tracked metric missing from the
+measured set always fails (a silently-vanished bench is a regression).
+
+Usage:
+    bench_compare.py --baseline bench/baseline.json FILE [FILE ...]
+    bench_compare.py --baseline bench/baseline.json --update FILE [FILE ...]
+
+--update rewrites the baseline values in place from the measured run
+(directions and tolerances are preserved); tools/update_bench_baseline.sh
+wraps the build-run-update cycle. Exit status: 0 = all tracked metrics
+within tolerance, 1 = regression or missing metric, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten_report(doc):
+    """Flatten one parsed JSON document into {metric_name: float}."""
+    out = {}
+    if "benchmarks" in doc:  # google-benchmark format
+        for entry in doc["benchmarks"]:
+            name = entry.get("name")
+            if not name:
+                continue
+            for field in ("real_time", "cpu_time"):
+                if field in entry:
+                    out[f"gbench.{name}.{field}"] = float(entry[field])
+    elif "bench" in doc:  # BenchReport format
+        bench = doc["bench"]
+        for metric, value in doc.get("metrics", {}).items():
+            out[f"{bench}.{metric}"] = float(value)
+        for counter, value in doc.get("registry", {}).get(
+                "counters", {}).items():
+            out[f"{bench}.registry.{counter}"] = float(value)
+    else:
+        raise ValueError("unrecognized bench JSON (no 'bench' or "
+                         "'benchmarks' key)")
+    return out
+
+
+def load_measurements(paths):
+    measured = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        for name, value in flatten_report(doc).items():
+            if name in measured:
+                raise ValueError(f"{path}: duplicate metric '{name}'")
+            measured[name] = value
+    return measured
+
+
+def compare(baseline, measured):
+    """Returns (rows, failures). Each row is a display tuple."""
+    default_tol = float(baseline.get("default_tolerance", 0.25))
+    rows = []
+    failures = 0
+    for entry in baseline.get("metrics", []):
+        name = entry["name"]
+        base = float(entry["value"])
+        direction = entry.get("direction", "lower")
+        tol = float(entry.get("tolerance", default_tol))
+        if name not in measured:
+            rows.append((name, base, None, "MISSING"))
+            failures += 1
+            continue
+        value = measured[name]
+        if direction == "lower":
+            bad = value > base * (1.0 + tol)
+        elif direction == "higher":
+            bad = value < base * (1.0 - tol)
+        else:
+            raise ValueError(f"{name}: bad direction '{direction}'")
+        delta = 0.0 if base == 0 else (value - base) / base * 100.0
+        rows.append((name, base, value, f"FAIL {delta:+.1f}%" if bad
+                     else f"ok {delta:+.1f}%"))
+        if bad:
+            failures += 1
+    return rows, failures
+
+
+def update_baseline(baseline, measured, baseline_path):
+    missing = []
+    for entry in baseline.get("metrics", []):
+        if entry["name"] in measured:
+            entry["value"] = measured[entry["name"]]
+        else:
+            missing.append(entry["name"])
+    if missing:
+        for name in missing:
+            print(f"bench_compare: --update: no measurement for '{name}'",
+                  file=sys.stderr)
+        return 1
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"bench_compare: baseline updated "
+          f"({len(baseline.get('metrics', []))} metrics)")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare bench JSON outputs against a baseline")
+    parser.add_argument("--baseline", required=True,
+                        help="path to bench/baseline.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline values from this run")
+    parser.add_argument("files", nargs="+",
+                        help="BENCH_*.json and/or google-benchmark JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        measured = load_measurements(args.files)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        return update_baseline(baseline, measured, args.baseline)
+
+    try:
+        rows, failures = compare(baseline, measured)
+    except ValueError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'measured':>14}  status")
+    for name, base, value, status in rows:
+        shown = "-" if value is None else f"{value:14.4g}"
+        print(f"{name:<{width}}  {base:14.4g}  {shown:>14}  {status}")
+    if failures:
+        print(f"bench_compare: {failures} regression(s) out of "
+              f"{len(rows)} tracked metrics")
+        return 1
+    print(f"bench_compare: all {len(rows)} tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_compare.py, run as the `bench_compare_selftest`
+ctest.
+
+Exercises the regression gate end to end on synthetic bench outputs: a 25%
+regression in a lower-is-better metric must fail the gate (the CI contract),
+within-tolerance drift must pass, a vanished metric must fail, --update must
+rewrite values in place, and both input formats (BenchReport and
+google-benchmark JSON) must parse.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def write_json(directory, name, doc):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+BASELINE = {
+    "default_tolerance": 0.25,
+    "metrics": [
+        {"name": "figX.metadata_ms", "value": 100.0, "direction": "lower"},
+        {"name": "figX.capacity", "value": 1000.0, "direction": "higher"},
+    ],
+}
+
+
+def report(metadata_ms, capacity):
+    return {"bench": "figX",
+            "metrics": {"metadata_ms": metadata_ms, "capacity": capacity},
+            "registry": {"counters": {"kv.get.ops": 42}}}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baseline = write_json(self.dir.name, "baseline.json", BASELINE)
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def run_gate(self, *docs, extra=()):
+        files = [write_json(self.dir.name, f"BENCH_{i}.json", doc)
+                 for i, doc in enumerate(docs)]
+        return bench_compare.main(
+            ["--baseline", self.baseline, *extra, *files])
+
+    def test_within_tolerance_passes(self):
+        # +20% on lower-is-better and -20% on higher-is-better: both inside
+        # the 25% default tolerance.
+        self.assertEqual(self.run_gate(report(120.0, 800.0)), 0)
+
+    def test_synthetic_25_percent_regression_fails(self):
+        # The acceptance scenario: >25% slowdown on a lower-is-better
+        # metric exits non-zero.
+        self.assertEqual(self.run_gate(report(126.0, 1000.0)), 1)
+
+    def test_higher_direction_regression_fails(self):
+        self.assertEqual(self.run_gate(report(100.0, 700.0)), 1)
+
+    def test_missing_metric_fails(self):
+        doc = {"bench": "figX", "metrics": {"metadata_ms": 100.0}}
+        self.assertEqual(self.run_gate(doc), 1)
+
+    def test_per_metric_tolerance_overrides_default(self):
+        tight = json.loads(json.dumps(BASELINE))
+        tight["metrics"][0]["tolerance"] = 0.05
+        self.baseline = write_json(self.dir.name, "tight.json", tight)
+        self.assertEqual(self.run_gate(report(110.0, 1000.0)), 1)
+
+    def test_registry_counters_are_comparable(self):
+        doc = json.loads(json.dumps(BASELINE))
+        doc["metrics"].append({"name": "figX.registry.kv.get.ops",
+                               "value": 42.0, "direction": "lower"})
+        self.baseline = write_json(self.dir.name, "reg.json", doc)
+        self.assertEqual(self.run_gate(report(100.0, 1000.0)), 0)
+
+    def test_update_rewrites_values_and_then_passes(self):
+        self.assertEqual(
+            self.run_gate(report(150.0, 2000.0), extra=("--update",)), 0)
+        with open(self.baseline, encoding="utf-8") as f:
+            updated = json.load(f)
+        self.assertEqual(updated["metrics"][0]["value"], 150.0)
+        self.assertEqual(updated["metrics"][1]["value"], 2000.0)
+        self.assertEqual(updated["metrics"][0]["direction"], "lower")
+        self.assertEqual(self.run_gate(report(150.0, 2000.0)), 0)
+
+    def test_update_with_missing_metric_fails(self):
+        doc = {"bench": "figX", "metrics": {"metadata_ms": 1.0}}
+        self.assertEqual(self.run_gate(doc, extra=("--update",)), 1)
+
+    def test_google_benchmark_format_parses(self):
+        doc = {"context": {"host_name": "ci"},
+               "benchmarks": [{"name": "BM_Crc32c/1024",
+                               "real_time": 123.4, "cpu_time": 120.0}]}
+        flat = bench_compare.flatten_report(doc)
+        self.assertEqual(flat["gbench.BM_Crc32c/1024.real_time"], 123.4)
+        self.assertEqual(flat["gbench.BM_Crc32c/1024.cpu_time"], 120.0)
+
+    def test_unknown_format_is_a_usage_error(self):
+        path = write_json(self.dir.name, "junk.json", {"what": 1})
+        self.assertEqual(
+            bench_compare.main(["--baseline", self.baseline, path]), 2)
+
+    def test_duplicate_metric_across_files_is_an_error(self):
+        files = [write_json(self.dir.name, f"d{i}.json", report(1.0, 1.0))
+                 for i in range(2)]
+        self.assertEqual(
+            bench_compare.main(["--baseline", self.baseline, *files]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -26,6 +26,12 @@ Rules
       ->Wait() (ThreadPool-style barrier waits; CondVar::Wait(&mu) takes
       the mutex argument and is exempt), and SimClock sleep-style helpers
       (SleepFor/SleepUntil) should never run under a module lock.
+  R6  No ad-hoc instrumentation counters under src/ outside
+      src/common/metrics.{h,cc}: members named *_counter_ and
+      pointer-plumbed `counters->` stat structs are banned. Observability
+      goes through MetricsRegistry (common/metrics.h) under a stable
+      dotted name so it shows up in snapshots and the CI bench gate
+      (DESIGN.md, "Observability").
 
 Run from the repo root:  python3 tools/lint.py
 Registered as the `lint` ctest, so tier-1 verify runs it automatically;
@@ -45,6 +51,12 @@ MUTEX_FILES = (
     os.path.join("src", "common", "mutex.h"),
     os.path.join("src", "common", "mutex.cc"),
 )
+# The metrics layer itself is the one place allowed to look like a counter
+# implementation (R6).
+METRICS_FILES = (
+    os.path.join("src", "common", "metrics.h"),
+    os.path.join("src", "common", "metrics.cc"),
+)
 
 BANNED_PRIMITIVES = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
@@ -60,6 +72,9 @@ LOCAL_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 # R4: a Mutex/SharedMutex variable declaration (not a pointer/reference
 # parameter, which matches `Mutex*` / `Mutex&` and is skipped by \s+\w).
 MUTEX_DECL = re.compile(r"\b(Mutex|SharedMutex)\s+(\w+)")
+
+# R6: ad-hoc counter idioms that bypass the metrics registry.
+AD_HOC_COUNTER = re.compile(r"\b\w+_counter_\b|\bcounters\s*->")
 
 # R5: lock-scope openers and the blocking calls banned inside them.
 LOCK_SCOPE = re.compile(
@@ -211,6 +226,15 @@ def lint_text(path, raw):
 
     if path.startswith("src" + os.sep) and not is_mutex_file:
         check_rank_declared(path, code, errors)
+
+    if path.startswith("src" + os.sep) and path not in METRICS_FILES:
+        for lineno, line in enumerate(code.split("\n"), 1):
+            m = AD_HOC_COUNTER.search(line)
+            if m:
+                errors.append(
+                    f"{path}:{lineno}: R6: ad-hoc counter "
+                    f"'{m.group(0).strip()}'; report through "
+                    "MetricsRegistry (common/metrics.h) instead")
 
     check_blocking_under_lock(path, code, errors)
     return errors

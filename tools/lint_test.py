@@ -155,6 +155,32 @@ class RuleTest(unittest.TestCase):
             "void F() {\n  {\n    MutexLock lock(&mu_);\n    n_++;\n  }\n"
             "  std::this_thread::sleep_for(1ms);\n}\n")
 
+    # R6 ------------------------------------------------------------------
+    def test_r6_counter_member(self):
+        self.assert_rule("R6", "class C {\n  uint64_t ops_counter_ = 0;\n};\n")
+
+    def test_r6_pointer_plumbed_counters_struct(self):
+        self.assert_rule("R6", "void F(Stats* counters) {\n"
+                               "  counters->reads += 1;\n}\n")
+
+    def test_r6_exempts_metrics_files(self):
+        for path in lint.METRICS_FILES:
+            errs = lint.lint_text(
+                path, "#ifndef STREAMLAKE_COMMON_METRICS_H_\n"
+                      "uint64_t shadow_counter_ = 0;\n")
+            self.assertFalse(any(": R6: " in e for e in errs), errs)
+
+    def test_r6_only_applies_under_src(self):
+        errs = lint.lint_text(os.path.join("tests", "t.cc"),
+                              "uint64_t ops_counter_ = 0;\n")
+        self.assertFalse(any(": R6: " in e for e in errs), errs)
+
+    def test_r6_ignores_comments_and_registry_idiom(self):
+        self.assert_clean(
+            "// the old ops_counter_ member is gone\n"
+            "static Counter* ops =\n"
+            '    MetricsRegistry::Global().GetCounter("kv.get.ops");\n')
+
 
 class RepoTest(unittest.TestCase):
     def test_whole_repo_is_clean(self):
