@@ -30,6 +30,7 @@ struct HeldLock {
   LockRank rank;
   const char* name;
   const void* id;
+  uint32_t stripe;
 };
 
 // Held-lock stack for this thread, innermost (most recent) last. The
@@ -59,42 +60,70 @@ void RecordEdge(const HeldLock& from, LockRank to_rank, const char* to) {
                   std::make_pair(from.rank, to_rank));
 }
 
-[[noreturn]] void Die(const char* verb, LockRank rank, const char* name) {
+void PrintLockLine(const char* prefix, const char* name, LockRank rank,
+                   uint32_t stripe) {
+  if (stripe == kNoStripe) {
+    std::fprintf(stderr, "%s\"%s\" (rank %u)\n", prefix, name,
+                 static_cast<unsigned>(rank));
+  } else {
+    std::fprintf(stderr, "%s\"%s\" (rank %u, stripe %u)\n", prefix, name,
+                 static_cast<unsigned>(rank), stripe);
+  }
+}
+
+[[noreturn]] void Die(const char* verb, LockRank rank, const char* name,
+                      uint32_t stripe) {
   std::fprintf(stderr,
                "\n*** streamlake lock-order violation ***\n"
-               "  %s: \"%s\" (rank %u)\n"
-               "  while holding (outermost first):\n",
-               verb, name, static_cast<unsigned>(rank));
+               "  %s: ",
+               verb);
+  PrintLockLine("", name, rank, stripe);
+  std::fprintf(stderr, "  while holding (outermost first):\n");
   for (const HeldLock& held : t_held) {
-    std::fprintf(stderr, "    \"%s\" (rank %u)\n", held.name,
-                 static_cast<unsigned>(held.rank));
+    PrintLockLine("    ", held.name, held.rank, held.stripe);
   }
   std::fprintf(stderr,
                "  rule: a mutex may be acquired only while every held rank "
                "is strictly greater\n"
-               "  (outer layers lock first; equal ranks never nest). "
-               "See DESIGN.md, \"Lock hierarchy\".\n");
+               "  (outer layers lock first; equal ranks never nest), except "
+               "that two STRIPED\n"
+               "  locks of the same rank may nest in strictly ascending "
+               "stripe-index order.\n"
+               "  See DESIGN.md, \"Lock hierarchy\" and \"Sharded "
+               "concurrency\".\n");
   std::abort();
 }
 
 }  // namespace
 
-void OnAcquire(LockRank rank, const char* name, const void* id) {
+void OnAcquire(LockRank rank, const char* name, const void* id,
+               uint32_t stripe) {
   if (!t_held.empty()) {
     const HeldLock& innermost = t_held.back();
-    if (rank >= innermost.rank) {
-      Die("acquiring", rank, name);
+    if (rank < innermost.rank) {
+      // Strictly-descending rank step: the only kind that enters the
+      // observed order graph (same-rank stripe steps would self-loop on
+      // the shared class-level name).
+      RecordEdge(innermost, rank, name);
+    } else if (rank == innermost.rank && stripe != kNoStripe &&
+               innermost.stripe != kNoStripe && stripe > innermost.stripe) {
+      // Same-rank striped step in ascending stripe order: legal. The
+      // stripe index acts as a sub-rank, so the stack stays sorted by
+      // (rank desc, stripe asc) and comparing against back() still
+      // checks against every held lock.
+    } else {
+      Die("acquiring", rank, name, stripe);
     }
-    RecordEdge(innermost, rank, name);
   }
-  t_held.push_back(HeldLock{rank, name, id});
+  t_held.push_back(HeldLock{rank, name, id, stripe});
 }
 
-void OnTryAcquire(LockRank rank, const char* name, const void* id) {
+void OnTryAcquire(LockRank rank, const char* name, const void* id,
+                  uint32_t stripe) {
   // No rank check: a failed try-lock returns instead of blocking, so
   // try-acquisitions cannot close a deadlock cycle. Still recorded on the
   // stack (it IS held now) but deliberately kept out of the order graph.
-  t_held.push_back(HeldLock{rank, name, id});
+  t_held.push_back(HeldLock{rank, name, id, stripe});
 }
 
 void OnRelease(const void* id, const char* name) {

@@ -87,8 +87,12 @@ namespace streamlake {
 /// below every rank it already holds, so call chains must take locks in
 /// strictly descending rank order. Siblings inside a band get distinct
 /// values (same-rank acquisition is also a violation — it would permit
-/// ABBA between two instances). See DESIGN.md "Lock hierarchy" for the
-/// rank table and how to pick a rank for a new mutex.
+/// ABBA between two instances). The one exception is STRIPED locks:
+/// members of a lock-striped array constructed with an explicit stripe
+/// index may nest within their own rank as long as stripe indices are
+/// acquired in strictly ascending order, which is just as ABBA-free as
+/// distinct ranks. See DESIGN.md "Lock hierarchy" / "Sharded concurrency"
+/// for the rank table and how to pick a rank for a new mutex.
 enum class LockRank : uint16_t {
   // ---- common: leaf utilities, acquired last ----
   kMetricsRegistry = 2,  // metric name->object map; registration is lazy
@@ -100,11 +104,16 @@ enum class LockRank : uint16_t {
   kBlockDevice = 20,      // page map of one simulated disk
   kStoragePool = 22,      // extent allocator; held while touching devices
   kPlog = 24,             // one persistence log; held across device I/O
-  kPlogStore = 26,        // shard chains; held across Plog calls
+  kPlogStore = 26,        // shard-chain stripes; held across Plog calls.
+                          // STRIPED: PlogStore spreads its shards over an
+                          // array of same-rank mutexes indexed by stripe;
+                          // multi-stripe ops lock ascending stripe index
   kObjectStoreWorm = 28,  // WORM prefix list (leaf within object store)
 
   // ---- kv: the fault-tolerant KV engine backing every index ----
-  kKvStore = 30,
+  kKvStore = 30,          // STRIPED: KvStore hashes keys over same-rank
+                          // sub-store stripes; WriteBatch commit locks its
+                          // touched stripes in ascending index order
 
   // ---- table: lakehouse metadata + commit protocol ----
   kMetadataStore = 40,  // MetaFresher pending-flush queue
@@ -135,16 +144,28 @@ enum class LockRank : uint16_t {
   kNasService = 94,     // handle table; held across object-store I/O
 };
 
+/// Stripe index value meaning "not a member of a lock-striped array".
+/// Mutexes constructed without an explicit stripe use this sentinel and
+/// get the plain strict-descending rank rule; striped mutexes (PlogStore
+/// shard stripes, KvStore sub-stores) carry their array index here, which
+/// acts as a sub-rank: equal-rank nesting is legal only between two
+/// striped locks with strictly ascending stripe indices.
+inline constexpr uint32_t kNoStripe = 0xffffffffu;
+
 namespace lock_order {
 
 #if SL_LOCK_ORDER_CHECK
-/// Called before a blocking acquisition: aborts on rank inversion, records
-/// the (held-top -> acquired) edge, and pushes onto the per-thread stack.
-void OnAcquire(LockRank rank, const char* name, const void* id);
+/// Called before a blocking acquisition: aborts on rank inversion (or
+/// stripe-order inversion between same-rank striped locks), records the
+/// (held-top -> acquired) edge for strictly-descending steps, and pushes
+/// onto the per-thread stack.
+void OnAcquire(LockRank rank, const char* name, const void* id,
+               uint32_t stripe);
 /// Called after a successful try-acquisition: pushes without checking.
 /// Non-blocking acquisitions cannot contribute to a deadlock cycle (they
 /// fail instead of blocking), so they are exempt from the rank rule.
-void OnTryAcquire(LockRank rank, const char* name, const void* id);
+void OnTryAcquire(LockRank rank, const char* name, const void* id,
+                  uint32_t stripe);
 /// Called at release: pops the matching entry from the per-thread stack.
 void OnRelease(const void* id, const char* name);
 /// Aborts unless the current thread's stack contains `id`.
@@ -188,19 +209,34 @@ size_t HeldByCurrentThread();
 class CAPABILITY("mutex") Mutex {
  public:
 #if SL_LOCK_ORDER_CHECK
-  explicit Mutex(LockRank rank, const char* name)
-      : rank_(rank), name_(name) {}
+  explicit Mutex(LockRank rank, const char* name, uint32_t stripe = kNoStripe)
+      : rank_(rank), name_(name), stripe_(stripe) {}
 #else
-  explicit Mutex(LockRank /*rank*/, const char* /*name*/) {}
+  explicit Mutex(LockRank /*rank*/, const char* /*name*/,
+                 uint32_t /*stripe*/ = kNoStripe) {}
 #endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() ACQUIRE() {
 #if SL_LOCK_ORDER_CHECK
-    lock_order::OnAcquire(rank_, name_, this);
+    lock_order::OnAcquire(rank_, name_, this, stripe_);
 #endif
     mu_.lock();
+  }
+
+  /// Lock() that additionally reports whether the acquisition had to block
+  /// behind another holder. Identical rank/stripe checking; the only
+  /// difference is a leading try_lock so call sites can feed a contention
+  /// counter (e.g. storage.plog.stripe_contention) without the mutex layer
+  /// depending on metrics.
+  bool LockCounted() ACQUIRE() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnAcquire(rank_, name_, this, stripe_);
+#endif
+    if (mu_.try_lock()) return false;
+    mu_.lock();
+    return true;
   }
 
   void Unlock() RELEASE() {
@@ -213,7 +249,7 @@ class CAPABILITY("mutex") Mutex {
   bool TryLock() TRY_ACQUIRE(true) {
     bool acquired = mu_.try_lock();
 #if SL_LOCK_ORDER_CHECK
-    if (acquired) lock_order::OnTryAcquire(rank_, name_, this);
+    if (acquired) lock_order::OnTryAcquire(rank_, name_, this, stripe_);
 #endif
     return acquired;
   }
@@ -239,6 +275,7 @@ class CAPABILITY("mutex") Mutex {
 #if SL_LOCK_ORDER_CHECK
   const LockRank rank_;
   const char* const name_;
+  const uint32_t stripe_;
 #endif
 };
 
@@ -249,19 +286,32 @@ class CAPABILITY("mutex") Mutex {
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
 #if SL_LOCK_ORDER_CHECK
-  explicit SharedMutex(LockRank rank, const char* name)
-      : rank_(rank), name_(name) {}
+  explicit SharedMutex(LockRank rank, const char* name,
+                       uint32_t stripe = kNoStripe)
+      : rank_(rank), name_(name), stripe_(stripe) {}
 #else
-  explicit SharedMutex(LockRank /*rank*/, const char* /*name*/) {}
+  explicit SharedMutex(LockRank /*rank*/, const char* /*name*/,
+                       uint32_t /*stripe*/ = kNoStripe) {}
 #endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void Lock() ACQUIRE() {
 #if SL_LOCK_ORDER_CHECK
-    lock_order::OnAcquire(rank_, name_, this);
+    lock_order::OnAcquire(rank_, name_, this, stripe_);
 #endif
     mu_.lock();
+  }
+
+  /// Writer Lock() that reports whether it had to block (see
+  /// Mutex::LockCounted).
+  bool LockCounted() ACQUIRE() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnAcquire(rank_, name_, this, stripe_);
+#endif
+    if (mu_.try_lock()) return false;
+    mu_.lock();
+    return true;
   }
 
   void Unlock() RELEASE() {
@@ -273,9 +323,20 @@ class CAPABILITY("shared_mutex") SharedMutex {
 
   void LockShared() ACQUIRE_SHARED() {
 #if SL_LOCK_ORDER_CHECK
-    lock_order::OnAcquire(rank_, name_, this);
+    lock_order::OnAcquire(rank_, name_, this, stripe_);
 #endif
     mu_.lock_shared();
+  }
+
+  /// Reader LockShared() that reports whether it had to block (see
+  /// Mutex::LockCounted).
+  bool LockSharedCounted() ACQUIRE_SHARED() {
+#if SL_LOCK_ORDER_CHECK
+    lock_order::OnAcquire(rank_, name_, this, stripe_);
+#endif
+    if (mu_.try_lock_shared()) return false;
+    mu_.lock_shared();
+    return true;
   }
 
   void UnlockShared() RELEASE_SHARED() {
@@ -295,6 +356,7 @@ class CAPABILITY("shared_mutex") SharedMutex {
 #if SL_LOCK_ORDER_CHECK
   const LockRank rank_;
   const char* const name_;
+  const uint32_t stripe_;
 #endif
 };
 
@@ -302,6 +364,11 @@ class CAPABILITY("shared_mutex") SharedMutex {
 class SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  /// Contention-observing form: *contended_out is set to whether the
+  /// acquisition had to block, so the caller can bump a contention counter.
+  MutexLock(Mutex* mu, bool* contended_out) ACQUIRE(mu) : mu_(mu) {
+    *contended_out = mu_->LockCounted();
+  }
   ~MutexLock() RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -317,6 +384,11 @@ class SCOPED_CAPABILITY WriterMutexLock {
   explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
     mu_->Lock();
   }
+  /// Contention-observing form (see MutexLock).
+  WriterMutexLock(SharedMutex* mu, bool* contended_out) ACQUIRE(mu)
+      : mu_(mu) {
+    *contended_out = mu_->LockCounted();
+  }
   ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
 
   WriterMutexLock(const WriterMutexLock&) = delete;
@@ -331,6 +403,11 @@ class SCOPED_CAPABILITY ReaderMutexLock {
  public:
   explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
     mu_->LockShared();
+  }
+  /// Contention-observing form (see MutexLock).
+  ReaderMutexLock(SharedMutex* mu, bool* contended_out) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    *contended_out = mu_->LockSharedCounted();
   }
   // Generic RELEASE() (not RELEASE_SHARED) matches Abseil: older Clang
   // versions reject shared-release annotations on scoped destructors.

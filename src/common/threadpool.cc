@@ -1,10 +1,13 @@
 #include "common/threadpool.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace streamlake {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, const char* name) : name_(name) {
   SL_CHECK(num_threads > 0);
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -17,7 +20,17 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(&mu_);
-    SL_CHECK(!shutdown_);
+    if (shutdown_) {
+      // Workers are (or are about to be) joined: the task could never run.
+      // Silent acceptance would be lost work; silent drop would be worse.
+      std::fprintf(stderr,
+                   "\n*** streamlake ThreadPool misuse ***\n"
+                   "  Submit() after Shutdown() on pool \"%s\"\n"
+                   "  the task would never execute; fix the caller's "
+                   "lifetime ordering\n",
+                   name_);
+      std::abort();
+    }
     queue_.push_back(std::move(task));
   }
   work_cv_.NotifyOne();

@@ -15,13 +15,17 @@ namespace streamlake {
 /// drains queued tasks before joining so callers can rely on completion.
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  /// `name` appears in misuse reports (Submit-after-Shutdown) so a crash
+  /// identifies which of the process's pools was abused.
+  explicit ThreadPool(int num_threads, const char* name = "common.threadpool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Must not be called after Shutdown().
+  /// Enqueue a task. Calling after Shutdown() is a checked error: the task
+  /// could never run (workers are already joined), so Submit aborts with a
+  /// named misuse report instead of silently dropping or deadlocking.
   void Submit(std::function<void()> task);
 
   /// Block until all tasks submitted so far have finished.
@@ -31,10 +35,12 @@ class ThreadPool {
   void Shutdown();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
+  const char* name() const { return name_; }
 
  private:
   void WorkerLoop();
 
+  const char* const name_;
   Mutex mu_{LockRank::kThreadPool, "common.threadpool"};
   CondVar work_cv_;   // signals workers
   CondVar idle_cv_;   // signals Wait()

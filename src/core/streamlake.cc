@@ -35,9 +35,13 @@ StreamLake::StreamLake(StreamLakeOptions options)
   // Fragments must fit in one PLog record (with framing headroom).
   objects_ = std::make_unique<storage::ObjectStore>(
       plogs_.get(), &index_kv_, options_.plog.plog.capacity / 2);
+  if (options_.stream_io_threads > 0) {
+    stream_io_pool_ = std::make_unique<ThreadPool>(
+        static_cast<int>(options_.stream_io_threads), "core.stream_io");
+  }
   stream_objects_ = std::make_unique<stream::StreamObjectManager>(
       plogs_.get(), &index_kv_, &clock_, pmem_.get(),
-      options_.pmem_cache_slices);
+      options_.pmem_cache_slices, stream_io_pool_.get());
   dispatcher_ = std::make_unique<streaming::StreamDispatcher>(
       stream_objects_.get(), service_meta_.get(), bus_.get(), &clock_,
       options_.stream_workers);

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/threadpool.h"
 #include "convert/converter.h"
 #include "storage/repair.h"
 #include "storage/tiering.h"
@@ -33,6 +34,10 @@ struct StreamLakeOptions {
 
   // Data service layer.
   uint32_t stream_workers = 3;
+  /// Worker threads of the shared stream I/O pool that fans out
+  /// StreamObject::AppendBatch slice persists; 0 disables the pool
+  /// (batches persist inline).
+  uint32_t stream_io_threads = 4;
   table::MetadataMode metadata_mode = table::MetadataMode::kAccelerated;
   table::TableOptions table_options;
   storage::TieringPolicy tiering_policy;
@@ -139,6 +144,9 @@ class StreamLake {
   std::unique_ptr<kv::KvStore> metadata_cache_;  // metadata acceleration
   std::unique_ptr<storage::PlogStore> plogs_;
   std::unique_ptr<storage::ObjectStore> objects_;
+  // Declared before stream_objects_: objects may have batches in flight
+  // on this pool, so it must outlive (destruct after) the manager.
+  std::unique_ptr<ThreadPool> stream_io_pool_;
   std::unique_ptr<stream::StreamObjectManager> stream_objects_;
   std::unique_ptr<streaming::StreamDispatcher> dispatcher_;
   std::unique_ptr<table::MetadataStore> metadata_;

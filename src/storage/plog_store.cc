@@ -1,5 +1,8 @@
 #include "storage/plog_store.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/hash.h"
 #include "common/metrics.h"
 
@@ -7,8 +10,18 @@ namespace streamlake::storage {
 
 PlogStore::PlogStore(StoragePool* pool, PlogStoreConfig config,
                      sim::SimClock* clock)
-    : pool_(pool), config_(config), clock_(clock) {
-  shards_.resize(config_.num_shards);
+    : pool_(pool), config_(std::move(config)), clock_(clock) {
+  uint32_t stripes = config_.num_stripes;
+  if (stripes == 0) stripes = 1;
+  if (stripes > config_.num_shards) stripes = config_.num_shards;
+  if (stripes == 0) stripes = 1;  // num_shards == 0: one empty stripe
+  stripes_.reserve(stripes);
+  for (uint32_t i = 0; i < stripes; ++i) {
+    // Stripe i owns shards {i, i + stripes, i + 2*stripes, ...}.
+    size_t shard_count = config_.num_shards / stripes +
+                         (i < config_.num_shards % stripes ? 1 : 0);
+    stripes_.push_back(std::make_unique<Stripe>(i, shard_count));
+  }
 }
 
 uint32_t PlogStore::ShardOf(ByteView key) const {
@@ -25,8 +38,13 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
       MetricsRegistry::Global().GetCounter("storage.plog.append_bytes");
   static Counter* seals =
       MetricsRegistry::Global().GetCounter("storage.plog.seals");
-  MutexLock lock(&mu_);
-  Shard& s = shards_[shard];
+  static Counter* stripe_contention =
+      MetricsRegistry::Global().GetCounter("storage.plog.stripe_contention");
+  Stripe& stripe = StripeFor(shard);
+  bool contended = false;
+  MutexLock lock(&stripe.mu, &contended);
+  if (contended) stripe_contention->Increment();
+  Shard& s = stripe.shards[LocalIndex(shard)];
   // Open the first PLog lazily; roll over when the active one fills up.
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (s.chain.empty() || s.chain.back()->sealed()) {
@@ -38,6 +56,7 @@ Result<PlogAddress> PlogStore::Append(uint32_t shard, ByteView record) {
     auto offset = active->Append(record);
     if (offset.ok()) {
       active->set_last_append_ns(clock_->NowNanos());
+      if (config_.io_delay_hook) config_.io_delay_hook(shard);
       append_ops->Increment();
       append_bytes->Increment(record.size());
       PlogAddress address;
@@ -59,11 +78,16 @@ Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
       MetricsRegistry::Global().GetCounter("storage.plog.read_ops");
   static Counter* read_bytes =
       MetricsRegistry::Global().GetCounter("storage.plog.read_bytes");
-  MutexLock lock(&mu_);
-  if (address.shard >= shards_.size()) {
+  static Counter* stripe_contention =
+      MetricsRegistry::Global().GetCounter("storage.plog.stripe_contention");
+  if (address.shard >= config_.num_shards) {
     return Status::InvalidArgument("shard out of range");
   }
-  const Shard& s = shards_[address.shard];
+  Stripe& stripe = StripeFor(address.shard);
+  bool contended = false;
+  MutexLock lock(&stripe.mu, &contended);
+  if (contended) stripe_contention->Increment();
+  const Shard& s = stripe.shards[LocalIndex(address.shard)];
   if (address.plog_index >= s.chain.size()) {
     return Status::NotFound("plog index out of range");
   }
@@ -77,11 +101,16 @@ Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
 
 Status PlogStore::MarkGarbage(const PlogAddress& address,
                               uint64_t payload_bytes) {
-  MutexLock lock(&mu_);
-  if (address.shard >= shards_.size()) {
+  static Counter* stripe_contention =
+      MetricsRegistry::Global().GetCounter("storage.plog.stripe_contention");
+  if (address.shard >= config_.num_shards) {
     return Status::InvalidArgument("shard out of range");
   }
-  Shard& s = shards_[address.shard];
+  Stripe& stripe = StripeFor(address.shard);
+  bool contended = false;
+  MutexLock lock(&stripe.mu, &contended);
+  if (contended) stripe_contention->Increment();
+  Shard& s = stripe.shards[LocalIndex(address.shard)];
   if (address.plog_index >= s.chain.size()) {
     return Status::NotFound("plog index out of range");
   }
@@ -94,10 +123,15 @@ Status PlogStore::MarkGarbage(const PlogAddress& address,
 }
 
 Status PlogStore::FlushAll() {
-  MutexLock lock(&mu_);
-  for (Shard& s : shards_) {
-    if (!s.chain.empty() && !s.chain.back()->sealed()) {
-      SL_RETURN_NOT_OK(s.chain.back()->Flush());
+  // One stripe at a time (ascending stripe index): appends on other
+  // stripes proceed while this stripe's tails flush — no store-wide
+  // stop-the-world point.
+  for (const auto& stripe : stripes_) {
+    MutexLock lock(&stripe->mu);
+    for (Shard& s : stripe->shards) {
+      if (!s.chain.empty() && !s.chain.back()->sealed()) {
+        SL_RETURN_NOT_OK(s.chain.back()->Flush());
+      }
     }
   }
   return Status::OK();
@@ -105,25 +139,53 @@ Status PlogStore::FlushAll() {
 
 void PlogStore::ForEachPlog(
     const std::function<void(uint32_t, uint32_t, Plog*)>& fn) const {
-  MutexLock lock(&mu_);
-  for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
-    const Shard& s = shards_[shard];
-    for (uint32_t i = 0; i < s.chain.size(); ++i) {
-      fn(shard, i, s.chain[i].get());
+  // Snapshot (shard, index, plog) triples stripe by stripe, then invoke
+  // the callback with no lock held: Plog* pointers are stable for the
+  // store's lifetime (chains only grow), and callbacks are free to
+  // re-enter the store or take their own locks without rank inversions.
+  struct Entry {
+    uint32_t shard;
+    uint32_t index;
+    Plog* plog;
+  };
+  std::vector<Entry> snapshot;
+  const uint32_t stripes = static_cast<uint32_t>(stripes_.size());
+  for (uint32_t si = 0; si < stripes; ++si) {
+    const Stripe& stripe = *stripes_[si];
+    MutexLock lock(&stripe.mu);
+    for (uint32_t local = 0; local < stripe.shards.size(); ++local) {
+      const Shard& s = stripe.shards[local];
+      uint32_t shard = local * stripes + si;
+      for (uint32_t i = 0; i < s.chain.size(); ++i) {
+        snapshot.push_back(Entry{shard, i, s.chain[i].get()});
+      }
     }
   }
+  // Visit in global shard order, matching the pre-striping iteration
+  // order consumers (tiering, stats) observed.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.shard != b.shard ? a.shard < b.shard
+                                        : a.index < b.index;
+            });
+  for (const Entry& e : snapshot) fn(e.shard, e.index, e.plog);
 }
 
 Status PlogStore::MigratePlog(uint32_t shard, uint32_t index,
                               StoragePool* target) {
+  if (shard >= config_.num_shards) return Status::NotFound("no such plog");
   Plog* plog = nullptr;
   {
-    MutexLock lock(&mu_);
-    if (shard >= shards_.size() || index >= shards_[shard].chain.size()) {
+    Stripe& stripe = StripeFor(shard);
+    MutexLock lock(&stripe.mu);
+    const Shard& s = stripe.shards[LocalIndex(shard)];
+    if (index >= s.chain.size()) {
       return Status::NotFound("no such plog");
     }
-    plog = shards_[shard].chain[index].get();
+    plog = s.chain[index].get();
   }
+  // Migration happens with no stripe lock held: only sealed (immutable)
+  // plogs migrate, so concurrent appends to the same shard are unaffected.
   if (!plog->sealed()) {
     return Status::InvalidArgument("only sealed plogs migrate");
   }
@@ -131,19 +193,23 @@ Status PlogStore::MigratePlog(uint32_t shard, uint32_t index,
 }
 
 uint64_t PlogStore::TotalLogicalBytes() const {
-  MutexLock lock(&mu_);
   uint64_t total = 0;
-  for (const Shard& s : shards_) {
-    for (const auto& plog : s.chain) total += plog->size();
+  for (const auto& stripe : stripes_) {
+    MutexLock lock(&stripe->mu);
+    for (const Shard& s : stripe->shards) {
+      for (const auto& plog : s.chain) total += plog->size();
+    }
   }
   return total;
 }
 
 uint64_t PlogStore::TotalLiveBytes() const {
-  MutexLock lock(&mu_);
   uint64_t total = 0;
-  for (const Shard& s : shards_) {
-    for (const auto& plog : s.chain) total += plog->live_bytes();
+  for (const auto& stripe : stripes_) {
+    MutexLock lock(&stripe->mu);
+    for (const Shard& s : stripe->shards) {
+      for (const auto& plog : s.chain) total += plog->live_bytes();
+    }
   }
   return total;
 }
@@ -154,9 +220,11 @@ uint64_t PlogStore::TotalLivePhysicalBytes() const {
 }
 
 uint64_t PlogStore::TotalPlogs() const {
-  MutexLock lock(&mu_);
   uint64_t total = 0;
-  for (const Shard& s : shards_) total += s.chain.size();
+  for (const auto& stripe : stripes_) {
+    MutexLock lock(&stripe->mu);
+    for (const Shard& s : stripe->shards) total += s.chain.size();
+  }
   return total;
 }
 

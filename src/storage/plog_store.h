@@ -28,7 +28,18 @@ struct PlogStoreConfig {
   /// Logical shards of the distributed hash table (Fig. 4-d). The paper
   /// uses 4096; tests shrink this.
   uint32_t num_shards = 4096;
+  /// Lock stripes the shards are spread over (shard s lives in stripe
+  /// s % num_stripes). Appends/reads on shards in different stripes never
+  /// contend; store-wide operations visit stripes one at a time instead of
+  /// stopping the world. Clamped to [1, num_shards].
+  uint32_t num_stripes = 64;
   PlogConfig plog;
+  /// Test/bench hook invoked inside Append while the stripe lock is held,
+  /// right after the record lands on the device. Stands in for device
+  /// dwell time: lets tests prove that stalling one stripe's I/O does not
+  /// block appends on other stripes, and lets bench_shard_scaling model a
+  /// real per-append device latency. Null (default) = no-op.
+  std::function<void(uint32_t shard)> io_delay_hook;
 };
 
 /// \brief The store-layer write path of Fig. 4: records hash to one of
@@ -69,6 +80,9 @@ class PlogStore {
   Status MigratePlog(uint32_t shard, uint32_t index, StoragePool* target);
 
   uint32_t num_shards() const { return config_.num_shards; }
+  uint32_t num_stripes() const {
+    return static_cast<uint32_t>(stripes_.size());
+  }
   uint64_t TotalLogicalBytes() const;
   uint64_t TotalPlogs() const;
   /// Live payload bytes (logical minus garbage) across all PLogs.
@@ -82,11 +96,31 @@ class PlogStore {
     std::vector<std::unique_ptr<Plog>> chain;
   };
 
+  /// One lock stripe: shard s lives in stripe s % num_stripes at local
+  /// index s / num_stripes. All stripe mutexes share LockRank::kPlogStore
+  /// and carry their array index as the stripe sub-rank, so the runtime
+  /// checker permits multi-stripe operations only in ascending stripe
+  /// order (FlushAll, ForEachPlog, Total*) and still aborts on any ABBA
+  /// pattern between stripes.
+  struct Stripe {
+    Stripe(uint32_t index, size_t shard_count)
+        : mu(LockRank::kPlogStore, "storage.plog_store.stripe", index),
+          shards(shard_count) {}
+    mutable Mutex mu{LockRank::kPlogStore, "storage.plog_store.stripe"};
+    std::vector<Shard> shards GUARDED_BY(mu);
+  };
+
+  Stripe& StripeFor(uint32_t shard) const {
+    return *stripes_[shard % stripes_.size()];
+  }
+  uint32_t LocalIndex(uint32_t shard) const {
+    return shard / static_cast<uint32_t>(stripes_.size());
+  }
+
   StoragePool* pool_;
   PlogStoreConfig config_;
   sim::SimClock* clock_;
-  mutable Mutex mu_{LockRank::kPlogStore, "storage.plog_store"};
-  std::vector<Shard> shards_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace streamlake::storage

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/mutex.h"
+#include "common/threadpool.h"
 #include "kv/kv_store.h"
 #include "sim/clock.h"
 #include "sim/device_model.h"
@@ -78,7 +79,7 @@ class StreamObject {
  public:
   StreamObject(uint64_t id, storage::PlogStore* plogs, kv::KvStore* index,
                sim::SimClock* clock, StreamObjectOptions options,
-               ScmSliceCache* cache);
+               ScmSliceCache* cache, ThreadPool* io_pool = nullptr);
 
   uint64_t id() const { return id_; }
 
@@ -87,6 +88,20 @@ class StreamObject {
   /// skipped; quota overruns return QuotaExceeded. Takes the batch by
   /// value so callers on the hot path can move it in.
   Result<uint64_t> Append(std::vector<StreamRecord> records);
+
+  /// Group append (the batched write path of the shard-parallel design):
+  /// appends `records`, then persists the whole unpersisted tail —
+  /// buffered records included — as records_per_slice-sized slices whose
+  /// PLog appends fan out over the shared I/O pool (sequential when no
+  /// pool was supplied). The stream lock is NOT held across the device
+  /// I/O: readers and other stream objects proceed while slices persist;
+  /// mutating operations queue behind the in-flight batch. Slice index
+  /// entries commit in slice order only after every PLog append succeeded,
+  /// so a failed batch leaves the records buffered (re-flushable) and
+  /// garbage-collects any orphaned PLog appends. Returns the offset of the
+  /// first appended record. Idempotence and quota behave exactly like
+  /// Append.
+  Result<uint64_t> AppendBatch(std::vector<StreamRecord> records);
 
   /// Read up to `max_records` records starting at `offset`
   /// (ReadServerStreamObject). Reading at the frontier returns an empty
@@ -136,9 +151,28 @@ class StreamObject {
     uint64_t payload_bytes = 0;
   };
 
+  /// One slice's worth of work for AppendBatch: encoded and appended to
+  /// the PLog store with no stream lock held (possibly on an I/O pool
+  /// thread), then committed to the slice index under mu_.
+  struct SliceJob {
+    uint64_t seq = 0;
+    std::vector<StreamRecord> records;
+    storage::PlogAddress address;
+    uint64_t payload_bytes = 0;
+    Status status = Status::OK();
+  };
+
   Status PersistSliceLocked(std::vector<StreamRecord> records)
       REQUIRES(mu_);
   Status CheckQuotaLocked(size_t incoming) REQUIRES(mu_);
+  /// Blocks until no AppendBatch persist phase is in flight. Every
+  /// mutating entry point calls this right after taking mu_; read paths
+  /// need not (the in-flight state is always readable: active_ keeps the
+  /// unpersisted tail until the batch commits).
+  void WaitBatchIdleLocked() REQUIRES(mu_);
+  /// Encode + PLog-append one slice. Takes no locks on the stream object;
+  /// called with mu_ released.
+  void RunSliceJob(SliceJob* job);
   std::string IndexKey(uint64_t slice_seq) const;
 
   const uint64_t id_;
@@ -146,9 +180,14 @@ class StreamObject {
   kv::KvStore* index_;
   sim::SimClock* clock_;
   StreamObjectOptions options_;
-  ScmSliceCache* cache_;  // may be nullptr
+  ScmSliceCache* cache_;    // may be nullptr
+  ThreadPool* io_pool_;     // may be nullptr (AppendBatch persists inline)
 
   mutable Mutex mu_{LockRank::kStreamObject, "stream.object"};
+  /// True while an AppendBatch holds slices in flight with mu_ released;
+  /// paired with batch_cv_. Mutators wait; readers do not.
+  bool batch_inflight_ GUARDED_BY(mu_) = false;
+  CondVar batch_cv_;
   std::vector<SliceMeta> slices_ GUARDED_BY(mu_);
   std::vector<StreamRecord> active_ GUARDED_BY(mu_);  // buffered tail
   uint64_t frontier_ GUARDED_BY(mu_) = 0;
@@ -168,10 +207,14 @@ class StreamObject {
 /// This is the "stream object client" surface workers talk to.
 class StreamObjectManager {
  public:
+  /// `io_pool` (optional) is handed to every stream object as the shared
+  /// AppendBatch persist pool; the caller owns it and must keep it alive
+  /// for the manager's lifetime.
   StreamObjectManager(storage::PlogStore* plogs, kv::KvStore* index,
                       sim::SimClock* clock,
                       sim::DeviceModel* pmem = nullptr,
-                      size_t cache_capacity_slices = 1024);
+                      size_t cache_capacity_slices = 1024,
+                      ThreadPool* io_pool = nullptr);
 
   /// CreateServerStreamObject: allocate an object id. The options persist
   /// in the KV index so a restarted manager can recover the object.
@@ -195,6 +238,7 @@ class StreamObjectManager {
   storage::PlogStore* plogs_;
   kv::KvStore* index_;
   sim::SimClock* clock_;
+  ThreadPool* io_pool_;
   std::unique_ptr<ScmSliceCache> cache_;
   mutable Mutex mu_{LockRank::kStreamObjectManager,
                     "stream.object_manager"};

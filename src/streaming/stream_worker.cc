@@ -22,6 +22,31 @@ bool StreamWorker::HandlesStream(uint64_t stream_object_id) const {
   return streams_.count(stream_object_id) > 0;
 }
 
+namespace {
+
+// Wrap client messages in the stream object data format ("redirect them
+// to the corresponding stream objects via RDMA"); returns the wire bytes
+// charged to the data bus.
+uint64_t WrapMessages(const std::vector<Message>& messages,
+                      uint64_t producer_id, uint64_t first_seq,
+                      std::vector<stream::StreamRecord>* records) {
+  records->reserve(messages.size());
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    stream::StreamRecord record;
+    record.key = messages[i].key;
+    record.value = ToBytes(messages[i].value);
+    record.timestamp = messages[i].timestamp;
+    record.producer_id = producer_id;
+    record.producer_seq = first_seq + i;
+    bytes += record.ByteSize();
+    records->push_back(std::move(record));
+  }
+  return bytes;
+}
+
+}  // namespace
+
 Result<uint64_t> StreamWorker::Produce(uint64_t stream_object_id,
                                        const std::vector<Message>& messages,
                                        uint64_t producer_id,
@@ -35,24 +60,28 @@ Result<uint64_t> StreamWorker::Produce(uint64_t stream_object_id,
   if (object == nullptr) {
     return Status::NotFound("stream object gone");
   }
-  // Wrap client messages in the stream object data format and ship them
-  // over the data bus ("redirect them to the corresponding stream objects
-  // via RDMA").
   std::vector<stream::StreamRecord> records;
-  records.reserve(messages.size());
-  uint64_t bytes = 0;
-  for (size_t i = 0; i < messages.size(); ++i) {
-    stream::StreamRecord record;
-    record.key = messages[i].key;
-    record.value = ToBytes(messages[i].value);
-    record.timestamp = messages[i].timestamp;
-    record.producer_id = producer_id;
-    record.producer_seq = first_seq + i;
-    bytes += record.ByteSize();
-    records.push_back(std::move(record));
-  }
-  bus_->ChargeTransfer(bytes);
+  bus_->ChargeTransfer(
+      WrapMessages(messages, producer_id, first_seq, &records));
   return object->Append(std::move(records));
+}
+
+Result<uint64_t> StreamWorker::ProduceBatch(
+    uint64_t stream_object_id, const std::vector<Message>& messages,
+    uint64_t producer_id, uint64_t first_seq) {
+  if (!HandlesStream(stream_object_id)) {
+    return Status::NotFound("worker " + std::to_string(id_) +
+                            " does not handle stream " +
+                            std::to_string(stream_object_id));
+  }
+  stream::StreamObject* object = objects_->GetObject(stream_object_id);
+  if (object == nullptr) {
+    return Status::NotFound("stream object gone");
+  }
+  std::vector<stream::StreamRecord> records;
+  bus_->ChargeTransfer(
+      WrapMessages(messages, producer_id, first_seq, &records));
+  return object->AppendBatch(std::move(records));
 }
 
 Result<uint64_t> StreamWorker::FindOffsetByTimestamp(uint64_t stream_object_id,

@@ -38,6 +38,14 @@ class StreamWorker {
                            const std::vector<Message>& messages,
                            uint64_t producer_id, uint64_t first_seq);
 
+  /// Like Produce but lands through StreamObject::AppendBatch: the whole
+  /// group persists as parallel slice appends without holding the stream
+  /// lock across device I/O, so dispatcher workers on different topics no
+  /// longer serialize on storage.
+  Result<uint64_t> ProduceBatch(uint64_t stream_object_id,
+                                const std::vector<Message>& messages,
+                                uint64_t producer_id, uint64_t first_seq);
+
   /// Fetch up to `max_records` messages from a stream at `offset`.
   Result<std::vector<stream::StreamRecord>> Fetch(uint64_t stream_object_id,
                                                   uint64_t offset,

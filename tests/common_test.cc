@@ -244,5 +244,16 @@ TEST(ThreadPoolTest, ShutdownDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+using ThreadPoolDeathTest = ::testing::Test;
+
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownAborts) {
+  ThreadPool pool(1, "test.doomed_pool");
+  pool.Shutdown();
+  // The task would silently never run; that is a caller lifetime bug, so
+  // Submit must fail loudly with a report naming the pool.
+  EXPECT_DEATH(pool.Submit([] {}),
+               "ThreadPool misuse.*test\\.doomed_pool");
+}
+
 }  // namespace
 }  // namespace streamlake

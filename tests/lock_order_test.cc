@@ -55,6 +55,32 @@ TEST_F(LockOrderDeathTest, EqualRankAborts) {
       "lock-order violation");
 }
 
+TEST_F(LockOrderDeathTest, StripedDescendingStripeAborts) {
+  // Striped locks of one rank order by stripe index; descending is the
+  // mirror-image ABBA of another thread ascending.
+  Mutex s0{LockRank::kKvStore, "test.stripe", /*stripe=*/0};
+  Mutex s1{LockRank::kKvStore, "test.stripe", /*stripe=*/1};
+  EXPECT_DEATH(
+      {
+        MutexLock outer(&s1);
+        MutexLock inner(&s0);
+      },
+      "lock-order violation");
+}
+
+TEST_F(LockOrderDeathTest, StripedVsUnstripedEqualRankAborts) {
+  // The ascending-stripe exception requires BOTH locks to be striped;
+  // an unstriped sibling still may never nest with a striped one.
+  Mutex striped{LockRank::kKvStore, "test.striped", /*stripe=*/3};
+  Mutex plain{LockRank::kKvStore, "test.plain"};
+  EXPECT_DEATH(
+      {
+        MutexLock outer(&plain);
+        MutexLock inner(&striped);
+      },
+      "lock-order violation");
+}
+
 TEST_F(LockOrderDeathTest, RecursiveAcquireAborts) {
   // std::mutex would deadlock silently; the checker turns it into a
   // diagnosed crash (self-edge is an equal-rank acquisition).
@@ -99,6 +125,39 @@ TEST(LockOrderTest, DescendingAcquisitionIsLegal) {
     EXPECT_EQ(lock_order::HeldByCurrentThread(), 2u);
   }
   EXPECT_EQ(lock_order::HeldByCurrentThread(), 0u);
+}
+
+TEST(LockOrderTest, StripedAscendingAcquisitionIsLegal) {
+  // Multi-stripe operations (KvStore batch commit, PlogStore sweeps that
+  // chain) take same-rank stripe locks in ascending stripe order; the
+  // checker admits exactly that order.
+  Mutex s0{LockRank::kKvStore, "test.asc.stripe", /*stripe=*/0};
+  Mutex s2{LockRank::kKvStore, "test.asc.stripe", /*stripe=*/2};
+  Mutex s5{LockRank::kKvStore, "test.asc.stripe", /*stripe=*/5};
+  {
+    MutexLock l0(&s0);
+    MutexLock l2(&s2);  // gaps are fine: only relative order matters
+    MutexLock l5(&s5);
+    EXPECT_EQ(lock_order::HeldByCurrentThread(), 3u);
+  }
+  EXPECT_EQ(lock_order::HeldByCurrentThread(), 0u);
+}
+
+TEST(LockOrderTest, StripedStepsRecordNoGraphEdge) {
+  // Same-rank stripe steps share one class-level name; recording them
+  // would self-loop the graph. Only strictly descending rank steps land.
+  lock_order::ResetGraphForTest();
+  Mutex s0{LockRank::kKvStore, "test.noedge.stripe", /*stripe=*/0};
+  Mutex s1{LockRank::kKvStore, "test.noedge.stripe", /*stripe=*/1};
+  {
+    MutexLock l0(&s0);
+    MutexLock l1(&s1);
+  }
+  for (const auto& e : lock_order::GraphEdges()) {
+    EXPECT_NE(e.from, "test.noedge.stripe");
+  }
+  std::string cycle;
+  EXPECT_TRUE(lock_order::GraphIsAcyclic(&cycle)) << cycle;
 }
 
 TEST(LockOrderTest, TryLockIsExemptFromRankOrder) {

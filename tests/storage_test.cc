@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/random.h"
 #include "storage/erasure_coding.h"
 #include "storage/gf256.h"
@@ -518,6 +521,49 @@ TEST(PlogStoreTest, OversizedRecordRejected) {
   PlogStore store(&f.pool, config, &f.clock);
   Bytes big(4096, 'x');
   EXPECT_TRUE(store.Append(0, ByteView(big)).status().IsResourceExhausted());
+}
+
+// Regression for the old single-mutex write path: a shard stalled inside
+// device I/O (the io_delay_hook stands in for a slow device) used to hold
+// the store-wide lock, blocking every other shard. With striped locking,
+// only the stalled shard's stripe is held.
+TEST(PlogStoreTest, StalledShardDoesNotBlockOtherStripes) {
+  PoolFixture f;
+  f.pool.AddCluster(3, 2, 16 << 20);
+  PlogStoreConfig config;
+  config.num_shards = 4;
+  config.num_stripes = 4;  // shard i maps 1:1 to stripe i
+  config.plog = SmallPlogConfig(RedundancyConfig::Replication(3));
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  config.io_delay_hook = [&](uint32_t shard) {
+    if (shard != 0) return;
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+  PlogStore store(&f.pool, config, &f.clock);
+
+  std::thread slow([&] {
+    auto addr = store.Append(0, ByteView(std::string(64, 'a')));
+    EXPECT_TRUE(addr.ok()) << addr.status().ToString();
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // `slow` is parked inside Append holding stripe 0. Shard 1 lives on
+  // stripe 1, so this append must complete while stripe 0 is still held;
+  // under the old global lock it would deadlock (the hook never releases
+  // until we set `release`, which only happens after this append).
+  auto addr = store.Append(1, ByteView(std::string(64, 'b')));
+  ASSERT_TRUE(addr.ok()) << addr.status().ToString();
+  EXPECT_FALSE(release.load(std::memory_order_acquire));
+  auto read = store.Read(*addr);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(BytesToString(*read), std::string(64, 'b'));
+
+  release.store(true, std::memory_order_release);
+  slow.join();
 }
 
 TEST(PlogStoreTest, GarbageCollectionFreesDeadSealedPlogs) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/threadpool.h"
 #include "stream/stream_c_api.h"
 #include "stream/stream_object.h"
 
@@ -13,9 +14,11 @@ struct StreamFixture {
   sim::DeviceModel pmem{sim::DeviceProfile::Pmem(), &clock};
   kv::KvStore index;
   std::unique_ptr<storage::PlogStore> plogs;
+  // Declared before manager: in-flight batches must outlive no pool.
+  std::unique_ptr<ThreadPool> io_pool;
   std::unique_ptr<StreamObjectManager> manager;
 
-  explicit StreamFixture(bool with_pmem = false) {
+  explicit StreamFixture(bool with_pmem = false, int io_threads = 0) {
     pool.AddCluster(3, 2, 64 << 20);
     storage::PlogStoreConfig config;
     config.num_shards = 8;
@@ -23,8 +26,12 @@ struct StreamFixture {
     config.plog.stripe_unit = 4096;
     config.plog.redundancy = storage::RedundancyConfig::Replication(3);
     plogs = std::make_unique<storage::PlogStore>(&pool, config, &clock);
+    if (io_threads > 0) {
+      io_pool = std::make_unique<ThreadPool>(io_threads, "test.stream_io");
+    }
     manager = std::make_unique<StreamObjectManager>(
-        plogs.get(), &index, &clock, with_pmem ? &pmem : nullptr, 64);
+        plogs.get(), &index, &clock, with_pmem ? &pmem : nullptr, 64,
+        io_pool.get());
   }
 
   StreamObject* NewObject(StreamObjectOptions options = {}) {
@@ -113,6 +120,117 @@ TEST(StreamObjectTest, SlicesPersistAt256Records) {
   auto read = object->Read(500, 100);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read->size(), 100u);
+}
+
+// ---------------- AppendBatch (group appends) ----------------
+
+TEST(StreamObjectTest, AppendBatchPersistsWholeTailInParallel) {
+  StreamFixture f(/*with_pmem=*/false, /*io_threads=*/4);
+  StreamObjectOptions options;
+  options.records_per_slice = 16;
+  StreamObject* object = f.NewObject(options);
+
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(MakeRecord("k", "msg-" + std::to_string(i)));
+  }
+  auto offset = object->AppendBatch(std::move(batch));
+  ASSERT_TRUE(offset.ok()) << offset.status().ToString();
+  EXPECT_EQ(*offset, 0u);
+  // Unlike Append, a group append persists the partial final slice too:
+  // 6 full slices of 16 plus one of 4, nothing left buffered.
+  EXPECT_EQ(object->frontier(), 100u);
+  EXPECT_EQ(object->persisted(), 100u);
+
+  auto read = object->Read(0, 200);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(BytesToString((*read)[i].value), "msg-" + std::to_string(i));
+  }
+
+  // The next batch lands at the current frontier.
+  auto next = object->AppendBatch({MakeRecord("k", "tail")});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 100u);
+  EXPECT_EQ(object->persisted(), 101u);
+}
+
+TEST(StreamObjectTest, AppendBatchFlushesPreviouslyBufferedRecords) {
+  // No I/O pool: the inline fallback path must behave identically.
+  StreamFixture f;
+  StreamObjectOptions options;
+  options.records_per_slice = 16;
+  StreamObject* object = f.NewObject(options);
+
+  // Ten records buffer below the slice threshold...
+  std::vector<StreamRecord> head;
+  for (int i = 0; i < 10; ++i) {
+    head.push_back(MakeRecord("k", "buf-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(object->Append(std::move(head)).ok());
+  EXPECT_EQ(object->persisted(), 0u);
+
+  // ...and the group append sweeps them out with its own records.
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(MakeRecord("k", "grp-" + std::to_string(i)));
+  }
+  auto offset = object->AppendBatch(std::move(batch));
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 10u);
+  EXPECT_EQ(object->persisted(), 20u);
+  EXPECT_EQ(object->frontier(), 20u);
+
+  auto read = object->Read(8, 4);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 4u);
+  EXPECT_EQ(BytesToString((*read)[1].value), "buf-9");
+  EXPECT_EQ(BytesToString((*read)[2].value), "grp-0");
+}
+
+TEST(StreamObjectTest, AppendBatchDropsProducerDuplicates) {
+  StreamFixture f(/*with_pmem=*/false, /*io_threads=*/2);
+  StreamObject* object = f.NewObject();
+  ASSERT_TRUE(object
+                  ->AppendBatch({MakeRecord("k", "v1", 42, 1),
+                                 MakeRecord("k", "v2", 42, 2)})
+                  .ok());
+  // Retry overlaps the already-accepted tail of the previous batch.
+  ASSERT_TRUE(object
+                  ->AppendBatch({MakeRecord("k", "v2-dup", 42, 2),
+                                 MakeRecord("k", "v3", 42, 3)})
+                  .ok());
+  EXPECT_EQ(object->frontier(), 3u);
+  auto read = object->Read(0, 10);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 3u);
+  EXPECT_EQ(BytesToString((*read)[2].value), "v3");
+}
+
+TEST(StreamObjectTest, AppendBatchInterleavesWithAppendAndFlush) {
+  StreamFixture f(/*with_pmem=*/false, /*io_threads=*/2);
+  StreamObjectOptions options;
+  options.records_per_slice = 16;
+  StreamObject* object = f.NewObject(options);
+
+  ASSERT_TRUE(object->Append({MakeRecord("k", "a0")}).ok());
+  std::vector<StreamRecord> batch;
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back(MakeRecord("k", "b" + std::to_string(i)));
+  }
+  ASSERT_TRUE(object->AppendBatch(std::move(batch)).ok());
+  ASSERT_TRUE(object->Append({MakeRecord("k", "a1")}).ok());
+  ASSERT_TRUE(object->Flush().ok());
+  EXPECT_EQ(object->frontier(), 42u);
+  EXPECT_EQ(object->persisted(), 42u);
+
+  auto read = object->Read(0, 64);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 42u);
+  EXPECT_EQ(BytesToString((*read)[0].value), "a0");
+  EXPECT_EQ(BytesToString((*read)[1].value), "b0");
+  EXPECT_EQ(BytesToString((*read)[41].value), "a1");
 }
 
 TEST(StreamObjectTest, IoAggregationReducesStorageOps) {
