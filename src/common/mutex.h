@@ -116,10 +116,14 @@ enum class LockRank : uint16_t {
                           // touched stripes in ascending index order
 
   // ---- table: lakehouse metadata + commit protocol ----
-  kMetadataStore = 40,  // MetaFresher pending-flush queue
-  kTableAccess = 42,    // partition access counters (leaf)
-  kTableCommit = 44,    // commit protocol; held across metadata/KV/object IO
-  kLakehouse = 46,      // catalog of open tables
+  kMetadataStore = 40,    // MetaFresher pending-flush queue
+  kTableBlockCache = 41,  // decoded row-group LRU (leaf; commit/compaction/
+                          // migration invalidate under their own locks)
+  kTableAccess = 42,      // partition access counters (leaf)
+  kTableScanBarrier = 43, // per-Select fan-out completion barrier; scan jobs
+                          // and the waiting query thread hold nothing else
+  kTableCommit = 44,      // commit protocol; held across metadata/KV/object IO
+  kLakehouse = 46,        // catalog of open tables
 
   // ---- stream: stream objects over PLogs ----
   kScmSliceCache = 50,       // SCM slice LRU (leaf within stream)

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "table/block_cache.h"
+
 namespace streamlake::core {
 
 StreamLake::StreamLake(StreamLakeOptions options)
@@ -47,9 +49,17 @@ StreamLake::StreamLake(StreamLakeOptions options)
       options_.stream_workers);
   metadata_ = std::make_unique<table::MetadataStore>(
       objects_.get(), metadata_cache_.get(), options_.metadata_mode);
+  if (options_.scan_threads > 0) {
+    scan_pool_ = std::make_unique<ThreadPool>(
+        static_cast<int>(options_.scan_threads), "core.table_scan");
+  }
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ =
+        std::make_unique<table::DecodedBlockCache>(options_.block_cache_bytes);
+  }
   lakehouse_ = std::make_unique<table::LakehouseService>(
       metadata_.get(), objects_.get(), &clock_, compute_link_.get(),
-      options_.table_options);
+      options_.table_options, scan_pool_.get(), block_cache_.get());
   converter_ = std::make_unique<convert::ConversionService>(
       dispatcher_.get(), stream_objects_.get(), lakehouse_.get(),
       service_meta_.get(), &clock_);
@@ -89,6 +99,11 @@ StreamLake::ClusterReport StreamLake::Report() const {
   }
   report.tables = metadata_->ListTables().size();
   report.pending_metadata_flushes = metadata_->pending_flushes();
+  if (block_cache_ != nullptr) {
+    table::DecodedBlockCache::Stats cache = block_cache_->GetStats();
+    report.block_cache_hits = cache.hits;
+    report.block_cache_misses = cache.misses;
+  }
   return report;
 }
 
@@ -98,6 +113,10 @@ std::string StreamLake::ClusterReport::ToString() const {
                         ? 0.0
                         : 100.0 * scm_cache_hits /
                               (scm_cache_hits + scm_cache_misses);
+  double block_hit_rate = block_cache_hits + block_cache_misses == 0
+                              ? 0.0
+                              : 100.0 * block_cache_hits /
+                                    (block_cache_hits + block_cache_misses);
   std::snprintf(
       buf, sizeof(buf),
       "cluster @ %.1f sim-s\n"
@@ -106,7 +125,8 @@ std::string StreamLake::ClusterReport::ToString() const {
       "  plogs: %llu (%.1f MB live of %.1f MB logical) | objects: %llu\n"
       "  bus: %llu msgs, %.1f MB\n"
       "  workers: %u | stream objects: %zu | scm hit rate: %.1f%%\n"
-      "  tables: %zu | pending metadata flushes: %zu\n",
+      "  tables: %zu | pending metadata flushes: %zu | block cache hit "
+      "rate: %.1f%%\n",
       sim_seconds, ssd_allocated / 1073741824.0, ssd_capacity / 1073741824.0,
       static_cast<unsigned long long>(ssd_io.read_ops),
       static_cast<unsigned long long>(ssd_io.write_ops),
@@ -118,14 +138,20 @@ std::string StreamLake::ClusterReport::ToString() const {
       static_cast<unsigned long long>(objects),
       static_cast<unsigned long long>(bus_io.messages),
       bus_io.bytes / 1048576.0, stream_workers, stream_objects, hit_rate,
-      tables, pending_metadata_flushes);
+      tables, pending_metadata_flushes, block_hit_rate);
   return buf;
 }
 
 Status StreamLake::RunBackgroundWork() {
   SL_ASSIGN_OR_RETURN([[maybe_unused]] size_t flushed,
                       metadata_->FlushPending());
-  SL_ASSIGN_OR_RETURN([[maybe_unused]] auto tiering_stats, tiering_->Run());
+  SL_ASSIGN_OR_RETURN(auto tiering_stats, tiering_->Run());
+  // PLog migration rewrote data between tiers; cached decoded blocks keep
+  // their logical content but would dodge the re-read cost accounting of
+  // the new tier, so drop them wholesale (coarse but rare).
+  if (block_cache_ != nullptr && tiering_stats.migrated_plogs > 0) {
+    block_cache_->InvalidateAll();
+  }
   SL_ASSIGN_OR_RETURN([[maybe_unused]] auto repair_stats, repair_->Run());
   return Status::OK();
 }

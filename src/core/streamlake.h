@@ -40,6 +40,13 @@ struct StreamLakeOptions {
   uint32_t stream_io_threads = 4;
   table::MetadataMode metadata_mode = table::MetadataMode::kAccelerated;
   table::TableOptions table_options;
+  /// Worker threads of the shared table-scan pool that fans out
+  /// Table::Select file scans; 0 disables the pool (Selects scan
+  /// serially).
+  uint32_t scan_threads = 4;
+  /// Byte budget of the decoded-block cache serving repeat Selects and
+  /// time-travel reads; 0 disables the cache.
+  uint64_t block_cache_bytes = 64ULL << 20;
   storage::TieringPolicy tiering_policy;
 
   StreamLakeOptions() {
@@ -75,6 +82,8 @@ class StreamLake {
   streaming::StreamDispatcher& dispatcher() { return *dispatcher_; }
   table::LakehouseService& lakehouse() { return *lakehouse_; }
   table::MetadataStore& metadata() { return *metadata_; }
+  /// Decoded-block cache shared by every table; nullptr when disabled.
+  table::DecodedBlockCache* block_cache() { return block_cache_.get(); }
   convert::ConversionService& converter() { return *converter_; }
   streaming::ArchiveService& archive() { return *archive_; }
   storage::TieringService& tiering() { return *tiering_; }
@@ -116,6 +125,7 @@ class StreamLake {
     uint64_t scm_cache_hits = 0, scm_cache_misses = 0;
     size_t tables = 0;
     size_t pending_metadata_flushes = 0;
+    uint64_t block_cache_hits = 0, block_cache_misses = 0;
 
     /// Multi-line human-readable rendering.
     std::string ToString() const;
@@ -150,6 +160,11 @@ class StreamLake {
   std::unique_ptr<stream::StreamObjectManager> stream_objects_;
   std::unique_ptr<streaming::StreamDispatcher> dispatcher_;
   std::unique_ptr<table::MetadataStore> metadata_;
+  // Declared before lakehouse_: tables may have scan jobs in flight on
+  // this pool and blocks in this cache, so both must outlive (destruct
+  // after) the service that owns the tables.
+  std::unique_ptr<ThreadPool> scan_pool_;
+  std::unique_ptr<table::DecodedBlockCache> block_cache_;
   std::unique_ptr<table::LakehouseService> lakehouse_;
   std::unique_ptr<convert::ConversionService> converter_;
   std::unique_ptr<streaming::ArchiveService> archive_;

@@ -153,7 +153,17 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
   // Collect up to `limit` visible rows from each stripe's ordered range,
   // then merge: every key lives in exactly one stripe, and any key in the
   // global first-`limit` is necessarily in its own stripe's first-`limit`.
+  // With a real limit the merge buffer is pre-reserved and pruned back to
+  // the `limit` smallest keys whenever it doubles, so a limited scan holds
+  // O(limit) rows, not stripes x limit.
   std::vector<std::pair<std::string, std::string>> out;
+  bool bounded = limit < SIZE_MAX / 2;
+  if (bounded) out.reserve(std::min<size_t>(limit, 1024) * 2);
+  auto prune_to_limit = [&] {
+    if (out.size() <= limit) return;
+    std::nth_element(out.begin(), out.begin() + limit, out.end());
+    out.resize(limit);
+  };
   for (const auto& stripe : stripes_) {
     ReaderMutexLock lock(&stripe->mu);
     size_t taken = 0;
@@ -171,6 +181,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
         }
       }
     }
+    if (bounded && out.size() > 2 * limit) prune_to_limit();
   }
   std::sort(out.begin(), out.end());
   if (out.size() > limit) out.resize(limit);

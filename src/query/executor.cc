@@ -165,6 +165,36 @@ Status Executor::Consume(const std::vector<format::Row>& rows) {
   return Status::OK();
 }
 
+Status Executor::MergeFrom(Executor&& other) {
+  SL_RETURN_NOT_OK(init_status_);
+  SL_RETURN_NOT_OK(other.init_status_);
+  rows_scanned_ += other.rows_scanned_;
+  rows_matched_ += other.rows_matched_;
+  plain_rows_.insert(plain_rows_.end(),
+                     std::make_move_iterator(other.plain_rows_.begin()),
+                     std::make_move_iterator(other.plain_rows_.end()));
+  for (auto& [key, theirs] : other.groups_) {
+    auto [it, inserted] = groups_.try_emplace(key, std::move(theirs));
+    if (inserted) continue;
+    GroupState& mine = it->second;
+    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
+      mine.counts[a] += theirs.counts[a];
+      mine.sums[a] += theirs.sums[a];
+      if (theirs.mins[a] &&
+          (!mine.mins[a] ||
+           format::CompareValues(*theirs.mins[a], *mine.mins[a]) < 0)) {
+        mine.mins[a] = std::move(theirs.mins[a]);
+      }
+      if (theirs.maxs[a] &&
+          (!mine.maxs[a] ||
+           format::CompareValues(*theirs.maxs[a], *mine.maxs[a]) > 0)) {
+        mine.maxs[a] = std::move(theirs.maxs[a]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// ORDER BY `column` (by result-column name) and LIMIT, applied to the

@@ -59,6 +59,16 @@ class Executor {
 
   Status Consume(const std::vector<format::Row>& rows);
 
+  /// Fold another executor's partial state into this one. Both must have
+  /// been built from the same schema and spec; `other` is consumed. Used
+  /// by the parallel Select path: each scan job runs its own fragment
+  /// executor, then the query thread merges fragments in file order and
+  /// Finalizes once, so ORDER BY / LIMIT see the complete row set and the
+  /// result matches the serial path. Merging is order-insensitive except
+  /// for floating-point SUM/AVG rounding, hence the deterministic file
+  /// order on the caller side.
+  Status MergeFrom(Executor&& other);
+
   /// Produce the final result. For aggregates, one row per group.
   Result<QueryResult> Finalize();
 

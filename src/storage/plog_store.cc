@@ -93,6 +93,7 @@ Result<Bytes> PlogStore::Read(const PlogAddress& address) const {
   }
   auto data = s.chain[address.plog_index]->ReadRecord(address.offset);
   if (data.ok()) {
+    if (config_.io_read_delay_hook) config_.io_read_delay_hook(address.shard);
     read_ops->Increment();
     read_bytes->Increment(data->size());
   }

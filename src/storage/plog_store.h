@@ -40,6 +40,11 @@ struct PlogStoreConfig {
   /// block appends on other stripes, and lets bench_shard_scaling model a
   /// real per-append device latency. Null (default) = no-op.
   std::function<void(uint32_t shard)> io_delay_hook;
+  /// Read-side twin of io_delay_hook: invoked inside Read while the
+  /// stripe lock is held, right after the record comes off the device.
+  /// Lets bench_scan_scaling model per-read device latency to prove scan
+  /// fan-out overlaps I/O across files. Null (default) = no-op.
+  std::function<void(uint32_t shard)> io_read_delay_hook;
 };
 
 /// \brief The store-layer write path of Fig. 4: records hash to one of

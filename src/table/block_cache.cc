@@ -1,0 +1,214 @@
+#include "table/block_cache.h"
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace streamlake::table {
+
+using RowsPtr = DecodedBlockCache::RowsPtr;
+
+namespace {
+
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* invalidations;
+  Gauge* bytes;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics m{
+        MetricsRegistry::Global().GetCounter("table.block_cache.hits"),
+        MetricsRegistry::Global().GetCounter("table.block_cache.misses"),
+        MetricsRegistry::Global().GetCounter("table.block_cache.evictions"),
+        MetricsRegistry::Global().GetCounter("table.block_cache.invalidations"),
+        MetricsRegistry::Global().GetGauge("table.block_cache.bytes")};
+    return m;
+  }
+};
+
+uint64_t ApproxValueBytes(const format::Value& v) {
+  // variant header + payload; strings add their heap allocation.
+  uint64_t bytes = sizeof(format::Value);
+  if (const auto* s = std::get_if<std::string>(&v)) bytes += s->capacity();
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t ApproxRowsBytes(const std::vector<format::Row>& rows) {
+  uint64_t bytes = sizeof(rows[0]) * rows.capacity();
+  for (const format::Row& row : rows) {
+    for (const format::Value& v : row.fields) bytes += ApproxValueBytes(v);
+  }
+  return bytes;
+}
+
+DecodedBlockCache::DecodedBlockCache(uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+DecodedBlockCache::FooterPtr DecodedBlockCache::GetFooter(
+    const std::string& path) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(Key(path, kFooterSlot));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    CacheMetrics::Get().misses->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  CacheMetrics::Get().hits->Increment();
+  return it->second->footer;
+}
+
+DecodedBlockCache::RowsPtr DecodedBlockCache::GetGroup(const std::string& path,
+                                                       size_t group) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(Key(path, group));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    CacheMetrics::Get().misses->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  CacheMetrics::Get().hits->Increment();
+  return it->second->rows;
+}
+
+void DecodedBlockCache::PutFooter(const std::string& path, FooterPtr footer) {
+  uint64_t bytes = sizeof(Entry) +
+                   footer->groups.size() * sizeof(format::RowGroupMeta) * 2;
+  MutexLock lock(&mu_);
+  Insert(Key(path, kFooterSlot), nullptr, std::move(footer), bytes);
+}
+
+void DecodedBlockCache::PutGroup(const std::string& path, size_t group,
+                                 RowsPtr rows) {
+  uint64_t bytes = sizeof(Entry) + ApproxRowsBytes(*rows);
+  MutexLock lock(&mu_);
+  Insert(Key(path, group), std::move(rows), nullptr, bytes);
+}
+
+void DecodedBlockCache::Insert(Key key, RowsPtr rows, FooterPtr footer,
+                               uint64_t bytes) {
+  if (index_.count(key) > 0) return;  // entries are immutable; first wins
+  lru_.push_front(Entry{key, std::move(rows), std::move(footer), bytes});
+  index_[std::move(key)] = lru_.begin();
+  bytes_ += bytes;
+  EvictToCapacity();
+  CacheMetrics::Get().bytes->Set(static_cast<int64_t>(bytes_));
+}
+
+void DecodedBlockCache::EvictToCapacity() {
+  while (bytes_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    CacheMetrics::Get().evictions->Increment();
+  }
+}
+
+void DecodedBlockCache::InvalidateFile(const std::string& path) {
+  MutexLock lock(&mu_);
+  // All keys of one file are contiguous in the map: [(path, 0), (path, MAX)].
+  auto it = index_.lower_bound(Key(path, 0));
+  uint64_t dropped = 0;
+  while (it != index_.end() && it->first.first == path) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    it = index_.erase(it);
+    ++dropped;
+  }
+  if (dropped > 0) {
+    stats_.invalidated_entries += dropped;
+    CacheMetrics::Get().invalidations->Increment(dropped);
+    CacheMetrics::Get().bytes->Set(static_cast<int64_t>(bytes_));
+  }
+}
+
+void DecodedBlockCache::InvalidateAll() {
+  MutexLock lock(&mu_);
+  uint64_t dropped = lru_.size();
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  if (dropped > 0) {
+    stats_.invalidated_entries += dropped;
+    CacheMetrics::Get().invalidations->Increment(dropped);
+    CacheMetrics::Get().bytes->Set(0);
+  }
+}
+
+DecodedBlockCache::Stats DecodedBlockCache::GetStats() const {
+  MutexLock lock(&mu_);
+  Stats out = stats_;
+  out.bytes_cached = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+bool DecodedBlockCache::ContainsFile(const std::string& path) const {
+  MutexLock lock(&mu_);
+  auto it = index_.lower_bound(Key(path, 0));
+  return it != index_.end() && it->first.first == path;
+}
+
+CachedFileReader::CachedFileReader(storage::ObjectStore* objects,
+                                   DecodedBlockCache* cache, std::string path)
+    : objects_(objects), cache_(cache), path_(std::move(path)) {}
+
+Status CachedFileReader::Init() {
+  if (cache_ != nullptr) {
+    footer_ = cache_->GetFooter(path_);
+    if (footer_ != nullptr) return Status::OK();
+  }
+  SL_RETURN_NOT_OK(EnsureFileLoaded());
+  auto footer = std::make_shared<DecodedBlockCache::Footer>();
+  footer->groups.reserve(reader_->num_row_groups());
+  for (size_t g = 0; g < reader_->num_row_groups(); ++g) {
+    footer->groups.push_back(reader_->row_group(g));
+  }
+  footer->file_bytes = reader_->file_size();
+  footer_ = footer;
+  if (cache_ != nullptr) cache_->PutFooter(path_, footer_);
+  return Status::OK();
+}
+
+Result<DecodedBlockCache::RowsPtr> CachedFileReader::ReadRowGroup(
+    size_t group) {
+  if (cache_ != nullptr) {
+    if (RowsPtr cached = cache_->GetGroup(path_, group)) return cached;
+  }
+  SL_RETURN_NOT_OK(EnsureFileLoaded());
+  SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows,
+                      reader_->ReadRowGroup(group));
+  auto shared =
+      std::make_shared<const std::vector<format::Row>>(std::move(rows));
+  if (cache_ != nullptr) cache_->PutGroup(path_, group, shared);
+  return shared;
+}
+
+Result<std::vector<format::Row>> CachedFileReader::ReadAllRows() {
+  std::vector<format::Row> all;
+  for (size_t g = 0; g < num_row_groups(); ++g) {
+    SL_ASSIGN_OR_RETURN(RowsPtr rows, ReadRowGroup(g));
+    all.insert(all.end(), rows->begin(), rows->end());
+  }
+  return all;
+}
+
+Status CachedFileReader::EnsureFileLoaded() {
+  if (reader_.has_value()) return Status::OK();
+  SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(path_));
+  storage_bytes_read_ += data.size();
+  SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
+                      format::LakeFileReader::Open(std::move(data)));
+  reader_.emplace(std::move(reader));
+  return Status::OK();
+}
+
+}  // namespace streamlake::table

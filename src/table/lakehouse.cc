@@ -1,17 +1,23 @@
 #include "table/lakehouse.h"
 
+#include "table/block_cache.h"
+
 namespace streamlake::table {
 
 LakehouseService::LakehouseService(MetadataStore* meta,
                                    storage::ObjectStore* objects,
                                    sim::SimClock* clock,
                                    sim::NetworkModel* compute_link,
-                                   TableOptions default_options)
+                                   TableOptions default_options,
+                                   ThreadPool* scan_pool,
+                                   DecodedBlockCache* block_cache)
     : meta_(meta),
       objects_(objects),
       clock_(clock),
       compute_link_(compute_link),
-      default_options_(default_options) {}
+      default_options_(default_options),
+      scan_pool_(scan_pool),
+      block_cache_(block_cache) {}
 
 Result<Table*> LakehouseService::CreateTable(const std::string& name,
                                              const format::Schema& schema,
@@ -46,7 +52,8 @@ Result<Table*> LakehouseService::CreateTable(const std::string& name,
 
   auto table = std::make_unique<Table>(
       name, meta_, objects_, clock_, compute_link_,
-      options != nullptr ? *options : default_options_);
+      options != nullptr ? *options : default_options_, scan_pool_,
+      block_cache_);
   Table* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;
@@ -59,7 +66,8 @@ Result<Table*> LakehouseService::GetTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     auto table = std::make_unique<Table>(name, meta_, objects_, clock_,
-                                         compute_link_, default_options_);
+                                         compute_link_, default_options_,
+                                         scan_pool_, block_cache_);
     it = tables_.emplace(name, std::move(table)).first;
   }
   return it->second.get();
@@ -90,6 +98,8 @@ Status LakehouseService::DropTableHard(const std::string& name) {
   // Remove all data and metadata objects under the table path.
   for (const std::string& path : objects_->List(info.path + "/")) {
     SL_RETURN_NOT_OK(objects_->Delete(path));
+    // Data files are gone for good; their decoded blocks go with them.
+    if (block_cache_ != nullptr) block_cache_->InvalidateFile(path);
   }
   SL_RETURN_NOT_OK(meta_->DeleteTableInfo(name));
   tables_.erase(name);
@@ -106,7 +116,8 @@ Result<Table*> LakehouseService::RestoreTable(const std::string& name) {
   info.modified_at = static_cast<int64_t>(clock_->NowSeconds());
   SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
   auto table = std::make_unique<Table>(name, meta_, objects_, clock_,
-                                       compute_link_, default_options_);
+                                       compute_link_, default_options_,
+                                       scan_pool_, block_cache_);
   Table* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;

@@ -14,9 +14,14 @@ namespace streamlake::table {
 /// restore, and the handle registry for Table objects (Section V-B).
 class LakehouseService {
  public:
+  /// `scan_pool` / `block_cache` (both optional, owned by the core facade)
+  /// are handed to every Table this service opens: the pool parallelizes
+  /// Select across data files, the cache serves repeat reads.
   LakehouseService(MetadataStore* meta, storage::ObjectStore* objects,
                    sim::SimClock* clock, sim::NetworkModel* compute_link,
-                   TableOptions default_options = TableOptions());
+                   TableOptions default_options = TableOptions(),
+                   ThreadPool* scan_pool = nullptr,
+                   DecodedBlockCache* block_cache = nullptr);
 
   /// CREATE TABLE: register schema/path/partitioning in the catalog and
   /// create the /data and /metadata directories.
@@ -52,6 +57,8 @@ class LakehouseService {
   sim::SimClock* clock_;
   sim::NetworkModel* compute_link_;
   TableOptions default_options_;
+  ThreadPool* scan_pool_;           // may be nullptr
+  DecodedBlockCache* block_cache_;  // may be nullptr
   Mutex mu_{LockRank::kLakehouse, "table.lakehouse"};
   std::map<std::string, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
   uint64_t next_table_id_ GUARDED_BY(mu_) = 1;

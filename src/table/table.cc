@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/metrics.h"
+#include "common/threadpool.h"
+#include "table/block_cache.h"
 
 namespace streamlake::table {
 
@@ -82,13 +85,16 @@ bool PartitionRange(const PartitionSpec& spec, const format::Schema& schema,
 
 Table::Table(std::string name, MetadataStore* meta,
              storage::ObjectStore* objects, sim::SimClock* clock,
-             sim::NetworkModel* compute_link, TableOptions options)
+             sim::NetworkModel* compute_link, TableOptions options,
+             ThreadPool* scan_pool, DecodedBlockCache* block_cache)
     : name_(std::move(name)),
       meta_(meta),
       objects_(objects),
       clock_(clock),
       compute_link_(compute_link),
-      options_(options) {}
+      options_(options),
+      scan_pool_(scan_pool),
+      block_cache_(block_cache) {}
 
 Result<TableInfo> Table::Info() const {
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
@@ -194,7 +200,17 @@ Status Table::CommitChanges(const CommitRequest& request) {
   info.current_snapshot_id = snap.snapshot_id;
   info.modified_at = commit.timestamp;
   info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
-  return meta_->PutTableInfo(info);
+  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  // The removed files can no longer serve the new head; drop their cached
+  // blocks now instead of waiting for LRU churn (time-travel readers of
+  // older snapshots simply repopulate them). kTableBlockCache ranks below
+  // kTableCommit, so invalidating under the commit lock is legal.
+  if (block_cache_ != nullptr) {
+    for (const DataFileMeta& f : commit.removed) {
+      block_cache_->InvalidateFile(f.path);
+    }
+  }
+  return Status::OK();
 }
 
 Status Table::Insert(const std::vector<format::Row>& rows) {
@@ -365,82 +381,162 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
                                "B exceeds compute memory");
   }
 
-  // 4. Prune by partition + file stats, then scan survivors.
+  // 4. Prune by partition + file stats.
+  std::vector<const DataFileMeta*> scan_files;
   for (const DataFileMeta& file : files) {
     if (!FileMayMatch(info, file, spec.where)) {
       ++m->files_skipped;
       m->data_bytes_skipped += file.file_bytes;
       continue;
     }
-    ++m->files_scanned;
-    {
-      MutexLock access_lock(&access_mu_);
-      ++partition_access_[file.partition];
-    }
-    SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
-    m->data_bytes_read += data.size();
-    uint64_t file_bytes = data.size();
-    SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
-                        format::LakeFileReader::Open(std::move(data)));
+    scan_files.push_back(&file);
+  }
+  static Histogram* fanout =
+      MetricsRegistry::Global().GetHistogram("table.select.fanout");
+  fanout->Record(scan_files.size());
 
-    if (!options.pushdown) {
-      // Whole file crosses the network to the compute engine and sits in
-      // its memory during the scan.
-      compute_link_->ChargeTransfer(file_bytes);
-      m->bytes_to_compute += file_bytes;
-      m->peak_memory_bytes =
-          std::max(m->peak_memory_bytes, metadata_memory + file_bytes);
-      if (options.memory_budget_bytes > 0 &&
-          m->peak_memory_bytes > options.memory_budget_bytes) {
-        return Status::OutOfMemory("file scan exceeds compute memory");
-      }
+  // 5. Scan survivors, one job per file: fanned out on the shared scan
+  // pool when the facade configured one, inline otherwise. A job holds no
+  // table lock across the simulated device I/O (same discipline as
+  // StreamObject::AppendBatch) and runs a private fragment executor, so
+  // jobs never contend on query state.
+  struct ScanJob {
+    std::unique_ptr<query::Executor> executor;
+    SelectMetrics metrics;
+    Status status;
+  };
+  std::vector<ScanJob> jobs(scan_files.size());
+  auto run_job = [&](size_t i) {
+    ScanJob& job = jobs[i];
+    ++job.metrics.files_scanned;
+    job.executor = std::make_unique<query::Executor>(info.schema, spec);
+    job.status =
+        ScanOneFile(info, spec, options, delete_records, *scan_files[i],
+                    metadata_memory, job.executor.get(), &job.metrics);
+  };
+  if (scan_pool_ != nullptr && jobs.size() > 1) {
+    static Counter* parallel_jobs =
+        MetricsRegistry::Global().GetCounter("table.select.parallel_jobs");
+    parallel_jobs->Increment(jobs.size());
+    // Per-query completion barrier: the pool is shared across queries, so
+    // a pool-wide Wait() would also wait on other queries' jobs.
+    Mutex barrier_mu{LockRank::kTableScanBarrier, "table.select.barrier"};
+    CondVar done_cv;
+    size_t remaining = jobs.size();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      scan_pool_->Submit([&, i]() {
+        run_job(i);
+        MutexLock done(&barrier_mu);
+        --remaining;
+        done_cv.NotifyAll();
+      });
     }
+    MutexLock wait(&barrier_mu);
+    while (remaining > 0) done_cv.Wait(&barrier_mu);
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  }
 
-    for (size_t g = 0; g < reader.num_row_groups(); ++g) {
-      // Row-group skipping via footer stats.
-      bool may_match = true;
-      for (size_t c = 0; c < info.schema.num_fields(); ++c) {
-        if (!spec.where.MayMatchStats(info.schema.field(c).name,
-                                      reader.row_group(g).columns[c].stats)) {
-          may_match = false;
-          break;
-        }
-      }
-      if (!may_match) {
-        ++m->row_groups_skipped;
-        continue;
-      }
-      ++m->row_groups_scanned;
-      SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows,
-                          reader.ReadRowGroup(g));
-      // Merge-on-read: mask rows hit by deletes newer than this file.
-      if (!delete_records.empty()) {
-        std::vector<format::Row> visible;
-        visible.reserve(rows.size());
-        for (format::Row& row : rows) {
-          if (!RowMasked(delete_records, file.added_seq, info.schema, row)) {
-            visible.push_back(std::move(row));
-          }
-        }
-        rows = std::move(visible);
-      }
-      if (options.pushdown) {
-        // Storage-side filter/aggregate: only results cross the network.
-        uint64_t matched_bytes = 0;
-        for (const format::Row& row : rows) {
-          if (spec.where.Matches(info.schema, row)) matched_bytes += 64;
-        }
-        compute_link_->ChargeTransfer(matched_bytes);
-        m->bytes_to_compute += matched_bytes;
-      }
-      SL_RETURN_NOT_OK(executor.Consume(rows));
-    }
+  // 6. Merge fragments deterministically in file order: first failure wins
+  // (where the serial loop would have stopped), float SUMs accumulate in
+  // file order, and ORDER BY / LIMIT run once in Finalize below, after the
+  // merge — so the result is byte-identical to the serial path.
+  for (ScanJob& job : jobs) {
+    SL_RETURN_NOT_OK(job.status);
+    m->files_scanned += job.metrics.files_scanned;
+    m->row_groups_scanned += job.metrics.row_groups_scanned;
+    m->row_groups_skipped += job.metrics.row_groups_skipped;
+    m->data_bytes_read += job.metrics.data_bytes_read;
+    m->bytes_to_compute += job.metrics.bytes_to_compute;
+    m->peak_memory_bytes =
+        std::max(m->peak_memory_bytes, job.metrics.peak_memory_bytes);
+    SL_RETURN_NOT_OK(executor.MergeFrom(std::move(*job.executor)));
   }
   SL_ASSIGN_OR_RETURN(query::QueryResult result, executor.Finalize());
   m->metadata = MetadataCounters::Capture() - metadata_start;
   m->elapsed_ns = clock_->NowNanos() - start_ns;
   select_sim_ns->Record(m->elapsed_ns);
   return result;
+}
+
+Status Table::ScanOneFile(const TableInfo& info, const query::QuerySpec& spec,
+                          const SelectOptions& options,
+                          const std::vector<DeleteRecord>& delete_records,
+                          const DataFileMeta& file, uint64_t metadata_memory,
+                          query::Executor* executor, SelectMetrics* m) {
+  {
+    MutexLock access_lock(&access_mu_);
+    ++partition_access_[file.partition];
+  }
+  CachedFileReader reader(objects_, block_cache_, file.path);
+  SL_RETURN_NOT_OK(reader.Init());
+
+  if (!options.pushdown) {
+    // Whole file crosses the network to the compute engine and sits in
+    // its memory during the scan. A cache hit still pays the transfer —
+    // the cache sits storage-side, saving PLog I/O and decode only.
+    compute_link_->ChargeTransfer(reader.file_bytes());
+    m->bytes_to_compute += reader.file_bytes();
+    m->peak_memory_bytes =
+        std::max(m->peak_memory_bytes, metadata_memory + reader.file_bytes());
+    if (options.memory_budget_bytes > 0 &&
+        m->peak_memory_bytes > options.memory_budget_bytes) {
+      return Status::OutOfMemory("file scan exceeds compute memory");
+    }
+  }
+
+  for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+    // Row-group skipping via footer stats (served from the cache on
+    // repeat queries, so skipping costs no storage I/O at all).
+    bool may_match = true;
+    for (size_t c = 0; c < info.schema.num_fields(); ++c) {
+      if (!spec.where.MayMatchStats(info.schema.field(c).name,
+                                    reader.row_group(g).columns[c].stats)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (!may_match) {
+      ++m->row_groups_skipped;
+      continue;
+    }
+    ++m->row_groups_scanned;
+    SL_ASSIGN_OR_RETURN(DecodedBlockCache::RowsPtr decoded,
+                        reader.ReadRowGroup(g));
+    // Merge-on-read: mask rows hit by deletes newer than this file.
+    // Cached rows are pre-masking (masking depends on the query's
+    // snapshot), so this stays per-query.
+    const std::vector<format::Row>* rows = decoded.get();
+    std::vector<format::Row> visible;
+    if (!delete_records.empty()) {
+      visible.reserve(decoded->size());
+      for (const format::Row& row : *decoded) {
+        if (!RowMasked(delete_records, file.added_seq, info.schema, row)) {
+          visible.push_back(row);
+        }
+      }
+      rows = &visible;
+    }
+    if (options.pushdown) {
+      // Storage-side filter/aggregate: only results cross the network.
+      uint64_t matched_bytes = 0;
+      for (const format::Row& row : *rows) {
+        if (spec.where.Matches(info.schema, row)) matched_bytes += 64;
+      }
+      compute_link_->ChargeTransfer(matched_bytes);
+      m->bytes_to_compute += matched_bytes;
+    }
+    SL_RETURN_NOT_OK(executor->Consume(*rows));
+  }
+  m->data_bytes_read += reader.storage_bytes_read();
+  return Status::OK();
+}
+
+Result<std::vector<format::Row>> Table::ReadDataFileRows(
+    const DataFileMeta& file) {
+  CachedFileReader reader(objects_, block_cache_, file.path);
+  SL_RETURN_NOT_OK(reader.Init());
+  return reader.ReadAllRows();
 }
 
 std::map<std::string, uint64_t> Table::PartitionAccessCounts() const {
@@ -489,10 +585,8 @@ Result<uint64_t> Table::Delete(const query::Conjunction& where) {
     // Count the rows the predicate will mask (a read-only scan), then
     // record the delete; no data files are rewritten.
     for (const DataFileMeta& file : touched) {
-      SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
-      SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
-                          format::LakeFileReader::Open(std::move(data)));
-      SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, reader.ReadAll());
+      SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows,
+                          ReadDataFileRows(file));
       for (const format::Row& row : rows) {
         if (where.Matches(info.schema, row) &&
             !RowMasked(prior_deletes, file.added_seq, info.schema, row)) {
@@ -545,10 +639,7 @@ Result<uint64_t> Table::RewriteMatching(const query::Conjunction& where,
   uint64_t affected = 0;
   for (const DataFileMeta& file : files) {
     if (!FileMayMatch(info, file, where)) continue;
-    SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
-    SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
-                        format::LakeFileReader::Open(std::move(data)));
-    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, reader.ReadAll());
+    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, ReadDataFileRows(file));
     std::vector<format::Row> rewritten;
     rewritten.reserve(rows.size());
     uint64_t matched = 0;
@@ -632,11 +723,8 @@ Result<CompactionResult> Table::CompactPartition(const std::string& partition,
     return Status::OK();
   };
   for (const DataFileMeta& file : small) {
-    SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(file.path));
-    result.bytes_rewritten += data.size();
-    SL_ASSIGN_OR_RETURN(format::LakeFileReader reader,
-                        format::LakeFileReader::Open(std::move(data)));
-    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, reader.ReadAll());
+    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, ReadDataFileRows(file));
+    result.bytes_rewritten += file.file_bytes;
     for (format::Row& row : rows) {
       // Compaction physically applies outstanding merge-on-read deletes.
       if (RowMasked(prior_deletes, file.added_seq, info.schema, row)) {
@@ -761,6 +849,8 @@ Status Table::ExpireSnapshots(int64_t before_timestamp) {
     if (path.ends_with("/.dir")) continue;  // directory marker
     if (!referenced.count(path)) {
       SL_RETURN_NOT_OK(objects_->Delete(path));
+      // The file is physically gone; no snapshot can read it again.
+      if (block_cache_ != nullptr) block_cache_->InvalidateFile(path);
     }
   }
   return Status::OK();

@@ -13,7 +13,13 @@
 #include "storage/object_store.h"
 #include "table/metadata_store.h"
 
+namespace streamlake {
+class ThreadPool;
+}  // namespace streamlake
+
 namespace streamlake::table {
+
+class DecodedBlockCache;
 
 /// How DELETE is executed (Section VI-A discusses the query cost of
 /// "merge-on-read tables").
@@ -80,9 +86,13 @@ struct CompactionResult {
 /// Conflict when a commit after their base touched the same partitions.
 class Table {
  public:
+  /// `scan_pool` (optional) parallelizes Select across data files;
+  /// `block_cache` (optional) serves repeat reads of decoded row groups.
+  /// Both are shared across tables and owned by the core facade.
   Table(std::string name, MetadataStore* meta, storage::ObjectStore* objects,
         sim::SimClock* clock, sim::NetworkModel* compute_link,
-        TableOptions options);
+        TableOptions options, ThreadPool* scan_pool = nullptr,
+        DecodedBlockCache* block_cache = nullptr);
 
   const std::string& name() const { return name_; }
 
@@ -179,12 +189,29 @@ class Table {
                                    const std::string& set_column,
                                    const format::Value* set_value);
 
+  /// One Select scan job: open/decode/execute a single pruned-in file into
+  /// the job's private `executor` + `m`. Runs on the scan pool (or inline
+  /// when there is none); holds no table lock across the simulated device
+  /// I/O except the brief access-counter bump.
+  Status ScanOneFile(const TableInfo& info, const query::QuerySpec& spec,
+                     const SelectOptions& options,
+                     const std::vector<DeleteRecord>& delete_records,
+                     const DataFileMeta& file, uint64_t metadata_memory,
+                     query::Executor* executor, SelectMetrics* m);
+
+  /// Every row of one data file, through the block cache when attached —
+  /// the shared read helper of the delete-count / rewrite / compaction
+  /// full-file scans.
+  Result<std::vector<format::Row>> ReadDataFileRows(const DataFileMeta& file);
+
   const std::string name_;
   MetadataStore* meta_;
   storage::ObjectStore* objects_;
   sim::SimClock* clock_;
   sim::NetworkModel* compute_link_;
   TableOptions options_;
+  ThreadPool* scan_pool_;           // may be nullptr: Select scans serially
+  DecodedBlockCache* block_cache_;  // may be nullptr: reads are uncached
   // Serializes the optimistic-commit protocol (validate + publish); the
   // committed state itself lives in the metadata store.
   Mutex commit_mu_{LockRank::kTableCommit, "table.commit"};

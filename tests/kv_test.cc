@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <thread>
 
 #include "common/random.h"
@@ -107,6 +108,39 @@ TEST(KvStoreTest, ScanOrderedRange) {
 
   auto limited = store.Scan("", "", 2);
   EXPECT_EQ(limited.size(), 2u);
+}
+
+TEST(KvStoreTest, ScanLimitAcrossManyStripes) {
+  // A small limit over many striped keys must return exactly the
+  // first-`limit` keys in global order — the merge buffer is pruned to
+  // O(limit) between stripes, which must never drop a key that belongs
+  // in the answer.
+  KvStore store;
+  constexpr int kKeys = 500;
+  for (int i = 0; i < kKeys; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(store.Put(key, std::to_string(i)).ok());
+  }
+  Snapshot snap = store.GetSnapshot();
+  // More keys after the snapshot: they must stay invisible to it.
+  ASSERT_TRUE(store.Put("k0000a", "late").ok());
+
+  for (size_t limit : {1u, 7u, 64u, 499u}) {
+    auto rows = store.Scan("", "", snap, limit);
+    ASSERT_EQ(rows.size(), limit);
+    for (size_t i = 0; i < limit; ++i) {
+      char want[16];
+      std::snprintf(want, sizeof(want), "k%04zu", i);
+      EXPECT_EQ(rows[i].first, want) << "limit " << limit;
+      EXPECT_EQ(rows[i].second, std::to_string(i));
+    }
+  }
+  // Limit larger than the live set returns everything, still ordered.
+  auto all = store.Scan("", "", snap, 10000);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kKeys));
+  EXPECT_EQ(all.front().first, "k0000");
+  EXPECT_EQ(all.back().first, "k0499");
 }
 
 TEST(KvStoreTest, ScanWithSnapshot) {

@@ -266,7 +266,16 @@ TEST(LockOrderGraphTest, EndToEndWorkloadsObserveAcyclicGraph) {
     query::QuerySpec spec;
     spec.group_by = {"province"};
     spec.aggregates = {query::AggregateSpec::CountStar("c")};
+    // Twice: the cold run exercises the scan-pool fan-out (barrier +
+    // block-cache fill edges), the warm run the cache-hit path.
     ASSERT_TRUE((*table)->Select(spec).ok());
+    ASSERT_TRUE((*table)->Select(spec).ok());
+    // Compaction invalidates decoded blocks under the commit lock —
+    // the commit_mu -> block_cache edge must point down-rank.
+    auto files = (*table)->LiveFiles();
+    ASSERT_TRUE(files.ok());
+    ASSERT_FALSE(files->empty());
+    ASSERT_TRUE((*table)->CompactPartition(files->front().partition).ok());
 
     lake.clock().Advance(3600 * sim::kSecond);
     ASSERT_TRUE(lake.RunBackgroundWork().ok());

@@ -1,0 +1,423 @@
+// Parallel read path: the fan-out Select must return byte-identical
+// results to the serial path, and the decoded-block cache must serve
+// repeat and time-travel reads while commits, compaction, snapshot GC,
+// and PLog migration invalidate exactly the entries they obsolete.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/streamlake.h"
+#include "table/block_cache.h"
+#include "table/lakehouse.h"
+
+namespace streamlake::table {
+namespace {
+
+format::Schema DpiSchema() {
+  return format::Schema{{"url", format::DataType::kString},
+                        {"start_time", format::DataType::kInt64},
+                        {"province", format::DataType::kString},
+                        {"bytes", format::DataType::kInt64}};
+}
+
+format::Row DpiRow(const std::string& url, int64_t t,
+                   const std::string& province, int64_t bytes = 100) {
+  format::Row row;
+  row.fields = {format::Value(url), format::Value(t), format::Value(province),
+                format::Value(bytes)};
+  return row;
+}
+
+// Small files (64 rows, 32-row groups) so a modest insert spreads over
+// many files and row groups — the shapes the fan-out and cache act on.
+struct ScanFixture {
+  sim::SimClock clock;
+  storage::StoragePool pool{"ssd", sim::MediaType::kNvmeSsd, &clock};
+  sim::NetworkModel compute_link{sim::NetworkProfile::Rdma(), &clock};
+  kv::KvStore object_index;
+  kv::KvStore meta_cache;
+  std::unique_ptr<ThreadPool> scan_pool;
+  std::unique_ptr<DecodedBlockCache> cache;
+  std::unique_ptr<storage::PlogStore> plogs;
+  std::unique_ptr<storage::ObjectStore> objects;
+  std::unique_ptr<MetadataStore> meta;
+  std::unique_ptr<LakehouseService> lakehouse;
+
+  explicit ScanFixture(int scan_threads, uint64_t cache_bytes,
+                       DeleteMode delete_mode = DeleteMode::kCopyOnWrite) {
+    pool.AddCluster(3, 2, 512 << 20);
+    storage::PlogStoreConfig config;
+    config.num_shards = 16;
+    config.plog.capacity = 32 << 20;
+    config.plog.stripe_unit = 4096;
+    config.plog.redundancy = storage::RedundancyConfig::Replication(3);
+    plogs = std::make_unique<storage::PlogStore>(&pool, config, &clock);
+    objects = std::make_unique<storage::ObjectStore>(plogs.get(),
+                                                     &object_index);
+    meta = std::make_unique<MetadataStore>(objects.get(), &meta_cache,
+                                           MetadataMode::kAccelerated);
+    if (scan_threads > 0) {
+      scan_pool = std::make_unique<ThreadPool>(scan_threads, "test.scan");
+    }
+    if (cache_bytes > 0) {
+      cache = std::make_unique<DecodedBlockCache>(cache_bytes);
+    }
+    TableOptions options;
+    options.max_rows_per_file = 64;
+    options.file_options.rows_per_group = 32;
+    options.delete_mode = delete_mode;
+    lakehouse = std::make_unique<LakehouseService>(
+        meta.get(), objects.get(), &clock, &compute_link, options,
+        scan_pool.get(), cache.get());
+  }
+
+  Table* CreateAndFill(int rows_per_province = 256) {
+    auto table = lakehouse->CreateTable("dpi", DpiSchema(),
+                                        PartitionSpec::Identity("province"));
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    std::vector<format::Row> rows;
+    for (const char* province : {"beijing", "hubei", "guangdong"}) {
+      for (int i = 0; i < rows_per_province; ++i) {
+        rows.push_back(DpiRow("http://site/" + std::to_string(i % 5), i,
+                              province, 10 + i % 90));
+      }
+    }
+    EXPECT_TRUE((*table)->Insert(rows).ok());
+    return *table;
+  }
+};
+
+std::vector<query::QuerySpec> ProbeQueries() {
+  std::vector<query::QuerySpec> specs;
+  {  // Grouped aggregates across every file.
+    query::QuerySpec spec;
+    spec.group_by = {"province"};
+    spec.aggregates = {query::AggregateSpec::CountStar("c"),
+                       query::AggregateSpec::Sum("bytes", "s"),
+                       query::AggregateSpec::Min("start_time", "lo"),
+                       query::AggregateSpec::Max("start_time", "hi"),
+                       query::AggregateSpec::Avg("bytes", "avg")};
+    spec.order_by = "province";
+    specs.push_back(spec);
+  }
+  {  // Plain projection with ORDER BY + LIMIT over a filter.
+    query::QuerySpec spec;
+    spec.where.Add(query::Predicate::Lt("start_time", int64_t{40}));
+    spec.projection = {"province", "start_time", "bytes"};
+    spec.order_by = "start_time";
+    spec.limit = 50;
+    specs.push_back(spec);
+  }
+  {  // Global aggregate, no grouping, with a partition-pruning filter.
+    query::QuerySpec spec;
+    spec.where.Add(query::Predicate::Eq("province", format::Value(std::string("hubei"))));
+    spec.aggregates = {query::AggregateSpec::CountStar("c")};
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+TEST(ScanParallelTest, ParallelSelectMatchesSerialByteIdentical) {
+  ScanFixture serial(/*scan_threads=*/0, /*cache_bytes=*/0);
+  ScanFixture parallel(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  Table* st = serial.CreateAndFill();
+  Table* pt = parallel.CreateAndFill();
+
+  for (const query::QuerySpec& spec : ProbeQueries()) {
+    auto expect = st->Select(spec);
+    ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+    // Twice: once cold (populating the cache), once warm (served from it).
+    for (int round = 0; round < 2; ++round) {
+      auto got = pt->Select(spec);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->column_names, expect->column_names);
+      EXPECT_EQ(got->rows, expect->rows) << "round " << round;
+      EXPECT_EQ(got->rows_scanned, expect->rows_scanned);
+      EXPECT_EQ(got->rows_matched, expect->rows_matched);
+    }
+  }
+}
+
+TEST(ScanParallelTest, RepeatSelectIsServedFromCache) {
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  Table* table = f.CreateAndFill();
+  query::QuerySpec spec = ProbeQueries()[0];
+
+  SelectMetrics cold, warm;
+  auto first = table->Select(spec, {}, &cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(cold.data_bytes_read, 0u);
+
+  auto second = table->Select(spec, {}, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(warm.data_bytes_read, 0u)
+      << "repeat query should not touch storage";
+  EXPECT_EQ(second->rows, first->rows);
+
+  DecodedBlockCache::Stats stats = f.cache->GetStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.bytes_cached, 0u);
+  // Same fan-out both times: the cache changes I/O, never the plan.
+  EXPECT_EQ(warm.files_scanned, cold.files_scanned);
+  EXPECT_EQ(warm.row_groups_scanned, cold.row_groups_scanned);
+}
+
+TEST(ScanParallelTest, CommitInvalidatesRewrittenFiles) {
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  Table* table = f.CreateAndFill();
+  query::QuerySpec spec = ProbeQueries()[0];
+  ASSERT_TRUE(table->Select(spec).ok());  // populate
+
+  auto before = table->LiveFiles();
+  ASSERT_TRUE(before.ok());
+  for (const DataFileMeta& file : *before) {
+    EXPECT_TRUE(f.cache->ContainsFile(file.path));
+  }
+
+  // UPDATE rewrites every touched file; the commit must drop the replaced
+  // files' cache entries.
+  auto updated = table->Update(
+      query::Conjunction{query::Predicate::Eq("province", format::Value(std::string("hubei")))}, "bytes",
+      format::Value(int64_t{7}));
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  ASSERT_GT(*updated, 0u);
+
+  auto after = table->LiveFiles();
+  ASSERT_TRUE(after.ok());
+  std::set<std::string> live;
+  for (const DataFileMeta& file : *after) live.insert(file.path);
+  for (const DataFileMeta& file : *before) {
+    if (!live.count(file.path)) {
+      EXPECT_FALSE(f.cache->ContainsFile(file.path))
+          << "replaced file still cached: " << file.path;
+    }
+  }
+  EXPECT_GT(f.cache->GetStats().invalidated_entries, 0u);
+
+  // The post-commit query sees the new values (served correctly even with
+  // the surviving files' entries still cached).
+  query::QuerySpec check;
+  check.where.Add(query::Predicate::Eq("province", format::Value(std::string("hubei"))));
+  check.where.Add(query::Predicate::Eq("bytes", int64_t{7}));
+  check.aggregates = {query::AggregateSpec::CountStar("c")};
+  auto result = table->Select(check);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<int64_t>(result->rows[0].fields[0]),
+            static_cast<int64_t>(*updated));
+}
+
+TEST(ScanParallelTest, CompactionInvalidatesMergedFiles) {
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  auto table = f.lakehouse->CreateTable("dpi", DpiSchema(),
+                                        PartitionSpec::Identity("province"));
+  ASSERT_TRUE(table.ok());
+  // Many small inserts -> many small files in one partition.
+  for (int batch = 0; batch < 6; ++batch) {
+    std::vector<format::Row> rows;
+    for (int i = 0; i < 8; ++i) {
+      rows.push_back(DpiRow("http://a", batch * 8 + i, "beijing"));
+    }
+    ASSERT_TRUE((*table)->Insert(rows).ok());
+  }
+  query::QuerySpec spec;
+  spec.aggregates = {query::AggregateSpec::CountStar("c")};
+  auto before = (*table)->Select(spec);
+  ASSERT_TRUE(before.ok());
+
+  auto files = (*table)->LiveFiles();
+  ASSERT_TRUE(files.ok());
+  auto compacted = (*table)->CompactPartition("beijing");
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  ASSERT_LT(compacted->files_after, compacted->files_before);
+  for (const DataFileMeta& file : *files) {
+    EXPECT_FALSE(f.cache->ContainsFile(file.path))
+        << "merged-away file still cached: " << file.path;
+  }
+
+  auto after = (*table)->Select(spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows, before->rows);
+}
+
+TEST(ScanParallelTest, TimeTravelSharesTheCacheSafely) {
+  // Merge-on-read deletes: cached rows are pre-masking, so the head query
+  // (masked) and the time-travel query (unmasked) can both hit the same
+  // entries and still disagree exactly where they should.
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20,
+                DeleteMode::kMergeOnRead);
+  Table* table = f.CreateAndFill();
+  auto info = table->Info();
+  ASSERT_TRUE(info.ok());
+  uint64_t snap_before_delete = info->current_snapshot_id;
+
+  auto deleted = table->Delete(
+      query::Conjunction{query::Predicate::Lt("start_time", int64_t{100})});
+  ASSERT_TRUE(deleted.ok());
+  ASSERT_GT(*deleted, 0u);
+
+  query::QuerySpec spec;
+  spec.group_by = {"province"};
+  spec.aggregates = {query::AggregateSpec::CountStar("c")};
+  spec.order_by = "province";
+
+  SelectOptions head;
+  SelectOptions travel;
+  travel.snapshot_id = snap_before_delete;
+  // Two rounds: the second is served from entries the first (and the
+  // other view) populated.
+  query::QueryResult head_first, travel_first;
+  for (int round = 0; round < 2; ++round) {
+    auto masked = table->Select(spec, head);
+    ASSERT_TRUE(masked.ok());
+    auto unmasked = table->Select(spec, travel);
+    ASSERT_TRUE(unmasked.ok());
+    for (size_t r = 0; r < masked->rows.size(); ++r) {
+      EXPECT_EQ(std::get<int64_t>(masked->rows[r].fields[1]), 156)
+          << "head must mask the 100 deleted rows per province";
+      EXPECT_EQ(std::get<int64_t>(unmasked->rows[r].fields[1]), 256)
+          << "time travel must see the pre-delete rows";
+    }
+    if (round == 0) {
+      head_first = *masked;
+      travel_first = *unmasked;
+    } else {
+      EXPECT_EQ(masked->rows, head_first.rows);
+      EXPECT_EQ(unmasked->rows, travel_first.rows);
+    }
+  }
+  EXPECT_GT(f.cache->GetStats().hits, 0u);
+}
+
+TEST(ScanParallelTest, SnapshotExpiryInvalidatesCollectedFiles) {
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  Table* table = f.CreateAndFill(/*rows_per_province=*/64);
+  query::QuerySpec spec = ProbeQueries()[0];
+  ASSERT_TRUE(table->Select(spec).ok());
+  auto old_files = table->LiveFiles();
+  ASSERT_TRUE(old_files.ok());
+
+  f.clock.Advance(100 * sim::kSecond);
+  auto updated = table->Update(query::Conjunction{}, "bytes",
+                               format::Value(int64_t{1}));
+  ASSERT_TRUE(updated.ok());
+  // Re-populate cache entries for the old files via a time-travel read.
+  SelectOptions travel;
+  travel.as_of_timestamp = 0;
+  ASSERT_TRUE(table->Select(spec, travel).ok());
+
+  // Expiring the pre-update snapshot physically deletes the replaced
+  // files; their cache entries must go too.
+  ASSERT_TRUE(
+      table->ExpireSnapshots(static_cast<int64_t>(f.clock.NowSeconds())).ok());
+  for (const DataFileMeta& file : *old_files) {
+    EXPECT_FALSE(f.cache->ContainsFile(file.path))
+        << "expired file still cached: " << file.path;
+  }
+  // Head reads still work.
+  ASSERT_TRUE(table->Select(spec).ok());
+}
+
+TEST(ScanParallelTest, CacheEvictsUnderByteBudget) {
+  // A cache too small for the table must evict rather than grow.
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/16 << 10);
+  Table* table = f.CreateAndFill();
+  query::QuerySpec spec = ProbeQueries()[0];
+  auto first = table->Select(spec);
+  ASSERT_TRUE(first.ok());
+  auto second = table->Select(spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rows, first->rows);
+  DecodedBlockCache::Stats stats = f.cache->GetStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_cached, 16u << 10);
+}
+
+TEST(ScanParallelTest, PlogMigrationInvalidatesWholeCache) {
+  core::StreamLakeOptions options;  // default tiering: cold after 1h
+  core::StreamLake lake(options);
+  ASSERT_NE(lake.block_cache(), nullptr);
+  auto table = lake.lakehouse().CreateTable(
+      "dpi", DpiSchema(), PartitionSpec::Identity("province"));
+  ASSERT_TRUE(table.ok());
+  std::vector<format::Row> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back(DpiRow("http://a", i, i % 2 ? "beijing" : "hubei"));
+  }
+  ASSERT_TRUE((*table)->Insert(rows).ok());
+
+  query::QuerySpec spec;
+  spec.group_by = {"province"};
+  spec.aggregates = {query::AggregateSpec::CountStar("c")};
+  spec.order_by = "province";
+  auto before = (*table)->Select(spec);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(lake.block_cache()->GetStats().entries, 0u);
+
+  // Everything goes cold; tiering seals + migrates the data PLogs, which
+  // must flush the decoded blocks wholesale.
+  lake.clock().Advance(2 * 3600 * sim::kSecond);
+  ASSERT_TRUE(lake.RunBackgroundWork().ok());
+  EXPECT_EQ(lake.block_cache()->GetStats().entries, 0u);
+
+  // Reads repopulate from the cold tier and still agree.
+  auto after = (*table)->Select(spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows, before->rows);
+  EXPECT_GT(lake.block_cache()->GetStats().entries, 0u);
+}
+
+TEST(ScanParallelTest, DropTableHardPurgesCacheEntries) {
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  Table* table = f.CreateAndFill(/*rows_per_province=*/64);
+  ASSERT_TRUE(table->Select(ProbeQueries()[0]).ok());
+  auto files = table->LiveFiles();
+  ASSERT_TRUE(files.ok());
+  ASSERT_TRUE(f.lakehouse->DropTableHard("dpi").ok());
+  for (const DataFileMeta& file : *files) {
+    EXPECT_FALSE(f.cache->ContainsFile(file.path));
+  }
+}
+
+TEST(ScanParallelTest, PoolWithoutCacheAndCacheWithoutPool) {
+  // The two features are independent; each must work alone.
+  ScanFixture pool_only(/*scan_threads=*/4, /*cache_bytes=*/0);
+  ScanFixture cache_only(/*scan_threads=*/0, /*cache_bytes=*/64ULL << 20);
+  ScanFixture neither(/*scan_threads=*/0, /*cache_bytes=*/0);
+  Table* a = pool_only.CreateAndFill();
+  Table* b = cache_only.CreateAndFill();
+  Table* c = neither.CreateAndFill();
+  for (const query::QuerySpec& spec : ProbeQueries()) {
+    auto ra = a->Select(spec);
+    auto rb = b->Select(spec);
+    auto rc = c->Select(spec);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    ASSERT_TRUE(rc.ok());
+    EXPECT_EQ(ra->rows, rc->rows);
+    EXPECT_EQ(rb->rows, rc->rows);
+  }
+  SelectMetrics warm;
+  ASSERT_TRUE(b->Select(ProbeQueries()[0], {}, &warm).ok());
+  EXPECT_EQ(warm.data_bytes_read, 0u);
+}
+
+TEST(ScanParallelTest, OutOfMemoryStillFailsWithPoolAndCache) {
+  ScanFixture f(/*scan_threads=*/4, /*cache_bytes=*/64ULL << 20);
+  Table* table = f.CreateAndFill();
+  query::QuerySpec spec;
+  spec.aggregates = {query::AggregateSpec::CountStar("c")};
+  SelectOptions options;
+  options.pushdown = false;
+  options.memory_budget_bytes = 1;  // nothing fits
+  auto result = table->Select(spec, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace streamlake::table

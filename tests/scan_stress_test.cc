@@ -1,0 +1,145 @@
+// Read-path stress: concurrent fan-out Selects race Insert commits,
+// compaction, and block-cache invalidation on one table. Designed for
+// the TSan preset (cmake --preset tsan); carries the `stress` ctest
+// label. A deliberately tiny cache keeps eviction churning under the
+// same contention. Also asserts the lock-order graph observed under
+// scan-pool + commit + invalidation traffic stays acyclic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/threadpool.h"
+#include "table/block_cache.h"
+#include "table/lakehouse.h"
+
+namespace streamlake::table {
+namespace {
+
+format::Schema DpiSchema() {
+  return format::Schema{{"url", format::DataType::kString},
+                        {"start_time", format::DataType::kInt64},
+                        {"province", format::DataType::kString},
+                        {"bytes", format::DataType::kInt64}};
+}
+
+TEST(ScanStressTest, ConcurrentSelectsRaceCommitsAndCompaction) {
+  sim::SimClock clock;
+  storage::StoragePool pool{"ssd", sim::MediaType::kNvmeSsd, &clock};
+  pool.AddCluster(3, 2, 512 << 20);
+  sim::NetworkModel compute_link{sim::NetworkProfile::Rdma(), &clock};
+  kv::KvStore object_index;
+  kv::KvStore meta_cache;
+  storage::PlogStoreConfig config;
+  config.num_shards = 16;
+  config.plog.capacity = 32 << 20;
+  config.plog.stripe_unit = 4096;
+  config.plog.redundancy = storage::RedundancyConfig::Replication(3);
+  storage::PlogStore plogs(&pool, config, &clock);
+  storage::ObjectStore objects(&plogs, &object_index);
+  MetadataStore meta(&objects, &meta_cache, MetadataMode::kAccelerated);
+  ThreadPool scan_pool(4, "stress.scan");
+  // Small enough that the working set does not fit: readers race
+  // eviction as well as invalidation.
+  DecodedBlockCache cache(64 << 10);
+  TableOptions options;
+  options.max_rows_per_file = 32;
+  options.file_options.rows_per_group = 16;
+  LakehouseService lakehouse(&meta, &objects, &clock, &compute_link, options,
+                             &scan_pool, &cache);
+  auto created = lakehouse.CreateTable("dpi", DpiSchema(),
+                                       PartitionSpec::Identity("province"));
+  ASSERT_TRUE(created.ok());
+  Table* table = *created;
+
+  constexpr int kInitialRows = 96;
+  constexpr int kWriterBatches = 20;
+  constexpr int kRowsPerBatch = 32;
+  auto make_rows = [](int base, int count) {
+    std::vector<format::Row> rows;
+    rows.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      format::Row row;
+      row.fields = {format::Value("http://a/" + std::to_string(base + i)),
+                    format::Value(int64_t{base + i}),
+                    format::Value(std::string((base + i) % 2 ? "beijing"
+                                                             : "hubei")),
+                    format::Value(int64_t{64})};
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  };
+  ASSERT_TRUE(table->Insert(make_rows(0, kInitialRows)).ok());
+
+  query::QuerySpec spec;
+  spec.aggregates = {query::AggregateSpec::CountStar("c")};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+
+  // Readers: COUNT(*) must always succeed and always land between the
+  // initial and final row counts — every Select sees some committed
+  // snapshot, never a torn one, even while the cache churns.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto result = table->Select(spec);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        int64_t count = std::get<int64_t>(result->rows[0].fields[0]);
+        EXPECT_GE(count, kInitialRows);
+        EXPECT_LE(count, kInitialRows + kWriterBatches * kRowsPerBatch);
+        EXPECT_EQ(count % kRowsPerBatch, 0);
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: append batches, occasionally compacting a partition.
+  // Compaction may hit Conflict against its own later inserts under an
+  // unlucky interleave — tolerated; Selects must still never fail.
+  std::thread writer([&] {
+    for (int b = 0; b < kWriterBatches; ++b) {
+      ASSERT_TRUE(
+          table->Insert(make_rows(kInitialRows + b * kRowsPerBatch,
+                                  kRowsPerBatch))
+              .ok());
+      if (b % 5 == 4) {
+        auto compacted =
+            table->CompactPartition(b % 2 ? "beijing" : "hubei");
+        if (!compacted.ok()) {
+          EXPECT_TRUE(compacted.status().IsConflict())
+              << compacted.status().ToString();
+        }
+      }
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
+
+  // Final count reflects every batch.
+  auto final_count = table->Select(spec);
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(std::get<int64_t>(final_count->rows[0].fields[0]),
+            kInitialRows + kWriterBatches * kRowsPerBatch);
+
+  DecodedBlockCache::Stats stats = cache.GetStats();
+  EXPECT_LE(stats.bytes_cached, 64u << 10);
+
+#if SL_LOCK_ORDER_CHECK
+  std::string cycle;
+  EXPECT_TRUE(lock_order::GraphIsAcyclic(&cycle)) << cycle;
+#endif
+}
+
+}  // namespace
+}  // namespace streamlake::table
