@@ -3,10 +3,12 @@
 # sanitizer tiers. Mirrors what CI runs; any failure fails the script, and a
 # per-tier summary prints at the end either way.
 #
-# Usage: scripts/check.sh [--fast] [--no-tidy]
-#   --fast      lint + tidy + tier-1 only (skip the sanitizer builds)
+# Usage: scripts/check.sh [--fast] [--no-tidy] [--no-slint]
+#   --fast      lint + tidy + slint + tier-1 only (skip the sanitizer builds)
 #   --no-tidy   skip clang-tidy (without this flag a missing clang-tidy
 #               binary is an error, not a silent skip)
+#   --no-slint  skip the whole-program static lock analyzer (tools/slint);
+#               escape hatch for iterating on code the analyzer flags
 
 set -uo pipefail
 cd "$(dirname "$0")/.."
@@ -14,11 +16,14 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 fast=0
 tidy=1
+slint=1
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
     --no-tidy) tidy=0 ;;
-    *) echo "usage: scripts/check.sh [--fast] [--no-tidy]" >&2; exit 2 ;;
+    --no-slint) slint=0 ;;
+    *) echo "usage: scripts/check.sh [--fast] [--no-tidy] [--no-slint]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -62,6 +67,13 @@ run_tier() {
 
 run_step lint python3 tools/lint.py
 run_step lint-selftest python3 tools/lint_test.py
+
+if [[ "$slint" == 1 ]]; then
+  run_step slint python3 tools/slint
+  run_step slint-selftest python3 tools/slint_test.py
+else
+  summary+=("SKIP  slint (--no-slint)")
+fi
 
 if [[ "$tidy" == 1 ]]; then
   if ! command -v clang-tidy >/dev/null 2>&1; then

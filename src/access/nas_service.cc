@@ -10,8 +10,12 @@ Status NasService::MakeDirectory(const std::string& token,
                                       Permission::kWrite));
   std::string marker = NasPath(path) + "/.dir";
   if (objects_->Exists(marker)) return Status::AlreadyExists(path);
-  MutexLock lock(&mu_);
-  mtimes_[NasPath(path)] = static_cast<int64_t>(clock_->NowSeconds());
+  {
+    MutexLock lock(&mu_);
+    mtimes_[NasPath(path)] = static_cast<int64_t>(clock_->NowSeconds());
+  }
+  // The marker write goes to the object store's device path; keep the
+  // handle-table lock out of that I/O.
   return objects_->Write(marker, ByteView());
 }
 
@@ -63,17 +67,22 @@ Status NasService::WriteAt(uint64_t handle, uint64_t offset, ByteView data) {
 }
 
 Status NasService::Close(uint64_t handle) {
-  MutexLock lock(&mu_);
-  auto it = handles_.find(handle);
-  if (it == handles_.end()) return Status::InvalidArgument("stale handle");
-  Status status = Status::OK();
-  if (it->second.dirty) {
-    status = objects_->Write(it->second.path, ByteView(it->second.contents));
-    if (status.ok()) {
-      mtimes_[it->second.path] = static_cast<int64_t>(clock_->NowSeconds());
-    }
+  // Detach the file under the lock, flush outside it: the write-back is
+  // device I/O and must not park every other NAS operation on mu_.
+  OpenFile file;
+  {
+    MutexLock lock(&mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) return Status::InvalidArgument("stale handle");
+    file = std::move(it->second);
+    handles_.erase(it);
   }
-  handles_.erase(it);
+  if (!file.dirty) return Status::OK();
+  Status status = objects_->Write(file.path, ByteView(file.contents));
+  if (status.ok()) {
+    MutexLock lock(&mu_);
+    mtimes_[file.path] = static_cast<int64_t>(clock_->NowSeconds());
+  }
   return status;
 }
 

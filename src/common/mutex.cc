@@ -218,6 +218,30 @@ void ResetGraphForTest() {
 
 size_t HeldByCurrentThread() { return t_held.size(); }
 
+namespace {
+
+// Registers the STREAMLAKE_LOCK_GRAPH_DOT at-exit dump. A namespace-scope
+// initializer (not GlobalGraph's) so the dump happens even in runs that
+// never record an edge: an empty-but-present DOT distinguishes "nothing
+// observed" from "hook never ran".
+struct LockGraphDumpRegistrar {
+  LockGraphDumpRegistrar() {
+    if (std::getenv("STREAMLAKE_LOCK_GRAPH_DOT") != nullptr) {
+      std::atexit(+[] {
+        const char* path = std::getenv("STREAMLAKE_LOCK_GRAPH_DOT");
+        if (path != nullptr && !WriteDot(path)) {
+          std::fprintf(stderr,
+                       "streamlake: failed to write lock graph to %s\n",
+                       path);
+        }
+      });
+    }
+  }
+};
+LockGraphDumpRegistrar lock_graph_dump_registrar;
+
+}  // namespace
+
 #else  // !SL_LOCK_ORDER_CHECK
 
 std::vector<LockOrderEdge> GraphEdges() { return {}; }
@@ -229,6 +253,31 @@ void ResetGraphForTest() {}
 size_t HeldByCurrentThread() { return 0; }
 
 #endif  // SL_LOCK_ORDER_CHECK
+
+// Shared between checking and release builds: in release GraphEdges() is
+// empty and the file holds just the digraph shell.
+bool WriteDot(const std::string& path) {
+  std::vector<LockOrderEdge> edges = GraphEdges();
+  // std::map gives the stable (sorted) node/edge ordering the DOT contract
+  // promises; GraphEdges() already returns edges in (from, to) order.
+  std::map<std::string, LockRank> nodes;
+  for (const LockOrderEdge& e : edges) {
+    nodes.emplace(e.from, e.from_rank);
+    nodes.emplace(e.to, e.to_rank);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "digraph lock_order {\n");
+  for (const auto& [name, rank] : nodes) {
+    std::fprintf(f, "  \"%s\" [lockrank=%u];\n", name.c_str(),
+                 static_cast<unsigned>(rank));
+  }
+  for (const LockOrderEdge& e : edges) {
+    std::fprintf(f, "  \"%s\" -> \"%s\";\n", e.from.c_str(), e.to.c_str());
+  }
+  std::fprintf(f, "}\n");
+  return std::fclose(f) == 0;
+}
 
 }  // namespace lock_order
 }  // namespace streamlake

@@ -199,6 +199,17 @@ bool GraphIsAcyclic(std::string* cycle_out = nullptr);
 /// Clears the observed graph (tests only).
 void ResetGraphForTest();
 
+/// Writes the observed graph to `path` in the DOT dialect shared with the
+/// static analyzer (tools/slint): one `"name" [lockrank=N];` line per node
+/// and one `"from" -> "to";` line per edge, both sorted, so diffs and
+/// subset checks are stable. Returns false if the file cannot be written.
+/// When checking is compiled out the graph (and the file) is empty.
+///
+/// Test binaries also dump this automatically at process exit when the
+/// STREAMLAKE_LOCK_GRAPH_DOT environment variable names a path — the hook
+/// feeding `slint --check-observed` (check S4: observed ⊆ static).
+bool WriteDot(const std::string& path);
+
 /// Number of locks the calling thread currently holds (0 when checking is
 /// compiled out).
 size_t HeldByCurrentThread();

@@ -124,8 +124,14 @@ class Plog {
   uint64_t live_bytes() const;
 
   uint64_t created_at_ns() const { return created_at_ns_; }
-  uint64_t last_append_ns() const { return last_append_ns_; }
-  void set_last_append_ns(uint64_t ns) { last_append_ns_ = ns; }
+  uint64_t last_append_ns() const {
+    MutexLock lock(&mu_);
+    return last_append_ns_;
+  }
+  void set_last_append_ns(uint64_t ns) {
+    MutexLock lock(&mu_);
+    last_append_ns_ = ns;
+  }
 
   /// Release all extents back to the pool. The PLog is unusable afterwards.
   Status Free();

@@ -637,15 +637,22 @@ StreamObject* StreamObjectManager::GetObject(uint64_t object_id) {
 }
 
 Status StreamObjectManager::DestroyObject(uint64_t object_id) {
-  MutexLock lock(&mu_);
-  auto it = objects_.find(object_id);
-  if (it == objects_.end()) {
-    return Status::NotFound("stream object " + std::to_string(object_id));
+  // Detach the object under the manager lock, destroy it outside:
+  // Destroy() waits for in-flight batch appends (a condition wait) and
+  // issues index deletes, and doing that under mu_ would park every other
+  // manager operation behind one object's drain.
+  std::unique_ptr<StreamObject> object;
+  {
+    MutexLock lock(&mu_);
+    auto it = objects_.find(object_id);
+    if (it == objects_.end()) {
+      return Status::NotFound("stream object " + std::to_string(object_id));
+    }
+    object = std::move(it->second);
+    objects_.erase(it);
   }
-  SL_RETURN_NOT_OK(it->second->Destroy());
-  SL_RETURN_NOT_OK(index_->Delete(ObjectMetaKey(object_id)));
-  objects_.erase(it);
-  return Status::OK();
+  SL_RETURN_NOT_OK(object->Destroy());
+  return index_->Delete(ObjectMetaKey(object_id));
 }
 
 size_t StreamObjectManager::num_objects() const {

@@ -49,8 +49,14 @@ class ScmSliceCache {
   void Put(uint64_t object_id, uint64_t slice_seq,
            std::vector<StreamRecord> records);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    MutexLock lock(&mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    MutexLock lock(&mu_);
+    return misses_;
+  }
 
  private:
   using Key = std::pair<uint64_t, uint64_t>;
@@ -62,7 +68,7 @@ class ScmSliceCache {
 
   sim::DeviceModel* pmem_;
   size_t capacity_;
-  Mutex mu_{LockRank::kScmSliceCache, "stream.scm_cache"};
+  mutable Mutex mu_{LockRank::kScmSliceCache, "stream.scm_cache"};
   std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recent
   std::map<Key, std::list<Entry>::iterator> index_ GUARDED_BY(mu_);
   uint64_t hits_ GUARDED_BY(mu_) = 0;

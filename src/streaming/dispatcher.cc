@@ -70,22 +70,31 @@ Status StreamDispatcher::CreateTopic(const std::string& topic,
 }
 
 Status StreamDispatcher::DeleteTopic(const std::string& topic) {
-  MutexLock lock(&mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return Status::NotFound("topic " + topic);
-  for (size_t i = 0; i < it->second.stream_object_ids.size(); ++i) {
-    uint64_t id = it->second.stream_object_ids[i];
-    auto assigned = stream_to_worker_.find(id);
-    if (assigned != stream_to_worker_.end()) {
-      workers_[assigned->second]->UnassignStream(id);
-      stream_to_worker_.erase(assigned);
+  // Detach the topic and unassign its streams under the lock; destroy the
+  // stream objects outside it — DestroyObject drains in-flight appends (a
+  // condition wait) and must not park every other dispatcher operation.
+  TopicState state;
+  {
+    MutexLock lock(&mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return Status::NotFound("topic " + topic);
+    state = std::move(it->second);
+    for (uint64_t id : state.stream_object_ids) {
+      auto assigned = stream_to_worker_.find(id);
+      if (assigned != stream_to_worker_.end()) {
+        workers_[assigned->second]->UnassignStream(id);
+        stream_to_worker_.erase(assigned);
+      }
     }
+    topics_.erase(it);
+  }
+  for (size_t i = 0; i < state.stream_object_ids.size(); ++i) {
+    uint64_t id = state.stream_object_ids[i];
     SL_RETURN_NOT_OK(objects_->DestroyObject(id));
     SL_RETURN_NOT_OK(meta_->Delete("assign/" + std::to_string(id)));
     SL_RETURN_NOT_OK(
         meta_->Delete("topic/" + topic + "/stream/" + std::to_string(i)));
   }
-  topics_.erase(it);
   SL_RETURN_NOT_OK(meta_->Delete("topic/" + topic + "/config"));
   return meta_->Delete("topic/" + topic + "/streams");
 }

@@ -6,8 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "access/access_control.h"
 #include "access/block_service.h"
@@ -219,9 +225,10 @@ TEST(LockOrderTest, NestedAcquisitionRecordsGraphEdge) {
 // the observed lock-order graph is a DAG and every edge points down-rank.
 // ---------------------------------------------------------------------------
 
-TEST(LockOrderGraphTest, EndToEndWorkloadsObserveAcyclicGraph) {
-  lock_order::ResetGraphForTest();
-
+// Shared by the acyclicity test and the observed-vs-static subset test:
+// both need the same representative coverage, reset the graph themselves,
+// and assert different properties of what was observed.
+void DriveEndToEndWorkloads() {
   {
     // Stream -> table reunion flow, the deepest lock chain in the system:
     // txn_manager -> dispatcher -> worker -> object manager -> stream
@@ -309,6 +316,11 @@ TEST(LockOrderGraphTest, EndToEndWorkloadsObserveAcyclicGraph) {
     ASSERT_TRUE(nas.WriteAt(*handle, 0, Bytes(4096, 'n')).ok());
     ASSERT_TRUE(nas.Close(*handle).ok());
   }
+}
+
+TEST(LockOrderGraphTest, EndToEndWorkloadsObserveAcyclicGraph) {
+  lock_order::ResetGraphForTest();
+  DriveEndToEndWorkloads();
 
   auto edges = lock_order::GraphEdges();
   EXPECT_FALSE(edges.empty())
@@ -328,6 +340,135 @@ TEST(LockOrderGraphTest, EndToEndWorkloadsObserveAcyclicGraph) {
   EXPECT_TRUE(lock_order::GraphIsAcyclic(&cycle)) << "cycle: " << cycle;
 }
 
+// ---------------------------------------------------------------------------
+// DOT export and the static/runtime cross-check (slint S4).
+// ---------------------------------------------------------------------------
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Pulls the quoted names out of one line of our DOT dialect: two names on
+// an edge line, one on a node line.
+std::vector<std::string> QuotedNames(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t open = line.find('"', pos);
+    if (open == std::string::npos) break;
+    size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) break;
+    out.push_back(line.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+TEST(LockOrderGraphTest, WriteDotEmitsStableParseableGraph) {
+  lock_order::ResetGraphForTest();
+  Mutex outer{LockRank::kLakehouse, "test.dot.outer"};
+  Mutex inner{LockRank::kKvStore, "test.dot.inner"};
+  {
+    MutexLock lo(&outer);
+    MutexLock li(&inner);
+  }
+  const std::string path = ::testing::TempDir() + "lock_graph_test.dot";
+  ASSERT_TRUE(lock_order::WriteDot(path));
+  const std::string text = ReadFileOrEmpty(path);
+  EXPECT_NE(text.find("digraph lock_order {"), std::string::npos) << text;
+  // Nodes carry the rank (kLakehouse=46, kKvStore=30), edges the pair.
+  EXPECT_NE(text.find("\"test.dot.outer\" [lockrank=46];"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"test.dot.inner\" [lockrank=30];"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"test.dot.outer\" -> \"test.dot.inner\";"),
+            std::string::npos)
+      << text;
+
+  // Stable ordering: a second dump of the same graph is byte-identical.
+  const std::string path2 = ::testing::TempDir() + "lock_graph_test2.dot";
+  ASSERT_TRUE(lock_order::WriteDot(path2));
+  EXPECT_EQ(text, ReadFileOrEmpty(path2));
+}
+
+// Records one test.hook.* edge, then exits so the atexit dump hook runs
+// (the scoped unlocks deliberately never do). A named function because
+// the brace-initializer commas would split EXPECT_EXIT's macro arguments.
+[[noreturn]] void AcquireHookEdgeAndExit() {
+  Mutex outer{LockRank::kLakehouse, "test.hook.outer"};
+  Mutex inner{LockRank::kKvStore, "test.hook.inner"};
+  MutexLock lo(&outer);
+  MutexLock li(&inner);
+  std::exit(0);
+}
+
+TEST_F(LockOrderDeathTest, ExitHookDumpsGraphWhenEnvSet) {
+  // The STREAMLAKE_LOCK_GRAPH_DOT registrar runs at static-init time, so
+  // it must be exercised in a child process that STARTS with the variable
+  // set; the threadsafe death-test re-execution provides exactly that.
+  const std::string path = ::testing::TempDir() + "lock_graph_exit_hook.dot";
+  std::remove(path.c_str());
+  ::setenv("STREAMLAKE_LOCK_GRAPH_DOT", path.c_str(), /*overwrite=*/1);
+  EXPECT_EXIT(AcquireHookEdgeAndExit(), ::testing::ExitedWithCode(0), "");
+  ::unsetenv("STREAMLAKE_LOCK_GRAPH_DOT");
+  const std::string text = ReadFileOrEmpty(path);
+  EXPECT_NE(text.find("\"test.hook.outer\" -> \"test.hook.inner\";"),
+            std::string::npos)
+      << "exit hook did not dump the observed graph; got: " << text;
+}
+
+// slint check S4, runtime side: every edge the runtime checker observes
+// between production locks must exist in the statically derived graph. If
+// this fails, the static analyzer failed to model a real acquisition path
+// (a parser gap) — fix tools/slint, do not weaken this test.
+TEST(LockOrderGraphTest, ObservedGraphIsSubgraphOfStatic) {
+  const char* static_path = std::getenv("STREAMLAKE_STATIC_LOCK_GRAPH");
+  if (static_path == nullptr) {
+    GTEST_SKIP() << "STREAMLAKE_STATIC_LOCK_GRAPH not set (ctest sets it "
+                    "to the slint-generated lock_graph.dot)";
+  }
+  const std::string text = ReadFileOrEmpty(static_path);
+  ASSERT_FALSE(text.empty()) << "unreadable static graph: " << static_path;
+
+  std::set<std::string> static_nodes;
+  std::set<std::pair<std::string, std::string>> static_edges;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto names = QuotedNames(line);
+    if (names.size() == 2 && line.find("->") != std::string::npos) {
+      static_edges.emplace(names[0], names[1]);
+    } else if (names.size() == 1) {
+      static_nodes.insert(names[0]);
+    }
+  }
+  ASSERT_FALSE(static_nodes.empty()) << "no nodes parsed from " << text;
+
+  lock_order::ResetGraphForTest();
+  DriveEndToEndWorkloads();
+
+  size_t checked = 0;
+  for (const auto& e : lock_order::GraphEdges()) {
+    // Locks constructed by tests (names "test.*") are outside the static
+    // universe; everything the analyzer knows appears as a node.
+    if (static_nodes.count(e.from) == 0 || static_nodes.count(e.to) == 0) {
+      continue;
+    }
+    ++checked;
+    EXPECT_TRUE(static_edges.count({e.from, e.to}) == 1)
+        << "observed edge missing from static graph: " << e.from << " -> "
+        << e.to;
+  }
+  EXPECT_GT(checked, 0u)
+      << "no observed edges fell inside the static universe; the subset "
+         "assertion is vacuous";
+}
+
 #else  // !SL_LOCK_ORDER_CHECK
 
 TEST(LockOrderTest, CheckingCompiledOut) {
@@ -342,6 +483,9 @@ TEST(LockOrderTest, CheckingCompiledOut) {
   std::string cycle = "unchanged?";
   EXPECT_TRUE(lock_order::GraphIsAcyclic(&cycle));
   EXPECT_TRUE(cycle.empty());
+  // WriteDot still works: it emits the (empty) digraph shell.
+  const std::string path = ::testing::TempDir() + "lock_graph_release.dot";
+  EXPECT_TRUE(lock_order::WriteDot(path));
 }
 
 #endif  // SL_LOCK_ORDER_CHECK

@@ -128,32 +128,48 @@ class RuleTest(unittest.TestCase):
                               "Mutex mu_;\n")
         self.assertFalse(any(": R4: " in e for e in errs), errs)
 
-    # R5 ------------------------------------------------------------------
+    # R5 (tests/bench/examples only; src/ is slint S2's job) --------------
+    TEST_CC = os.path.join("tests", "t.cc")
+
     def test_r5_sleep_under_lock(self):
         self.assert_rule(
             "R5",
             "void F() {\n  MutexLock lock(&mu_);\n"
-            "  std::this_thread::sleep_for(1ms);\n}\n")
+            "  std::this_thread::sleep_for(1ms);\n}\n",
+            path=self.TEST_CC)
 
     def test_r5_join_under_reader_lock(self):
         self.assert_rule(
             "R5",
-            "void F() {\n  ReaderMutexLock lock(&mu_);\n  t.join();\n}\n")
+            "void F() {\n  ReaderMutexLock lock(&mu_);\n  t.join();\n}\n",
+            path=self.TEST_CC)
 
     def test_r5_argless_wait_under_lock(self):
         self.assert_rule(
             "R5",
-            "void F() {\n  WriterMutexLock lock(&mu_);\n  pool->Wait();\n}\n")
+            "void F() {\n  WriterMutexLock lock(&mu_);\n  pool->Wait();\n}\n",
+            path=self.TEST_CC)
 
     def test_r5_condvar_wait_with_mutex_arg_is_exempt(self):
         self.assert_clean(
             "void F() {\n  MutexLock lock(&mu_);\n"
-            "  while (q_.empty()) cv_.Wait(&mu_);\n}\n")
+            "  while (q_.empty()) cv_.Wait(&mu_);\n}\n",
+            path=self.TEST_CC)
 
     def test_r5_sleep_after_scope_closes_is_clean(self):
         self.assert_clean(
             "void F() {\n  {\n    MutexLock lock(&mu_);\n    n_++;\n  }\n"
+            "  std::this_thread::sleep_for(1ms);\n}\n",
+            path=self.TEST_CC)
+
+    def test_r5_retired_under_src_in_favour_of_slint_s2(self):
+        # Under src/ the interprocedural analyzer (tools/slint, check S2)
+        # owns this rule; lint must not double-report.
+        errs = lint.lint_text(
+            src("src/x/mod.cc"),
+            "void F() {\n  MutexLock lock(&mu_);\n"
             "  std::this_thread::sleep_for(1ms);\n}\n")
+        self.assertFalse(any(": R5: " in e for e in errs), errs)
 
     # R6 ------------------------------------------------------------------
     def test_r6_counter_member(self):

@@ -1,0 +1,35 @@
+"""slint — whole-program static lock analyzer for StreamLake.
+
+Where tools/lint.py checks single files token-by-token, slint parses all of
+src/ into a program model — every ranked mutex, every function, every call
+site — and proves lock-hierarchy properties over ALL statically possible
+paths, not just the schedules the runtime checker (src/common/mutex.cc)
+happens to observe in one test run.
+
+Checks (see DESIGN.md, "Static lock analysis"):
+  S1  The static lock graph (every lock that can be held when another is
+      acquired, interprocedurally) is acyclic and every edge steps to a
+      strictly lower rank. Same-name edges (striped arrays' documented
+      ascending idiom) are admitted and left to the runtime checker.
+  S2  No blocking call — ThreadPool::Submit / ThreadPool::Wait, condition
+      waits on a foreign mutex, real-time sleeps, thread joins, or device
+      I/O that reaches the PlogStore io_delay_hook — is TRANSITIVELY
+      reachable while any lock is held. Replaces lint.py's retired
+      intraprocedural R5.
+  S3  Every access to a GUARDED_BY field happens in a function that holds
+      (or REQUIRES, or AssertHeld()s) the guarding mutex. Cross-checks the
+      clang annotations across the .cc helpers clang cannot see across TUs.
+  S4  The runtime-observed lock graph is a subgraph of the static graph:
+      slint emits lock_graph.dot, tests/lock_order_test.cc loads it and
+      asserts observed edges are a subset (and `slint --check-observed`
+      checks a runtime-dumped DOT from this side).
+
+Findings are suppressible only through tools/slint_suppressions.txt, one
+justified line per entry; unused suppressions are themselves errors.
+
+Run from the repo root:  python3 tools/slint
+"""
+
+from .parsing import Program, parse_program  # noqa: F401
+from .analysis import Analysis  # noqa: F401
+from .checks import run_checks, write_dot, parse_dot, load_suppressions  # noqa: F401

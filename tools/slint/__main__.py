@@ -1,0 +1,16 @@
+"""Entry point so `python3 tools/slint` works from the repo root."""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    # Executed as a directory: put tools/ on the path and re-import as a
+    # package so relative imports work.
+    sys.path.insert(0, os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    from slint.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""The four slint checks, DOT emission/parsing, and the suppression file.
+
+Findings carry a (check, key) pair; a suppression line in
+tools/slint_suppressions.txt must name exactly that pair plus a
+justification. Keys:
+
+  S1  "from->to"            (lock names of the offending static edge)
+  S2  "Qual::Name:kind"     (function qualname : blocking-root kind)
+  S3  "Qual::Name:field"    (function qualname : guarded field)
+  S4  "from->to"            (observed edge absent from the static graph)
+"""
+
+import re
+
+
+class Finding:
+    def __init__(self, check, key, message, path=None, line=None):
+        self.check = check
+        self.key = key
+        self.message = message
+        self.path = path
+        self.line = line
+
+    def location(self):
+        if self.path is None:
+            return ""
+        return f"{self.path}:{self.line}: " if self.line else f"{self.path}: "
+
+    def __str__(self):
+        return f"{self.location()}[{self.check} {self.key}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Suppressions.
+# ---------------------------------------------------------------------------
+
+_SUPP_LINE = re.compile(r"^(S[1-4])\s+(\S+)\s+--\s+(.+)$")
+
+
+def load_suppressions(text):
+    """[(check, key, justification, lineno)] from the suppression file text.
+    Raises ValueError on a malformed or unjustified line."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SUPP_LINE.match(line)
+        if not m or not m.group(3).strip():
+            raise ValueError(
+                f"suppressions line {lineno}: expected "
+                f"'S<n> <key> -- <justification>', got: {line}")
+        out.append((m.group(1), m.group(2), m.group(3).strip(), lineno))
+    return out
+
+
+def apply_suppressions(findings, supps):
+    """(unsuppressed_findings, unused_suppression_findings)."""
+    used = set()
+    remaining = []
+    for f in findings:
+        hit = None
+        for i, (check, key, _, _) in enumerate(supps):
+            if check == f.check and key == f.key:
+                hit = i
+                break
+        if hit is None:
+            remaining.append(f)
+        else:
+            used.add(hit)
+    unused = [
+        Finding("SUPP", f"{check}:{key}",
+                f"unused suppression (line {lineno}): no {check} finding "
+                f"with key {key} — delete it so it cannot mask a future "
+                "regression")
+        for i, (check, key, _, lineno) in enumerate(supps) if i not in used]
+    return remaining, unused
+
+
+# ---------------------------------------------------------------------------
+# S1: static lock graph is rank-descending and acyclic.
+# ---------------------------------------------------------------------------
+
+def check_s1(program, analysis, edges):
+    findings = []
+    for (frm, to), (path, line) in sorted(edges.items()):
+        if frm == to:
+            # Same-name nesting is the striped ascending idiom; stripe
+            # order is a runtime property the static pass cannot see, so
+            # it stays with the runtime checker (and R6's token check).
+            continue
+        fi, ti = program.mutexes.get(frm), program.mutexes.get(to)
+        if fi is None or ti is None or fi.rank is None or ti.rank is None:
+            continue
+        if ti.rank >= fi.rank:
+            findings.append(Finding(
+                "S1", f"{frm}->{to}",
+                f"acquires \"{to}\" (rank {ti.rank}, {ti.rank_token}) while "
+                f"\"{frm}\" (rank {fi.rank}, {fi.rank_token}) can be held — "
+                "acquisition order must be strictly rank-descending",
+                path, line))
+    # Acyclicity over the whole edge set (catches cycles even among
+    # suppressed rank violations).
+    graph = {}
+    for frm, to in edges:
+        if frm != to:
+            graph.setdefault(frm, []).append(to)
+    for node in graph.values():
+        node.sort()
+    color, cycle = {}, []
+
+    def dfs(n, stack):
+        color[n] = 1
+        stack.append(n)
+        for nxt in graph.get(n, []):
+            if color.get(nxt, 0) == 1:
+                cycle.append(stack[stack.index(nxt):] + [nxt])
+                continue
+            if color.get(nxt, 0) == 0:
+                dfs(nxt, stack)
+        stack.pop()
+        color[n] = 2
+
+    for n in sorted(graph):
+        if color.get(n, 0) == 0:
+            dfs(n, [])
+    for cyc in cycle:
+        findings.append(Finding(
+            "S1", "->".join(cyc),
+            "static lock graph cycle: " + " -> ".join(
+                f'"{n}"' for n in cyc)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S2: no blocking call transitively reachable while a lock is held.
+# ---------------------------------------------------------------------------
+
+_BLOCK_DESC = {
+    "sleep": "a real-time sleep",
+    "join": "a thread join",
+    "pool-wait": "ThreadPool::Wait (drains the whole queue)",
+    "submit": "ThreadPool::Submit (takes the pool lock, can wake workers)",
+    "condvar": "a condition wait",
+    "device-io": "device I/O (reaches the io_delay_hook fault point)",
+}
+
+
+def _condvar_exempt(kind, detail, held):
+    """Waiting on a condvar with only its own mutex held is the one legal
+    way to block while holding a lock."""
+    return kind == "condvar" and set(held) <= {detail}
+
+
+def check_s2(analysis):
+    findings = []
+    seen = set()
+    for fn in analysis.all_functions:
+        # Direct blocking primitives under a held lock.
+        for kind, detail, pos, held in fn.summary.blocking:
+            if not held or _condvar_exempt(kind, detail, held):
+                continue
+            key = f"{fn.qualname}:{kind}"
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "S2", key,
+                f"{fn.qualname} performs {_BLOCK_DESC[kind]} ({detail}) "
+                f"while holding {sorted(held)}",
+                fn.path, fn.line_of(pos)))
+        # Blocking roots reachable through calls made while holding locks.
+        for call in fn.summary.calls:
+            if not call.held:
+                continue
+            for target in call.targets + call.lambdas:
+                for (kind, detail), chain in sorted(
+                        analysis.blocking_closure(target).items()):
+                    if _condvar_exempt(kind, detail, call.held):
+                        continue
+                    key = f"{fn.qualname}:{kind}"
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(Finding(
+                        "S2", key,
+                        f"{fn.qualname} holds {sorted(call.held)} across a "
+                        f"call to {target.qualname}, which reaches "
+                        f"{_BLOCK_DESC[kind]} ({detail}); path: "
+                        + " -> ".join(chain),
+                        fn.path, fn.line_of(call.pos)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S3: GUARDED_BY fields only touched with the guard held.
+# ---------------------------------------------------------------------------
+
+def check_s3(analysis):
+    findings = []
+    seen = set()
+    for fn in analysis.all_functions:
+        for field, guard, pos, held_ok in fn.summary.guarded_uses:
+            if held_ok:
+                continue
+            key = f"{fn.qualname}:{field}"
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "S3", key,
+                f"{fn.qualname} accesses \"{field}\" (GUARDED_BY "
+                f"\"{guard}\") without holding the guard — add a guard "
+                "scope, a REQUIRES() on the declaration, or AssertHeld()",
+                fn.path, fn.line_of(pos)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S4: runtime-observed graph ⊆ static graph.
+# ---------------------------------------------------------------------------
+
+def check_s4(program, edges, observed_text):
+    nodes, obs_edges = parse_dot(observed_text)
+    known = set(program.mutexes)
+    findings = []
+    for frm, to in sorted(obs_edges):
+        if frm not in known or to not in known:
+            continue  # test-local locks are outside the static universe
+        if frm != to and (frm, to) not in edges:
+            findings.append(Finding(
+                "S4", f"{frm}->{to}",
+                f"runtime observed edge \"{frm}\" -> \"{to}\" is absent "
+                "from the static lock graph — the analyzer failed to model "
+                "a real acquisition path; fix the parser or the model, "
+                "do not suppress without a parser issue reference"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DOT emission / parsing (shared grammar with LockOrderGraph::WriteDot).
+# ---------------------------------------------------------------------------
+
+_DOT_NODE = re.compile(r'^\s*"((?:[^"\\]|\\.)*)"\s*(?:\[[^\]]*\])?\s*;')
+_DOT_EDGE = re.compile(
+    r'^\s*"((?:[^"\\]|\\.)*)"\s*->\s*"((?:[^"\\]|\\.)*)"\s*(?:\[[^\]]*\])?'
+    r'\s*;')
+
+
+def write_dot(program, edges):
+    """The static lock graph in the trivially-parseable DOT dialect that
+    LockOrderGraph::WriteDot also emits. Every mutex in the DB appears as a
+    node (even if isolated) so subset checks know the full universe."""
+    lines = ["digraph lock_order {"]
+    for name in sorted(program.mutexes):
+        info = program.mutexes[name]
+        rank = info.rank if info.rank is not None else -1
+        striped = " striped=1" if info.striped else ""
+        lines.append(f'  "{name}" [lockrank={rank}{striped}];')
+    for frm, to in sorted(edges):
+        lines.append(f'  "{frm}" -> "{to}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dot(text):
+    """(node_names, edge_set) from our DOT dialect (one item per line)."""
+    nodes, edges = set(), set()
+    for line in text.splitlines():
+        em = _DOT_EDGE.match(line)
+        if em:
+            edges.add((em.group(1), em.group(2)))
+            nodes.add(em.group(1))
+            nodes.add(em.group(2))
+            continue
+        nm = _DOT_NODE.match(line)
+        if nm:
+            nodes.add(nm.group(1))
+    return nodes, edges
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def run_checks(program, analysis, observed_text=None):
+    """All findings, most fundamental first. `observed_text` is the runtime
+    DOT dump for S4 (skipped when None)."""
+    edges = analysis.static_edges()
+    findings = check_s1(program, analysis, edges)
+    findings += check_s2(analysis)
+    findings += check_s3(analysis)
+    if observed_text is not None:
+        findings += check_s4(program, edges, observed_text)
+    return findings, edges

@@ -1,0 +1,95 @@
+"""Command-line driver: python3 tools/slint [options].
+
+Exit status is 0 iff there are no unsuppressed findings and no unused
+suppressions (and no hard parse failures)."""
+
+import argparse
+import os
+import sys
+
+from .parsing import parse_program, load_tree
+from .analysis import Analysis
+from . import checks as C
+
+
+def _default_root():
+    # tools/slint/cli.py -> repo root is two levels up from tools/.
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="slint",
+        description="whole-program static lock analyzer (checks S1-S4)")
+    ap.add_argument("--root", default=_default_root(),
+                    help="repository root (default: inferred from tools/)")
+    ap.add_argument("--dot", metavar="PATH",
+                    help="write the static lock graph as DOT to PATH")
+    ap.add_argument("--dot-only", action="store_true",
+                    help="emit the DOT and exit 0 without reporting "
+                         "findings (build-step mode)")
+    ap.add_argument("--check-observed", metavar="PATH",
+                    help="also run S4 against a runtime-dumped DOT "
+                         "(from STREAMLAKE_LOCK_GRAPH_DOT)")
+    ap.add_argument("--ambiguities", action="store_true",
+                    help="print the call/lock attribution ambiguity report")
+    ap.add_argument("--suppressions", metavar="PATH",
+                    help="suppression file (default: "
+                         "tools/slint_suppressions.txt under --root)")
+    args = ap.parse_args(argv)
+
+    sources = load_tree(args.root)
+    if not sources:
+        print(f"slint: no C++ sources under {args.root}/src",
+              file=sys.stderr)
+        return 2
+    program = parse_program(sources)
+    if not program.ranks:
+        print("slint: could not read the LockRank enum from "
+              "src/common/mutex.h", file=sys.stderr)
+        return 2
+    analysis = Analysis(program)
+
+    observed = None
+    if args.check_observed:
+        with open(args.check_observed, encoding="utf-8") as f:
+            observed = f.read()
+
+    findings, edges = C.run_checks(program, analysis, observed)
+
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as f:
+            f.write(C.write_dot(program, edges))
+    if args.dot_only:
+        print(f"slint: wrote {len(edges)} static edges over "
+              f"{len(program.mutexes)} locks to {args.dot}")
+        return 0
+
+    supp_path = args.suppressions or os.path.join(
+        args.root, "tools", "slint_suppressions.txt")
+    supps = []
+    if os.path.exists(supp_path):
+        with open(supp_path, encoding="utf-8") as f:
+            try:
+                supps = C.load_suppressions(f.read())
+            except ValueError as e:
+                print(f"slint: {supp_path}: {e}", file=sys.stderr)
+                return 2
+    remaining, unused = C.apply_suppressions(findings, supps)
+
+    if args.ambiguities or remaining:
+        for path, line, text in analysis.ambiguities:
+            print(f"note: {path}:{line}: {text}")
+        for gap in program.parse_gaps:
+            print(f"note: parse gap: {gap}")
+    for f in remaining + unused:
+        print(f)
+
+    n_supp = len(findings) - len(remaining)
+    print(f"slint: {len(program.functions)} functions, "
+          f"{len(analysis.lambda_funcs)} lambdas, "
+          f"{len(program.mutexes)} locks, {len(edges)} static edges; "
+          f"{len(remaining)} findings "
+          f"({n_supp} suppressed, {len(unused)} unused suppressions)")
+    return 1 if (remaining or unused) else 0

@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/slint: each check (S1-S4) must catch its seeded
+violation in a synthetic fixture, clean fixtures must produce zero
+findings, and the suppression grammar must reject malformed entries.
+
+Run directly (python3 tools/slint_test.py) or via the slint_selftest ctest.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from slint import Analysis, parse_program  # noqa: E402
+from slint import checks as C  # noqa: E402
+
+# A miniature mutex.h: parse_program only reads the LockRank enum from it.
+MUTEX_H = """
+#pragma once
+namespace fix {
+enum class LockRank : unsigned {
+  kLow = 10,
+  kMid = 20,
+  kHigh = 30,
+};
+}
+"""
+
+# Shared class declarations for the fixtures.
+WIDGET_H = """
+#pragma once
+class Widget {
+ public:
+  void ErrorPathInversion();
+  void SleepTwoFramesDown();
+  void UnguardedWrite();
+  void GuardedWrite();
+  void BumpLocked() REQUIRES(low_);
+ private:
+  Mutex low_{LockRank::kLow, "fix.low"};
+  Mutex high_{LockRank::kHigh, "fix.high"};
+  int count_ GUARDED_BY(low_) = 0;
+};
+"""
+
+
+def analyze(sources, observed=None):
+    srcs = {"src/common/mutex.h": MUTEX_H}
+    for name, text in sources.items():
+        srcs["src/" + name] = text
+    program = parse_program(srcs)
+    analysis = Analysis(program)
+    findings, edges = C.run_checks(program, analysis, observed)
+    return program, analysis, findings, edges
+
+
+def keys(findings, check=None):
+    return [(f.check, f.key) for f in findings
+            if check is None or f.check == check]
+
+
+class S1RankInversionTest(unittest.TestCase):
+    def test_inversion_on_error_path_is_found(self):
+        # The ascending acquisition lives in an `if` no test may ever
+        # enter — exactly what the runtime checker cannot see.
+        _, _, findings, edges = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::ErrorPathInversion() {
+  MutexLock lock(&low_);
+  count_ += 1;
+  if (count_ < 0) {
+    MutexLock recover(&high_);
+    count_ = 0;
+  }
+}
+""",
+        })
+        self.assertIn(("S1", "fix.low->fix.high"), keys(findings))
+        self.assertIn(("fix.low", "fix.high"), edges)
+
+    def test_descending_acquisition_is_clean(self):
+        _, _, findings, _ = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::ErrorPathInversion() {
+  MutexLock outer(&high_);
+  MutexLock inner(&low_);
+  count_ += 1;
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S1"), [])
+
+    def test_striped_same_name_nesting_is_left_to_runtime(self):
+        # Ascending same-rank striped acquisition is the documented idiom;
+        # the static pass admits same-name edges (stripe ORDER is runtime's
+        # job) and must not flag them.
+        _, _, findings, _ = analyze({
+            "striped.h": """
+#pragma once
+class Striped {
+ public:
+  void Ascending();
+ private:
+  Mutex s0_{LockRank::kMid, "fix.stripe", 0};
+  Mutex s1_{LockRank::kMid, "fix.stripe", 1};
+};
+""",
+            "striped.cc": """
+#include "striped.h"
+void Striped::Ascending() {
+  MutexLock a(&s0_);
+  MutexLock b(&s1_);
+}
+""",
+        })
+        self.assertEqual(keys(findings), [])
+
+    def test_interprocedural_edge_through_callee(self):
+        # Caller holds high_, callee (another class) takes its own lock at
+        # a higher-or-equal rank: the edge only exists interprocedurally.
+        _, _, findings, edges = analyze({
+            "a.h": """
+#pragma once
+class Inner {
+ public:
+  void Touch();
+ private:
+  Mutex imu_{LockRank::kHigh, "fix.inner"};
+};
+class Outer {
+ public:
+  void Call(Inner* inner);
+ private:
+  Mutex omu_{LockRank::kLow, "fix.outer"};
+};
+""",
+            "a.cc": """
+#include "a.h"
+void Inner::Touch() { MutexLock lock(&imu_); }
+void Outer::Call(Inner* inner) {
+  MutexLock lock(&omu_);
+  inner->Touch();
+}
+""",
+        })
+        self.assertIn(("fix.outer", "fix.inner"), edges)
+        self.assertIn(("S1", "fix.outer->fix.inner"), keys(findings))
+
+
+class S2BlockingTest(unittest.TestCase):
+    def test_sleep_two_frames_below_a_lock_is_found(self):
+        _, _, findings, _ = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+static void NapInner() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+static void Nap() { NapInner(); }
+void Widget::SleepTwoFramesDown() {
+  MutexLock lock(&low_);
+  Nap();
+}
+""",
+        })
+        s2 = keys(findings, "S2")
+        self.assertIn(("S2", "Widget::SleepTwoFramesDown:sleep"), s2)
+        # The witness chain names the intermediate frame.
+        msg = [f.message for f in findings
+               if f.key == "Widget::SleepTwoFramesDown:sleep"][0]
+        self.assertIn("Nap", msg)
+
+    def test_condvar_wait_on_own_mutex_is_exempt(self):
+        _, _, findings, _ = analyze({
+            "waiter.h": """
+#pragma once
+class Waiter {
+ public:
+  void WaitIdle();
+  void WaitHoldingForeign();
+ private:
+  Mutex mu_{LockRank::kLow, "fix.waiter"};
+  Mutex other_{LockRank::kHigh, "fix.other"};
+  CondVar cv_;
+  bool busy_ = false;
+};
+""",
+            "waiter.cc": """
+#include "waiter.h"
+void Waiter::WaitIdle() {
+  MutexLock lock(&mu_);
+  while (busy_) cv_.Wait(&mu_);
+}
+void Waiter::WaitHoldingForeign() {
+  MutexLock outer(&other_);
+  MutexLock lock(&mu_);
+  while (busy_) cv_.Wait(&mu_);
+}
+""",
+        })
+        s2 = keys(findings, "S2")
+        self.assertNotIn(("S2", "Waiter::WaitIdle:condvar"), s2)
+        # Waiting with a FOREIGN lock also held parks that lock: flagged.
+        self.assertIn(("S2", "Waiter::WaitHoldingForeign:condvar"), s2)
+
+    def test_no_lock_held_means_no_finding(self):
+        _, _, findings, _ = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::SleepTwoFramesDown() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  MutexLock lock(&low_);
+  count_ += 1;
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S2"), [])
+
+
+class S3GuardedByTest(unittest.TestCase):
+    def test_unguarded_access_is_found(self):
+        _, _, findings, _ = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::UnguardedWrite() { count_ = 7; }
+""",
+        })
+        self.assertIn(("S3", "Widget::UnguardedWrite:count_"),
+                      keys(findings, "S3"))
+
+    def test_guard_scope_and_requires_both_satisfy(self):
+        _, _, findings, _ = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::GuardedWrite() {
+  MutexLock lock(&low_);
+  count_ = 7;
+}
+void Widget::BumpLocked() { count_ += 1; }
+""",
+        })
+        self.assertEqual(keys(findings, "S3"), [])
+
+
+class S4SubsetTest(unittest.TestCase):
+    FIXTURE = {
+        "widget.h": WIDGET_H,
+        "widget.cc": """
+#include "widget.h"
+void Widget::GuardedWrite() {
+  MutexLock outer(&high_);
+  MutexLock lock(&low_);
+  count_ = 7;
+}
+""",
+    }
+
+    def test_observed_edge_missing_from_static_is_found(self):
+        observed = """digraph lock_order {
+  "fix.low" [lockrank=10];
+  "fix.high" [lockrank=30];
+  "fix.low" -> "fix.high";
+}
+"""
+        _, _, findings, _ = analyze(self.FIXTURE, observed)
+        self.assertIn(("S4", "fix.low->fix.high"), keys(findings, "S4"))
+
+    def test_observed_subset_and_foreign_nodes_pass(self):
+        observed = """digraph lock_order {
+  "fix.high" -> "fix.low";
+  "test.only" -> "fix.low";
+}
+"""
+        _, _, findings, _ = analyze(self.FIXTURE, observed)
+        # high->low is in the static graph; test.only is outside the
+        # static universe (a test-local lock) and is ignored.
+        self.assertEqual(keys(findings, "S4"), [])
+
+
+class DotRoundTripTest(unittest.TestCase):
+    def test_write_then_parse_preserves_nodes_and_edges(self):
+        program, _, _, edges = analyze(S4SubsetTest.FIXTURE)
+        text = C.write_dot(program, edges)
+        nodes, parsed_edges = C.parse_dot(text)
+        self.assertEqual(nodes, {"fix.low", "fix.high"})
+        self.assertIn(("fix.high", "fix.low"), parsed_edges)
+        # Stable: emitting twice yields identical text.
+        self.assertEqual(text, C.write_dot(program, edges))
+
+
+class SuppressionsTest(unittest.TestCase):
+    def test_justified_entry_suppresses_exactly_its_finding(self):
+        _, _, findings, _ = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::UnguardedWrite() { count_ = 7; }
+""",
+        })
+        supps = C.load_suppressions(
+            "S3 Widget::UnguardedWrite:count_ -- stats read, torn ok\n")
+        remaining, unused = C.apply_suppressions(findings, supps)
+        self.assertEqual(keys(remaining, "S3"), [])
+        self.assertEqual(unused, [])
+
+    def test_unused_suppression_is_itself_an_error(self):
+        remaining, unused = C.apply_suppressions(
+            [], C.load_suppressions("S1 a->b -- stale\n"))
+        self.assertEqual(remaining, [])
+        self.assertEqual(len(unused), 1)
+        self.assertIn("unused suppression", unused[0].message)
+
+    def test_malformed_lines_are_rejected(self):
+        for bad in ("S3 key.without.justification\n",
+                    "S9 key -- bogus check id\n",
+                    "key -- no check id\n"):
+            with self.assertRaises(ValueError):
+                C.load_suppressions(bad)
+
+    def test_comments_and_blanks_are_ignored(self):
+        self.assertEqual(
+            C.load_suppressions("# comment\n\nS2 f:sleep -- why\n"),
+            [("S2", "f:sleep", "why", 3)])
+
+
+class ModelSanityTest(unittest.TestCase):
+    def test_mutex_db_records_rank_stripe_owner(self):
+        program, _, _, _ = analyze({
+            "striped.h": """
+#pragma once
+class Striped {
+ private:
+  Mutex s0_{LockRank::kMid, "fix.stripe", 0};
+  Mutex plain_{LockRank::kLow, "fix.plain"};
+};
+""",
+        })
+        stripe = program.mutexes["fix.stripe"]
+        self.assertEqual(stripe.rank, 20)
+        self.assertTrue(stripe.striped)
+        self.assertEqual(stripe.owner_class, "Striped")
+        plain = program.mutexes["fix.plain"]
+        self.assertEqual(plain.rank, 10)
+        self.assertFalse(plain.striped)
+
+    def test_submit_lambda_is_deferred_not_inline(self):
+        # A lambda handed to ThreadPool::Submit runs later on a worker
+        # with nothing held: its acquisitions must NOT create edges from
+        # the submitter's held set.
+        _, _, findings, edges = analyze({
+            "widget.h": WIDGET_H,
+            "widget.cc": """
+#include "widget.h"
+void Widget::GuardedWrite() {
+  MutexLock lock(&low_);
+  count_ = 1;
+  pool_->Submit([this] {
+    MutexLock inner(&high_);
+  });
+}
+""",
+        })
+        self.assertNotIn(("fix.low", "fix.high"), edges)
+        self.assertEqual(keys(findings, "S1"), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
