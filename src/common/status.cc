@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include "common/logging.h"
+#include "common/metrics.h"
+
 namespace streamlake {
 
 namespace {
@@ -39,6 +42,14 @@ const char* CodeName(StatusCode code) {
 }
 
 }  // namespace
+
+void Status::LogIgnored(const char* what) const {
+  if (ok()) return;
+  static Counter* ignored =
+      MetricsRegistry::Global().GetCounter("common.status.ignored");
+  ignored->Increment();
+  SL_LOG(Warn) << "ignored status (" << what << "): " << ToString();
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -111,6 +111,12 @@ class [[nodiscard]] Status {
   /// greppable instead of silent.
   void IgnoreError() const {}
 
+  /// Like IgnoreError(), but an error is not silent: it logs a warning
+  /// tagged with `what` (the call-site's one-word reason) and bumps the
+  /// `common.status.ignored` counter. Use in background workers and
+  /// rollback paths where a dropped error would otherwise vanish.
+  void LogIgnored(const char* what) const;
+
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:

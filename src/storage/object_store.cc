@@ -99,7 +99,11 @@ Status ObjectStore::Write(const std::string& path, ByteView data) {
     SL_ASSIGN_OR_RETURN(old_fragments, DecodeFragments(ByteView(*existing)));
   }
 
+  // The appended fragments become visible only through the final index
+  // Put; until then any failure orphans them via MarkGarbage so readers
+  // never see a half-written object.
   std::vector<Fragment> fragments;
+  Status s = Status::OK();
   uint64_t pos = 0;
   do {
     uint64_t len = std::min<uint64_t>(max_fragment_bytes_, data.size() - pos);
@@ -107,18 +111,34 @@ Status ObjectStore::Write(const std::string& path, ByteView data) {
     f.length = len;
     // Route fragments by path+index so a big file spreads over shards.
     std::string route = path + "#" + std::to_string(fragments.size());
-    SL_ASSIGN_OR_RETURN(
-        f.address, plogs_->AppendKeyed(ByteView(route), data.subview(pos, len)));
+    auto address =
+        plogs_->AppendKeyed(ByteView(route), data.subview(pos, len));
+    if (!address.ok()) {
+      s = address.status();
+      break;
+    }
+    f.address = *address;
     fragments.push_back(f);
     pos += len;
   } while (pos < data.size());
 
-  Bytes encoded;
-  EncodeFragments(fragments, &encoded);
-  SL_RETURN_NOT_OK(index_->Put(IndexKey(path), BytesToString(encoded)));
+  if (s.ok()) {
+    Bytes encoded;
+    EncodeFragments(fragments, &encoded);
+    s = index_->Put(IndexKey(path), BytesToString(encoded));
+  }
+  if (!s.ok()) {
+    for (const Fragment& f : fragments) {
+      plogs_->MarkGarbage(f.address, f.length)
+          .LogIgnored("object write rollback");
+    }
+    return s;
+  }
 
+  // The new index entry is committed; releasing the replaced fragments is
+  // best-effort garbage collection and must not fail the completed write.
   for (const Fragment& f : old_fragments) {
-    SL_RETURN_NOT_OK(ReleaseFragment(f));
+    ReleaseFragment(f).LogIgnored("object overwrite release");
   }
   return Status::OK();
 }
@@ -145,8 +165,11 @@ Status ObjectStore::Delete(const std::string& path) {
   }
   SL_ASSIGN_OR_RETURN(auto fragments, DecodeFragments(ByteView(encoded)));
   SL_RETURN_NOT_OK(index_->Delete(IndexKey(path)));
+  // The object is gone once the index entry is; fragment releases are
+  // best-effort GC (a failed release leaks re-collectable garbage, but
+  // failing here would leave the delete half-reported to the caller).
   for (const Fragment& f : fragments) {
-    SL_RETURN_NOT_OK(ReleaseFragment(f));
+    ReleaseFragment(f).LogIgnored("object delete release");
   }
   return Status::OK();
 }
@@ -163,12 +186,25 @@ Status ObjectStore::Clone(const std::string& source, const std::string& dest) {
     }
     SL_ASSIGN_OR_RETURN(old_fragments, DecodeFragments(ByteView(*existing)));
   }
+  // Refcount bumps become real only with the dest index Put; undo them
+  // if anything fails before it so no fragment leaks a phantom reference.
+  Status s = Status::OK();
+  size_t acquired = 0;
   for (const Fragment& f : fragments) {
-    SL_RETURN_NOT_OK(AcquireFragment(f));
+    s = AcquireFragment(f);
+    if (!s.ok()) break;
+    ++acquired;
   }
-  SL_RETURN_NOT_OK(index_->Put(IndexKey(dest), encoded));
+  if (s.ok()) s = index_->Put(IndexKey(dest), encoded);
+  if (!s.ok()) {
+    for (size_t i = 0; i < acquired; ++i) {
+      ReleaseFragment(fragments[i]).LogIgnored("clone rollback");
+    }
+    return s;
+  }
+  // Dest entry committed; releasing the replaced fragments is best-effort.
   for (const Fragment& f : old_fragments) {
-    SL_RETURN_NOT_OK(ReleaseFragment(f));
+    ReleaseFragment(f).LogIgnored("clone overwrite release");
   }
   return Status::OK();
 }

@@ -13,33 +13,34 @@ namespace {
 constexpr uint64_t kRecordHeader = 8;
 }  // namespace
 
-uint64_t Plog::ExtentSize() const {
-  if (config_.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
-    return config_.capacity;
+uint64_t Plog::ExtentSizeFor(const PlogConfig& config) {
+  if (config.redundancy.scheme == RedundancyConfig::Scheme::kReplication) {
+    return config.capacity;
   }
-  uint64_t stripes =
-      (config_.capacity + StripeDataSize() - 1) / StripeDataSize();
-  return stripes * config_.stripe_unit;
+  uint64_t stripe_data = config.stripe_unit * config.redundancy.ec_data;
+  uint64_t stripes = (config.capacity + stripe_data - 1) / stripe_data;
+  return stripes * config.stripe_unit;
 }
+
+uint64_t Plog::ExtentSize() const { return ExtentSizeFor(config_); }
 
 Result<std::unique_ptr<Plog>> Plog::Create(StoragePool* pool,
                                            PlogConfig config,
                                            uint64_t now_ns) {
-  std::unique_ptr<Plog> plog(
-      new Plog(pool, config, std::vector<Extent>(), now_ns));
+  const uint64_t extent_size = ExtentSizeFor(config);
   // Spread across distinct nodes first; fall back to distinct disks when
   // the cluster has fewer nodes than the redundancy width.
-  auto extents = pool->AllocateExtents(config.redundancy.Width(),
-                                       plog->ExtentSize(),
+  auto extents = pool->AllocateExtents(config.redundancy.Width(), extent_size,
                                        /*distinct_nodes=*/true);
   if (!extents.ok()) {
-    extents = pool->AllocateExtents(config.redundancy.Width(),
-                                    plog->ExtentSize(),
+    extents = pool->AllocateExtents(config.redundancy.Width(), extent_size,
                                     /*distinct_nodes=*/false);
   }
   if (!extents.ok()) return extents.status();
-  plog->extents_ = std::move(*extents);
-  return plog;
+  // Extents go in through the constructor: no member is ever written on
+  // an object that might already be visible to another thread.
+  return std::unique_ptr<Plog>(
+      new Plog(pool, config, std::move(*extents), now_ns));
 }
 
 Plog::Plog(StoragePool* pool, PlogConfig config, std::vector<Extent> extents,

@@ -114,7 +114,10 @@ class Plog {
   uint64_t size() const;      // logical bytes appended (incl. stripe pads)
   uint64_t capacity() const { return config_.capacity; }
   uint64_t record_count() const;
-  StoragePool* pool() const { return pool_; }
+  StoragePool* pool() const {
+    MutexLock lock(&mu_);
+    return pool_;
+  }
   const RedundancyConfig& redundancy() const { return config_.redundancy; }
 
   /// Garbage accounting for the pool GC: bytes of deleted records.
@@ -143,6 +146,7 @@ class Plog {
   uint64_t StripeDataSize() const {
     return config_.stripe_unit * config_.redundancy.ec_data;
   }
+  static uint64_t ExtentSizeFor(const PlogConfig& config);
   uint64_t ExtentSize() const;
 
   // EC internals (mu_ held):
@@ -157,9 +161,11 @@ class Plog {
   Result<Bytes> ReconstructStripeLocked(uint64_t stripe_index) const
       REQUIRES(mu_);
 
-  StoragePool* pool_;
+  // pool_/extents_ are swapped wholesale by MigrateTo; every access (the
+  // append/read/repair paths and the pool() accessor) holds mu_.
+  StoragePool* pool_ GUARDED_BY(mu_);
   PlogConfig config_;
-  std::vector<Extent> extents_;
+  std::vector<Extent> extents_ GUARDED_BY(mu_);
   std::unique_ptr<ReedSolomon> rs_;  // EC only
 
   mutable Mutex mu_{LockRank::kPlog, "storage.plog"};

@@ -334,7 +334,7 @@ Result<uint64_t> StreamObject::AppendBatch(std::vector<StreamRecord> records)
     for (size_t i = committed; i < jobs.size(); ++i) {
       if (jobs[i].status.ok()) {
         plogs_->MarkGarbage(jobs[i].address, jobs[i].payload_bytes)
-            .IgnoreError();
+            .LogIgnored("batch slice rollback");
       }
     }
     // Committed slices stay; drop their records from the buffered tail.
@@ -377,8 +377,15 @@ Status StreamObject::PersistSliceLocked(std::vector<StreamRecord> records) {
   PutVarint64(&index_value, meta.address.shard);
   PutVarint64(&index_value, meta.address.plog_index);
   PutVarint64(&index_value, meta.address.offset);
-  SL_RETURN_NOT_OK(
-      index_->Put(IndexKey(meta.seq), BytesToString(index_value)));
+  Status put = index_->Put(IndexKey(meta.seq), BytesToString(index_value));
+  if (!put.ok()) {
+    // Roll back: orphan the PLog append so the slice never half-exists
+    // (payload durable but unreachable through the index); the producer
+    // retry then re-persists under a fresh slice seq.
+    plogs_->MarkGarbage(meta.address, meta.payload_bytes)
+        .LogIgnored("slice index rollback");
+    return put;
+  }
 
   persisted_ += records.size();
   if (cache_ != nullptr) {

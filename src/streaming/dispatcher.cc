@@ -49,24 +49,61 @@ Status StreamDispatcher::CreateTopic(const std::string& topic,
   }
   TopicState state;
   state.config = config;
-  for (uint32_t i = 0; i < config.stream_num; ++i) {
-    SL_ASSIGN_OR_RETURN(uint64_t id, CreateStreamObjectLocked(config));
-    state.stream_object_ids.push_back(id);
+  Status s = Status::OK();
+  for (uint32_t i = 0; s.ok() && i < config.stream_num; ++i) {
+    auto id = CreateStreamObjectLocked(config);
+    if (!id.ok()) {
+      s = id.status();
+      break;
+    }
+    state.stream_object_ids.push_back(*id);
     // Round-robin placement "to ensure even distribution and workload
     // balancing across the cluster".
-    SL_RETURN_NOT_OK(AssignStreamLocked(
-        id, static_cast<uint32_t>(i % workers_.size())));
-    SL_RETURN_NOT_OK(meta_->Put(
-        "topic/" + topic + "/stream/" + std::to_string(i),
-        std::to_string(id)));
+    s = AssignStreamLocked(*id, static_cast<uint32_t>(i % workers_.size()));
+    if (s.ok()) {
+      s = meta_->Put("topic/" + topic + "/stream/" + std::to_string(i),
+                     std::to_string(*id));
+    }
   }
+  if (s.ok()) {
+    Bytes encoded;
+    config.EncodeTo(&encoded);
+    s = meta_->Put("topic/" + topic + "/config", BytesToString(encoded));
+  }
+  if (s.ok()) {
+    s = meta_->Put("topic/" + topic + "/streams",
+                   std::to_string(config.stream_num));
+  }
+  if (!s.ok()) {
+    // Roll back assignments and durable keys so a failed create leaves no
+    // trace. The fresh stream objects hold no records; destroying them
+    // takes a condition wait that must not run under mu_ (see
+    // DeleteTopic), so their ids are simply left unreferenced.
+    RetractTopicKeysLocked(topic, state, "create-topic rollback");
+    return s;
+  }
+  // Publish last: the topic becomes routable only after every durable
+  // write of the protocol has succeeded.
   topics_[topic] = std::move(state);
-  Bytes encoded;
-  config.EncodeTo(&encoded);
-  SL_RETURN_NOT_OK(
-      meta_->Put("topic/" + topic + "/config", BytesToString(encoded)));
-  return meta_->Put("topic/" + topic + "/streams",
-                    std::to_string(config.stream_num));
+  return Status::OK();
+}
+
+void StreamDispatcher::RetractTopicKeysLocked(const std::string& topic,
+                                              const TopicState& state,
+                                              const char* why) {
+  for (size_t i = 0; i < state.stream_object_ids.size(); ++i) {
+    uint64_t id = state.stream_object_ids[i];
+    auto assigned = stream_to_worker_.find(id);
+    if (assigned != stream_to_worker_.end()) {
+      workers_[assigned->second]->UnassignStream(id);
+      stream_to_worker_.erase(assigned);
+    }
+    meta_->Delete("assign/" + std::to_string(id)).LogIgnored(why);
+    meta_->Delete("topic/" + topic + "/stream/" + std::to_string(i))
+        .LogIgnored(why);
+  }
+  meta_->Delete("topic/" + topic + "/config").LogIgnored(why);
+  meta_->Delete("topic/" + topic + "/streams").LogIgnored(why);
 }
 
 Status StreamDispatcher::DeleteTopic(const std::string& topic) {
@@ -295,20 +332,51 @@ Status StreamDispatcher::AddStreams(const std::string& topic,
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("topic " + topic);
   TopicState& state = it->second;
-  for (uint32_t i = 0; i < additional; ++i) {
-    SL_ASSIGN_OR_RETURN(uint64_t id, CreateStreamObjectLocked(state.config));
-    uint32_t index = static_cast<uint32_t>(state.stream_object_ids.size());
-    state.stream_object_ids.push_back(id);
-    SL_RETURN_NOT_OK(AssignStreamLocked(
-        id, index % static_cast<uint32_t>(workers_.size())));
-    SL_RETURN_NOT_OK(meta_->Put(
-        "topic/" + topic + "/stream/" + std::to_string(index),
-        std::to_string(id)));
+  // Build the additions aside and commit them into the live TopicState
+  // only after every durable write succeeded, so a mid-loop failure never
+  // leaves the topic half-grown.
+  const uint32_t base = static_cast<uint32_t>(state.stream_object_ids.size());
+  std::vector<uint64_t> added;
+  Status s = Status::OK();
+  for (uint32_t i = 0; s.ok() && i < additional; ++i) {
+    auto id = CreateStreamObjectLocked(state.config);
+    if (!id.ok()) {
+      s = id.status();
+      break;
+    }
+    added.push_back(*id);
+    uint32_t index = base + i;
+    s = AssignStreamLocked(*id,
+                           index % static_cast<uint32_t>(workers_.size()));
+    if (s.ok()) {
+      s = meta_->Put("topic/" + topic + "/stream/" + std::to_string(index),
+                     std::to_string(*id));
+    }
   }
-  state.config.stream_num =
-      static_cast<uint32_t>(state.stream_object_ids.size());
-  return meta_->Put("topic/" + topic + "/streams",
-                    std::to_string(state.config.stream_num));
+  if (s.ok()) {
+    s = meta_->Put("topic/" + topic + "/streams",
+                   std::to_string(base + additional));
+  }
+  if (!s.ok()) {
+    for (size_t i = 0; i < added.size(); ++i) {
+      uint64_t id = added[i];
+      auto assigned = stream_to_worker_.find(id);
+      if (assigned != stream_to_worker_.end()) {
+        workers_[assigned->second]->UnassignStream(id);
+        stream_to_worker_.erase(assigned);
+      }
+      meta_->Delete("assign/" + std::to_string(id))
+          .LogIgnored("add-streams rollback");
+      meta_->Delete("topic/" + topic + "/stream/" +
+                    std::to_string(base + static_cast<uint32_t>(i)))
+          .LogIgnored("add-streams rollback");
+    }
+    return s;
+  }
+  state.stream_object_ids.insert(state.stream_object_ids.end(),
+                                 added.begin(), added.end());
+  state.config.stream_num = base + additional;
+  return Status::OK();
 }
 
 uint32_t StreamDispatcher::num_workers() const {

@@ -93,6 +93,11 @@ class StreamDispatcher {
   Result<uint64_t> CreateStreamObjectLocked(const TopicConfig& config)
       REQUIRES(mu_);
   Status RebalanceLocked(uint32_t worker_count) REQUIRES(mu_);
+  /// Best-effort undo of a failed CreateTopic: unassigns the topic's
+  /// streams and deletes every durable key the protocol wrote so far.
+  void RetractTopicKeysLocked(const std::string& topic,
+                              const TopicState& state,
+                              const char* why) REQUIRES(mu_);
 
   stream::StreamObjectManager* objects_;
   kv::KvStore* meta_;

@@ -46,9 +46,16 @@ Result<Table*> LakehouseService::CreateTable(const std::string& name,
   info.modified_at = info.created_at;
   SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
   // Materialize the /data and /metadata directories (directory markers in
-  // the object namespace).
-  SL_RETURN_NOT_OK(objects_->Write(info.path + "/data/.dir", ByteView()));
-  SL_RETURN_NOT_OK(objects_->Write(info.path + "/metadata/.dir", ByteView()));
+  // the object namespace). If either marker fails, retract the catalog
+  // entry so no table exists whose directories were never created.
+  Status dirs = objects_->Write(info.path + "/data/.dir", ByteView());
+  if (dirs.ok()) {
+    dirs = objects_->Write(info.path + "/metadata/.dir", ByteView());
+  }
+  if (!dirs.ok()) {
+    meta_->DeleteTableInfo(name).LogIgnored("create-table rollback");
+    return dirs;
+  }
 
   auto table = std::make_unique<Table>(
       name, meta_, objects_, clock_, compute_link_,

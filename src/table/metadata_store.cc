@@ -236,10 +236,25 @@ Result<size_t> MetadataStore::FlushPending() {
   metrics.pending_flushes->Add(-static_cast<int64_t>(to_flush.size()));
   if (!to_flush.empty()) metrics.flush_batches->Increment();
   size_t flushed = 0;
-  for (const auto& [cache_key, file_path] : to_flush) {
+  for (size_t i = 0; i < to_flush.size(); ++i) {
+    const auto& [cache_key, file_path] = to_flush[i];
     auto value = cache_->Get(cache_key);
     if (!value.ok()) continue;  // deleted before the flush caught up
-    SL_RETURN_NOT_OK(objects_->Write(file_path, ByteView(*value)));
+    Status write = objects_->Write(file_path, ByteView(*value));
+    if (!write.ok()) {
+      // Undo the dequeue for everything not yet flushed (including the
+      // failing entry): re-queue at the front so the next pass retries
+      // in arrival order instead of silently dropping durability.
+      {
+        MutexLock lock(&mu_);
+        pending_.insert(pending_.begin(), to_flush.begin() + i,
+                        to_flush.end());
+      }
+      metrics.pending_flushes->Add(
+          static_cast<int64_t>(to_flush.size() - i));
+      metrics.flush_entries->Increment(flushed);
+      return write;
+    }
     ++flushed;
   }
   metrics.flush_entries->Increment(flushed);

@@ -175,32 +175,55 @@ Status Table::CommitChanges(const CommitRequest& request) {
   SL_RETURN_NOT_OK(meta_->PutCommit(info.path, commit));
 
   SnapshotMeta snap;
+  Status s = Status::OK();
   if (info.current_snapshot_id != 0) {
-    SL_ASSIGN_OR_RETURN(
-        snap, meta_->GetSnapshot(info.path, info.current_snapshot_id));
+    auto head = meta_->GetSnapshot(info.path, info.current_snapshot_id);
+    if (head.ok()) {
+      snap = std::move(*head);
+    } else {
+      s = head.status();
+    }
   }
-  snap.snapshot_id = info.next_snapshot_id++;
-  snap.timestamp = commit.timestamp;
-  snap.commit_seqs.push_back(commit.commit_seq);
-  snap.added_files = commit.added.size();
-  snap.removed_files = commit.removed.size();
-  snap.added_rows = 0;
-  snap.removed_rows = 0;
-  for (const DataFileMeta& f : commit.added) snap.added_rows += f.record_count;
-  for (const DataFileMeta& f : commit.removed) {
-    snap.removed_rows += f.record_count;
+  bool snap_written = false;
+  if (s.ok()) {
+    snap.snapshot_id = info.next_snapshot_id++;
+    snap.timestamp = commit.timestamp;
+    snap.commit_seqs.push_back(commit.commit_seq);
+    snap.added_files = commit.added.size();
+    snap.removed_files = commit.removed.size();
+    snap.added_rows = 0;
+    snap.removed_rows = 0;
+    for (const DataFileMeta& f : commit.added) {
+      snap.added_rows += f.record_count;
+    }
+    for (const DataFileMeta& f : commit.removed) {
+      snap.removed_rows += f.record_count;
+    }
+    snap.total_files += commit.added.size() - commit.removed.size();
+    snap.total_rows += snap.added_rows - snap.removed_rows;
+    s = meta_->PutSnapshot(info.path, snap);
+    snap_written = s.ok();
   }
-  snap.total_files += commit.added.size() - commit.removed.size();
-  snap.total_rows += snap.added_rows - snap.removed_rows;
-  SL_RETURN_NOT_OK(meta_->PutSnapshot(info.path, snap));
-
-  // Readers at the old snapshot keep their view; this flips visibility
-  // ("changes made by a writer will not be visible to readers until they
-  // are committed and recorded in a snapshot").
-  info.current_snapshot_id = snap.snapshot_id;
-  info.modified_at = commit.timestamp;
-  info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
-  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  if (s.ok()) {
+    // Readers at the old snapshot keep their view; this flips visibility
+    // ("changes made by a writer will not be visible to readers until they
+    // are committed and recorded in a snapshot").
+    info.current_snapshot_id = snap.snapshot_id;
+    info.modified_at = commit.timestamp;
+    info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
+    s = meta_->PutTableInfo(info);
+  }
+  if (!s.ok()) {
+    // Retract the commit/snapshot records: the catalog still points at
+    // the old head, so they must not linger as half-committed state.
+    if (snap_written) {
+      meta_->DeleteSnapshot(info.path, snap.snapshot_id)
+          .LogIgnored("commit rollback");
+    }
+    meta_->DeleteCommit(info.path, commit.commit_seq)
+        .LogIgnored("commit rollback");
+    return s;
+  }
   // The removed files can no longer serve the new head; drop their cached
   // blocks now instead of waiting for LRU churn (time-travel readers of
   // older snapshots simply repopulate them). kTableBlockCache ranks below
@@ -228,17 +251,30 @@ Status Table::Insert(const std::vector<format::Row>& rows) {
     by_partition[partition].push_back(row);
   }
   CommitRequest request;
+  Status s = Status::OK();
   for (auto& [partition, part_rows] : by_partition) {
-    for (size_t begin = 0; begin < part_rows.size();
+    for (size_t begin = 0; s.ok() && begin < part_rows.size();
          begin += options_.max_rows_per_file) {
       size_t end =
           std::min(begin + options_.max_rows_per_file, part_rows.size());
       std::vector<format::Row> chunk(part_rows.begin() + begin,
                                      part_rows.begin() + end);
-      SL_ASSIGN_OR_RETURN(DataFileMeta meta,
-                          WriteDataFile(info, partition, chunk));
-      request.added.push_back(std::move(meta));
+      auto meta = WriteDataFile(info, partition, chunk);
+      if (!meta.ok()) {
+        s = meta.status();
+        break;
+      }
+      request.added.push_back(std::move(*meta));
     }
+    if (!s.ok()) break;
+  }
+  if (!s.ok()) {
+    // None of the files ever reached a commit; delete them (best-effort)
+    // instead of leaving orphans in the object namespace.
+    for (const DataFileMeta& f : request.added) {
+      objects_->Delete(f.path).LogIgnored("insert rollback");
+    }
+    return s;
   }
   return CommitChanges(request);
 }
@@ -637,9 +673,15 @@ Result<uint64_t> Table::RewriteMatching(const query::Conjunction& where,
   request.base_snapshot_id = info.current_snapshot_id;
   request.is_rewrite = true;
   uint64_t affected = 0;
+  Status s = Status::OK();
   for (const DataFileMeta& file : files) {
     if (!FileMayMatch(info, file, where)) continue;
-    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, ReadDataFileRows(file));
+    auto rows_or = ReadDataFileRows(file);
+    if (!rows_or.ok()) {
+      s = rows_or.status();
+      break;
+    }
+    std::vector<format::Row> rows = std::move(*rows_or);
     std::vector<format::Row> rewritten;
     rewritten.reserve(rows.size());
     uint64_t matched = 0;
@@ -667,14 +709,24 @@ Result<uint64_t> Table::RewriteMatching(const query::Conjunction& where,
     affected += matched;
     request.removed.push_back(file);
     if (!rewritten.empty()) {
-      SL_ASSIGN_OR_RETURN(DataFileMeta meta,
-                          WriteDataFile(info, file.partition, rewritten));
-      request.added.push_back(std::move(meta));
+      auto meta = WriteDataFile(info, file.partition, rewritten);
+      if (!meta.ok()) {
+        s = meta.status();
+        break;
+      }
+      request.added.push_back(std::move(*meta));
     }
   }
-  if (request.removed.empty()) return affected;
+  if (s.ok() && request.removed.empty()) return affected;
   // Replaced files stay on disk for time travel until snapshot expiration.
-  SL_RETURN_NOT_OK(CommitChanges(request));
+  if (s.ok()) s = CommitChanges(request);
+  if (!s.ok()) {
+    // The replacement files never became visible; reclaim them.
+    for (const DataFileMeta& f : request.added) {
+      objects_->Delete(f.path).LogIgnored("rewrite rollback");
+    }
+    return s;
+  }
   return affected;
 }
 
@@ -722,10 +774,15 @@ Result<CompactionResult> Table::CompactPartition(const std::string& partition,
     bin_bytes = 0;
     return Status::OK();
   };
+  Status s = Status::OK();
   for (const DataFileMeta& file : small) {
-    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, ReadDataFileRows(file));
+    auto rows_or = ReadDataFileRows(file);
+    if (!rows_or.ok()) {
+      s = rows_or.status();
+      break;
+    }
     result.bytes_rewritten += file.file_bytes;
-    for (format::Row& row : rows) {
+    for (format::Row& row : *rows_or) {
       // Compaction physically applies outstanding merge-on-read deletes.
       if (RowMasked(prior_deletes, file.added_seq, info.schema, row)) {
         continue;
@@ -735,21 +792,22 @@ Result<CompactionResult> Table::CompactPartition(const std::string& partition,
     bin_bytes += file.file_bytes;
     request.removed.push_back(file);
     if (bin_bytes >= options_.target_file_bytes) {
-      SL_RETURN_NOT_OK(flush_bin());
+      s = flush_bin();
+      if (!s.ok()) break;
     }
   }
-  SL_RETURN_NOT_OK(flush_bin());
+  if (s.ok()) s = flush_bin();
   result.files_after = request.added.size();
 
-  Status commit_status = CommitChanges(request);
-  if (!commit_status.ok()) {
-    // Roll back the files we wrote; the commit never became visible.
+  if (s.ok()) s = CommitChanges(request);
+  if (!s.ok()) {
+    // Roll back the bins we wrote; the commit never became visible.
     // Best-effort: a leaked orphan file is preferable to masking the
-    // original commit error.
+    // original error.
     for (const DataFileMeta& f : request.added) {
-      objects_->Delete(f.path).IgnoreError();
+      objects_->Delete(f.path).LogIgnored("compaction rollback");
     }
-    return commit_status;
+    return s;
   }
   // Merged-away files stay for time travel until snapshot expiration.
   return result;
@@ -790,12 +848,25 @@ Result<size_t> Table::RewriteManifest() {
   snap.removed_files = 0;
   snap.added_rows = 0;
   snap.removed_rows = 0;
-  SL_RETURN_NOT_OK(meta_->PutSnapshot(info.path, snap));
-
-  info.current_snapshot_id = snap.snapshot_id;
-  info.modified_at = snap.timestamp;
-  info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
-  SL_RETURN_NOT_OK(meta_->PutTableInfo(info));
+  Status s = meta_->PutSnapshot(info.path, snap);
+  bool snap_written = s.ok();
+  if (s.ok()) {
+    info.current_snapshot_id = snap.snapshot_id;
+    info.modified_at = snap.timestamp;
+    info.snapshot_log.emplace_back(snap.snapshot_id, snap.timestamp);
+    s = meta_->PutTableInfo(info);
+  }
+  if (!s.ok()) {
+    // The catalog still points at the old head; retract the consolidated
+    // records so they never linger half-committed.
+    if (snap_written) {
+      meta_->DeleteSnapshot(info.path, snap.snapshot_id)
+          .LogIgnored("manifest rollback");
+    }
+    meta_->DeleteCommit(info.path, consolidated.commit_seq)
+        .LogIgnored("manifest rollback");
+    return s;
+  }
   return squashed;
 }
 

@@ -6,6 +6,7 @@
 #include "common/bytes.h"
 #include "common/coding.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -53,6 +54,16 @@ TEST(StatusTest, ReturnNotOkMacro) {
     return Status::AlreadyExists("reached end");
   };
   EXPECT_TRUE(passes().IsAlreadyExists());
+}
+
+TEST(StatusTest, LogIgnoredCountsErrorsOnly) {
+  Counter* ignored =
+      MetricsRegistry::Global().GetCounter("common.status.ignored");
+  uint64_t before = ignored->Value();
+  Status::OK().LogIgnored("noop");  // ok() is silent and uncounted
+  EXPECT_EQ(ignored->Value(), before);
+  Status::IOError("disk full").LogIgnored("test drop");
+  EXPECT_EQ(ignored->Value(), before + 1);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -37,6 +37,13 @@ Rules
       goes through MetricsRegistry (common/metrics.h) under a stable
       dotted name so it shows up in snapshots and the CI bench gate
       (DESIGN.md, "Observability").
+  R7  Every `.IgnoreError()` call under src/ carries an adjacent
+      `// ignore-ok: <reason>` comment (same line or the line above),
+      mirroring the slint suppression grammar: silently dropping a Status
+      needs a written justification just like suppressing a finding.
+      Prefer `.LogIgnored("reason")`, which logs a warning and bumps
+      common.status.ignored — it needs no comment because it carries its
+      reason in code.
 
 Run from the repo root:  python3 tools/lint.py
 Registered as the `lint` ctest, so tier-1 verify runs it automatically;
@@ -80,6 +87,11 @@ MUTEX_DECL = re.compile(r"\b(Mutex|SharedMutex)\s+(\w+)")
 
 # R6: ad-hoc counter idioms that bypass the metrics registry.
 AD_HOC_COUNTER = re.compile(r"\b\w+_counter_\b|\bcounters\s*->")
+
+# R7: the call form only (`.IgnoreError()`), so the declaration in
+# status.h (`void IgnoreError() const`) is exempt by construction.
+IGNORE_CALL = re.compile(r"\.\s*IgnoreError\s*\(\s*\)")
+IGNORE_OK = re.compile(r"//\s*ignore-ok:\s*\S")
 
 # R5: lock-scope openers and the blocking calls banned inside them.
 LOCK_SCOPE = re.compile(
@@ -244,6 +256,19 @@ def lint_text(path, raw):
                     f"{path}:{lineno}: R6: ad-hoc counter "
                     f"'{m.group(0).strip()}'; report through "
                     "MetricsRegistry (common/metrics.h) instead")
+
+    if path.startswith("src" + os.sep):
+        # R7 scans stripped code for the call (so prose mentions don't
+        # trip it) but raw lines for the justification comment.
+        raw_lines = raw.split("\n")
+        for m in IGNORE_CALL.finditer(code):
+            lineno = lineno_at(code, m.start())
+            adjacent = raw_lines[max(0, lineno - 2):lineno]
+            if not any(IGNORE_OK.search(line) for line in adjacent):
+                errors.append(
+                    f"{path}:{lineno}: R7: .IgnoreError() without an "
+                    "adjacent '// ignore-ok: <reason>' comment; justify "
+                    "the drop or use .LogIgnored(\"reason\")")
 
     if not path.startswith("src" + os.sep):
         check_blocking_under_lock(path, code, errors)

@@ -197,6 +197,42 @@ class RuleTest(unittest.TestCase):
             "static Counter* ops =\n"
             '    MetricsRegistry::Global().GetCounter("kv.get.ops");\n')
 
+    # R7 ------------------------------------------------------------------
+    def test_r7_ignore_error_without_comment(self):
+        self.assert_rule("R7", "void F(Status s) {\n  s.IgnoreError();\n}\n")
+
+    def test_r7_same_line_comment_is_clean(self):
+        self.assert_clean(
+            "void F(Status s) {\n"
+            "  s.IgnoreError();  // ignore-ok: shutdown path, store is gone\n"
+            "}\n")
+
+    def test_r7_comment_on_line_above_is_clean(self):
+        self.assert_clean(
+            "void F(Status s) {\n"
+            "  // ignore-ok: best-effort cache warmup\n"
+            "  s.IgnoreError();\n"
+            "}\n")
+
+    def test_r7_bare_ignore_ok_marker_is_not_enough(self):
+        # The marker must carry a reason, not just the tag.
+        self.assert_rule(
+            "R7", "void F(Status s) {\n  s.IgnoreError();  // ignore-ok:\n}\n")
+
+    def test_r7_log_ignored_is_clean(self):
+        self.assert_clean(
+            'void F(Status s) {\n  s.LogIgnored("gc release");\n}\n')
+
+    def test_r7_declaration_and_prose_are_clean(self):
+        self.assert_clean(
+            "// callers that truly cannot act may call IgnoreError()\n"
+            "void IgnoreError() const {}\n")
+
+    def test_r7_only_applies_under_src(self):
+        errs = lint.lint_text(os.path.join("tests", "t.cc"),
+                              "void F(Status s) {\n  s.IgnoreError();\n}\n")
+        self.assertFalse(any(": R7: " in e for e in errs), errs)
+
 
 class RepoTest(unittest.TestCase):
     def test_whole_repo_is_clean(self):

@@ -56,6 +56,48 @@ _LAMBDA = re.compile(
     r"(?:->\s*[\w:<>&*\s]+?\s*)?\{")
 _DEVICE_HOOK = re.compile(r"\bio(?:_read)?_delay_hook\s*\(")
 
+# --- error-path / shared-state patterns (checks S5-S7) ---------------------
+
+# Method names whose calls mutate externally visible state: PLog appends,
+# KV/metadata puts, object-store writes/creates, cache/table inserts,
+# catalog deletes. Name-matching is only the first net: a matched call
+# that RESOLVES to in-program callees reaching no durable-write root is
+# dropped again by effective_mutations() — that is how ScmSliceCache::Put
+# (self-healing) and WriteBatch::Put (staging) fall out while
+# Table::Insert (a real commit) stays in.
+_MUTATION_NAMES = frozenset((
+    "Append", "AppendKeyed", "AppendEntry", "AppendBatch", "Put",
+    "PutCommit", "PutSnapshot", "PutTableInfo", "Write", "WriteBatch",
+    "WriteEntry", "CreateObject", "CreateTable", "Insert", "Delete",
+    "DeleteEntry", "DeleteCommit", "DeleteSnapshot", "DeleteTableInfo",
+    "Remove"))
+# Delete-kind mutations are idempotent: a torn delete protocol leaves
+# re-drivable garbage, never an inconsistently *referenced* state, so
+# functions whose durable mutations are ALL delete-kind are exempt from
+# S6 (re-running the delete IS the rollback).
+_DELETE_KIND = re.compile(
+    r"^(Delete|Remove|Destroy|Drop|Erase|Expire|Trim|MarkGarbage|Unlink"
+    r"|Evict|Invalidate)")
+# Ground-truth mutation roots: the atomic durable-write primitives of the
+# storage layer. Everything below them (per-extent device writes, WAL
+# segment appends, stripe applies) is the primitive's own implementation,
+# covered by the seal/repair/WAL-replay machinery, and everything above
+# them inherits "mutates durable state" by reaching one of these.
+_ROOT_MUTATIONS = frozenset(("KvStore::Write", "PlogStore::Append"))
+# Calls that undo earlier mutations on an error path. A Delete/Remove/erase
+# whose Status is explicitly discarded (.IgnoreError()/.LogIgnored()) is
+# best-effort cleanup, i.e. an undo, not a mutation.
+_UNDO_NAMES = frozenset(("MarkGarbage", "Rollback", "Abort", "Undo"))
+_DISCARD_SUFFIX = re.compile(r"\s*\.\s*(IgnoreError|LogIgnored)\s*\(")
+_ERR_MACRO = re.compile(r"\bSL_(?:RETURN_NOT_OK|ASSIGN_OR_RETURN)\s*\(")
+_ERR_RETURN = re.compile(r"\breturn\s+Status\s*::\s*(?!OK\b)\w+\s*\(")
+# Operations that make state visible to readers: a catalog-version bump
+# (PutTableInfo & friends) or a member-map publish (`objects_[id] = ...`).
+_PUBLISH_NAMES = frozenset(("PutTableInfo",))
+_MAP_PUBLISH = re.compile(r"\b(\w+_)\s*\[[^\]]*\]\s*=(?!=)")
+_LOOP_HDR = re.compile(r"\b(?:for|while)\s*\(")
+_FALLIBLE_RET = re.compile(r"\b(?:Status|Result\s*<)")
+
 _NOT_CALLS = frozenset((
     "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
     "new", "delete", "throw", "static_cast", "dynamic_cast", "const_cast",
@@ -81,15 +123,24 @@ class Summary:
         self.guarded_uses = []     # (field, guard_name, pos, held_bool)
         self.callback_holds = []   # frozenset(held) at callback invocations
         self.unresolved_locks = []  # (expr, pos)
+        # Error-path / shared-state facts (checks S6/S7):
+        self.mutations = []        # (desc, pos) direct durable mutations
+        self.undos = []            # (desc, pos) rollback/cleanup calls
+        self.error_returns = []    # positions of early error returns
+        self.publishes = []        # (desc, pos) visibility flips
+        self.loops = []            # (start, end) loop body spans
 
 
 class CallSite:
-    def __init__(self, raw, pos, held, targets, lambdas):
+    def __init__(self, raw, pos, held, targets, lambdas, recv=None,
+                 discarded=False):
         self.raw = raw            # textual callee
         self.pos = pos
         self.held = held          # frozenset of lock names
         self.targets = targets    # [FunctionInfo] (empty = external/unknown)
         self.lambdas = lambdas    # [FunctionInfo] synthetic lambda args
+        self.recv = recv          # receiver expression or None
+        self.discarded = discarded  # .IgnoreError()/.LogIgnored() suffix
 
 
 class Analysis:
@@ -103,6 +154,9 @@ class Analysis:
                 self._mutex_by_var.setdefault(info.var, []).append(info)
         self._closure_cache = {}
         self._blocking_cache = {}
+        self._mutation_cache = {}
+        self._effmut_cache = {}
+        self._escaped_cache = None
         self._run()
 
     # -- lock reference resolution ----------------------------------------
@@ -375,7 +429,8 @@ class Analysis:
                          if c.cls == qual]
                 if cands:
                     s.calls.append(CallSite(m.group(1), m.start(),
-                                            held_at(m.start()), cands, []))
+                                            held_at(m.start()), cands, [],
+                                            recv=None))
                     continue
             self._add_call(s, fn, name, recv_var, m.start(), held_at, body,
                            bare=True)
@@ -388,6 +443,35 @@ class Analysis:
                 h = held_at(m.start())
                 if h:
                     s.callback_holds.append(h)
+
+        # Error-path facts (S6/S7): early error returns, loop spans,
+        # mutation/undo/publish sites.
+        for m in _ERR_MACRO.finditer(body):
+            s.error_returns.append(m.start())
+        for m in _ERR_RETURN.finditer(body):
+            s.error_returns.append(m.start())
+        s.error_returns.extend(_notok_returns(body))
+        s.error_returns = sorted(set(s.error_returns))
+        s.loops = _loop_spans(body)
+        for m in _METHOD_CALL.finditer(body):
+            name = m.group(2)
+            close = _call_close(body, m.start())
+            discarded = close is not None and \
+                _DISCARD_SUFFIX.match(body, close) is not None
+            recv = _receiver_expr(body, m.start())
+            desc = f"{recv}->{name}" if recv else name
+            if name in _UNDO_NAMES or \
+                    (discarded and name in _MUTATION_NAMES):
+                s.undos.append((desc, m.start()))
+            elif name in _MUTATION_NAMES and not discarded:
+                s.mutations.append((desc, m.start()))
+            if name in _PUBLISH_NAMES or name.startswith("Publish"):
+                s.publishes.append((desc, m.start()))
+        if fn.cls and fn.cls in self.program.classes:
+            members = self.program.classes[fn.cls].members
+            for m in _MAP_PUBLISH.finditer(body):
+                if m.group(1) in members:
+                    s.publishes.append((f"{m.group(1)}[...] =", m.start()))
 
         return s
 
@@ -409,7 +493,11 @@ class Analysis:
         if not targets and name not in self.program.functions_by_name:
             return  # external (std::, gtest, libc): no model needed
         lambdas = _lambda_args(self, fn, pos, body)
-        s.calls.append(CallSite(name, pos, held_at(pos), targets, lambdas))
+        close = _call_close(body, pos)
+        discarded = close is not None and \
+            _DISCARD_SUFFIX.match(body, close) is not None
+        s.calls.append(CallSite(name, pos, held_at(pos), targets, lambdas,
+                                recv=recv_var, discarded=discarded))
 
     # -- closures ----------------------------------------------------------
 
@@ -459,6 +547,152 @@ class Analysis:
         _stack.discard(fn.qualname)
         self._blocking_cache[fn.qualname] = out
         return out
+
+    def effective_mutations(self, fn, _stack=None):
+        """[(desc, pos)] direct durable mutations of `fn` that survive
+        resolution: a name-matched call is dropped when it resolves wholly
+        to in-program callees none of which reach a mutation root —
+        `WriteBatch::Put` stages into a local buffer, `ScmSliceCache::Put`
+        self-heals on miss, `LakeFileWriter::AppendBatch` builds an
+        in-memory file. Unresolved/external calls stay conservative."""
+        if fn.qualname in self._effmut_cache:
+            return self._effmut_cache[fn.qualname]
+        call_at = {c.pos: c for c in fn.summary.calls}
+        out = []
+        for desc, pos in fn.summary.mutations:
+            c = call_at.get(pos)
+            if c and c.targets and not any(
+                    self.mutation_closure(t, _stack) for t in c.targets):
+                continue
+            out.append((desc, pos))
+        self._effmut_cache[fn.qualname] = out
+        return out
+
+    def mutation_closure(self, fn, _stack=None):
+        """{mutation_desc: witness_chain} of durable externally-visible
+        mutations reachable from `fn` — the S6 analogue of
+        blocking_closure. A call to a function with a non-empty mutation
+        closure counts as a mutation at that call site. Two kinds of
+        functions export nothing to their callers: none (the closure stops
+        at them) —
+
+        * mutation roots (`_ROOT_MUTATIONS`): they export themselves as a
+          single opaque primitive; their internals (stripe writes, WAL
+          segment appends) belong to the seal/repair/replay machinery;
+        * publishers: a callee that completes its own visibility flip
+          (catalog bump, map publish) is a finished transaction, not
+          dangling preparatory state, so callers need no undo for it.
+        """
+        if fn.qualname in self._mutation_cache:
+            return self._mutation_cache[fn.qualname]
+        _stack = _stack or set()
+        if fn.qualname in _stack:
+            return {}
+        if fn.qualname in _ROOT_MUTATIONS:
+            out = {fn.qualname: [f"{fn.qualname} "
+                                 f"[{fn.path}:{fn.body_line}] "
+                                 "(durable write primitive)"]}
+            self._mutation_cache[fn.qualname] = out
+            return out
+        if fn.summary.publishes:
+            self._mutation_cache[fn.qualname] = {}
+            return {}
+        _stack.add(fn.qualname)
+        out = {}
+        for desc, pos in self.effective_mutations(fn, _stack):
+            out.setdefault(desc,
+                           [f"{fn.qualname} [{fn.path}:{fn.line_of(pos)}]"])
+        for call in fn.summary.calls:
+            if call.discarded:
+                continue  # best-effort cleanup: cannot fail the caller
+            for t in call.targets + call.lambdas:
+                for key, chain in self.mutation_closure(t, _stack).items():
+                    out.setdefault(
+                        key,
+                        [f"{fn.qualname} [{fn.path}:"
+                         f"{fn.line_of(call.pos)}]"] + chain)
+        _stack.discard(fn.qualname)
+        self._mutation_cache[fn.qualname] = out
+        return out
+
+    # -- thread-escape (S5) ------------------------------------------------
+
+    def _local_value_recv(self, caller, recv):
+        """True when a call's receiver is a function-local VALUE object of
+        the caller — a per-call private instance that never escapes to
+        another thread (e.g. `CachedFileReader reader(...)` in a scan
+        job). Pointer/reference locals stay conservative (they may alias
+        shared state)."""
+        if not recv or recv == "this":
+            return False
+        idents = re.findall(r"\w+", recv)
+        if not idents:
+            return False
+        v = idents[0]
+        if v == "this" or v in caller.param_types:
+            return False
+        if caller.cls and caller.cls in self.program.classes and \
+                v in self.program.classes[caller.cls].members:
+            return False
+        m = re.search(
+            r"(?:^|[;{}\n])\s*([\w:]+(?:<[^;=(]*>)?)\s+" + re.escape(v) +
+            r"\s*[({;=]", caller.body)
+        return bool(m and m.group(1) not in ("return", "auto"))
+
+    def escaped_classes(self):
+        """{class_name: reason} for every class whose instances are
+        thread-shared: it owns synchronization state (a mutex, condvar, or
+        atomic member — the class itself declares concurrent entry), or
+        its methods are reachable from a deferred ThreadPool::Submit
+        lambda through non-local receivers (the instance escapes onto a
+        pool worker)."""
+        if self._escaped_cache is not None:
+            return self._escaped_cache
+        shared = {}
+        for cname, ci in self.program.classes.items():
+            for field, t in ci.members.items():
+                if t in ("Mutex", "SharedMutex", "CondVar") or \
+                        "atomic" in t:
+                    shared.setdefault(
+                        cname, f"owns synchronization member \"{field}\"")
+                    break
+        work = [(lam, f"Submit lambda {lam.qualname}")
+                for lam in self.lambda_funcs if lam.deferred]
+        # A deferred lambda that invokes a LOCAL lambda variable of its
+        # enclosing function (`auto run_job = [&](...) {...}` then
+        # `Submit([&]{ run_job(i); })`) runs the enclosing function's
+        # inline-lambda code on a pool worker; the call cannot resolve by
+        # name, so conservatively treat the whole enclosing function as
+        # worker-reachable.
+        for lam in self.lambda_funcs:
+            if not lam.deferred or "::<lambda@" not in lam.qualname:
+                continue
+            parent = self.by_qualname.get(
+                lam.qualname.rsplit("::<lambda@", 1)[0])
+            if parent is None:
+                continue
+            for m in re.finditer(r"\b(\w+)\s*\(", lam.body):
+                if re.search(r"\b%s\s*=\s*\[" % re.escape(m.group(1)),
+                             parent.body):
+                    work.append(
+                        (parent, f"Submit lambda {lam.qualname} runs "
+                                 f"local lambda {m.group(1)}"))
+                    break
+        seen = set()
+        while work:
+            fn, reason = work.pop()
+            if fn.qualname in seen:
+                continue
+            seen.add(fn.qualname)
+            if fn.cls:
+                shared.setdefault(fn.cls, reason)
+            for call in fn.summary.calls:
+                if self._local_value_recv(fn, call.recv):
+                    continue  # per-job private instance, does not escape
+                for t in call.targets + call.lambdas:
+                    work.append((t, reason))
+        self._escaped_cache = shared
+        return shared
 
     # -- the static lock graph --------------------------------------------
 
@@ -541,6 +775,82 @@ def _branch_exits(body, pos, block_end):
     end = block_end.get(pos, len(body))
     return re.search(r"\b(return|break|continue)\b", body[pos:end]) \
         is not None
+
+
+def _match_paren(body, open_pos):
+    """Index of the `)` matching the `(` at open_pos, or None."""
+    depth = 0
+    for i in range(open_pos, len(body)):
+        if body[i] == "(":
+            depth += 1
+        elif body[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def _call_close(body, pos):
+    """Position just past the `)` closing the call whose `.`/`->` starts at
+    `pos`, or None."""
+    op = body.find("(", pos)
+    if op == -1:
+        return None
+    close = _match_paren(body, op)
+    return None if close is None else close + 1
+
+
+def _notok_returns(body):
+    """Positions of `return` statements inside `if (... !....ok() ...)`
+    blocks — the explicit-error-propagation idiom the SL_ macros expand
+    to."""
+    out = []
+    for m in re.finditer(r"\bif\s*\(", body):
+        close = _match_paren(body, m.end() - 1)
+        if close is None:
+            continue
+        cond = body[m.end():close]
+        if ".ok()" not in cond or "!" not in cond:
+            continue
+        j = close + 1
+        while j < len(body) and body[j] in " \t\n":
+            j += 1
+        if j < len(body) and body[j] == "{":
+            end = _close_brace(body, j)
+            span_end = end if end is not None else len(body)
+        else:
+            semi = body.find(";", j)
+            span_end = semi if semi != -1 else len(body)
+        for rm in re.finditer(r"\breturn\b", body[j:span_end]):
+            out.append(j + rm.start())
+    return out
+
+
+def _loop_spans(body):
+    """(start, end) span of each for/while statement including its body."""
+    spans = []
+    for m in _LOOP_HDR.finditer(body):
+        close = _match_paren(body, m.end() - 1)
+        if close is None:
+            continue
+        j = close + 1
+        while j < len(body) and body[j] in " \t\n":
+            j += 1
+        if j < len(body) and body[j] == "{":
+            end = _close_brace(body, j)
+            spans.append((m.start(), (end if end is not None
+                                      else len(body)) + 1))
+        else:
+            semi = body.find(";", j)
+            spans.append((m.start(), (semi if semi != -1
+                                      else len(body)) + 1))
+    return spans
+
+
+def fallible_ret(fn):
+    """True when `fn` returns Status or Result<T> (an error can propagate
+    out of it)."""
+    return bool(_FALLIBLE_RET.search(getattr(fn, "ret", "") or ""))
 
 
 def _receiver_expr(body, call_pos):
@@ -650,6 +960,7 @@ def _excise_submit_lambdas(analysis, fn):
             f"{fn.qualname}::<lambda@{line}>", fn.cls,
             f"<lambda@{line}>", fn.path, "", lam_body, line,
             [], False, dict(fn.param_types))
+        lam.deferred = True
         analysis.lambda_funcs.append(lam)
         lams.append(lam)
         excised.append((open_brace, close))

@@ -1,16 +1,24 @@
-"""The four slint checks, DOT emission/parsing, and the suppression file.
+"""The slint checks (S1-S7), DOT emission/parsing, and the suppression file.
 
 Findings carry a (check, key) pair; a suppression line in
 tools/slint_suppressions.txt must name exactly that pair plus a
-justification. Keys:
+justification (a key ending in `*` suppresses every key with that prefix —
+for per-class S5 exemptions). Keys:
 
   S1  "from->to"            (lock names of the offending static edge)
   S2  "Qual::Name:kind"     (function qualname : blocking-root kind)
   S3  "Qual::Name:field"    (function qualname : guarded field)
   S4  "from->to"            (observed edge absent from the static graph)
+  S5  "Class:field"         (unguarded mutable member of a shared class)
+  S6  "Qual::Name:torn"     (error return leaves mutations un-undone)
+  S7  "Qual::Name:publish"  (fallible call after the visibility flip)
 """
 
+import json
 import re
+
+from .analysis import (_DELETE_KIND, _MUTATION_NAMES,
+                       fallible_ret)
 
 
 class Finding:
@@ -34,7 +42,7 @@ class Finding:
 # Suppressions.
 # ---------------------------------------------------------------------------
 
-_SUPP_LINE = re.compile(r"^(S[1-4])\s+(\S+)\s+--\s+(.+)$")
+_SUPP_LINE = re.compile(r"^(S[1-7])\s+(\S+)\s+--\s+(.+)$")
 
 
 def load_suppressions(text):
@@ -54,6 +62,12 @@ def load_suppressions(text):
     return out
 
 
+def _supp_matches(supp_key, finding_key):
+    if supp_key.endswith("*"):
+        return finding_key.startswith(supp_key[:-1])
+    return supp_key == finding_key
+
+
 def apply_suppressions(findings, supps):
     """(unsuppressed_findings, unused_suppression_findings)."""
     used = set()
@@ -61,7 +75,7 @@ def apply_suppressions(findings, supps):
     for f in findings:
         hit = None
         for i, (check, key, _, _) in enumerate(supps):
-            if check == f.check and key == f.key:
+            if check == f.check and _supp_matches(key, f.key):
                 hit = i
                 break
         if hit is None:
@@ -238,6 +252,311 @@ def check_s4(program, edges, observed_text):
 
 
 # ---------------------------------------------------------------------------
+# S5: guard-completeness — every mutable member of a thread-shared class is
+# GUARDED_BY-annotated, atomic, or const-after-construction.
+# ---------------------------------------------------------------------------
+
+# Member types that ARE the synchronization / execution machinery, not data.
+_S5_EXEMPT_TYPES = frozenset((
+    "Mutex", "SharedMutex", "CondVar", "ThreadPool", "thread"))
+
+_MUTATOR_METHODS = (
+    "push_back|emplace_back|emplace|emplace_front|pop_back|push_front|"
+    "pop_front|push|pop|clear|erase|insert|resize|assign|swap|splice|reset")
+
+
+def _write_sites(field):
+    """Regex matching a WRITE of member `field`: assignment, compound
+    assignment, inc/dec, or a container-mutator method call."""
+    v = re.escape(field)
+    return re.compile(
+        r"(?:\+\+|--)\s*" + v + r"\b"
+        r"|\b" + v + r"\s*(?:\+\+|--)"
+        r"|\b" + v + r"\s*(?:\[[^\]]*\]\s*)?(?:[-+*/|&^]|<<|>>)?=(?!=)"
+        r"|\b" + v + r"\s*(?:\.|->)\s*(?:" + _MUTATOR_METHODS + r")\s*\(")
+
+
+def _is_member_write(body, m):
+    """False when the matched write goes through a non-this receiver
+    (`c.field = ...`, `plog->field = ...`): that is a write to SOME OTHER
+    object — a local being built in a factory, a request struct — not to
+    this instance's member."""
+    pre = re.sub(r"(?:\+\+|--)\s*$", "", body[:m.start()])
+    recv = re.search(r"(\w+|\]|\))\s*(?:\.|->)\s*$", pre)
+    return recv is None or recv.group(1) == "this"
+
+
+def check_s5(program, analysis):
+    """For each thread-shared class (owns a lock/condvar/atomic, or its
+    methods are reachable from a deferred Submit lambda), every mutable
+    member must be annotated, atomic, or const-after-construction
+    (written only by the constructor)."""
+    findings = []
+    shared = analysis.escaped_classes()
+    methods = {}  # class -> [FunctionInfo] incl. excised lambdas
+    for fn in analysis.all_functions:
+        if fn.cls:
+            methods.setdefault(fn.cls, []).append(fn)
+    for cname in sorted(shared):
+        ci = program.classes.get(cname)
+        if ci is None:
+            continue
+        reason = shared[cname]
+        for field in sorted(ci.members):
+            t = ci.members[field]
+            if field in ci.annotated or field in ci.const_members:
+                continue
+            if t in _S5_EXEMPT_TYPES or "atomic" in t:
+                continue
+            pat = _write_sites(field)
+            site = None
+            for fn in methods.get(cname, []):
+                if fn.name.lstrip("~") == cname:
+                    continue  # ctor/dtor run before/after sharing
+                if field in fn.param_types:
+                    continue  # a parameter shadows the member name
+                for m in pat.finditer(fn.body):
+                    if _is_member_write(fn.body, m):
+                        site = (fn, m.start())
+                        break
+                if site:
+                    break
+            if site is None:
+                continue  # const-after-construction
+            fn, pos = site
+            findings.append(Finding(
+                "S5", f"{cname}:{field}",
+                f"\"{cname}::{field}\" ({t}) is written by {fn.qualname} "
+                f"but is neither GUARDED_BY-annotated, atomic, nor "
+                f"const-after-construction; the class is thread-shared "
+                f"({reason}) — annotate the member or justify-suppress",
+                fn.path, fn.line_of(pos)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# S6: rollback/torn-state — every early error return after an externally
+# visible mutation must reach an undo of the mutations made so far.
+# ---------------------------------------------------------------------------
+
+def _mutation_kind(name):
+    """'delete' for idempotent delete-kind mutations, else 'write'."""
+    return "delete" if _DELETE_KIND.match(name) else "write"
+
+
+_TERMINAL_RETURN = re.compile(r"\breturn\b[^;{}]*$")
+
+
+def _terminal(body, pos):
+    """True if the mutation at `pos` sits inside a `return` statement
+    (`return objects_->Write(...)`). Such a mutation ends its path: no
+    later code runs after it, so it cannot leave state torn relative to
+    a lexically-later error return (which belongs to a different path),
+    and its own failure is exactly the status handed to the caller."""
+    return _TERMINAL_RETURN.search(body, max(0, pos - 120), pos) is not None
+
+
+def _mutation_events(analysis, fn):
+    """[(eff_pos, pos, desc, chain, in_loop, kind)] durable mutations in
+    `fn`, direct and via calls (interprocedural, with witness chains). A
+    mutation inside a loop takes the loop start as its effective position:
+    a later iteration can fail after an earlier iteration already
+    mutated."""
+    events = {}
+    for desc, pos in analysis.effective_mutations(fn):
+        if _terminal(fn.body, pos):
+            continue
+        name = desc.rsplit("->", 1)[-1]
+        events[pos] = (pos, desc, None, _mutation_kind(name))
+    for call in fn.summary.calls:
+        if call.pos in events or call.discarded or \
+                _terminal(fn.body, call.pos):
+            continue
+        for t in call.targets:
+            closure = analysis.mutation_closure(t)
+            if closure:
+                desc, chain = next(iter(sorted(closure.items())))
+                name = call.raw.split("::")[-1]
+                events[call.pos] = (call.pos, f"{call.raw}() -> {desc}",
+                                    chain, _mutation_kind(name))
+                break
+    out = []
+    for pos, (p, desc, chain, kind) in sorted(events.items()):
+        eff = p
+        in_loop = False
+        for start, end in fn.summary.loops:
+            if start <= p < end:
+                eff = min(eff, start)
+                in_loop = True
+        out.append((eff, p, desc, chain, in_loop, kind))
+    return out
+
+
+def _undo_sites(analysis, fn):
+    """[(desc, pos)] undo operations in `fn`: the summary's own undo idioms
+    (MarkGarbage / discarded deletes) plus two interprocedural forms —
+
+    * a *discarded mutating call* (`ReleaseFragment(f).LogIgnored(...)`):
+      explicitly best-effort compensation on an error path;
+    * a call to a *pure undo helper*: a callee with no effective mutations
+      of its own whose body consists of undo idioms (a rollback routine
+      factored out of the commit protocol).
+    """
+    undos = list(fn.summary.undos)
+    for call in fn.summary.calls:
+        if not call.targets:
+            continue
+        if call.discarded:
+            if any(analysis.mutation_closure(t) for t in call.targets):
+                undos.append((call.raw, call.pos))
+            continue
+        if not any(analysis.effective_mutations(t) for t in call.targets) \
+                and any(t.summary.undos for t in call.targets):
+            undos.append((call.raw, call.pos))
+    return undos
+
+
+def check_s6(analysis):
+    """Status/Result-returning functions performing >= 2 durable mutations:
+    every early error return lexically after mutation k must have an undo
+    (MarkGarbage/Rollback/discarded-Delete/erase idioms) between the first
+    mutation and the return — otherwise the path leaves torn state."""
+    findings = []
+    for fn in analysis.all_functions:
+        if not fallible_ret(fn):
+            continue
+        muts = _mutation_events(analysis, fn)
+        # A function whose durable mutations are ALL delete-kind is a GC /
+        # teardown protocol: a torn run leaves re-drivable garbage, and
+        # re-running the delete is the rollback.
+        if muts and all(m[5] == "delete" for m in muts):
+            continue
+        # Loop mutations count double: two iterations are two mutations.
+        weight = sum(2 if in_loop else 1 for _, _, _, _, in_loop, _ in muts)
+        if weight < 2:
+            continue
+        undos = _undo_sites(analysis, fn)
+        torn = []
+        for r in fn.summary.error_returns:
+            pre = [m for m in muts if m[0] < r and m[1] != r]
+            if not pre:
+                continue
+            first = min(m[1] for m in pre)
+            if any(first <= upos < r or
+                   _same_loop(fn.summary.loops, upos, r)
+                   for _, upos in undos):
+                continue
+            torn.append((r, pre))
+        if not torn:
+            continue
+        r, pre = torn[0]
+        _, mpos, desc, chain, _, _ = pre[0]
+        msg = (f"{fn.qualname} returns an error at line {fn.line_of(r)} "
+               f"after {len(pre)} un-undone mutation(s) — first: {desc} "
+               f"at line {fn.line_of(mpos)}")
+        if chain:
+            msg += "; mutation path: " + " -> ".join(chain)
+        if len(torn) > 1:
+            msg += f" ({len(torn)} torn error paths in total)"
+        msg += (". Add rollback (MarkGarbage / best-effort Delete) before "
+                "the return, or justify-suppress if partial state is "
+                "benign/idempotent")
+        findings.append(Finding("S6", f"{fn.qualname}:torn", msg,
+                                fn.path, fn.line_of(r)))
+    return findings
+
+
+def _same_loop(loops, a, b):
+    """True if positions a and b share a loop body (an undo in the same
+    loop as the error return runs on the prior iterations' state)."""
+    return any(s <= a < e and s <= b < e for s, e in loops)
+
+
+# ---------------------------------------------------------------------------
+# S7: publish-last — the operation that makes commit state visible to
+# readers must be the lexically-last fallible operation.
+# ---------------------------------------------------------------------------
+
+def check_s7(analysis):
+    findings = []
+    for fn in analysis.all_functions:
+        pubs = fn.summary.publishes
+        if not pubs:
+            continue
+        muts = _mutation_events(analysis, fn)
+        first_pub = min(pos for _, pos in pubs)
+        # Only commit protocols: at least one durable mutation precedes
+        # the publish (a bare map/catalog write is not a commit sequence).
+        if not any(eff < first_pub for eff, _, _, _, _, _ in muts):
+            continue
+        undo_pos = {upos for _, upos in _undo_sites(analysis, fn)}
+        for pdesc, ppos in pubs:
+            offender = None
+            for call in fn.summary.calls:
+                if call.pos <= ppos:
+                    continue
+                name = call.raw.split("::")[-1]
+                fallible = name in _MUTATION_NAMES or any(
+                    fallible_ret(t) for t in call.targets)
+                if not fallible:
+                    continue
+                if call.discarded or call.pos in undo_pos:
+                    continue  # best-effort cleanup cannot tear the commit
+                if offender is None or call.pos < offender[1]:
+                    offender = (call.raw, call.pos)
+            for desc, mpos in analysis.effective_mutations(fn):
+                if mpos > ppos and (offender is None or mpos < offender[1]):
+                    offender = (desc, mpos)
+            if offender is None:
+                continue
+            oname, opos = offender
+            findings.append(Finding(
+                "S7", f"{fn.qualname}:publish",
+                f"{fn.qualname} publishes ({pdesc}) at line "
+                f"{fn.line_of(ppos)} but then performs fallible operation "
+                f"{oname} at line {fn.line_of(opos)} — a failure after the "
+                "visibility flip leaves readers seeing a commit whose "
+                "protocol then errored; make the publish last, absorb the "
+                "failure (.LogIgnored), or justify-suppress",
+                fn.path, fn.line_of(opos)))
+            break  # one finding per function
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# JSON findings export (CI artifact next to lock_graph.dot).
+# ---------------------------------------------------------------------------
+
+def findings_json(findings, remaining, unused, supps, stats):
+    """Machine-readable report: every finding with its suppression state,
+    plus unused-suppression errors and run statistics."""
+    remaining_ids = {id(f) for f in remaining}
+    supp_just = {}
+    for check, key, just, _ in supps:
+        supp_just[(check, key)] = just
+    items = []
+    for f in findings:
+        just = None
+        if id(f) not in remaining_ids:
+            for (check, key), j in supp_just.items():
+                if check == f.check and _supp_matches(key, f.key):
+                    just = j
+                    break
+        items.append({
+            "check": f.check, "key": f.key, "message": f.message,
+            "path": f.path, "line": f.line,
+            "suppressed": id(f) not in remaining_ids,
+            "justification": just,
+        })
+    return json.dumps({
+        "stats": stats,
+        "findings": items,
+        "unused_suppressions": [
+            {"key": u.key, "message": u.message} for u in unused],
+    }, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
 # DOT emission / parsing (shared grammar with LockOrderGraph::WriteDot).
 # ---------------------------------------------------------------------------
 
@@ -292,4 +611,7 @@ def run_checks(program, analysis, observed_text=None):
     findings += check_s3(analysis)
     if observed_text is not None:
         findings += check_s4(program, edges, observed_text)
+    findings += check_s5(program, analysis)
+    findings += check_s6(analysis)
+    findings += check_s7(analysis)
     return findings, edges

@@ -21,9 +21,18 @@ def _default_root():
 def main(argv=None):
     ap = argparse.ArgumentParser(
         prog="slint",
-        description="whole-program static lock analyzer (checks S1-S4)")
+        description="whole-program static correctness analyzer "
+                    "(checks S1-S7)")
     ap.add_argument("--root", default=_default_root(),
                     help="repository root (default: inferred from tools/)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parse files on N processes (0 = one per CPU; "
+                         "default 1)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the content-hash parse cache under "
+                         "build/slint_cache/")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write a machine-readable findings report to PATH")
     ap.add_argument("--dot", metavar="PATH",
                     help="write the static lock graph as DOT to PATH")
     ap.add_argument("--dot-only", action="store_true",
@@ -44,7 +53,10 @@ def main(argv=None):
         print(f"slint: no C++ sources under {args.root}/src",
               file=sys.stderr)
         return 2
-    program = parse_program(sources)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache_dir = None if args.no_cache else \
+        os.path.join(args.root, "build", "slint_cache")
+    program = parse_program(sources, jobs=jobs, cache_dir=cache_dir)
     if not program.ranks:
         print("slint: could not read the LockRank enum from "
               "src/common/mutex.h", file=sys.stderr)
@@ -77,6 +89,18 @@ def main(argv=None):
                 print(f"slint: {supp_path}: {e}", file=sys.stderr)
                 return 2
     remaining, unused = C.apply_suppressions(findings, supps)
+
+    if args.json:
+        stats = {
+            "functions": len(program.functions),
+            "lambdas": len(analysis.lambda_funcs),
+            "locks": len(program.mutexes),
+            "static_edges": len(edges),
+            "shared_classes": len(analysis.escaped_classes()),
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(C.findings_json(findings, remaining, unused, supps,
+                                    stats))
 
     if args.ambiguities or remaining:
         for path, line, text in analysis.ambiguities:

@@ -13,9 +13,16 @@ structs, lambdas — and reports what it could not attribute (see
 Program.parse_gaps) instead of silently guessing.
 """
 
+import hashlib
+import multiprocessing
 import os
+import pickle
 import re
 import sys
+
+# Bump whenever the parse model changes shape: invalidates every cached
+# fragment under build/slint_cache/ (cache keys include this stamp).
+PARSER_VERSION = 2
 
 _TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if _TOOLS_DIR not in sys.path:
@@ -60,7 +67,7 @@ class MutexInfo:
 
 class FunctionInfo:
     def __init__(self, qualname, cls, name, path, header, body, body_line,
-                 requires, no_tsa, param_types):
+                 requires, no_tsa, param_types, ret=""):
         self.qualname = qualname      # "StreamObject::AppendBatch"
         self.cls = cls                # "StreamObject" or None
         self.name = name
@@ -71,6 +78,8 @@ class FunctionInfo:
         self.requires = requires      # raw REQUIRES(...) argument strings
         self.no_tsa = no_tsa
         self.param_types = param_types  # {param_name: type_string}
+        self.ret = ret                # raw return-type text ("" for ctors)
+        self.deferred = False         # True for Submit-excised lambdas
         # Filled by analysis:
         self.summary = None
 
@@ -86,6 +95,9 @@ class ClassInfo:
         self.path = path
         self.members = {}       # member var -> type string
         self.guarded = []       # (field, guard_expr, line)
+        self.annotated = set()  # fields with GUARDED_BY or PT_GUARDED_BY
+        self.const_members = set()  # const / static / constexpr members
+        self.member_lines = {}  # member var -> declaration line
         self.decl_requires = {}  # method name -> [REQUIRES args]
         self.bases = []
 
@@ -247,7 +259,7 @@ def normalize_type(t):
 
 
 _MEMBER_DECL = re.compile(
-    r"^\s*(?:mutable\s+|static\s+|constexpr\s+|inline\s+)*"
+    r"^\s*((?:mutable\s+|static\s+|constexpr\s+|inline\s+)*)"
     r"(const\s+)?([\w:]+(?:\s*<[^;{}]*?>)?)\s*([*&]*)\s+(\w+)\s*"
     r"(GUARDED_BY\(([^)]*)\)|PT_GUARDED_BY\(([^)]*)\))?\s*"
     r"(=[^;]*|\{[^;]*\})?;", re.M)
@@ -395,6 +407,7 @@ def _scan_scopes(program, path, code):
         core, requires, no_tsa = _strip_qualifiers(fn_header)
         is_func = False
         fname = None
+        ret = ""
         if core.endswith(")") and "(" in core:
             depth, j = 0, len(core) - 1
             while j >= 0:
@@ -412,6 +425,10 @@ def _scan_scopes(program, path, code):
                 if base and base not in _CONTROL_KEYWORDS \
                         and not header.lstrip().startswith("#"):
                     is_func = True
+                    ret = core[:nmatch.start()].replace("[[nodiscard]]", "")
+                    ret = re.sub(
+                        r"\b(static|inline|virtual|explicit|friend|"
+                        r"constexpr)\b", "", ret).strip()
 
         if is_func:
             cls = None
@@ -428,7 +445,8 @@ def _scan_scopes(program, path, code):
             fn = FunctionInfo(
                 qual, cls, fname_short, path,
                 header.strip(), code[i:close + 1],
-                _line_at(code, i), requires, no_tsa, _param_types(core))
+                _line_at(code, i), requires, no_tsa, _param_types(core),
+                ret=ret)
             program.functions.append(fn)
             program.functions_by_name.setdefault(fname_short, []).append(fn)
             i = close + 1
@@ -453,13 +471,21 @@ def _scan_scopes(program, path, code):
         # member declarations.
         blanked = _blank_nested_braces(body)
         for m in _MEMBER_DECL.finditer(blanked):
-            type_str, field = m.group(2), m.group(4)
+            quals, constp, type_str = m.group(1), m.group(2), m.group(3)
+            ptr, field = m.group(4), m.group(5)
             if field in ("const", "override"):
                 continue
             cls.members.setdefault(field, normalize_type(type_str))
-            if m.group(6):  # GUARDED_BY
+            cls.member_lines.setdefault(
+                field, _line_at(code, start + 1 + m.start()))
+            if ("static" in quals or "constexpr" in quals
+                    or (constp and not ptr)):
+                cls.const_members.add(field)
+            if m.group(6):  # GUARDED_BY / PT_GUARDED_BY
+                cls.annotated.add(field)
+            if m.group(7):  # GUARDED_BY
                 cls.guarded.append(
-                    (field, m.group(6).strip(),
+                    (field, m.group(7).strip(),
                      _line_at(code, start + 1 + m.start())))
         # Method DECLARATIONS carrying REQUIRES (definitions may be in .cc).
         for dm in re.finditer(
@@ -499,11 +525,106 @@ def _blank_nested_braces(body):
     return "".join(out)
 
 
-def parse_program(sources):
+def parse_file_fragment(item):
+    """Parse ONE file into a self-contained Program fragment. Fragments are
+    plain picklable objects: they fan out across a multiprocessing pool
+    (--jobs) and round-trip through the content-hash cache, then merge in
+    deterministic path order."""
+    path, raw = item
+    frag = Program()
+    _CLASS_SPANS.pop(path, None)
+    parse_file(frag, path, raw)
+    return frag
+
+
+def _merge_fragment(program, frag):
+    """Merge a file fragment into the whole-program model with the same
+    semantics the old sequential scan had (first declaration wins, member
+    tables union, mutex sites accumulate)."""
+    for fn in frag.functions:
+        program.functions.append(fn)
+        program.functions_by_name.setdefault(fn.name, []).append(fn)
+    for cname, src in frag.classes.items():
+        dst = program.classes.get(cname)
+        if dst is None:
+            program.classes[cname] = src
+            continue
+        for field, t in src.members.items():
+            dst.members.setdefault(field, t)
+        for field, line in src.member_lines.items():
+            dst.member_lines.setdefault(field, line)
+        dst.annotated |= src.annotated
+        dst.const_members |= src.const_members
+        for g in src.guarded:
+            if g not in dst.guarded:
+                dst.guarded.append(g)
+        for mname, args in src.decl_requires.items():
+            dst.decl_requires.setdefault(mname, []).extend(args)
+        for b in src.bases:
+            if b not in dst.bases:
+                dst.bases.append(b)
+    for name, src in frag.mutexes.items():
+        dst = program.mutexes.get(name)
+        if dst is None:
+            program.mutexes[name] = src
+            continue
+        dst.striped = dst.striped or src.striped
+        if src.var and not dst.var:
+            dst.var = src.var
+        if src.owner_chain and not dst.owner_chain:
+            dst.owner_chain = src.owner_chain
+            dst.owner_class = src.owner_class
+        dst.sites.extend(src.sites)
+        if dst.rank_token != src.rank_token:
+            program.parse_gaps.append(
+                f"lock \"{name}\" constructed with {src.rank_token} and "
+                f"{dst.rank_token} at different sites")
+    program.parse_gaps.extend(frag.parse_gaps)
+
+
+def _cache_key(path, raw):
+    h = hashlib.sha256()
+    h.update(f"v{PARSER_VERSION}:{path}:".encode())
+    h.update(raw.encode())
+    return h.hexdigest()
+
+
+def _cache_load(cache_dir, path, raw):
+    if cache_dir is None:
+        return None
+    entry = os.path.join(cache_dir, _cache_key(path, raw) + ".pickle")
+    try:
+        with open(entry, "rb") as f:
+            return pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError):
+        return None  # miss or stale/corrupt entry: reparse
+
+
+def _cache_store(cache_dir, path, raw, frag):
+    if cache_dir is None:
+        return
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        entry = os.path.join(cache_dir, _cache_key(path, raw) + ".pickle")
+        tmp = entry + f".tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
+            pickle.dump(frag, f)
+        os.replace(tmp, entry)
+    except OSError:
+        pass  # cache is best-effort; never fail the parse over it
+
+
+def parse_program(sources, jobs=1, cache_dir=None):
     """Build a Program from {relative_path: raw_text}. The LockRank enum is
     read from the file named common/mutex.h (any prefix); mutex.{h,cc}
     themselves are otherwise excluded (they implement the runtime checker
-    and legally use raw primitives)."""
+    and legally use raw primitives).
+
+    `jobs` > 1 parses files on a process pool; `cache_dir` (if set) caches
+    per-file fragments keyed by content hash + PARSER_VERSION. Both paths
+    merge fragments in sorted path order, so the result is byte-identical
+    to the sequential parse."""
     program = Program()
     _CLASS_SPANS.clear()
     mutex_h = None
@@ -513,11 +634,29 @@ def parse_program(sources):
             mutex_h = sources[path]
     if mutex_h is not None:
         program.ranks = _parse_lockranks(strip_comments(mutex_h))
-    for path in sorted(sources):
-        norm = path.replace(os.sep, "/")
-        if norm.endswith(("common/mutex.h", "common/mutex.cc")):
-            continue
-        parse_file(program, path, sources[path])
+
+    items = [(path, sources[path]) for path in sorted(sources)
+             if not path.replace(os.sep, "/").endswith(
+                 ("common/mutex.h", "common/mutex.cc"))]
+    frags = {}
+    pending = []
+    for path, raw in items:
+        frag = _cache_load(cache_dir, path, raw)
+        if frag is not None:
+            frags[path] = frag
+        else:
+            pending.append((path, raw))
+    if jobs > 1 and len(pending) > 1:
+        with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+            parsed = pool.map(parse_file_fragment, pending)
+    else:
+        parsed = [parse_file_fragment(it) for it in pending]
+    for (path, raw), frag in zip(pending, parsed):
+        frags[path] = frag
+        _cache_store(cache_dir, path, raw, frag)
+    for path, _ in items:
+        _merge_fragment(program, frags[path])
+
     for info in program.mutexes.values():
         info.rank = program.ranks.get(info.rank_token)
         if info.rank is None:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Self-tests for tools/slint: each check (S1-S4) must catch its seeded
+"""Self-tests for tools/slint: each check (S1-S7) must catch its seeded
 violation in a synthetic fixture, clean fixtures must produce zero
 findings, and the suppression grammar must reject malformed entries.
 
@@ -285,6 +285,247 @@ void Widget::GuardedWrite() {
         self.assertEqual(keys(findings, "S4"), [])
 
 
+class S5GuardCompletenessTest(unittest.TestCase):
+    def test_submit_lambda_write_to_unannotated_member_is_found(self):
+        # Tracker escapes to a worker thread via the Submit lambda; hits_
+        # is written there but carries no GUARDED_BY and is not atomic.
+        _, _, findings, _ = analyze({
+            "tracker.h": """
+#pragma once
+class Tracker {
+ public:
+  void Kick();
+ private:
+  ThreadPool* pool_;
+  int hits_ = 0;
+};
+""",
+            "tracker.cc": """
+#include "tracker.h"
+void Tracker::Kick() {
+  pool_->Submit([this] { hits_ = hits_ + 1; });
+}
+""",
+        })
+        self.assertIn(("S5", "Tracker:hits_"), keys(findings, "S5"))
+
+    def test_annotated_and_atomic_members_are_clean(self):
+        _, _, findings, _ = analyze({
+            "tracker.h": """
+#pragma once
+class SafeTracker {
+ public:
+  void Kick();
+ private:
+  ThreadPool* pool_;
+  Mutex mu_{LockRank::kMid, "fix.tracker"};
+  int hits_ GUARDED_BY(mu_) = 0;
+  std::atomic<int> spins_{0};
+};
+""",
+            "tracker.cc": """
+#include "tracker.h"
+void SafeTracker::Kick() {
+  pool_->Submit([this] {
+    MutexLock lock(&mu_);
+    hits_ = hits_ + 1;
+    spins_ = spins_ + 1;
+  });
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S5"), [])
+
+    def test_const_after_construction_member_is_clean(self):
+        # name_ is written only by the constructor, which runs before the
+        # object can be shared with the pool workers.
+        _, _, findings, _ = analyze({
+            "tracker.h": """
+#pragma once
+class NamedTracker {
+ public:
+  NamedTracker();
+  void Kick();
+ private:
+  ThreadPool* pool_;
+  int name_ = 0;
+};
+""",
+            "tracker.cc": """
+#include "tracker.h"
+NamedTracker::NamedTracker() { name_ = 7; }
+void NamedTracker::Kick() {
+  pool_->Submit([this] { int x = name_; (void)x; });
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S5"), [])
+
+
+class S6TornStateTest(unittest.TestCase):
+    COMMITTER_H = """
+#pragma once
+class Committer {
+ public:
+  Status Commit();
+  Status CommitWithRollback();
+  Status CommitViaHelper();
+  Status Stamp();
+  Status Purge();
+ private:
+  void Retract();
+  KvStore* kv_;
+};
+"""
+
+    def test_error_return_between_two_writes_without_rollback_is_found(self):
+        _, _, findings, _ = analyze({
+            "committer.h": self.COMMITTER_H,
+            "committer.cc": """
+#include "committer.h"
+Status Committer::Commit() {
+  SL_RETURN_NOT_OK(kv_->Write("a", "1"));
+  Status b = kv_->Write("b", "2");
+  if (!b.ok()) return b;
+  return Status::OK();
+}
+""",
+        })
+        self.assertIn(("S6", "Committer::Commit:torn"), keys(findings, "S6"))
+
+    def test_discarded_delete_before_the_return_is_a_rollback(self):
+        _, _, findings, _ = analyze({
+            "committer.h": self.COMMITTER_H,
+            "committer.cc": """
+#include "committer.h"
+Status Committer::CommitWithRollback() {
+  SL_RETURN_NOT_OK(kv_->Write("a", "1"));
+  Status b = kv_->Write("b", "2");
+  if (!b.ok()) {
+    kv_->Delete("a").LogIgnored("rollback");
+    return b;
+  }
+  return Status::OK();
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S6"), [])
+
+    def test_factored_out_undo_helper_is_a_rollback(self):
+        # Retract() performs no mutation of its own (its Delete is
+        # discarded, i.e. best-effort) — calling it counts as the undo.
+        _, _, findings, _ = analyze({
+            "committer.h": self.COMMITTER_H,
+            "committer.cc": """
+#include "committer.h"
+void Committer::Retract() { kv_->Delete("a").LogIgnored("rollback"); }
+Status Committer::CommitViaHelper() {
+  SL_RETURN_NOT_OK(kv_->Write("a", "1"));
+  Status b = kv_->Write("b", "2");
+  if (!b.ok()) {
+    Retract();
+    return b;
+  }
+  return Status::OK();
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S6"), [])
+
+    def test_terminal_return_mutation_cannot_tear(self):
+        # `return kv_->Write(...)` ends its path: nothing can fail after
+        # it, so only one non-terminal mutation remains — below the bar.
+        _, _, findings, _ = analyze({
+            "committer.h": self.COMMITTER_H,
+            "committer.cc": """
+#include "committer.h"
+Status Committer::Stamp() {
+  SL_RETURN_NOT_OK(kv_->Write("a", "1"));
+  return kv_->Write("b", "2");
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S6"), [])
+
+    def test_all_delete_kind_protocol_is_exempt(self):
+        # A torn delete protocol leaves re-drivable garbage; re-running
+        # the delete IS the rollback.
+        _, _, findings, _ = analyze({
+            "committer.h": self.COMMITTER_H,
+            "committer.cc": """
+#include "committer.h"
+Status Committer::Purge() {
+  SL_RETURN_NOT_OK(kv_->Delete("a"));
+  SL_RETURN_NOT_OK(kv_->Delete("b"));
+  return Status::OK();
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S6"), [])
+
+
+class S7PublishLastTest(unittest.TestCase):
+    CATALOG_H = """
+#pragma once
+class Catalog {
+ public:
+  Status CreatePublishFirst();
+  Status CreatePublishLast();
+  Status CreateWithGc();
+ private:
+  KvStore* kv_;
+  std::map<std::string, int> live_;
+};
+"""
+
+    def test_fallible_call_after_member_map_publish_is_found(self):
+        _, _, findings, _ = analyze({
+            "catalog.h": self.CATALOG_H,
+            "catalog.cc": """
+#include "catalog.h"
+Status Catalog::CreatePublishFirst() {
+  SL_RETURN_NOT_OK(kv_->Write("meta", "1"));
+  live_["t"] = 1;
+  return kv_->Write("audit", "2");
+}
+""",
+        })
+        self.assertIn(("S7", "Catalog::CreatePublishFirst:publish"),
+                      keys(findings, "S7"))
+
+    def test_publish_as_last_step_is_clean(self):
+        _, _, findings, _ = analyze({
+            "catalog.h": self.CATALOG_H,
+            "catalog.cc": """
+#include "catalog.h"
+Status Catalog::CreatePublishLast() {
+  SL_RETURN_NOT_OK(kv_->Write("meta", "1"));
+  SL_RETURN_NOT_OK(kv_->Write("audit", "2"));
+  live_["t"] = 1;
+  return Status::OK();
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S7"), [])
+
+    def test_discarded_cleanup_after_publish_is_clean(self):
+        # Best-effort GC after the flip cannot tear the commit: its
+        # status is absorbed, so the protocol cannot error past it.
+        _, _, findings, _ = analyze({
+            "catalog.h": self.CATALOG_H,
+            "catalog.cc": """
+#include "catalog.h"
+Status Catalog::CreateWithGc() {
+  SL_RETURN_NOT_OK(kv_->Write("meta", "1"));
+  live_["t"] = 1;
+  kv_->Delete("tmp").LogIgnored("gc");
+  return Status::OK();
+}
+""",
+        })
+        self.assertEqual(keys(findings, "S7"), [])
+
+
 class DotRoundTripTest(unittest.TestCase):
     def test_write_then_parse_preserves_nodes_and_edges(self):
         program, _, _, edges = analyze(S4SubsetTest.FIXTURE)
@@ -309,6 +550,25 @@ void Widget::UnguardedWrite() { count_ = 7; }
             "S3 Widget::UnguardedWrite:count_ -- stats read, torn ok\n")
         remaining, unused = C.apply_suppressions(findings, supps)
         self.assertEqual(keys(remaining, "S3"), [])
+        self.assertEqual(unused, [])
+
+    def test_trailing_star_wildcard_matches_key_prefix(self):
+        _, _, findings, _ = analyze({
+            "committer.h": S6TornStateTest.COMMITTER_H,
+            "committer.cc": """
+#include "committer.h"
+Status Committer::Commit() {
+  SL_RETURN_NOT_OK(kv_->Write("a", "1"));
+  Status b = kv_->Write("b", "2");
+  if (!b.ok()) return b;
+  return Status::OK();
+}
+""",
+        })
+        supps = C.load_suppressions(
+            "S6 Committer::* -- fixture protocol is at-least-once\n")
+        remaining, unused = C.apply_suppressions(findings, supps)
+        self.assertEqual(keys(remaining, "S6"), [])
         self.assertEqual(unused, [])
 
     def test_unused_suppression_is_itself_an_error(self):
