@@ -1,0 +1,188 @@
+// Cluster-scale admission fairness: 10^5 logical clients, Zipf-skewed
+// across 20 tenants, drive an open-loop produce / Select / S3 / convert
+// mix through the access layer for 2 simulated seconds, with one tenant's
+// clients misbehaving at 100x their fair rate.
+//
+// Three sections:
+//   overload  — per-tenant isolation on, tenant 4 hot at 100x. The claim
+//               under test: the hot tenant is clipped to its own quota
+//               (sheds most of its flood) while every cold tenant keeps
+//               its proportional admitted share (fairness within 2x) and
+//               a bounded p99.
+//   baseline  — identical traffic, nobody hot: the reference for how much
+//               the overload is allowed to move cold-tenant p99
+//               (cold_p99_overload_ratio).
+//   no_isolation — ablation: per-tenant buckets off, one shared cluster
+//               bucket. The hot tenant's flood now drains the shared
+//               capacity and cold tenants shed heavily — the contrast
+//               that shows isolation, not spare capacity, is what
+//               protects them. Reported, not gated.
+//
+// Admission decisions are a pure function of each tenant's pregenerated
+// arrival sequence (open loop, explicit event times, single driver
+// thread), so every op counter below is bit-deterministic and gated at
+// zero tolerance; latency percentiles ride the simulated clock and get
+// the default tolerance.
+
+#include <cstdio>
+
+#include "bench_report.h"
+#include "workload/cluster_driver.h"
+
+using namespace streamlake;
+
+namespace {
+
+workload::ClusterConfig TrafficShape() {
+  workload::ClusterConfig config;
+  config.logical_clients = 100000;
+  config.tenants = 20;
+  config.tenant_zipf_theta = 0.75;
+  config.ops_per_client_per_sec = 0.3;
+  config.duration_sec = 2.0;
+  config.driver_threads = 1;  // bit-deterministic event order
+  config.seed = 42;
+  return config;
+}
+
+access::AdmissionConfig Quotas() {
+  access::AdmissionConfig admission;
+  admission.enabled = true;
+  admission.gate_access_layer = false;  // the driver meters at its door
+  // Sized above the largest cold tenant's offered rate (~12k ops/s), so
+  // a well-behaved tenant never sheds; the 100x hot tenant (~150k ops/s
+  // offered) is clipped to this.
+  admission.default_quota.ops_per_sec = 16000;
+  admission.default_quota.burst_ops = 200;
+  admission.default_quota.bytes_per_sec = 64.0 * (1 << 20);
+  admission.default_quota.burst_bytes = 4 << 20;
+  admission.max_queue_depth = 64;  // 4 ms of virtual queue at 16k ops/s
+  admission.max_tracked_tenants = 8;
+  return admission;
+}
+
+struct SectionResult {
+  workload::ClusterResult cluster;
+};
+
+SectionResult RunSection(const char* label, int hot_tenant,
+                         bool isolation) {
+  core::StreamLakeOptions options;
+  options.admission = Quotas();
+  options.admission.per_tenant_isolation = isolation;
+  if (!isolation) {
+    // Shared capacity only, provisioned like a real deployment: ~40% of
+    // headroom over the whole cluster's well-behaved offered load
+    // (~29k ops/s). First come first served, so the 100x flood competes
+    // with everyone for the same tokens.
+    options.admission.cluster_ops_per_sec = 40000;
+    options.admission.cluster_burst_ops = 400;
+    options.admission.cluster_bytes_per_sec = 160.0 * (1 << 20);
+    options.admission.cluster_burst_bytes = 8 << 20;
+  }
+  core::StreamLake lake(options);
+
+  workload::ClusterConfig config = TrafficShape();
+  config.hot_tenant = hot_tenant;
+  config.hot_multiplier = 100.0;
+  workload::ClusterDriver driver(&lake, config);
+  Status setup = driver.Setup();
+  if (!setup.ok()) {
+    std::fprintf(stderr, "%s setup: %s\n", label, setup.ToString().c_str());
+    std::exit(1);
+  }
+  auto result = driver.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s run: %s\n", label,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf(
+      "%-12s offered=%llu admitted=%llu throttled=%llu shed=%llu "
+      "failed=%llu fairness=[%.3f, %.3f] starved=%u cold_p99=%.3fms "
+      "hot_p99=%.3fms\n",
+      label, static_cast<unsigned long long>(result->offered),
+      static_cast<unsigned long long>(result->admitted),
+      static_cast<unsigned long long>(result->throttled),
+      static_cast<unsigned long long>(result->shed),
+      static_cast<unsigned long long>(result->failed),
+      result->fairness_min, result->fairness_max, result->starved_tenants,
+      result->cold_p99_ns / 1e6, result->hot_p99_ns / 1e6);
+  return SectionResult{std::move(*result)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReport report("cluster_scale", &argc, argv);
+
+  SectionResult overload = RunSection("overload", /*hot_tenant=*/4,
+                                      /*isolation=*/true);
+  SectionResult baseline = RunSection("baseline", /*hot_tenant=*/-1,
+                                      /*isolation=*/true);
+  SectionResult no_iso = RunSection("no_isolation", /*hot_tenant=*/4,
+                                    /*isolation=*/false);
+
+  const workload::ClusterResult& o = overload.cluster;
+  // Deterministic op counters (gated at zero tolerance).
+  report.Add("offered_ops", static_cast<double>(o.offered));
+  report.Add("admitted_ops", static_cast<double>(o.admitted));
+  report.Add("shed_ops", static_cast<double>(o.shed));
+  report.Add("throttled_ops", static_cast<double>(o.throttled));
+  report.Add("failed_ops", static_cast<double>(o.failed));
+  report.Add("starved_tenants", static_cast<double>(o.starved_tenants));
+  // The fairness claim: every cold tenant's admitted share within 2x of
+  // its offered share even while tenant 4 floods at 100x.
+  report.Add("fairness_min", o.fairness_min);
+  report.Add("fairness_max", o.fairness_max);
+  // The hot tenant must actually have been clipped for the run to mean
+  // anything.
+  uint64_t hot_shed = 0, hot_admitted = 0;
+  for (const auto& t : o.tenants) {
+    if (t.hot) {
+      hot_shed = t.shed;
+      hot_admitted = t.admitted;
+    }
+  }
+  report.Add("hot_shed_ops", static_cast<double>(hot_shed));
+  report.Add("hot_admitted_ops", static_cast<double>(hot_admitted));
+  // Tail-latency bound: overload may not move cold tenants' worst p99
+  // beyond the baselined ratio over the no-hot run.
+  report.Add("cold_p99_ms", o.cold_p99_ns / 1e6);
+  report.Add("baseline_cold_p99_ms", baseline.cluster.cold_p99_ns / 1e6);
+  double p99_ratio =
+      baseline.cluster.cold_p99_ns == 0
+          ? 0
+          : static_cast<double>(o.cold_p99_ns) /
+                static_cast<double>(baseline.cluster.cold_p99_ns);
+  report.Add("cold_p99_overload_ratio", p99_ratio);
+  // Ablation (reported, not gated): without isolation the same flood
+  // drains the shared capacity and cold tenants lose most of their
+  // admitted ops — the contrast showing isolation, not spare capacity,
+  // is what protects them. cold_admit_ratio = cold admitted / offered:
+  // ~1.0 with isolation, far below without.
+  auto cold_admit_ratio = [](const workload::ClusterResult& r) {
+    uint64_t offered = 0, admitted = 0;
+    for (const auto& t : r.tenants) {
+      if (t.hot) continue;
+      offered += t.offered;
+      admitted += t.admitted;
+    }
+    return offered == 0 ? 0.0
+                        : static_cast<double>(admitted) /
+                              static_cast<double>(offered);
+  };
+  report.Add("cold_admit_ratio", cold_admit_ratio(o));
+  report.Add("noiso_cold_admit_ratio", cold_admit_ratio(no_iso.cluster));
+  report.Add("noiso_cold_shed_ops",
+             static_cast<double>([&] {
+               uint64_t shed = 0;
+               for (const auto& t : no_iso.cluster.tenants) {
+                 if (!t.hot) shed += t.shed;
+               }
+               return shed;
+             }()));
+
+  if (!report.WriteIfRequested()) return 1;
+  return 0;
+}

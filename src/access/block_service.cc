@@ -4,6 +4,13 @@
 
 namespace streamlake::access {
 
+Status BlockService::Gate(const std::string& token, AdmitOp op,
+                          uint64_t bytes) {
+  if (admission_ == nullptr) return Status::OK();
+  SL_ASSIGN_OR_RETURN(std::string tenant, acl_->Authenticate(token));
+  return admission_->Admit(tenant, op, 1, bytes).status();
+}
+
 Result<uint64_t> BlockService::CreateVolume(const std::string& token,
                                             uint64_t size_bytes) {
   SL_ASSIGN_OR_RETURN([[maybe_unused]] std::string principal,
@@ -48,6 +55,7 @@ Status BlockService::Write(const std::string& token, uint64_t lun,
                            uint64_t offset, ByteView data) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(lun),
                                       Permission::kWrite));
+  SL_RETURN_NOT_OK(Gate(token, AdmitOp::kBlockWrite, data.size()));
   MutexLock lock(&mu_);
   auto it = volumes_.find(lun);
   if (it == volumes_.end()) return Status::NotFound("lun " + std::to_string(lun));
@@ -75,6 +83,7 @@ Result<Bytes> BlockService::Read(const std::string& token, uint64_t lun,
                                  uint64_t offset, uint64_t length) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(lun),
                                       Permission::kRead));
+  SL_RETURN_NOT_OK(Gate(token, AdmitOp::kBlockRead, length));
   MutexLock lock(&mu_);
   auto it = volumes_.find(lun);
   if (it == volumes_.end()) return Status::NotFound("lun " + std::to_string(lun));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "access/access_control.h"
+#include "common/admission_gate.h"
 #include "common/mutex.h"
 #include "storage/storage_pool.h"
 
@@ -16,12 +17,19 @@ namespace streamlake::access {
 /// carved from the storage pools, thin-provisioned (a pool feature listed
 /// in Section III) — physical extents are allocated on first write of
 /// each chunk, with per-volume replication.
+///
+/// With an admission gate attached, Write/Read are metered against the
+/// authenticated principal's quota (kBlockWrite / kBlockRead with the
+/// transfer's byte count) after the ACL check and before any pool I/O;
+/// over-quota requests shed with kResourceExhausted. Volume lifecycle
+/// calls are not metered.
 class BlockService {
  public:
   BlockService(storage::StoragePool* pool, AccessController* acl,
-               uint64_t chunk_bytes = 4ULL << 20, int replication = 2)
+               uint64_t chunk_bytes = 4ULL << 20, int replication = 2,
+               AdmissionGate* admission = nullptr)
       : pool_(pool), acl_(acl), chunk_bytes_(chunk_bytes),
-        replication_(replication) {}
+        replication_(replication), admission_(admission) {}
 
   /// Create a volume of `size_bytes`; returns its LUN id. No physical
   /// space is reserved yet (thin provisioning).
@@ -52,11 +60,15 @@ class BlockService {
   Result<std::vector<storage::Extent>*> EnsureChunk(Volume* volume,
                                                     uint64_t chunk)
       REQUIRES(mu_);
+  /// Meter one transfer against the authenticated principal's quota.
+  /// Called before taking mu_ (kAdmission outranks kBlockService).
+  Status Gate(const std::string& token, AdmitOp op, uint64_t bytes);
 
   storage::StoragePool* pool_;
   AccessController* acl_;
   const uint64_t chunk_bytes_;
   const int replication_;
+  AdmissionGate* admission_ = nullptr;  // optional per-tenant QoS gate
   mutable Mutex mu_{LockRank::kBlockService, "access.block_service"};
   std::map<uint64_t, Volume> volumes_ GUARDED_BY(mu_);
   uint64_t next_lun_ GUARDED_BY(mu_) = 1;

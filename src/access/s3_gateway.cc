@@ -2,6 +2,14 @@
 
 namespace streamlake::access {
 
+Status S3Gateway::Gate(const std::string& token, AdmitOp op, uint64_t bytes) {
+  if (admission_ == nullptr) return Status::OK();
+  // The caller already passed the ACL check, so Authenticate cannot fail
+  // here — but keep the error path for belt and braces.
+  SL_ASSIGN_OR_RETURN(std::string tenant, acl_->Authenticate(token));
+  return admission_->Admit(tenant, op, 1, bytes).status();
+}
+
 Status S3Gateway::CreateBucket(const std::string& token,
                                const std::string& bucket) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
@@ -20,6 +28,7 @@ Status S3Gateway::PutObject(const std::string& token,
   if (!objects_->Exists(Resource(bucket) + ".bucket")) {
     return Status::NotFound("bucket " + bucket);
   }
+  SL_RETURN_NOT_OK(Gate(token, AdmitOp::kObjectPut, data.size()));
   network_->ChargeTransfer(data.size());
   return objects_->Write(Path(bucket, key), data);
 }
@@ -29,6 +38,10 @@ Result<Bytes> S3Gateway::GetObject(const std::string& token,
                                    const std::string& key) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
                                       Permission::kRead));
+  // Meter egress bytes before paying the storage read: the size comes
+  // from the object index, so a shed request costs no data I/O.
+  SL_ASSIGN_OR_RETURN(uint64_t size, objects_->Size(Path(bucket, key)));
+  SL_RETURN_NOT_OK(Gate(token, AdmitOp::kObjectGet, size));
   SL_ASSIGN_OR_RETURN(Bytes data, objects_->Read(Path(bucket, key)));
   network_->ChargeTransfer(data.size());
   return data;
@@ -39,6 +52,7 @@ Status S3Gateway::DeleteObject(const std::string& token,
                                const std::string& key) {
   SL_RETURN_NOT_OK(acl_->CheckRequest(token, Resource(bucket),
                                       Permission::kWrite));
+  SL_RETURN_NOT_OK(Gate(token, AdmitOp::kObjectPut, 0));
   return objects_->Delete(Path(bucket, key));
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "access/access_control.h"
+#include "common/admission_gate.h"
 #include "sim/network_model.h"
 #include "storage/object_store.h"
 
@@ -14,11 +15,20 @@ namespace streamlake::access {
 /// via S3 protocol", Section III): bucket/key semantics over the object
 /// store, every request authenticated and authorized through the ACLs,
 /// and request/response payloads charged to the client-facing network.
+///
+/// With an admission gate attached, every data-path request is metered
+/// against the authenticated principal's quota after the ACL check:
+/// PutObject/DeleteObject as kObjectPut (ingress bytes), GetObject as
+/// kObjectGet (egress bytes). Over-quota requests shed with
+/// kResourceExhausted before touching storage. Control-plane calls
+/// (CreateBucket, ListObjects, HeadObject) are not metered.
 class S3Gateway {
  public:
   S3Gateway(storage::ObjectStore* objects, AccessController* acl,
-            sim::NetworkModel* front_network)
-      : objects_(objects), acl_(acl), network_(front_network) {}
+            sim::NetworkModel* front_network,
+            AdmissionGate* admission = nullptr)
+      : objects_(objects), acl_(acl), network_(front_network),
+        admission_(admission) {}
 
   Status CreateBucket(const std::string& token, const std::string& bucket);
   Status PutObject(const std::string& token, const std::string& bucket,
@@ -41,10 +51,13 @@ class S3Gateway {
   static std::string Path(const std::string& bucket, const std::string& key) {
     return "/s3/" + bucket + "/" + key;
   }
+  /// Meter one request against the authenticated principal's quota.
+  Status Gate(const std::string& token, AdmitOp op, uint64_t bytes);
 
   storage::ObjectStore* objects_;
   AccessController* acl_;
   sim::NetworkModel* network_;
+  AdmissionGate* admission_;  // optional per-tenant QoS gate
 };
 
 }  // namespace streamlake::access

@@ -1,0 +1,73 @@
+#ifndef STREAMLAKE_COMMON_ADMISSION_GATE_H_
+#define STREAMLAKE_COMMON_ADMISSION_GATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace streamlake {
+
+/// Request classes the admission layer meters. One request = `ops`
+/// operation tokens (usually 1, a batch consumes its size) plus `bytes`
+/// payload tokens from the tenant's two buckets.
+enum class AdmitOp : uint8_t {
+  kProduce = 0,
+  kFetch,
+  kSelect,
+  kConvert,
+  kObjectPut,
+  kObjectGet,
+  kBlockWrite,
+  kBlockRead,
+};
+
+inline const char* AdmitOpName(AdmitOp op) {
+  switch (op) {
+    case AdmitOp::kProduce: return "produce";
+    case AdmitOp::kFetch: return "fetch";
+    case AdmitOp::kSelect: return "select";
+    case AdmitOp::kConvert: return "convert";
+    case AdmitOp::kObjectPut: return "object_put";
+    case AdmitOp::kObjectGet: return "object_get";
+    case AdmitOp::kBlockWrite: return "block_write";
+    case AdmitOp::kBlockRead: return "block_read";
+  }
+  return "unknown";
+}
+
+/// An admitted request's queueing outcome: how long it waited (virtual
+/// nanoseconds) in the tenant/cluster admission queues before its quota
+/// tokens were available. 0 = admitted immediately; > 0 = throttled.
+struct AdmitTicket {
+  uint64_t wait_ns = 0;
+};
+
+/// \brief Abstract per-tenant admission gate.
+///
+/// Lives in common so lower layers (`streaming::Producer`) can be gated
+/// without depending on the access module that implements the real
+/// controller (`access::AdmissionController`). Both entry points are
+/// called with no locks held.
+class AdmissionGate {
+ public:
+  virtual ~AdmissionGate() = default;
+
+  /// Non-blocking decision (open-loop clients): either a ticket — possibly
+  /// with a virtual queue wait the caller charges to its own latency — or
+  /// kResourceExhausted when the tenant's bounded queue is full (shed).
+  virtual Result<AdmitTicket> Admit(const std::string& tenant, AdmitOp op,
+                                    uint64_t ops, uint64_t bytes) = 0;
+
+  /// Blocking decision (closed-loop clients, producer backpressure): waits
+  /// until the throttle window passes on the simulated clock. Returns
+  /// kResourceExhausted immediately — never hangs — when the tenant's
+  /// waiter queue is already at its bound.
+  virtual Result<AdmitTicket> AdmitBlocking(const std::string& tenant,
+                                            AdmitOp op, uint64_t ops,
+                                            uint64_t bytes) = 0;
+};
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_ADMISSION_GATE_H_

@@ -98,6 +98,9 @@ enum class LockRank : uint16_t {
   kMetricsRegistry = 2,  // metric name->object map; registration is lazy
                          // (function-local statics on hot paths), so this
                          // must be acquirable under any other held lock
+  kTokenBucket = 4,      // one quota bucket's refill state; leaf — bucket
+                         // methods never call out, so it is acquirable
+                         // under the admission lock (and any module lock)
   kThreadPool = 10,
 
   // ---- storage: device/pool/plog write path (Fig. 4) ----
@@ -146,6 +149,10 @@ enum class LockRank : uint16_t {
   kAccessControl = 90,  // ACL tables (taken under the services below)
   kBlockService = 92,   // volume map; held across pool/device I/O
   kNasService = 94,     // handle table; held across object-store I/O
+  kAdmission = 96,      // per-tenant admission queues + quota buckets; the
+                        // very first lock of every gated request, so it
+                        // outranks everything (holds kTokenBucket and
+                        // kAccessControl while deciding, never device I/O)
 };
 
 /// Stripe index value meaning "not a member of a lock-striped array".

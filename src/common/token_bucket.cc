@@ -1,0 +1,67 @@
+#include "common/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamlake {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec < 0 ? 0 : rate_per_sec),
+      burst_(burst < 0 ? 0 : burst),
+      tokens_(burst_) {}
+
+void TokenBucket::RefillLocked(uint64_t now_ns) const {
+  if (now_ns <= last_refill_ns_) return;  // stale caller timeline: no-op
+  double gained = (now_ns - last_refill_ns_) * 1e-9 * rate_;
+  tokens_ = std::min(burst_, tokens_ + gained);
+  last_refill_ns_ = now_ns;
+}
+
+bool TokenBucket::TryConsume(uint64_t now_ns, double n) {
+  MutexLock lock(&mu_);
+  RefillLocked(now_ns);
+  if (tokens_ < n) return false;
+  tokens_ -= n;
+  return true;
+}
+
+uint64_t TokenBucket::NanosUntilAvailable(uint64_t now_ns, double n) const {
+  MutexLock lock(&mu_);
+  RefillLocked(now_ns);
+  if (tokens_ >= n) return 0;
+  // A deficit beyond what refill can ever close (the balance converges to
+  // burst_) never becomes available.
+  if (rate_ <= 0 || n > burst_) return kNever;
+  return static_cast<uint64_t>(std::ceil((n - tokens_) / rate_ * 1e9));
+}
+
+uint64_t TokenBucket::Reserve(uint64_t now_ns, double n, uint64_t max_wait_ns) {
+  MutexLock lock(&mu_);
+  RefillLocked(now_ns);
+  double after = tokens_ - n;
+  uint64_t wait = 0;
+  if (after < 0) {
+    if (rate_ <= 0) return kNever;
+    double wait_ns = std::ceil(-after / rate_ * 1e9);
+    // Guard the uint64 conversion: a deep enough debt bound overflows.
+    if (wait_ns > 1e18 || static_cast<uint64_t>(wait_ns) > max_wait_ns) {
+      return kNever;
+    }
+    wait = static_cast<uint64_t>(wait_ns);
+  }
+  tokens_ = after;
+  return wait;
+}
+
+void TokenBucket::Refund(double n) {
+  MutexLock lock(&mu_);
+  tokens_ = std::min(burst_, tokens_ + n);
+}
+
+double TokenBucket::TokensAt(uint64_t now_ns) const {
+  MutexLock lock(&mu_);
+  RefillLocked(now_ns);
+  return tokens_;
+}
+
+}  // namespace streamlake

@@ -1,0 +1,81 @@
+#ifndef STREAMLAKE_COMMON_TOKEN_BUCKET_H_
+#define STREAMLAKE_COMMON_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace streamlake {
+
+/// \brief Deterministic token bucket refilled on virtual (SimClock) time.
+///
+/// The quota primitive behind per-tenant admission control
+/// (`access::AdmissionController`): a bucket holds up to `burst` tokens
+/// and gains `rate_per_sec` tokens per simulated second. Callers pass the
+/// current virtual time explicitly on every operation, so refill is a
+/// pure function of the caller's event timeline — two runs that present
+/// the same (time, amount) sequence make identical decisions regardless
+/// of wall-clock scheduling, which is what lets the cluster-scale bench
+/// gate shed/throttle counters exactly in CI.
+///
+/// Besides the classic TryConsume, the bucket supports *reservations*
+/// (`Reserve`): consuming tokens the bucket does not have yet drives the
+/// balance negative, and the debt, divided by the refill rate, is the
+/// virtual time the caller must wait before its reservation is backed by
+/// real tokens. A debt ceiling expressed as `max_wait_ns` turns the
+/// bucket into a bounded FIFO admission queue: a reservation whose wait
+/// would exceed the ceiling is refused without consuming anything — the
+/// queue-full shed path.
+///
+/// A zero-capacity bucket (`burst == 0` or `rate_per_sec == 0` with an
+/// empty balance) never admits: TryConsume of any positive amount fails
+/// and NanosUntilAvailable/Reserve report kNever.
+///
+/// Thread-safe; the internal mutex is a leaf (LockRank::kTokenBucket) so
+/// buckets are safely consulted under the admission lock.
+class TokenBucket {
+ public:
+  /// "This amount will never become available."
+  static constexpr uint64_t kNever = ~0ULL;
+
+  TokenBucket(double rate_per_sec, double burst);
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Refill to `now_ns`, then take `n` tokens if the balance covers them.
+  bool TryConsume(uint64_t now_ns, double n);
+
+  /// Nanoseconds after `now_ns` until `n` tokens are available (0 = now).
+  /// kNever when `n` exceeds what the bucket can ever hold.
+  uint64_t NanosUntilAvailable(uint64_t now_ns, double n) const;
+
+  /// Reserve `n` tokens, allowing the balance to go negative, and return
+  /// the wait (ns after `now_ns`) until the reservation is fully backed.
+  /// If that wait would exceed `max_wait_ns` — the bounded-queue ceiling —
+  /// nothing is consumed and kNever is returned (caller sheds).
+  uint64_t Reserve(uint64_t now_ns, double n, uint64_t max_wait_ns);
+
+  /// Give back `n` tokens (undo of a half-made multi-bucket reservation).
+  /// The balance is clamped to `burst`.
+  void Refund(double n);
+
+  /// Current balance at `now_ns` (may be negative under reservations).
+  double TokensAt(uint64_t now_ns) const;
+
+  double rate_per_sec() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  /// Advance refill state to `now_ns` (monotonic: earlier times no-op).
+  void RefillLocked(uint64_t now_ns) const REQUIRES(mu_);
+
+  const double rate_;
+  const double burst_;
+  mutable Mutex mu_{LockRank::kTokenBucket, "common.token_bucket"};
+  mutable double tokens_ GUARDED_BY(mu_);
+  mutable uint64_t last_refill_ns_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace streamlake
+
+#endif  // STREAMLAKE_COMMON_TOKEN_BUCKET_H_

@@ -69,6 +69,24 @@ StreamLake::StreamLake(StreamLakeOptions options)
       plogs_.get(), ssd_pool_.get(), hdd_pool_.get(), &clock_,
       options_.tiering_policy);
   repair_ = std::make_unique<storage::RepairService>(plogs_.get());
+
+  // Access layer: clients reach the protocol services over TCP (the data
+  // bus stays RDMA-class); every entry point shares one ACL table and,
+  // when enabled, one admission controller.
+  front_net_ = std::make_unique<sim::NetworkModel>(
+      sim::NetworkProfile::ForTransport(sim::TransportType::kTcp), &clock_);
+  acl_ = std::make_unique<access::AccessController>();
+  if (options_.admission.enabled) {
+    admission_ = std::make_unique<access::AdmissionController>(
+        options_.admission, &clock_);
+  }
+  AdmissionGate* gate =
+      options_.admission.gate_access_layer ? admission_.get() : nullptr;
+  s3_ = std::make_unique<access::S3Gateway>(objects_.get(), acl_.get(),
+                                            front_net_.get(), gate);
+  blocks_ = std::make_unique<access::BlockService>(
+      ssd_pool_.get(), acl_.get(), /*chunk_bytes=*/4ULL << 20,
+      /*replication=*/2, gate);
 }
 
 StreamLake::~StreamLake() = default;
@@ -104,6 +122,13 @@ StreamLake::ClusterReport StreamLake::Report() const {
     report.block_cache_hits = cache.hits;
     report.block_cache_misses = cache.misses;
   }
+  if (admission_ != nullptr) {
+    for (const auto& [tenant, stats] : admission_->AllStats()) {
+      report.admission_admitted_ops += stats.admitted_ops;
+      report.admission_throttled_ops += stats.throttled_ops;
+      report.admission_shed_ops += stats.shed_ops;
+    }
+  }
   return report;
 }
 
@@ -126,7 +151,8 @@ std::string StreamLake::ClusterReport::ToString() const {
       "  bus: %llu msgs, %.1f MB\n"
       "  workers: %u | stream objects: %zu | scm hit rate: %.1f%%\n"
       "  tables: %zu | pending metadata flushes: %zu | block cache hit "
-      "rate: %.1f%%\n",
+      "rate: %.1f%%\n"
+      "  admission: %llu admitted (%llu throttled), %llu shed\n",
       sim_seconds, ssd_allocated / 1073741824.0, ssd_capacity / 1073741824.0,
       static_cast<unsigned long long>(ssd_io.read_ops),
       static_cast<unsigned long long>(ssd_io.write_ops),
@@ -138,7 +164,10 @@ std::string StreamLake::ClusterReport::ToString() const {
       static_cast<unsigned long long>(objects),
       static_cast<unsigned long long>(bus_io.messages),
       bus_io.bytes / 1048576.0, stream_workers, stream_objects, hit_rate,
-      tables, pending_metadata_flushes, block_hit_rate);
+      tables, pending_metadata_flushes, block_hit_rate,
+      static_cast<unsigned long long>(admission_admitted_ops),
+      static_cast<unsigned long long>(admission_throttled_ops),
+      static_cast<unsigned long long>(admission_shed_ops));
   return buf;
 }
 

@@ -3,6 +3,9 @@
 
 #include <memory>
 
+#include "access/admission.h"
+#include "access/block_service.h"
+#include "access/s3_gateway.h"
 #include "common/threadpool.h"
 #include "convert/converter.h"
 #include "storage/repair.h"
@@ -49,6 +52,10 @@ struct StreamLakeOptions {
   uint64_t block_cache_bytes = 64ULL << 20;
   storage::TieringPolicy tiering_policy;
 
+  /// Per-tenant admission control over the access layer (disabled by
+  /// default: no accounting, no gates handed out).
+  access::AdmissionConfig admission;
+
   StreamLakeOptions() {
     plog.num_shards = 128;  // scaled-down 4096 of the paper
     // Keep worst-case reservation (shards x width x capacity) well under
@@ -89,9 +96,29 @@ class StreamLake {
   storage::TieringService& tiering() { return *tiering_; }
   storage::RepairService& repair() { return *repair_; }
 
-  // ---- access layer helpers ----
+  // ---- access layer ----
+  access::AccessController& acl() { return *acl_; }
+  access::S3Gateway& s3() { return *s3_; }
+  access::BlockService& blocks() { return *blocks_; }
+  /// Client-facing network (S3/front traffic), distinct from the data bus.
+  sim::NetworkModel& front_network() { return *front_net_; }
+  /// The admission controller; nullptr when options.admission.enabled is
+  /// false.
+  access::AdmissionController* admission() { return admission_.get(); }
+
   streaming::Producer NewProducer() {
     return streaming::Producer(dispatcher_.get());
+  }
+  /// A producer gated through per-tenant admission as `tenant` (producer
+  /// backpressure: over-quota sends block until their throttle window
+  /// passes). No-op attachment when admission is disabled or the facade's
+  /// in-path gates are off (admission.gate_access_layer = false).
+  streaming::Producer NewProducer(const std::string& tenant) {
+    streaming::Producer producer(dispatcher_.get());
+    if (admission_ != nullptr && options_.admission.gate_access_layer) {
+      producer.SetAdmission(admission_.get(), tenant, /*blocking=*/true);
+    }
+    return producer;
   }
   streaming::Consumer NewConsumer(const std::string& group) {
     return streaming::Consumer(dispatcher_.get(), service_meta_.get(), group);
@@ -126,6 +153,10 @@ class StreamLake {
     size_t tables = 0;
     size_t pending_metadata_flushes = 0;
     uint64_t block_cache_hits = 0, block_cache_misses = 0;
+    // Access layer (zeros when admission is disabled).
+    uint64_t admission_admitted_ops = 0;
+    uint64_t admission_throttled_ops = 0;
+    uint64_t admission_shed_ops = 0;
 
     /// Multi-line human-readable rendering.
     std::string ToString() const;
@@ -170,6 +201,12 @@ class StreamLake {
   std::unique_ptr<streaming::ArchiveService> archive_;
   std::unique_ptr<storage::TieringService> tiering_;
   std::unique_ptr<storage::RepairService> repair_;
+  // Access layer: front network, ACLs, admission gate, protocol services.
+  std::unique_ptr<sim::NetworkModel> front_net_;
+  std::unique_ptr<access::AccessController> acl_;
+  std::unique_ptr<access::AdmissionController> admission_;
+  std::unique_ptr<access::S3Gateway> s3_;
+  std::unique_ptr<access::BlockService> blocks_;
 };
 
 }  // namespace streamlake::core

@@ -4,10 +4,21 @@
 
 namespace streamlake::streaming {
 
+Status Producer::Gate(uint64_t ops, uint64_t bytes) {
+  if (admission_ == nullptr) return Status::OK();
+  auto ticket = admission_blocking_
+                    ? admission_->AdmitBlocking(tenant_, AdmitOp::kProduce,
+                                                ops, bytes)
+                    : admission_->Admit(tenant_, AdmitOp::kProduce, ops,
+                                        bytes);
+  return ticket.status();
+}
+
 Result<uint64_t> Producer::Send(const std::string& topic,
                                 const Message& message) {
   static Counter* sends =
       MetricsRegistry::Global().GetCounter("streaming.producer.messages");
+  SL_RETURN_NOT_OK(Gate(1, message.ByteSize()));
   sends->Increment();
   SL_ASSIGN_OR_RETURN(auto route,
                       dispatcher_->RouteProduce(topic, message.key));
@@ -26,6 +37,12 @@ Status Producer::SendBatch(const std::string& topic,
                            const std::vector<Message>& messages) {
   static Counter* sends =
       MetricsRegistry::Global().GetCounter("streaming.producer.messages");
+  // One admission pass covers the whole batch: `ops` tokens equal to the
+  // batch size plus its total payload bytes, so batching neither dodges
+  // nor double-pays the quota.
+  uint64_t batch_bytes = 0;
+  for (const Message& message : messages) batch_bytes += message.ByteSize();
+  SL_RETURN_NOT_OK(Gate(messages.size(), batch_bytes));
   // Group by the stream object each key routes to (preserving per-object
   // message order), reserve a contiguous producer-sequence block per
   // group, and publish every group through the batched worker path: one

@@ -1,0 +1,312 @@
+#include "workload/cluster_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <queue>
+#include <thread>
+
+#include "query/executor.h"
+#include "query/predicate.h"
+
+namespace streamlake::workload {
+
+namespace {
+
+constexpr uint32_t kSeedObjects = 4;
+
+uint64_t Percentile(std::vector<uint64_t>* values, double p) {
+  if (values->empty()) return 0;
+  size_t idx = static_cast<size_t>(
+      static_cast<double>(values->size() - 1) * p);
+  std::nth_element(values->begin(), values->begin() + idx, values->end());
+  return (*values)[idx];
+}
+
+}  // namespace
+
+std::string ClusterDriver::TenantName(uint32_t tenant) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%03u", tenant);
+  return buf;
+}
+
+uint64_t ClusterDriver::NextGapNs(Random* rng, double rate_per_sec) {
+  if (rate_per_sec <= 0) return ~0ULL / 2;
+  // Exponential interarrival: the superposition of a tenant's Poisson
+  // clients is itself Poisson at the aggregate rate.
+  double u = rng->NextDouble();
+  double gap_sec = -std::log(1.0 - u) / rate_per_sec;
+  uint64_t gap_ns = static_cast<uint64_t>(gap_sec * 1e9);
+  return gap_ns == 0 ? 1 : gap_ns;
+}
+
+ClusterDriver::OpKind ClusterDriver::PickOp(Random* rng) const {
+  double total = config_.produce_weight + config_.select_weight +
+                 config_.object_put_weight + config_.object_get_weight +
+                 config_.convert_weight;
+  double u = rng->NextDouble() * total;
+  if ((u -= config_.produce_weight) < 0) return OpKind::kProduce;
+  if ((u -= config_.select_weight) < 0) return OpKind::kSelect;
+  if ((u -= config_.object_put_weight) < 0) return OpKind::kObjectPut;
+  if ((u -= config_.object_get_weight) < 0) return OpKind::kObjectGet;
+  return OpKind::kConvert;
+}
+
+Status ClusterDriver::Setup() {
+  if (setup_done_) return Status::InvalidArgument("Setup called twice");
+  if (config_.tenants == 0) return Status::InvalidArgument("no tenants");
+  payload_.assign(config_.message_bytes, 'x');
+
+  // Assign logical clients to tenants with Zipf skew. Only the counts
+  // matter: a tenant's clients superpose into one Poisson process.
+  std::vector<uint64_t> clients_per_tenant(config_.tenants, 0);
+  Random assign_rng(config_.seed);
+  for (uint64_t c = 0; c < config_.logical_clients; ++c) {
+    clients_per_tenant[assign_rng.Zipf(config_.tenants,
+                                       config_.tenant_zipf_theta)]++;
+  }
+
+  for (uint32_t i = 0; i < config_.tenants; ++i) {
+    auto t = std::make_unique<TenantRuntime>();
+    t->index = i;
+    t->name = TenantName(i);
+    t->bucket = "bkt-" + t->name;
+    t->clients = clients_per_tenant[i];
+    t->rate_per_sec = static_cast<double>(t->clients) *
+                      config_.ops_per_client_per_sec;
+    if (static_cast<int>(i) == config_.hot_tenant) {
+      t->rate_per_sec *= config_.hot_multiplier;
+      t->out.hot = true;
+    }
+    // Independent per-tenant stream so the (time, op, cost) sequence each
+    // tenant presents to admission is identical at any thread count.
+    t->rng = Random(config_.seed * 7919 + i * 104729 + 1);
+    t->out.tenant = t->name;
+    t->out.clients = t->clients;
+
+    // Principal + bucket + seed objects for Get traffic.
+    t->token = lake_->acl().CreatePrincipal(t->name);
+    std::string prefix = "/s3/" + t->bucket + "/";
+    SL_RETURN_NOT_OK(lake_->acl().Grant(t->name, prefix,
+                                        access::Permission::kWrite));
+    SL_RETURN_NOT_OK(lake_->acl().Grant(t->name, prefix,
+                                        access::Permission::kRead));
+    SL_RETURN_NOT_OK(lake_->s3().CreateBucket(t->token, t->bucket));
+    for (uint32_t k = 0; k < kSeedObjects; ++k) {
+      SL_RETURN_NOT_OK(lake_->s3().PutObject(t->token, t->bucket,
+                                             "seed-" + std::to_string(k),
+                                             ByteView(payload_)));
+    }
+
+    // Topics for produce + conversion traffic.
+    streaming::TopicConfig topic_config;
+    topic_config.stream_num = config_.streams_per_topic;
+    for (uint32_t j = 0; j < config_.topics_per_tenant; ++j) {
+      SL_RETURN_NOT_OK(lake_->dispatcher().CreateTopic(
+          t->name + "-top" + std::to_string(j), topic_config));
+    }
+    t->producer =
+        std::make_unique<streaming::Producer>(lake_->NewProducer());
+
+    // A small table per tenant for Select traffic.
+    SL_ASSIGN_OR_RETURN(table::Table * table,
+                        lake_->lakehouse().CreateTable(
+                            t->name + "-tbl",
+                            format::Schema{{"x", format::DataType::kInt64}},
+                            table::PartitionSpec::None()));
+    std::vector<format::Row> rows;
+    rows.reserve(config_.rows_per_tenant_table);
+    for (uint32_t r = 0; r < config_.rows_per_tenant_table; ++r) {
+      format::Row row;
+      row.fields.emplace_back(static_cast<int64_t>(r));
+      rows.push_back(std::move(row));
+    }
+    SL_RETURN_NOT_OK(table->Insert(rows));
+
+    tenants_.push_back(std::move(t));
+  }
+  setup_done_ = true;
+  return Status::OK();
+}
+
+Status ClusterDriver::ExecuteOp(TenantRuntime* t, OpKind op) {
+  switch (op) {
+    case OpKind::kProduce: {
+      uint64_t topic = t->rng.Zipf(config_.topics_per_tenant,
+                                   config_.topic_zipf_theta);
+      std::string key = "k" + std::to_string(t->rng.Uniform(64));
+      return t->producer
+          ->Send(t->name + "-top" + std::to_string(topic),
+                 streaming::Message(key, payload_))
+          .status();
+    }
+    case OpKind::kSelect: {
+      SL_ASSIGN_OR_RETURN(table::Table * table,
+                          lake_->lakehouse().GetTable(t->name + "-tbl"));
+      query::QuerySpec spec;
+      spec.where.Add(query::Predicate::Ge(
+          "x", static_cast<int64_t>(
+                   t->rng.Uniform(config_.rows_per_tenant_table))));
+      spec.limit = 8;
+      return table->Select(spec).status();
+    }
+    case OpKind::kObjectPut:
+      return lake_->s3().PutObject(
+          t->token, t->bucket, "obj-" + std::to_string(t->rng.Uniform(16)),
+          ByteView(payload_));
+    case OpKind::kObjectGet:
+      return lake_->s3()
+          .GetObject(t->token, t->bucket,
+                     "seed-" + std::to_string(t->rng.Uniform(kSeedObjects)))
+          .status();
+    case OpKind::kConvert:
+      // Trigger evaluation only (no convert config on the topics): the
+      // cost is the metadata probe, which is what background conversion
+      // traffic looks like between splits.
+      return lake_->converter().Run(t->name + "-top0", /*force=*/false)
+          .status();
+  }
+  return Status::OK();
+}
+
+void ClusterDriver::RunOneEvent(TenantRuntime* t, uint64_t event_ns) {
+  OpKind op = PickOp(&t->rng);
+  static constexpr AdmitOp kAdmitOps[] = {
+      AdmitOp::kProduce, AdmitOp::kSelect, AdmitOp::kObjectPut,
+      AdmitOp::kObjectGet, AdmitOp::kConvert};
+  uint64_t bytes = (op == OpKind::kProduce || op == OpKind::kObjectPut ||
+                    op == OpKind::kObjectGet)
+                       ? payload_.size()
+                       : 0;
+  t->out.offered++;
+  uint64_t wait_ns = 0;
+  access::AdmissionController* admission = lake_->admission();
+  if (admission != nullptr) {
+    auto ticket = admission->AdmitAt(
+        t->name, kAdmitOps[static_cast<int>(op)], 1, bytes, event_ns);
+    if (!ticket.ok()) {
+      t->out.shed++;
+      return;
+    }
+    wait_ns = ticket->wait_ns;
+  }
+  // Execute the admitted op on the real service path; the simulated clock
+  // picks up its device/network cost.
+  lake_->clock().AdvanceTo(event_ns);
+  uint64_t start_ns = lake_->clock().NowNanos();
+  Status status = ExecuteOp(t, op);
+  uint64_t service_ns = lake_->clock().NowNanos() - start_ns;
+  t->out.admitted++;
+  if (wait_ns > 0) t->out.throttled++;
+  if (!status.ok()) t->out.failed++;
+  uint64_t latency_ns = wait_ns + service_ns;
+  t->latencies.push_back(latency_ns);
+  if (admission != nullptr) admission->RecordLatency(t->name, latency_ns);
+}
+
+void ClusterDriver::DriveTenants(const std::vector<TenantRuntime*>& tenants,
+                                 uint64_t end_ns) {
+  // Min-heap of (next event time, tenant index, tenant): the thread
+  // replays its tenant subset's superposed arrivals in event-time order.
+  // Ties break on the index, never on pointer values, so replays are
+  // bit-identical run to run.
+  using Entry = std::tuple<uint64_t, uint32_t, TenantRuntime*>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (TenantRuntime* t : tenants) {
+    if (t->rate_per_sec <= 0) continue;
+    if (t->next_ns < end_ns) heap.emplace(t->next_ns, t->index, t);
+  }
+  while (!heap.empty()) {
+    auto [event_ns, index, t] = heap.top();
+    heap.pop();
+    RunOneEvent(t, event_ns);
+    t->next_ns = event_ns + NextGapNs(&t->rng, t->rate_per_sec);
+    if (t->next_ns < end_ns) heap.emplace(t->next_ns, t->index, t);
+  }
+}
+
+Result<ClusterResult> ClusterDriver::Run() {
+  if (!setup_done_) return Status::InvalidArgument("Run before Setup");
+  access::AdmissionController* admission = lake_->admission();
+  if (admission != nullptr && admission->config().gate_access_layer) {
+    // The driver meters at its own door with explicit event times; the
+    // facade's in-path gates would charge every request twice.
+    return Status::InvalidArgument(
+        "ClusterDriver needs admission.gate_access_layer = false");
+  }
+
+  uint64_t base_ns = lake_->clock().NowNanos();
+  uint64_t end_ns =
+      base_ns + static_cast<uint64_t>(config_.duration_sec * 1e9);
+  for (auto& t : tenants_) {
+    t->next_ns = base_ns + NextGapNs(&t->rng, t->rate_per_sec);
+  }
+
+  uint32_t threads = std::max<uint32_t>(1, config_.driver_threads);
+  if (threads == 1) {
+    std::vector<TenantRuntime*> all;
+    for (auto& t : tenants_) all.push_back(t.get());
+    DriveTenants(all, end_ns);
+  } else {
+    // Partition tenants across threads; each tenant is owned by exactly
+    // one thread, so per-tenant state needs no locking.
+    std::vector<std::vector<TenantRuntime*>> parts(threads);
+    for (auto& t : tenants_) parts[t->index % threads].push_back(t.get());
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t i = 0; i < threads; ++i) {
+      workers.emplace_back(
+          [this, &parts, i, end_ns] { DriveTenants(parts[i], end_ns); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  lake_->clock().AdvanceTo(end_ns);
+
+  // Aggregate: totals, per-tenant percentiles, cold-tenant fairness.
+  ClusterResult result;
+  result.sim_seconds = lake_->clock().NowSeconds();
+  uint64_t cold_offered = 0, cold_admitted = 0;
+  for (auto& t : tenants_) {
+    t->out.p50_ns = Percentile(&t->latencies, 0.50);
+    t->out.p99_ns = Percentile(&t->latencies, 0.99);
+    result.offered += t->out.offered;
+    result.admitted += t->out.admitted;
+    result.throttled += t->out.throttled;
+    result.shed += t->out.shed;
+    result.failed += t->out.failed;
+    if (!t->out.hot) {
+      cold_offered += t->out.offered;
+      cold_admitted += t->out.admitted;
+    }
+  }
+  bool first_cold = true;
+  for (auto& t : tenants_) {
+    TenantOutcome& out = t->out;
+    if (out.hot) {
+      result.hot_p99_ns = out.p99_ns;
+    } else if (out.offered > 0 && cold_offered > 0) {
+      out.offered_share =
+          static_cast<double>(out.offered) / static_cast<double>(cold_offered);
+      out.admitted_share =
+          cold_admitted == 0 ? 0
+                             : static_cast<double>(out.admitted) /
+                                   static_cast<double>(cold_admitted);
+      out.fairness =
+          out.offered_share == 0 ? 0 : out.admitted_share / out.offered_share;
+      if (first_cold) {
+        result.fairness_min = result.fairness_max = out.fairness;
+        first_cold = false;
+      } else {
+        result.fairness_min = std::min(result.fairness_min, out.fairness);
+        result.fairness_max = std::max(result.fairness_max, out.fairness);
+      }
+      if (out.fairness < 0.5) result.starved_tenants++;
+      result.cold_p99_ns = std::max(result.cold_p99_ns, out.p99_ns);
+    }
+    result.tenants.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace streamlake::workload

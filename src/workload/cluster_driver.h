@@ -1,0 +1,152 @@
+#ifndef STREAMLAKE_WORKLOAD_CLUSTER_DRIVER_H_
+#define STREAMLAKE_WORKLOAD_CLUSTER_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/streamlake.h"
+
+namespace streamlake::workload {
+
+/// Shape of one cluster-scale simulation: how many logical clients, how
+/// they skew across tenants, and what they do.
+struct ClusterConfig {
+  /// Logical clients, each an independent open-loop arrival process. The
+  /// driver superposes them per tenant (a tenant with k clients offers a
+  /// Poisson stream at k times the per-client rate), so 10^5-10^6 clients
+  /// cost the same to drive as their aggregate event count.
+  uint64_t logical_clients = 100000;
+  uint32_t tenants = 20;
+  /// Client -> tenant assignment skew (Zipf exponent in (0,1)): some
+  /// tenants are naturally much larger than others, like production.
+  double tenant_zipf_theta = 0.75;
+
+  uint32_t topics_per_tenant = 2;
+  /// Which of a tenant's topics a produce hits (Zipf exponent).
+  double topic_zipf_theta = 0.8;
+  uint32_t streams_per_topic = 2;
+
+  /// Per-client offered rate; tenant rate = clients x this.
+  double ops_per_client_per_sec = 0.3;
+  /// Simulated duration of the run.
+  double duration_sec = 2.0;
+
+  /// Index of a tenant whose clients misbehave (offer hot_multiplier x
+  /// their fair rate); -1 = nobody is hot.
+  int hot_tenant = -1;
+  double hot_multiplier = 100.0;
+
+  /// Threads driving the tenant event loops. Tenants are partitioned
+  /// across threads, so per-tenant admission counters are deterministic
+  /// at any thread count (absent a shared cluster-wide bucket); full
+  /// bit-determinism of global time-ordering needs 1.
+  uint32_t driver_threads = 1;
+  uint64_t seed = 42;
+
+  uint32_t message_bytes = 128;
+  /// Rows seeded into each tenant's table for Select traffic.
+  uint32_t rows_per_tenant_table = 256;
+
+  /// Operation mix (normalized over their sum).
+  double produce_weight = 0.70;
+  double select_weight = 0.15;
+  double object_put_weight = 0.08;
+  double object_get_weight = 0.05;
+  double convert_weight = 0.02;
+};
+
+/// What one tenant experienced.
+struct TenantOutcome {
+  std::string tenant;
+  uint64_t clients = 0;
+  bool hot = false;
+  uint64_t offered = 0;    // arrivals presented to admission
+  uint64_t admitted = 0;   // executed (includes throttled)
+  uint64_t throttled = 0;  // admitted with a positive queue wait
+  uint64_t shed = 0;       // refused with kResourceExhausted
+  uint64_t failed = 0;     // admitted but the operation itself errored
+  uint64_t p50_ns = 0;     // end-to-end: queue wait + service time
+  uint64_t p99_ns = 0;
+  /// Shares are over cold tenants only; fairness = admitted share /
+  /// offered share (1.0 = exactly proportional service).
+  double offered_share = 0;
+  double admitted_share = 0;
+  double fairness = 0;
+};
+
+struct ClusterResult {
+  std::vector<TenantOutcome> tenants;
+  uint64_t offered = 0, admitted = 0, throttled = 0, shed = 0, failed = 0;
+  /// Fairness extremes over cold tenants (hot tenant excluded).
+  double fairness_min = 0;
+  double fairness_max = 0;
+  /// Cold tenants whose fairness fell below 0.5 ("within 2x of fair").
+  uint32_t starved_tenants = 0;
+  /// Worst p99 over cold tenants, and the hot tenant's own p99.
+  uint64_t cold_p99_ns = 0;
+  uint64_t hot_p99_ns = 0;
+  double sim_seconds = 0;
+};
+
+/// \brief Open-loop cluster-scale traffic driver: simulates
+/// ClusterConfig::logical_clients clients as superposed Poisson arrival
+/// processes on the virtual clock, pushing a produce / Select / S3 /
+/// conversion mix through the real service paths, with every arrival
+/// judged by the admission controller at its own event time.
+///
+/// The driver meters at its own front door (AdmitAt with explicit event
+/// times) so decisions are a pure function of each tenant's arrival
+/// sequence; the facade's in-path gates must therefore be off
+/// (admission.gate_access_layer = false) or Run() refuses to start.
+class ClusterDriver {
+ public:
+  ClusterDriver(core::StreamLake* lake, const ClusterConfig& config)
+      : lake_(lake), config_(config) {}
+
+  /// Create per-tenant principals, buckets, topics, tables, and seed
+  /// objects. Call once before Run.
+  Status Setup();
+
+  /// Drive the configured duration of traffic and aggregate outcomes.
+  Result<ClusterResult> Run();
+
+  static std::string TenantName(uint32_t tenant);
+
+ private:
+  enum class OpKind { kProduce, kSelect, kObjectPut, kObjectGet, kConvert };
+
+  struct TenantRuntime {
+    uint32_t index = 0;
+    std::string name;
+    std::string token;
+    std::string bucket;
+    uint64_t clients = 0;
+    double rate_per_sec = 0;
+    Random rng{1};
+    uint64_t next_ns = 0;
+    std::unique_ptr<streaming::Producer> producer;
+    std::vector<uint64_t> latencies;
+    TenantOutcome out;
+  };
+
+  /// Drive one thread's tenant subset in event-time order.
+  void DriveTenants(const std::vector<TenantRuntime*>& tenants,
+                    uint64_t end_ns);
+  void RunOneEvent(TenantRuntime* t, uint64_t event_ns);
+  Status ExecuteOp(TenantRuntime* t, OpKind op);
+  OpKind PickOp(Random* rng) const;
+  /// Next exponential interarrival gap for a tenant-aggregate rate.
+  static uint64_t NextGapNs(Random* rng, double rate_per_sec);
+
+  core::StreamLake* lake_;
+  ClusterConfig config_;
+  std::string payload_;  // shared message/object body
+  std::vector<std::unique_ptr<TenantRuntime>> tenants_;
+  bool setup_done_ = false;
+};
+
+}  // namespace streamlake::workload
+
+#endif  // STREAMLAKE_WORKLOAD_CLUSTER_DRIVER_H_

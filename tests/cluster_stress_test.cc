@@ -1,0 +1,65 @@
+// Stress tier (ctest label `stress`, run nightly and under TSan): the
+// cluster driver with 64 concurrent driver threads hammering one
+// StreamLake through every admission-gated path at once. The default PR
+// tier covers the logic; this tier exists to let TSan see the admission
+// controller, token buckets, producers, gateways, and driver under real
+// contention.
+
+#include <gtest/gtest.h>
+
+#include "core/streamlake.h"
+#include "workload/cluster_driver.h"
+
+namespace streamlake {
+namespace {
+
+TEST(ClusterStressTest, SixtyFourDriverThreadsStayConsistent) {
+  core::StreamLakeOptions options;
+  options.admission.enabled = true;
+  options.admission.gate_access_layer = false;  // the driver meters itself
+  options.admission.default_quota.ops_per_sec = 500;
+  options.admission.default_quota.burst_ops = 64;
+  core::StreamLake lake(options);
+
+  workload::ClusterConfig config;
+  config.logical_clients = 50000;
+  config.tenants = 64;  // one tenant per driver thread
+  config.ops_per_client_per_sec = 0.2;
+  config.duration_sec = 0.5;
+  config.hot_tenant = 3;
+  config.hot_multiplier = 100;
+  config.driver_threads = 64;
+  config.seed = 11;
+
+  workload::ClusterDriver driver(&lake, config);
+  ASSERT_TRUE(driver.Setup().ok());
+  auto result = driver.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Conservation: every offered op either ran or was shed, per tenant and
+  // in total, no matter how the 64 threads interleaved.
+  EXPECT_GT(result->offered, 0u);
+  EXPECT_EQ(result->offered, result->admitted + result->shed);
+  EXPECT_EQ(result->failed, 0u);
+  uint64_t offered_sum = 0;
+  for (const auto& t : result->tenants) {
+    EXPECT_EQ(t.offered, t.admitted + t.shed) << t.tenant;
+    offered_sum += t.offered;
+  }
+  EXPECT_EQ(offered_sum, result->offered);
+  // The flood was clipped; nobody else starved.
+  for (const auto& t : result->tenants) {
+    if (t.hot) EXPECT_GT(t.shed, 0u);
+  }
+  EXPECT_EQ(result->starved_tenants, 0u);
+
+  // The controller's own books agree with the driver's.
+  uint64_t controller_offered = 0;
+  for (const auto& [tenant, stats] : lake.admission()->AllStats()) {
+    controller_offered += stats.offered_ops;
+  }
+  EXPECT_EQ(controller_offered, result->offered);
+}
+
+}  // namespace
+}  // namespace streamlake
