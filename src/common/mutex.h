@@ -126,6 +126,9 @@ enum class LockRank : uint16_t {
   kTableScanBarrier = 43, // per-Select fan-out completion barrier; scan jobs
                           // and the waiting query thread hold nothing else
   kTableCommit = 44,      // commit protocol; held across metadata/KV/object IO
+  kQueryFragmentSink = 45,// per-query join build/probe fragment sinks, fed
+                          // concurrently by scan-pool jobs; a job holds
+                          // nothing else while appending its fragment
   kLakehouse = 46,        // catalog of open tables
 
   // ---- stream: stream objects over PLogs ----

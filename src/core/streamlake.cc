@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sql/engine.h"
 #include "table/block_cache.h"
 
 namespace streamlake::core {
@@ -169,6 +170,12 @@ std::string StreamLake::ClusterReport::ToString() const {
       static_cast<unsigned long long>(admission_throttled_ops),
       static_cast<unsigned long long>(admission_shed_ops));
   return buf;
+}
+
+Result<query::QueryResult> StreamLake::Query(const std::string& sql,
+                                             table::SelectMetrics* metrics) {
+  sql::Engine engine(lakehouse_.get());
+  return engine.Execute(sql, metrics);
 }
 
 Status StreamLake::RunBackgroundWork() {

@@ -163,6 +163,13 @@ class StreamLake {
   };
   ClusterReport Report() const;
 
+  /// Run one SQL statement against the lakehouse (parse, plan, execute).
+  /// SELECT — including multi-table joins, which pin every table's
+  /// snapshot before scanning — returns its result set; INSERT / DELETE /
+  /// UPDATE return one "affected" row.
+  Result<query::QueryResult> Query(const std::string& sql,
+                                   table::SelectMetrics* metrics = nullptr);
+
   /// Run pending background work once: MetaFresher flush + tiering scan.
   Status RunBackgroundWork();
 

@@ -27,6 +27,9 @@ bool NegateRange(const query::Predicate& p, query::Predicate* out) {
     case query::CompareOp::kGt:
       *out = query::Predicate::Le(p.column, p.literal);
       return true;
+    case query::CompareOp::kNe:
+      *out = query::Predicate::Eq(p.column, p.literal);
+      return true;
     case query::CompareOp::kEq:
     case query::CompareOp::kIn:
       return false;
@@ -118,6 +121,9 @@ void ApplyPredicate(const query::Predicate& p, bool positive,
         bound.TightenHi(*mx, false);
         return;
       }
+      case query::CompareOp::kNe:
+        // Excludes a single point: no interval bound to tighten.
+        return;
     }
     return;
   }

@@ -1,109 +1,14 @@
 #include "query/executor.h"
 
-#include <algorithm>
-
 #include "common/metrics.h"
 
 namespace streamlake::query {
 
-namespace {
-
-bool ValueVectorLess(const std::vector<format::Value>& a,
-                     const std::vector<format::Value>& b) {
-  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-    int c = format::CompareValues(a[i], b[i]);
-    if (c != 0) return c < 0;
-  }
-  return a.size() < b.size();
-}
-
-double ToDouble(const format::Value& v) {
-  switch (format::TypeOf(v)) {
-    case format::DataType::kInt64:
-      return static_cast<double>(std::get<int64_t>(v));
-    case format::DataType::kDouble:
-      return std::get<double>(v);
-    case format::DataType::kBool:
-      return std::get<bool>(v) ? 1.0 : 0.0;
-    default:
-      return 0.0;
-  }
-}
-
-}  // namespace
-
-AggregateSpec AggregateSpec::CountStar(std::string alias) {
-  AggregateSpec spec;
-  spec.func = Func::kCount;
-  spec.alias = std::move(alias);
-  return spec;
-}
-
-AggregateSpec AggregateSpec::Sum(std::string column, std::string alias) {
-  AggregateSpec spec;
-  spec.func = Func::kSum;
-  spec.alias = alias.empty() ? "sum(" + column + ")" : std::move(alias);
-  spec.column = std::move(column);
-  return spec;
-}
-
-AggregateSpec AggregateSpec::Min(std::string column, std::string alias) {
-  AggregateSpec spec;
-  spec.func = Func::kMin;
-  spec.alias = alias.empty() ? "min(" + column + ")" : std::move(alias);
-  spec.column = std::move(column);
-  return spec;
-}
-
-AggregateSpec AggregateSpec::Max(std::string column, std::string alias) {
-  AggregateSpec spec;
-  spec.func = Func::kMax;
-  spec.alias = alias.empty() ? "max(" + column + ")" : std::move(alias);
-  spec.column = std::move(column);
-  return spec;
-}
-
-AggregateSpec AggregateSpec::Avg(std::string column, std::string alias) {
-  AggregateSpec spec;
-  spec.func = Func::kAvg;
-  spec.alias = alias.empty() ? "avg(" + column + ")" : std::move(alias);
-  spec.column = std::move(column);
-  return spec;
-}
-
 Executor::Executor(const format::Schema& schema, const QuerySpec& spec)
-    : schema_(schema), spec_(spec), groups_(&ValueVectorLess) {
-  init_status_ = Status::OK();
-  for (const std::string& column : spec_.group_by) {
-    int idx = schema_.FieldIndex(column);
-    if (idx < 0) {
-      init_status_ = Status::InvalidArgument("unknown group column " + column);
-      return;
-    }
-    group_cols_.push_back(idx);
-  }
-  for (const AggregateSpec& agg : spec_.aggregates) {
-    if (agg.column.empty()) {
-      agg_cols_.push_back(-1);
-    } else {
-      int idx = schema_.FieldIndex(agg.column);
-      if (idx < 0) {
-        init_status_ =
-            Status::InvalidArgument("unknown aggregate column " + agg.column);
-        return;
-      }
-      agg_cols_.push_back(idx);
-    }
-  }
-  for (const std::string& column : spec_.projection) {
-    int idx = schema_.FieldIndex(column);
-    if (idx < 0) {
-      init_status_ =
-          Status::InvalidArgument("unknown projection column " + column);
-      return;
-    }
-    projection_cols_.push_back(idx);
-  }
+    : schema_(schema), spec_(spec) {
+  init_status_ = aggregate_.Init(schema_, spec_.group_by, spec_.aggregates);
+  if (!init_status_.ok()) return;
+  init_status_ = project_.Init(schema_, spec_.projection);
 }
 
 Status Executor::Consume(const std::vector<format::Row>& rows) {
@@ -114,53 +19,15 @@ Status Executor::Consume(const std::vector<format::Row>& rows) {
     ++rows_matched_;
 
     if (spec_.aggregates.empty()) {
-      if (projection_cols_.empty()) {
+      if (!project_.active()) {
         plain_rows_.push_back(row);
       } else {
-        format::Row projected;
-        projected.fields.reserve(projection_cols_.size());
-        for (int col : projection_cols_) {
-          projected.fields.push_back(row.fields[col]);
-        }
-        plain_rows_.push_back(std::move(projected));
+        plain_rows_.push_back(project_.Apply(row));
       }
       continue;
     }
 
-    std::vector<format::Value> key;
-    key.reserve(group_cols_.size());
-    for (int col : group_cols_) key.push_back(row.fields[col]);
-    GroupState& state = groups_[key];
-    if (state.counts.empty()) {
-      state.counts.assign(spec_.aggregates.size(), 0);
-      state.sums.assign(spec_.aggregates.size(), 0.0);
-      state.mins.assign(spec_.aggregates.size(), std::nullopt);
-      state.maxs.assign(spec_.aggregates.size(), std::nullopt);
-    }
-    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-      const AggregateSpec& agg = spec_.aggregates[a];
-      state.counts[a] += 1;
-      if (agg_cols_[a] < 0) continue;
-      const format::Value& v = row.fields[agg_cols_[a]];
-      switch (agg.func) {
-        case AggregateSpec::Func::kSum:
-        case AggregateSpec::Func::kAvg:
-          state.sums[a] += ToDouble(v);
-          break;
-        case AggregateSpec::Func::kMin:
-          if (!state.mins[a] || format::CompareValues(v, *state.mins[a]) < 0) {
-            state.mins[a] = v;
-          }
-          break;
-        case AggregateSpec::Func::kMax:
-          if (!state.maxs[a] || format::CompareValues(v, *state.maxs[a]) > 0) {
-            state.maxs[a] = v;
-          }
-          break;
-        case AggregateSpec::Func::kCount:
-          break;
-      }
-    }
+    aggregate_.Consume(row);
   }
   return Status::OK();
 }
@@ -173,58 +40,9 @@ Status Executor::MergeFrom(Executor&& other) {
   plain_rows_.insert(plain_rows_.end(),
                      std::make_move_iterator(other.plain_rows_.begin()),
                      std::make_move_iterator(other.plain_rows_.end()));
-  for (auto& [key, theirs] : other.groups_) {
-    auto [it, inserted] = groups_.try_emplace(key, std::move(theirs));
-    if (inserted) continue;
-    GroupState& mine = it->second;
-    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-      mine.counts[a] += theirs.counts[a];
-      mine.sums[a] += theirs.sums[a];
-      if (theirs.mins[a] &&
-          (!mine.mins[a] ||
-           format::CompareValues(*theirs.mins[a], *mine.mins[a]) < 0)) {
-        mine.mins[a] = std::move(theirs.mins[a]);
-      }
-      if (theirs.maxs[a] &&
-          (!mine.maxs[a] ||
-           format::CompareValues(*theirs.maxs[a], *mine.maxs[a]) > 0)) {
-        mine.maxs[a] = std::move(theirs.maxs[a]);
-      }
-    }
-  }
+  aggregate_.Merge(std::move(other.aggregate_));
   return Status::OK();
 }
-
-namespace {
-
-/// ORDER BY `column` (by result-column name) and LIMIT, applied to the
-/// final rows.
-Status ApplyOrderAndLimit(const QuerySpec& spec, QueryResult* result) {
-  if (!spec.order_by.empty()) {
-    int column = -1;
-    for (size_t c = 0; c < result->column_names.size(); ++c) {
-      if (result->column_names[c] == spec.order_by) {
-        column = static_cast<int>(c);
-      }
-    }
-    if (column < 0) {
-      return Status::InvalidArgument("unknown ORDER BY column " +
-                                     spec.order_by);
-    }
-    std::stable_sort(result->rows.begin(), result->rows.end(),
-                     [&](const format::Row& a, const format::Row& b) {
-                       int cmp = format::CompareValues(a.fields[column],
-                                                       b.fields[column]);
-                       return spec.order_descending ? cmp > 0 : cmp < 0;
-                     });
-  }
-  if (spec.limit > 0 && result->rows.size() > spec.limit) {
-    result->rows.resize(spec.limit);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Result<QueryResult> Executor::Finalize() {
   SL_RETURN_NOT_OK(init_status_);
@@ -239,58 +57,40 @@ Result<QueryResult> Executor::Finalize() {
   rows_matched->Increment(rows_matched_);
 
   if (spec_.aggregates.empty()) {
-    if (projection_cols_.empty()) {
+    if (!project_.active()) {
       for (const format::Field& f : schema_.fields()) {
         result.column_names.push_back(f.name);
       }
     } else {
-      for (int col : projection_cols_) {
+      static Counter* project_rows =
+          MetricsRegistry::Global().GetCounter("query.op.project.rows");
+      project_rows->Increment(plain_rows_.size());
+      for (int col : project_.columns()) {
         result.column_names.push_back(schema_.field(col).name);
       }
     }
     result.rows = std::move(plain_rows_);
-    SL_RETURN_NOT_OK(ApplyOrderAndLimit(spec_, &result));
+    if (!spec_.order_by.empty()) {
+      static Counter* sort_rows =
+          MetricsRegistry::Global().GetCounter("query.op.sort.rows");
+      sort_rows->Increment(result.rows.size());
+    }
+    SL_RETURN_NOT_OK(ApplySortLimit(spec_.order_by, spec_.order_descending,
+                                    spec_.limit, &result));
     return result;
   }
 
-  for (const std::string& g : spec_.group_by) result.column_names.push_back(g);
-  for (const AggregateSpec& agg : spec_.aggregates) {
-    result.column_names.push_back(agg.alias);
+  static Counter* aggregate_rows =
+      MetricsRegistry::Global().GetCounter("query.op.aggregate.rows");
+  aggregate_rows->Increment(aggregate_.rows_consumed());
+  aggregate_.Finalize(&result);
+  if (!spec_.order_by.empty()) {
+    static Counter* sort_rows =
+        MetricsRegistry::Global().GetCounter("query.op.sort.rows");
+    sort_rows->Increment(result.rows.size());
   }
-  // SQL semantics: global aggregation over an empty input yields one row.
-  if (groups_.empty() && spec_.group_by.empty()) {
-    groups_[{}] = GroupState{
-        std::vector<int64_t>(spec_.aggregates.size(), 0),
-        std::vector<double>(spec_.aggregates.size(), 0.0),
-        std::vector<std::optional<format::Value>>(spec_.aggregates.size()),
-        std::vector<std::optional<format::Value>>(spec_.aggregates.size())};
-  }
-  for (const auto& [key, state] : groups_) {
-    format::Row row;
-    row.fields = key;
-    for (size_t a = 0; a < spec_.aggregates.size(); ++a) {
-      switch (spec_.aggregates[a].func) {
-        case AggregateSpec::Func::kCount:
-          row.fields.emplace_back(state.counts[a]);
-          break;
-        case AggregateSpec::Func::kSum:
-          row.fields.emplace_back(state.sums[a]);
-          break;
-        case AggregateSpec::Func::kAvg:
-          row.fields.emplace_back(
-              state.counts[a] == 0 ? 0.0 : state.sums[a] / state.counts[a]);
-          break;
-        case AggregateSpec::Func::kMin:
-          row.fields.push_back(state.mins[a].value_or(format::Value(int64_t{0})));
-          break;
-        case AggregateSpec::Func::kMax:
-          row.fields.push_back(state.maxs[a].value_or(format::Value(int64_t{0})));
-          break;
-      }
-    }
-    result.rows.push_back(std::move(row));
-  }
-  SL_RETURN_NOT_OK(ApplyOrderAndLimit(spec_, &result));
+  SL_RETURN_NOT_OK(ApplySortLimit(spec_.order_by, spec_.order_descending,
+                                  spec_.limit, &result));
   return result;
 }
 

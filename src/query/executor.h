@@ -1,56 +1,20 @@
 #ifndef STREAMLAKE_QUERY_EXECUTOR_H_
 #define STREAMLAKE_QUERY_EXECUTOR_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
-#include "query/predicate.h"
+#include "query/operators.h"
+#include "query/spec.h"
 
 namespace streamlake::query {
 
-/// Aggregate functions supported by the pushdown executor. COUNT is what
-/// the paper's DAU query uses (Fig. 13).
-struct AggregateSpec {
-  enum class Func { kCount, kSum, kMin, kMax, kAvg };
-  Func func = Func::kCount;
-  std::string column;  // empty for COUNT(*)
-  std::string alias;
-
-  static AggregateSpec CountStar(std::string alias = "count");
-  static AggregateSpec Sum(std::string column, std::string alias = "");
-  static AggregateSpec Min(std::string column, std::string alias = "");
-  static AggregateSpec Max(std::string column, std::string alias = "");
-  static AggregateSpec Avg(std::string column, std::string alias = "");
-};
-
-/// A filter + (optional) GROUP BY + aggregate query, e.g. Fig. 13:
-///   SELECT COUNT(*) FROM t WHERE url = ... AND start_time in [a, b)
-///   GROUP BY province
-struct QuerySpec {
-  Conjunction where;
-  std::vector<std::string> group_by;
-  std::vector<AggregateSpec> aggregates;
-  /// For non-aggregate queries: columns to return (empty = all).
-  std::vector<std::string> projection;
-  /// Sort the result rows by this output column (by name; applies to
-  /// aggregate results too). Empty = no ordering.
-  std::string order_by;
-  bool order_descending = false;
-  /// Keep only the first `limit` result rows (0 = unlimited).
-  uint64_t limit = 0;
-};
-
-struct QueryResult {
-  std::vector<std::string> column_names;
-  std::vector<format::Row> rows;
-  // Execution counters (fed into the per-query metrics of the benches).
-  uint64_t rows_scanned = 0;
-  uint64_t rows_matched = 0;
-};
-
 /// \brief In-memory relational executor used both at the "compute engine"
-/// side and storage-side when computation pushdown is enabled.
+/// side and storage-side when computation pushdown is enabled. A thin
+/// facade over the composable operators (filter -> project | aggregate ->
+/// sort/limit): it keeps the scan-fragment contract the parallel Select
+/// path relies on (Consume per fragment, MergeFrom in deterministic file
+/// order, Finalize once).
 class Executor {
  public:
   /// Run `spec` over `rows`; append results/counters into `result`
@@ -73,22 +37,10 @@ class Executor {
   Result<QueryResult> Finalize();
 
  private:
-  struct GroupState {
-    std::vector<int64_t> counts;
-    std::vector<double> sums;
-    std::vector<std::optional<format::Value>> mins;
-    std::vector<std::optional<format::Value>> maxs;
-  };
-
   const format::Schema schema_;
   const QuerySpec spec_;
-  std::vector<int> group_cols_;
-  std::vector<int> agg_cols_;
-  std::vector<int> projection_cols_;
-  std::map<std::vector<format::Value>, GroupState,
-           bool (*)(const std::vector<format::Value>&,
-                    const std::vector<format::Value>&)>
-      groups_;
+  ProjectOperator project_;
+  AggregateOperator aggregate_;
   std::vector<format::Row> plain_rows_;
   uint64_t rows_scanned_ = 0;
   uint64_t rows_matched_ = 0;

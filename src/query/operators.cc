@@ -1,0 +1,203 @@
+#include "query/operators.h"
+
+#include <algorithm>
+
+namespace streamlake::query {
+
+namespace {
+
+double ToDouble(const format::Value& v) {
+  switch (format::TypeOf(v)) {
+    case format::DataType::kInt64:
+      return static_cast<double>(std::get<int64_t>(v));
+    case format::DataType::kDouble:
+      return std::get<double>(v);
+    case format::DataType::kBool:
+      return std::get<bool>(v) ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+Status ProjectOperator::Init(const format::Schema& schema,
+                             const std::vector<std::string>& columns) {
+  columns_.clear();
+  for (const std::string& column : columns) {
+    int idx = schema.FieldIndex(column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown projection column " + column);
+    }
+    columns_.push_back(idx);
+  }
+  return Status::OK();
+}
+
+format::Row ProjectOperator::Apply(const format::Row& row) const {
+  format::Row projected;
+  projected.fields.reserve(columns_.size());
+  for (int col : columns_) {
+    projected.fields.push_back(row.fields[col]);
+  }
+  return projected;
+}
+
+Status AggregateOperator::Init(const format::Schema& schema,
+                               const std::vector<std::string>& group_by,
+                               const std::vector<AggregateSpec>& aggregates) {
+  group_by_ = group_by;
+  aggregates_ = aggregates;
+  group_cols_.clear();
+  agg_cols_.clear();
+  for (const std::string& column : group_by_) {
+    int idx = schema.FieldIndex(column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown group column " + column);
+    }
+    group_cols_.push_back(idx);
+  }
+  for (const AggregateSpec& agg : aggregates_) {
+    if (agg.column.empty()) {
+      agg_cols_.push_back(-1);
+    } else {
+      int idx = schema.FieldIndex(agg.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown aggregate column " +
+                                       agg.column);
+      }
+      agg_cols_.push_back(idx);
+    }
+  }
+  return Status::OK();
+}
+
+void AggregateOperator::Consume(const format::Row& row) {
+  ++rows_consumed_;
+  std::vector<format::Value> key;
+  key.reserve(group_cols_.size());
+  for (int col : group_cols_) key.push_back(row.fields[col]);
+  GroupState& state = groups_[key];
+  if (state.counts.empty()) {
+    state.counts.assign(aggregates_.size(), 0);
+    state.sums.assign(aggregates_.size(), 0.0);
+    state.mins.assign(aggregates_.size(), std::nullopt);
+    state.maxs.assign(aggregates_.size(), std::nullopt);
+  }
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    const AggregateSpec& agg = aggregates_[a];
+    state.counts[a] += 1;
+    if (agg_cols_[a] < 0) continue;
+    const format::Value& v = row.fields[agg_cols_[a]];
+    switch (agg.func) {
+      case AggregateSpec::Func::kSum:
+      case AggregateSpec::Func::kAvg:
+        state.sums[a] += ToDouble(v);
+        break;
+      case AggregateSpec::Func::kMin:
+        if (!state.mins[a] || format::CompareValues(v, *state.mins[a]) < 0) {
+          state.mins[a] = v;
+        }
+        break;
+      case AggregateSpec::Func::kMax:
+        if (!state.maxs[a] || format::CompareValues(v, *state.maxs[a]) > 0) {
+          state.maxs[a] = v;
+        }
+        break;
+      case AggregateSpec::Func::kCount:
+        break;
+    }
+  }
+}
+
+void AggregateOperator::Merge(AggregateOperator&& other) {
+  rows_consumed_ += other.rows_consumed_;
+  for (auto& [key, theirs] : other.groups_) {
+    auto [it, inserted] = groups_.try_emplace(key, std::move(theirs));
+    if (inserted) continue;
+    GroupState& mine = it->second;
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      mine.counts[a] += theirs.counts[a];
+      mine.sums[a] += theirs.sums[a];
+      if (theirs.mins[a] &&
+          (!mine.mins[a] ||
+           format::CompareValues(*theirs.mins[a], *mine.mins[a]) < 0)) {
+        mine.mins[a] = std::move(theirs.mins[a]);
+      }
+      if (theirs.maxs[a] &&
+          (!mine.maxs[a] ||
+           format::CompareValues(*theirs.maxs[a], *mine.maxs[a]) > 0)) {
+        mine.maxs[a] = std::move(theirs.maxs[a]);
+      }
+    }
+  }
+}
+
+void AggregateOperator::Finalize(QueryResult* result) {
+  for (const std::string& g : group_by_) result->column_names.push_back(g);
+  for (const AggregateSpec& agg : aggregates_) {
+    result->column_names.push_back(agg.alias);
+  }
+  // SQL semantics: global aggregation over an empty input yields one row.
+  if (groups_.empty() && group_by_.empty()) {
+    groups_[{}] = GroupState{
+        std::vector<int64_t>(aggregates_.size(), 0),
+        std::vector<double>(aggregates_.size(), 0.0),
+        std::vector<std::optional<format::Value>>(aggregates_.size()),
+        std::vector<std::optional<format::Value>>(aggregates_.size())};
+  }
+  for (const auto& [key, state] : groups_) {
+    format::Row row;
+    row.fields = key;
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      switch (aggregates_[a].func) {
+        case AggregateSpec::Func::kCount:
+          row.fields.emplace_back(state.counts[a]);
+          break;
+        case AggregateSpec::Func::kSum:
+          row.fields.emplace_back(state.sums[a]);
+          break;
+        case AggregateSpec::Func::kAvg:
+          row.fields.emplace_back(
+              state.counts[a] == 0 ? 0.0 : state.sums[a] / state.counts[a]);
+          break;
+        case AggregateSpec::Func::kMin:
+          row.fields.push_back(
+              state.mins[a].value_or(format::Value(int64_t{0})));
+          break;
+        case AggregateSpec::Func::kMax:
+          row.fields.push_back(
+              state.maxs[a].value_or(format::Value(int64_t{0})));
+          break;
+      }
+    }
+    result->rows.push_back(std::move(row));
+  }
+}
+
+Status ApplySortLimit(const std::string& order_by, bool descending,
+                      uint64_t limit, QueryResult* result) {
+  if (!order_by.empty()) {
+    int column = -1;
+    for (size_t c = 0; c < result->column_names.size(); ++c) {
+      if (result->column_names[c] == order_by) {
+        column = static_cast<int>(c);
+      }
+    }
+    if (column < 0) {
+      return Status::InvalidArgument("unknown ORDER BY column " + order_by);
+    }
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [&](const format::Row& a, const format::Row& b) {
+                       int cmp = format::CompareValues(a.fields[column],
+                                                       b.fields[column]);
+                       return descending ? cmp > 0 : cmp < 0;
+                     });
+  }
+  if (limit > 0 && result->rows.size() > limit) {
+    result->rows.resize(limit);
+  }
+  return Status::OK();
+}
+
+}  // namespace streamlake::query

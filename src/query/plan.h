@@ -1,0 +1,109 @@
+#ifndef STREAMLAKE_QUERY_PLAN_H_
+#define STREAMLAKE_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "format/schema.h"
+#include "query/sql_parser.h"
+#include "query/spec.h"
+
+namespace streamlake::query {
+
+/// \brief A query plan: a tree of composable relational operators the
+/// planner lowers a parsed SqlStatement into, and the table-side runner
+/// walks. Leaf ScanNodes carry per-table pushdown filters; HashJoinNode
+/// children are [probe subtree, build scan]; the root chain is
+/// SortLimit -> (Aggregate | Project) -> joins/scans.
+struct PlanNode {
+  enum class Kind { kScan, kFilter, kProject, kHashJoin, kAggregate,
+                    kSortLimit };
+
+  explicit PlanNode(Kind k) : kind(k) {}
+  virtual ~PlanNode() = default;
+
+  Kind kind;
+  /// Schema of the rows this node emits. For multi-table plans the field
+  /// names are `alias.column` qualified.
+  format::Schema output_schema;
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+/// Leaf: scan one table's files (through the parallel Select machinery)
+/// with a pushdown filter. Column names in `filter` are unqualified —
+/// they address the table's own schema.
+struct ScanNode : PlanNode {
+  ScanNode() : PlanNode(Kind::kScan) {}
+  /// Index into the pinned-table list the runner executes against.
+  size_t table_index = 0;
+  std::string table;
+  std::string alias;
+  Conjunction filter;
+};
+
+/// Row filter on qualified output columns of the child. The planner pushes
+/// all SQL predicates into scans; FilterNode exists for plans built
+/// directly (e.g. post-join residual filters).
+struct FilterNode : PlanNode {
+  FilterNode() : PlanNode(Kind::kFilter) {}
+  Conjunction filter;
+};
+
+/// Column projection over the child's output (by qualified name).
+struct ProjectNode : PlanNode {
+  ProjectNode() : PlanNode(Kind::kProject) {}
+  std::vector<std::string> columns;
+};
+
+/// Hash join: children[0] is the probe subtree, children[1] the build
+/// scan. The build side is materialized into a key -> rows map; probe
+/// rows stream through it. kSemi emits the probe row once when its key is
+/// present (IN / EXISTS desugaring); kInner emits probe+build row concat
+/// per match.
+struct HashJoinNode : PlanNode {
+  enum class JoinKind { kInner, kSemi };
+  HashJoinNode() : PlanNode(Kind::kHashJoin) {}
+  JoinKind join_kind = JoinKind::kInner;
+  std::string probe_key;  // qualified column in children[0]'s output
+  std::string build_key;  // unqualified column in the build table schema
+  int probe_col = -1;     // resolved indices
+  int build_col = -1;
+};
+
+/// Group-by + aggregates over the child's output (qualified names).
+struct AggregateNode : PlanNode {
+  AggregateNode() : PlanNode(Kind::kAggregate) {}
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+};
+
+/// ORDER BY an output column name (aggregate aliases included) + LIMIT.
+struct SortLimitNode : PlanNode {
+  SortLimitNode() : PlanNode(Kind::kSortLimit) {}
+  std::string order_by;
+  bool order_descending = false;
+  uint64_t limit = 0;
+};
+
+/// One table referenced by a statement, already resolved against the
+/// catalog (schema from the pinned snapshot's TableInfo).
+struct PlanTableRef {
+  std::string table;
+  std::string alias;
+  const format::Schema* schema = nullptr;
+};
+
+/// Lower a parsed SELECT into a plan tree. `refs[0]` is the FROM table,
+/// refs[1..] the joined tables in statement order. Column references are
+/// resolved (qualified names checked against aliases, unqualified names
+/// required to be unambiguous) and join key types are verified to match.
+Result<std::unique_ptr<PlanNode>> PlanSelect(
+    const SqlStatement& statement, const std::vector<PlanTableRef>& refs);
+
+/// Render the plan as an indented tree (debugging / tests).
+std::string PlanToString(const PlanNode& root);
+
+}  // namespace streamlake::query
+
+#endif  // STREAMLAKE_QUERY_PLAN_H_

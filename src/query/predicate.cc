@@ -16,6 +16,8 @@ const char* CompareOpName(CompareOp op) {
       return "=";
     case CompareOp::kIn:
       return "IN";
+    case CompareOp::kNe:
+      return "!=";
   }
   return "?";
 }
@@ -34,6 +36,9 @@ Predicate Predicate::Gt(std::string column, format::Value v) {
 }
 Predicate Predicate::Eq(std::string column, format::Value v) {
   return Predicate{std::move(column), CompareOp::kEq, std::move(v), {}};
+}
+Predicate Predicate::Ne(std::string column, format::Value v) {
+  return Predicate{std::move(column), CompareOp::kNe, std::move(v), {}};
 }
 Predicate Predicate::In(std::string column,
                         std::vector<format::Value> values) {
@@ -57,6 +62,8 @@ bool Predicate::Matches(const format::Value& v) const {
       return format::CompareValues(v, literal) > 0;
     case CompareOp::kEq:
       return format::CompareValues(v, literal) == 0;
+    case CompareOp::kNe:
+      return format::CompareValues(v, literal) != 0;
     case CompareOp::kIn:
       for (const format::Value& candidate : in_list) {
         if (format::CompareValues(v, candidate) == 0) return true;
@@ -92,7 +99,7 @@ Result<Predicate> Predicate::DecodeFrom(Decoder* dec) {
   if (!dec->GetString(&p.column)) return Status::Corruption("pred column");
   if (dec->Remaining() < 1) return Status::Corruption("pred op");
   p.op = static_cast<CompareOp>(*dec->position());
-  if (p.op > CompareOp::kIn) return Status::Corruption("pred op tag");
+  if (p.op > CompareOp::kNe) return Status::Corruption("pred op tag");
   dec->Skip(1);
   SL_ASSIGN_OR_RETURN(p.literal, format::DecodeValue(dec));
   uint64_t in_count;
@@ -142,6 +149,10 @@ bool PredicateMayMatchRange(const Predicate& predicate,
     case CompareOp::kEq:
       return format::CompareValues(min, predicate.literal) <= 0 &&
              format::CompareValues(max, predicate.literal) >= 0;
+    case CompareOp::kNe:
+      // Only an all-equal range [v, v] with v == literal is fully excluded.
+      return !(format::CompareValues(min, predicate.literal) == 0 &&
+               format::CompareValues(max, predicate.literal) == 0);
     case CompareOp::kIn:
       for (const format::Value& v : predicate.in_list) {
         if (format::CompareValues(min, v) <= 0 &&

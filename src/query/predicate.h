@@ -11,8 +11,11 @@
 namespace streamlake::query {
 
 /// Comparison operators of pushdown predicates. The set matches the
-/// query-tree framework of Section VI-B: {<=, >=, <, >, =, IN}.
-enum class CompareOp { kLe, kGe, kLt, kGt, kEq, kIn };
+/// query-tree framework of Section VI-B: {<=, >=, <, >, =, IN}, plus the
+/// != the SQL grammar needs. kNe is appended last: the tag values are
+/// persisted in merge-on-read delete commits, so existing encodings must
+/// keep their positions.
+enum class CompareOp { kLe, kGe, kLt, kGt, kEq, kIn, kNe };
 
 const char* CompareOpName(CompareOp op);
 
@@ -29,6 +32,7 @@ struct Predicate {
   static Predicate Lt(std::string column, format::Value v);
   static Predicate Gt(std::string column, format::Value v);
   static Predicate Eq(std::string column, format::Value v);
+  static Predicate Ne(std::string column, format::Value v);
   static Predicate In(std::string column, std::vector<format::Value> values);
 
   /// Evaluate against one value of the predicate's column.

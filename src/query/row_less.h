@@ -1,0 +1,35 @@
+#ifndef STREAMLAKE_QUERY_ROW_LESS_H_
+#define STREAMLAKE_QUERY_ROW_LESS_H_
+
+#include <vector>
+
+#include "format/types.h"
+
+namespace streamlake::query {
+
+/// Strict weak ordering over single values via format::CompareValues.
+/// Values must share a type (CompareValues checks); the planner enforces
+/// that for join keys before any map is built.
+struct ValueLess {
+  bool operator()(const format::Value& a, const format::Value& b) const {
+    return format::CompareValues(a, b) < 0;
+  }
+};
+
+/// Lexicographic strict weak ordering over value vectors — the one row
+/// comparator shared by the group-by state map, ORDER BY, and the hash-join
+/// key maps (shorter prefix sorts first).
+struct RowLess {
+  bool operator()(const std::vector<format::Value>& a,
+                  const std::vector<format::Value>& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = format::CompareValues(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace streamlake::query
+
+#endif  // STREAMLAKE_QUERY_ROW_LESS_H_

@@ -1,0 +1,44 @@
+#include "query/spec.h"
+
+namespace streamlake::query {
+
+AggregateSpec AggregateSpec::CountStar(std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kCount;
+  spec.alias = std::move(alias);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Sum(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kSum;
+  spec.alias = alias.empty() ? "sum(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Min(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kMin;
+  spec.alias = alias.empty() ? "min(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Max(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kMax;
+  spec.alias = alias.empty() ? "max(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Avg(std::string column, std::string alias) {
+  AggregateSpec spec;
+  spec.func = Func::kAvg;
+  spec.alias = alias.empty() ? "avg(" + column + ")" : std::move(alias);
+  spec.column = std::move(column);
+  return spec;
+}
+
+}  // namespace streamlake::query

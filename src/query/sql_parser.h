@@ -4,11 +4,29 @@
 #include <string>
 #include <vector>
 
-#include "query/executor.h"
+#include "query/spec.h"
 
 namespace streamlake::query {
 
-/// A parsed SQL statement over one table.
+/// One join clause of a SELECT: either an explicit `JOIN t ON a = b`
+/// (inner) or a semi join desugared from `IN (SELECT ...)` / `EXISTS
+/// (SELECT ...)`. Key columns are stored as parsed (possibly
+/// `alias.column` qualified); the planner resolves which side is probe
+/// and which is build.
+struct JoinSpec {
+  enum class Kind { kInner, kSemi };
+  Kind kind = Kind::kInner;
+  std::string table;
+  std::string alias;      // defaults to `table` when not aliased
+  std::string left_key;   // outer/probe-side key as parsed
+  std::string right_key;  // joined/build-side key as parsed
+  /// Literal predicates scoped to the joined table (from the subquery's
+  /// WHERE clause); pushed down to the build-side scan.
+  Conjunction where;
+};
+
+/// A parsed SQL statement. SELECT may reference several tables via
+/// joins; INSERT/DELETE/UPDATE stay single-table.
 struct SqlStatement {
   enum class Kind { kSelect, kInsert, kDelete, kUpdate };
 
@@ -16,6 +34,8 @@ struct SqlStatement {
   std::string table;
 
   // kSelect
+  std::string table_alias;  // defaults to `table`
+  std::vector<JoinSpec> joins;
   QuerySpec select;
 
   // kInsert: positional VALUES tuples (validated against the table schema
@@ -31,18 +51,31 @@ struct SqlStatement {
 };
 
 /// \brief Parser for the SQL dialect the paper's evaluation uses
-/// (Fig. 13): single-table SELECT with pushdown predicates, GROUP BY,
-/// aggregate functions, ORDER BY, LIMIT — plus INSERT INTO ... VALUES,
-/// DELETE FROM ... WHERE, and UPDATE ... SET ... WHERE.
+/// (Fig. 13): SELECT with pushdown predicates, GROUP BY, aggregate
+/// functions, ORDER BY, LIMIT, inner joins and semi-join subqueries —
+/// plus INSERT INTO ... VALUES, DELETE FROM ... WHERE, and
+/// UPDATE ... SET ... WHERE. Parse errors report the offending token and
+/// its byte position in the input.
 ///
 /// Grammar (keywords case-insensitive; `--` comments to end of line):
-///   SELECT (expr [AS alias])[, ...] FROM table
-///     [WHERE col op literal [AND ...]]
-///     [GROUP BY col[, ...]] [ORDER BY name [ASC|DESC]] [LIMIT n]
-///   expr   := col | * | COUNT(*) | COUNT(col) | SUM(col) | MIN(col)
-///           | MAX(col) | AVG(col)
-///   op     := = | <= | >= | < | > | IN (literal[, ...])
+///   SELECT (expr [AS alias])[, ...] FROM table [alias]
+///     ([INNER] JOIN table [alias] ON colref = colref)*
+///     [WHERE term [AND ...]]
+///     [GROUP BY colref[, ...]] [ORDER BY name [ASC|DESC]] [LIMIT n]
+///   expr   := colref | * | COUNT(*) | COUNT(colref) | SUM(colref)
+///           | MIN(colref) | MAX(colref) | AVG(colref)
+///   term   := colref op literal | colref IN (literal[, ...])
+///           | colref BETWEEN literal AND literal
+///           | colref IN (SELECT colref FROM table [alias] [WHERE ...])
+///           | EXISTS (SELECT * FROM table [alias] WHERE ...)
+///   op     := = | != | <> | <= | >= | < | >
+///   colref := column | alias.column
 ///   literal:= 123 | 1.5 | 'text' | TRUE | FALSE
+///
+/// Subqueries (IN/EXISTS forms) are only allowed in SELECT statements;
+/// their WHERE clauses may hold literal predicates on the subquery table,
+/// and an EXISTS subquery must contain exactly one correlation
+/// `outer.col = inner.col` with both sides alias-qualified.
 Result<SqlStatement> ParseSql(const std::string& sql);
 
 }  // namespace streamlake::query

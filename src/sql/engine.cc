@@ -18,11 +18,17 @@ query::QueryResult AffectedRows(uint64_t count) {
 Result<query::QueryResult> Engine::Execute(const std::string& statement,
                                            table::SelectMetrics* metrics) {
   SL_ASSIGN_OR_RETURN(query::SqlStatement parsed, query::ParseSql(statement));
+  if (parsed.kind == query::SqlStatement::Kind::kSelect) {
+    // SELECT goes through the lakehouse entry point, which plans the
+    // statement (including joins) and pins every table's snapshot up
+    // front. Single-table statements collapse back into Table::Select.
+    return lakehouse_->Query(parsed, select_options_, metrics);
+  }
   SL_ASSIGN_OR_RETURN(table::Table * table,
                       lakehouse_->GetTable(parsed.table));
   switch (parsed.kind) {
     case query::SqlStatement::Kind::kSelect:
-      return table->Select(parsed.select, select_options_, metrics);
+      break;  // handled above; falls through to the unknown-kind error
     case query::SqlStatement::Kind::kInsert: {
       SL_ASSIGN_OR_RETURN(table::TableInfo info, table->Info());
       std::vector<format::Row> rows;

@@ -1,6 +1,8 @@
 #include "table/lakehouse.h"
 
+#include "query/plan.h"
 #include "table/block_cache.h"
+#include "table/plan_runner.h"
 
 namespace streamlake::table {
 
@@ -111,6 +113,79 @@ Status LakehouseService::DropTableHard(const std::string& name) {
   SL_RETURN_NOT_OK(meta_->DeleteTableInfo(name));
   tables_.erase(name);
   return Status::OK();
+}
+
+Result<query::QueryResult> LakehouseService::Query(
+    const query::SqlStatement& statement, const SelectOptions& options,
+    SelectMetrics* metrics) {
+  if (statement.kind != query::SqlStatement::Kind::kSelect) {
+    return Status::InvalidArgument("Query executes SELECT statements only");
+  }
+  SL_ASSIGN_OR_RETURN(Table* from, GetTable(statement.table));
+  const std::string& from_alias = statement.table_alias.empty()
+                                      ? statement.table
+                                      : statement.table_alias;
+
+  if (statement.joins.empty()) {
+    // Single-table: the plan collapses back into Table::Select, which
+    // resolves its own snapshot and captures its own metrics — exactly
+    // the pre-plan-tree behavior.
+    SL_ASSIGN_OR_RETURN(TableInfo info, from->Info());
+    std::vector<query::PlanTableRef> refs{
+        {statement.table, from_alias, &info.schema}};
+    SL_ASSIGN_OR_RETURN(std::unique_ptr<query::PlanNode> root,
+                        query::PlanSelect(statement, refs));
+    PlanRunner runner({{from, 0}}, options);
+    return runner.Run(*root, metrics);
+  }
+
+  if (options.snapshot_id != 0) {
+    return Status::InvalidArgument(
+        "snapshot_id cannot be combined with joins: snapshot ids are "
+        "per-table");
+  }
+  SelectMetrics local_metrics;
+  SelectMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = SelectMetrics();
+  uint64_t start_ns = clock_->NowNanos();
+  MetadataCounters metadata_start = MetadataCounters::Capture();
+
+  std::vector<Table*> tables{from};
+  for (const query::JoinSpec& join : statement.joins) {
+    SL_ASSIGN_OR_RETURN(Table* joined, GetTable(join.table));
+    tables.push_back(joined);
+  }
+  // Pin one snapshot per table in a single tight pass BEFORE any scan
+  // starts: a commit landing after this point affects none of the scans,
+  // so the join never observes a torn cross-table state. Per-table
+  // as_of_timestamp resolution = one consistent point in time.
+  std::vector<PlanRunner::PinnedTable> pinned;
+  std::vector<TableInfo> infos;
+  pinned.reserve(tables.size());
+  infos.reserve(tables.size());  // refs hold schema pointers: no realloc
+  for (Table* t : tables) {
+    SL_ASSIGN_OR_RETURN(uint64_t snapshot_id, t->ResolveSnapshot(options));
+    pinned.push_back({t, snapshot_id});
+    SL_ASSIGN_OR_RETURN(TableInfo info, t->Info());
+    infos.push_back(std::move(info));
+  }
+
+  std::vector<query::PlanTableRef> refs;
+  refs.push_back({statement.table, from_alias, &infos[0].schema});
+  for (size_t j = 0; j < statement.joins.size(); ++j) {
+    const query::JoinSpec& join = statement.joins[j];
+    refs.push_back({join.table,
+                    join.alias.empty() ? join.table : join.alias,
+                    &infos[j + 1].schema});
+  }
+
+  SL_ASSIGN_OR_RETURN(std::unique_ptr<query::PlanNode> root,
+                      query::PlanSelect(statement, refs));
+  PlanRunner runner(std::move(pinned), options);
+  SL_ASSIGN_OR_RETURN(query::QueryResult result, runner.Run(*root, m));
+  m->metadata = MetadataCounters::Capture() - metadata_start;
+  m->elapsed_ns = clock_->NowNanos() - start_ns;
+  return result;
 }
 
 Result<Table*> LakehouseService::RestoreTable(const std::string& name) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/mutex.h"
+#include "query/sql_parser.h"
 #include "table/table.h"
 
 namespace streamlake::table {
@@ -32,6 +33,17 @@ class LakehouseService {
 
   /// Resolve a live table.
   Result<Table*> GetTable(const std::string& name);
+
+  /// Execute a parsed SELECT — the multi-table read entry point. Every
+  /// referenced table is resolved and its snapshot pinned in one pass
+  /// BEFORE any scan starts, so a join never observes a torn cross-table
+  /// state (a commit landing mid-query affects either all of its scans or
+  /// none). Single-table statements keep Table::Select's exact behavior.
+  /// `options.snapshot_id` cannot be combined with joins: snapshot ids
+  /// are per-table.
+  Result<query::QueryResult> Query(const query::SqlStatement& statement,
+                                   const SelectOptions& options = {},
+                                   SelectMetrics* metrics = nullptr);
 
   /// Drop table soft: unregister but keep data for restoration.
   Status DropTableSoft(const std::string& name);

@@ -1,0 +1,336 @@
+#include "table/plan_runner.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "query/row_less.h"
+
+namespace streamlake::table {
+
+namespace {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Collects scan fragments delivered concurrently by pool jobs and hands
+/// them back in deterministic file order. The lock ranks below the scan
+/// barrier so a job appends its fragment while the query thread waits.
+class FragmentSink : public RowSink {
+ public:
+  Status ConsumeFragment(size_t fragment,
+                         std::vector<format::Row> rows) override {
+    MutexLock lock(&mu_);
+    fragments_[fragment] = std::move(rows);
+    return Status::OK();
+  }
+
+  /// Drain all fragments ordered by index (call after the scan barrier —
+  /// no jobs are appending anymore).
+  std::vector<std::vector<format::Row>> TakeOrdered() {
+    MutexLock lock(&mu_);
+    std::vector<std::vector<format::Row>> ordered;
+    ordered.reserve(fragments_.size());
+    for (auto& [index, rows] : fragments_) {
+      ordered.push_back(std::move(rows));
+    }
+    fragments_.clear();
+    return ordered;
+  }
+
+ private:
+  Mutex mu_{LockRank::kQueryFragmentSink, "query.fragment.sink"};
+  std::map<size_t, std::vector<format::Row>> fragments_ GUARDED_BY(mu_);
+};
+
+/// Applies a pure row transform (the join chain + residual filters) to
+/// each probe fragment on the delivering pool thread, then forwards the
+/// joined fragment downstream. The transform only reads const build maps,
+/// so fragments run concurrently without locks.
+class JoinProbeSink : public RowSink {
+ public:
+  using Transform =
+      std::function<Result<std::vector<format::Row>>(std::vector<format::Row>)>;
+
+  JoinProbeSink(Transform transform, FragmentSink* out)
+      : transform_(std::move(transform)), out_(out) {}
+
+  Status ConsumeFragment(size_t fragment,
+                         std::vector<format::Row> rows) override {
+    Result<std::vector<format::Row>> joined = transform_(std::move(rows));
+    SL_RETURN_NOT_OK(joined.status());
+    return out_->ConsumeFragment(fragment, std::move(*joined));
+  }
+
+ private:
+  Transform transform_;
+  FragmentSink* out_;
+};
+
+/// The root-to-source operator chain of a plan:
+/// SortLimit? -> (Aggregate | Project)? -> Filter* -> source.
+struct PlanShape {
+  const query::SortLimitNode* sort = nullptr;
+  const query::AggregateNode* aggregate = nullptr;
+  const query::ProjectNode* project = nullptr;
+  std::vector<const query::FilterNode*> post_filters;
+  const query::PlanNode* source = nullptr;
+};
+
+Result<PlanShape> WalkShape(const query::PlanNode& root) {
+  PlanShape shape;
+  const query::PlanNode* cur = &root;
+  auto descend = [&]() -> Status {
+    if (cur->children.size() != 1) {
+      return Status::InvalidArgument("plan operator needs exactly one child");
+    }
+    cur = cur->children[0].get();
+    return Status::OK();
+  };
+  if (cur->kind == query::PlanNode::Kind::kSortLimit) {
+    shape.sort = static_cast<const query::SortLimitNode*>(cur);
+    SL_RETURN_NOT_OK(descend());
+  }
+  if (cur->kind == query::PlanNode::Kind::kAggregate) {
+    shape.aggregate = static_cast<const query::AggregateNode*>(cur);
+    SL_RETURN_NOT_OK(descend());
+  } else if (cur->kind == query::PlanNode::Kind::kProject) {
+    shape.project = static_cast<const query::ProjectNode*>(cur);
+    SL_RETURN_NOT_OK(descend());
+  }
+  while (cur->kind == query::PlanNode::Kind::kFilter) {
+    shape.post_filters.push_back(static_cast<const query::FilterNode*>(cur));
+    SL_RETURN_NOT_OK(descend());
+  }
+  if (cur->kind != query::PlanNode::Kind::kScan &&
+      cur->kind != query::PlanNode::Kind::kHashJoin) {
+    return Status::InvalidArgument("unsupported plan shape");
+  }
+  shape.source = cur;
+  return shape;
+}
+
+/// The final-stage QuerySpec of a plan (everything above the join/scan
+/// source; the scan filters were already pushed down).
+query::QuerySpec FinalSpec(const PlanShape& shape) {
+  query::QuerySpec spec;
+  if (shape.aggregate != nullptr) {
+    spec.group_by = shape.aggregate->group_by;
+    spec.aggregates = shape.aggregate->aggregates;
+  } else if (shape.project != nullptr) {
+    spec.projection = shape.project->columns;
+  }
+  if (shape.sort != nullptr) {
+    spec.order_by = shape.sort->order_by;
+    spec.order_descending = shape.sort->order_descending;
+    spec.limit = shape.sort->limit;
+  }
+  return spec;
+}
+
+}  // namespace
+
+PlanRunner::PlanRunner(std::vector<PinnedTable> tables, SelectOptions options)
+    : tables_(std::move(tables)), options_(options) {}
+
+SelectOptions PlanRunner::OptionsFor(size_t table_index) const {
+  SelectOptions options = options_;
+  if (tables_[table_index].snapshot_id != 0) {
+    options.snapshot_id = tables_[table_index].snapshot_id;
+    options.as_of_timestamp = -1;
+  }
+  return options;
+}
+
+Result<query::QueryResult> PlanRunner::Run(const query::PlanNode& root,
+                                           SelectMetrics* metrics) {
+  SelectMetrics local_metrics;
+  SelectMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  SL_ASSIGN_OR_RETURN(PlanShape shape, WalkShape(root));
+
+  if (shape.source->kind == query::PlanNode::Kind::kScan) {
+    // Single-scan plan: collapse into Table::Select — its pipeline IS
+    // scan -> filter -> (aggregate | project) -> sort/limit, fragment-
+    // merged exactly as before the plan-tree refactor.
+    const auto& scan = static_cast<const query::ScanNode&>(*shape.source);
+    if (scan.table_index >= tables_.size()) {
+      return Status::InvalidArgument("scan table index out of range");
+    }
+    query::QuerySpec spec = FinalSpec(shape);
+    spec.where = scan.filter;
+    for (const query::FilterNode* filter : shape.post_filters) {
+      for (const query::Predicate& p : filter->filter.predicates()) {
+        spec.where.Add(p);
+      }
+    }
+    return tables_[scan.table_index].table->Select(
+        spec, OptionsFor(scan.table_index), metrics);
+  }
+
+  // Hash-join pipeline. Flatten the left-deep join chain; application
+  // order is bottom-up (nearest the probe scan first).
+  std::vector<const query::HashJoinNode*> joins;
+  const query::PlanNode* cur = shape.source;
+  while (cur->kind == query::PlanNode::Kind::kHashJoin) {
+    joins.insert(joins.begin(),
+                 static_cast<const query::HashJoinNode*>(cur));
+    if (cur->children.size() != 2) {
+      return Status::InvalidArgument("hash join needs two children");
+    }
+    cur = cur->children[0].get();
+  }
+  std::vector<const query::FilterNode*> probe_filters;
+  while (cur->kind == query::PlanNode::Kind::kFilter) {
+    probe_filters.insert(
+        probe_filters.begin(),
+        static_cast<const query::FilterNode*>(cur));
+    if (cur->children.size() != 1) {
+      return Status::InvalidArgument("plan operator needs exactly one child");
+    }
+    cur = cur->children[0].get();
+  }
+  if (cur->kind != query::PlanNode::Kind::kScan) {
+    return Status::InvalidArgument("join probe side must end in a scan");
+  }
+  const auto& probe_scan = static_cast<const query::ScanNode&>(*cur);
+
+  static Counter* build_rows_counter =
+      MetricsRegistry::Global().GetCounter("query.join.build_rows");
+  static Counter* probe_rows_counter =
+      MetricsRegistry::Global().GetCounter("query.join.probe_rows");
+  static Counter* build_ns_counter =
+      MetricsRegistry::Global().GetCounter("query.join.build_ns");
+  static Counter* probe_ns_counter =
+      MetricsRegistry::Global().GetCounter("query.join.probe_ns");
+  static Counter* scan_rows_counter =
+      MetricsRegistry::Global().GetCounter("query.op.scan.rows");
+  static Counter* join_rows_counter =
+      MetricsRegistry::Global().GetCounter("query.op.join.rows");
+
+  uint64_t total_scanned = 0;
+  uint64_t total_matched = 0;
+
+  // Build phase: each build table scans through the pool into an ordered
+  // fragment sink; the key map itself is built serially in fragment order
+  // so duplicate-key bucket order (hence inner-join output order) is
+  // deterministic.
+  using BuildMap =
+      std::map<format::Value, std::vector<format::Row>, query::ValueLess>;
+  std::vector<BuildMap> build_maps(joins.size());
+  uint64_t build_start_ns = MonotonicNanos();
+  uint64_t build_rows = 0;
+  for (size_t j = 0; j < joins.size(); ++j) {
+    const query::HashJoinNode& join = *joins[j];
+    if (join.children[1]->kind != query::PlanNode::Kind::kScan) {
+      return Status::InvalidArgument("join build side must be a scan");
+    }
+    const auto& build_scan =
+        static_cast<const query::ScanNode&>(*join.children[1]);
+    if (build_scan.table_index >= tables_.size()) {
+      return Status::InvalidArgument("scan table index out of range");
+    }
+    FragmentSink sink;
+    SL_ASSIGN_OR_RETURN(
+        ScanTotals totals,
+        tables_[build_scan.table_index].table->ScanInto(
+            build_scan.filter, OptionsFor(build_scan.table_index), &sink, m));
+    total_scanned += totals.rows_scanned;
+    total_matched += totals.rows_matched;
+    build_rows += totals.rows_matched;
+    for (std::vector<format::Row>& fragment : sink.TakeOrdered()) {
+      for (format::Row& row : fragment) {
+        format::Value key = row.fields[join.build_col];
+        build_maps[j][std::move(key)].push_back(std::move(row));
+      }
+    }
+  }
+  build_ns_counter->Increment(MonotonicNanos() - build_start_ns);
+  build_rows_counter->Increment(build_rows);
+
+  // Probe phase: fragments stream through the join chain on the pool
+  // threads (pure reads of the const build maps), collect in file order.
+  const format::Schema& probe_schema = probe_scan.output_schema;
+  const format::Schema& joined_schema = shape.source->output_schema;
+  auto transform = [&](std::vector<format::Row> rows)
+      -> Result<std::vector<format::Row>> {
+    for (const query::FilterNode* filter : probe_filters) {
+      std::vector<format::Row> kept;
+      kept.reserve(rows.size());
+      for (format::Row& row : rows) {
+        if (filter->filter.Matches(probe_schema, row)) {
+          kept.push_back(std::move(row));
+        }
+      }
+      rows = std::move(kept);
+    }
+    for (size_t j = 0; j < joins.size(); ++j) {
+      const query::HashJoinNode& join = *joins[j];
+      const BuildMap& map = build_maps[j];
+      std::vector<format::Row> out;
+      for (format::Row& row : rows) {
+        auto it = map.find(row.fields[join.probe_col]);
+        if (it == map.end()) continue;
+        if (join.join_kind == query::HashJoinNode::JoinKind::kSemi) {
+          out.push_back(std::move(row));
+          continue;
+        }
+        for (const format::Row& build_row : it->second) {
+          format::Row joined = row;
+          joined.fields.insert(joined.fields.end(), build_row.fields.begin(),
+                               build_row.fields.end());
+          out.push_back(std::move(joined));
+        }
+      }
+      rows = std::move(out);
+    }
+    for (const query::FilterNode* filter : shape.post_filters) {
+      std::vector<format::Row> kept;
+      kept.reserve(rows.size());
+      for (format::Row& row : rows) {
+        if (filter->filter.Matches(joined_schema, row)) {
+          kept.push_back(std::move(row));
+        }
+      }
+      rows = std::move(kept);
+    }
+    return rows;
+  };
+
+  FragmentSink joined_sink;
+  JoinProbeSink probe_sink(transform, &joined_sink);
+  uint64_t probe_start_ns = MonotonicNanos();
+  SL_ASSIGN_OR_RETURN(
+      ScanTotals probe_totals,
+      tables_[probe_scan.table_index].table->ScanInto(
+          probe_scan.filter, OptionsFor(probe_scan.table_index), &probe_sink,
+          m));
+  probe_ns_counter->Increment(MonotonicNanos() - probe_start_ns);
+  probe_rows_counter->Increment(probe_totals.rows_matched);
+  total_scanned += probe_totals.rows_scanned;
+  total_matched += probe_totals.rows_matched;
+  scan_rows_counter->Increment(total_scanned);
+
+  // Final stage: one executor over the joined fragments, consumed in
+  // deterministic fragment order (serial — identical to a serial run).
+  query::Executor executor(joined_schema, FinalSpec(shape));
+  uint64_t joined_rows = 0;
+  for (std::vector<format::Row>& fragment : joined_sink.TakeOrdered()) {
+    joined_rows += fragment.size();
+    SL_RETURN_NOT_OK(executor.Consume(fragment));
+  }
+  join_rows_counter->Increment(joined_rows);
+  SL_ASSIGN_OR_RETURN(query::QueryResult result, executor.Finalize());
+  // The executor saw joined rows; the query-level counters report what the
+  // scans read and matched across every table of the query.
+  result.rows_scanned = total_scanned;
+  result.rows_matched = total_matched;
+  return result;
+}
+
+}  // namespace streamlake::table

@@ -1,0 +1,51 @@
+#ifndef STREAMLAKE_TABLE_PLAN_RUNNER_H_
+#define STREAMLAKE_TABLE_PLAN_RUNNER_H_
+
+#include <vector>
+
+#include "query/plan.h"
+#include "table/table.h"
+
+namespace streamlake::table {
+
+/// \brief Executes a query plan tree against pinned table snapshots.
+///
+/// A single-scan plan collapses back into Table::Select (the scan-fragment
+/// + aggregate operators there ARE the plan's operators), so single-table
+/// SQL keeps its pre-plan-tree behavior byte-for-byte. Join plans run the
+/// hash-join pipeline: every build side is scanned through the shared scan
+/// pool into an ordered fragment sink, its key map is built serially in
+/// fragment order (deterministic float accumulation downstream), then the
+/// probe scan streams fragments through the join chain concurrently —
+/// probe matching happens on the pool threads — and the final aggregate /
+/// sort runs once over fragments merged in file order, mirroring the
+/// parallel-Select merge discipline.
+class PlanRunner {
+ public:
+  struct PinnedTable {
+    Table* table = nullptr;
+    /// Snapshot resolved before any scan started; 0 = let the scan
+    /// resolve (single-table path keeps Select's own resolution).
+    uint64_t snapshot_id = 0;
+  };
+
+  PlanRunner(std::vector<PinnedTable> tables, SelectOptions options);
+
+  /// Walk the plan and produce its result. `metrics` accumulates scan
+  /// metrics across all tables (not reset here; the caller owns per-query
+  /// capture of metadata counters and elapsed time for join plans).
+  Result<query::QueryResult> Run(const query::PlanNode& root,
+                                 SelectMetrics* metrics = nullptr);
+
+ private:
+  /// Per-table scan options: the query-wide options with the pinned
+  /// snapshot substituted.
+  SelectOptions OptionsFor(size_t table_index) const;
+
+  std::vector<PinnedTable> tables_;
+  SelectOptions options_;
+};
+
+}  // namespace streamlake::table
+
+#endif  // STREAMLAKE_TABLE_PLAN_RUNNER_H_

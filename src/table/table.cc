@@ -375,20 +375,7 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
   SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
   if (info.soft_deleted) return Status::NotFound("table dropped");
 
-  uint64_t snapshot_id = options.snapshot_id;
-  if (snapshot_id == 0) {
-    if (options.as_of_timestamp >= 0) {
-      // Time travel: latest snapshot at or before the requested time.
-      for (const auto& [id, ts] : info.snapshot_log) {
-        if (ts <= options.as_of_timestamp) snapshot_id = id;
-      }
-      if (snapshot_id == 0) {
-        return Status::NotFound("no snapshot at or before requested time");
-      }
-    } else {
-      snapshot_id = info.current_snapshot_id;
-    }
-  }
+  SL_ASSIGN_OR_RETURN(uint64_t snapshot_id, ResolveSnapshotId(info, options));
 
   query::Executor executor(info.schema, spec);
   if (snapshot_id == 0) {
@@ -500,6 +487,21 @@ Status Table::ScanOneFile(const TableInfo& info, const query::QuerySpec& spec,
                           const std::vector<DeleteRecord>& delete_records,
                           const DataFileMeta& file, uint64_t metadata_memory,
                           query::Executor* executor, SelectMetrics* m) {
+  return ScanFileRows(
+      info, spec.where, options, delete_records, file, metadata_memory,
+      [executor](const std::vector<format::Row>& rows) {
+        return executor->Consume(rows);
+      },
+      m);
+}
+
+Status Table::ScanFileRows(
+    const TableInfo& info, const query::Conjunction& where,
+    const SelectOptions& options,
+    const std::vector<DeleteRecord>& delete_records, const DataFileMeta& file,
+    uint64_t metadata_memory,
+    const std::function<Status(const std::vector<format::Row>&)>& consume,
+    SelectMetrics* m) {
   {
     MutexLock access_lock(&access_mu_);
     ++partition_access_[file.partition];
@@ -526,8 +528,8 @@ Status Table::ScanOneFile(const TableInfo& info, const query::QuerySpec& spec,
     // repeat queries, so skipping costs no storage I/O at all).
     bool may_match = true;
     for (size_t c = 0; c < info.schema.num_fields(); ++c) {
-      if (!spec.where.MayMatchStats(info.schema.field(c).name,
-                                    reader.row_group(g).columns[c].stats)) {
+      if (!where.MayMatchStats(info.schema.field(c).name,
+                               reader.row_group(g).columns[c].stats)) {
         may_match = false;
         break;
       }
@@ -557,15 +559,145 @@ Status Table::ScanOneFile(const TableInfo& info, const query::QuerySpec& spec,
       // Storage-side filter/aggregate: only results cross the network.
       uint64_t matched_bytes = 0;
       for (const format::Row& row : *rows) {
-        if (spec.where.Matches(info.schema, row)) matched_bytes += 64;
+        if (where.Matches(info.schema, row)) matched_bytes += 64;
       }
       compute_link_->ChargeTransfer(matched_bytes);
       m->bytes_to_compute += matched_bytes;
     }
-    SL_RETURN_NOT_OK(executor->Consume(*rows));
+    SL_RETURN_NOT_OK(consume(*rows));
   }
   m->data_bytes_read += reader.storage_bytes_read();
   return Status::OK();
+}
+
+Result<uint64_t> Table::ResolveSnapshotId(const TableInfo& info,
+                                          const SelectOptions& options) {
+  uint64_t snapshot_id = options.snapshot_id;
+  if (snapshot_id == 0) {
+    if (options.as_of_timestamp >= 0) {
+      // Time travel: latest snapshot at or before the requested time.
+      for (const auto& [id, ts] : info.snapshot_log) {
+        if (ts <= options.as_of_timestamp) snapshot_id = id;
+      }
+      if (snapshot_id == 0) {
+        return Status::NotFound("no snapshot at or before requested time");
+      }
+    } else {
+      snapshot_id = info.current_snapshot_id;
+    }
+  }
+  return snapshot_id;
+}
+
+Result<uint64_t> Table::ResolveSnapshot(const SelectOptions& options) const {
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
+  if (info.soft_deleted) return Status::NotFound("table dropped");
+  return ResolveSnapshotId(info, options);
+}
+
+Result<ScanTotals> Table::ScanInto(const query::Conjunction& where,
+                                   const SelectOptions& options, RowSink* sink,
+                                   SelectMetrics* metrics) {
+  SelectMetrics local_metrics;
+  SelectMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+
+  SL_ASSIGN_OR_RETURN(TableInfo info, meta_->GetTableInfo(name_));
+  if (info.soft_deleted) return Status::NotFound("table dropped");
+  SL_ASSIGN_OR_RETURN(uint64_t snapshot_id, ResolveSnapshotId(info, options));
+  ScanTotals totals;
+  if (snapshot_id == 0) return totals;  // empty table
+
+  uint64_t commit_sum = 0, commit_max = 0;
+  std::vector<DeleteRecord> delete_records;
+  SL_ASSIGN_OR_RETURN(std::vector<DataFileMeta> files,
+                      ReplaySnapshot(info, snapshot_id, &commit_sum,
+                                     &commit_max, &delete_records));
+  uint64_t metadata_memory =
+      meta_->mode() == MetadataMode::kFileBased ? commit_sum : commit_max;
+  m->peak_memory_bytes = std::max(m->peak_memory_bytes, metadata_memory);
+  if (options.memory_budget_bytes > 0 &&
+      m->peak_memory_bytes > options.memory_budget_bytes) {
+    return Status::OutOfMemory("metadata working set " +
+                               std::to_string(m->peak_memory_bytes) +
+                               "B exceeds compute memory");
+  }
+
+  std::vector<const DataFileMeta*> scan_files;
+  for (const DataFileMeta& file : files) {
+    if (!FileMayMatch(info, file, where)) {
+      ++m->files_skipped;
+      m->data_bytes_skipped += file.file_bytes;
+      continue;
+    }
+    scan_files.push_back(&file);
+  }
+
+  // One job per surviving file, fanned out like Select. Each job filters
+  // its rows locally, then hands the finished fragment to the sink from
+  // the pool thread — so a join probe can run concurrently per fragment —
+  // and only then joins the barrier. Totals merge in file order below, so
+  // the fragment numbering (and every downstream merge) is deterministic.
+  struct ScanJob {
+    ScanTotals totals;
+    SelectMetrics metrics;
+    Status status;
+  };
+  std::vector<ScanJob> jobs(scan_files.size());
+  auto run_job = [&](size_t i) {
+    ScanJob& job = jobs[i];
+    ++job.metrics.files_scanned;
+    std::vector<format::Row> matched;
+    job.status = ScanFileRows(
+        info, where, options, delete_records, *scan_files[i], metadata_memory,
+        [&](const std::vector<format::Row>& rows) {
+          for (const format::Row& row : rows) {
+            ++job.totals.rows_scanned;
+            if (!where.Matches(info.schema, row)) continue;
+            ++job.totals.rows_matched;
+            matched.push_back(row);
+          }
+          return Status::OK();
+        },
+        &job.metrics);
+    if (job.status.ok()) {
+      job.status = sink->ConsumeFragment(i, std::move(matched));
+    }
+  };
+  if (scan_pool_ != nullptr && jobs.size() > 1) {
+    static Counter* parallel_jobs =
+        MetricsRegistry::Global().GetCounter("table.select.parallel_jobs");
+    parallel_jobs->Increment(jobs.size());
+    Mutex barrier_mu{LockRank::kTableScanBarrier, "table.select.barrier"};
+    CondVar done_cv;
+    size_t remaining = jobs.size();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      scan_pool_->Submit([&, i]() {
+        run_job(i);
+        MutexLock done(&barrier_mu);
+        --remaining;
+        done_cv.NotifyAll();
+      });
+    }
+    MutexLock wait(&barrier_mu);
+    while (remaining > 0) done_cv.Wait(&barrier_mu);
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  }
+
+  totals.fragments = jobs.size();
+  for (ScanJob& job : jobs) {
+    SL_RETURN_NOT_OK(job.status);
+    totals.rows_scanned += job.totals.rows_scanned;
+    totals.rows_matched += job.totals.rows_matched;
+    m->files_scanned += job.metrics.files_scanned;
+    m->row_groups_scanned += job.metrics.row_groups_scanned;
+    m->row_groups_skipped += job.metrics.row_groups_skipped;
+    m->data_bytes_read += job.metrics.data_bytes_read;
+    m->bytes_to_compute += job.metrics.bytes_to_compute;
+    m->peak_memory_bytes =
+        std::max(m->peak_memory_bytes, job.metrics.peak_memory_bytes);
+  }
+  return totals;
 }
 
 Result<std::vector<format::Row>> Table::ReadDataFileRows(

@@ -1,6 +1,7 @@
 #ifndef STREAMLAKE_TABLE_TABLE_H_
 #define STREAMLAKE_TABLE_TABLE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -77,6 +78,25 @@ struct CompactionResult {
   uint64_t bytes_rewritten = 0;
 };
 
+/// \brief Receiver of filtered scan fragments (ScanInto). One fragment per
+/// pruned-in data file, identified by its deterministic file-order index.
+/// ConsumeFragment is called concurrently from scan-pool jobs — the sink
+/// synchronizes internally (its lock ranks below kTableScanBarrier so a
+/// job can append while the query thread waits on the barrier).
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual Status ConsumeFragment(size_t fragment,
+                                 std::vector<format::Row> rows) = 0;
+};
+
+/// Row counters of one ScanInto pass, merged in fragment order.
+struct ScanTotals {
+  uint64_t rows_scanned = 0;  // visible rows decoded from survivors
+  uint64_t rows_matched = 0;  // rows passing the pushdown filter
+  size_t fragments = 0;       // pruned-in data files
+};
+
 /// \brief One lakehouse table object (Section V-B): ACID inserts, reads
 /// with data skipping and pushdown, deletes/updates, snapshots with time
 /// travel, and the compaction primitive LakeBrain drives.
@@ -104,6 +124,21 @@ class Table {
   Result<query::QueryResult> Select(const query::QuerySpec& spec,
                                     const SelectOptions& options = {},
                                     SelectMetrics* metrics = nullptr);
+
+  /// Resolve the snapshot a Select with `options` would read (explicit id,
+  /// time travel, or head). Multi-table queries pin one snapshot per table
+  /// up front so no scan observes a torn cross-table state.
+  Result<uint64_t> ResolveSnapshot(const SelectOptions& options) const;
+
+  /// Plan-tree scan leaf: stream the rows matching `where` into `sink`,
+  /// one fragment per surviving data file, with the same pruning,
+  /// parallel fan-out, and deterministic fragment order as Select.
+  /// Fragments are delivered concurrently from scan-pool jobs; totals and
+  /// `metrics` (accumulated, not reset — callers own per-query capture)
+  /// merge in file order with first failure winning.
+  Result<ScanTotals> ScanInto(const query::Conjunction& where,
+                              const SelectOptions& options, RowSink* sink,
+                              SelectMetrics* metrics = nullptr);
 
   /// DELETE: metadata-only for fully-covered partitions, file rewrite
   /// otherwise. Returns rows deleted.
@@ -179,6 +214,11 @@ class Table {
   bool FileMayMatch(const TableInfo& info, const DataFileMeta& file,
                     const query::Conjunction& where) const;
 
+  /// Snapshot a Select/ScanInto with `options` reads: explicit id wins,
+  /// then time travel, then head. 0 means the table has no snapshot yet.
+  static Result<uint64_t> ResolveSnapshotId(const TableInfo& info,
+                                            const SelectOptions& options);
+
   /// Does the partition value guarantee every row matches `where`?
   bool PartitionFullyCovered(const TableInfo& info,
                              const std::string& partition,
@@ -198,6 +238,18 @@ class Table {
                      const std::vector<DeleteRecord>& delete_records,
                      const DataFileMeta& file, uint64_t metadata_memory,
                      query::Executor* executor, SelectMetrics* m);
+
+  /// Shared body of ScanOneFile/ScanInto jobs: open/decode one file
+  /// (through the block cache), skip row groups by stats against `where`,
+  /// mask merge-on-read deletes, charge the compute link, and hand each
+  /// visible row-group batch to `consume`.
+  Status ScanFileRows(
+      const TableInfo& info, const query::Conjunction& where,
+      const SelectOptions& options,
+      const std::vector<DeleteRecord>& delete_records,
+      const DataFileMeta& file, uint64_t metadata_memory,
+      const std::function<Status(const std::vector<format::Row>&)>& consume,
+      SelectMetrics* m);
 
   /// Every row of one data file, through the block cache when attached —
   /// the shared read helper of the delete-count / rewrite / compaction
