@@ -54,6 +54,42 @@ void EncodeStringsDict(const std::vector<std::string>& values, Bytes* dst) {
   }
 }
 
+void EncodeInt64Dict(const std::vector<int64_t>& values, Bytes* dst) {
+  std::map<int64_t, uint64_t> dict;
+  std::vector<int64_t> ordered;
+  for (int64_t v : values) {
+    if (dict.emplace(v, dict.size()).second) ordered.push_back(v);
+  }
+  PutVarint64(dst, ordered.size());
+  for (int64_t v : ordered) PutVarint64Signed(dst, v);
+  for (int64_t v : values) PutVarint64(dst, dict[v]);
+}
+
+/// Shared header parse for both dict decode paths: reads the code stream into
+/// `codes` after `read_entry` has consumed each dictionary entry.
+template <typename ReadEntry>
+Status DecodeDictCodes(Decoder* dec, size_t count, const ReadEntry& read_entry,
+                       uint64_t* dict_size_out, std::vector<uint32_t>* codes) {
+  uint64_t dict_size;
+  if (!dec->GetVarint(&dict_size)) return Status::Corruption("dict size");
+  if (dict_size > dec->Remaining()) {
+    return Status::Corruption("dict size bogus");
+  }
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    if (!read_entry()) return Status::Corruption("dict entry");
+  }
+  codes->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t code;
+    if (!dec->GetVarint(&code) || code >= dict_size) {
+      return Status::Corruption("dict code");
+    }
+    codes->push_back(static_cast<uint32_t>(code));
+  }
+  *dict_size_out = dict_size;
+  return Status::OK();
+}
+
 }  // namespace
 
 void EncodeInt64s(const std::vector<int64_t>& values, Encoding encoding,
@@ -67,6 +103,9 @@ void EncodeInt64s(const std::vector<int64_t>& values, Encoding encoding,
       return;
     case Encoding::kRle:
       EncodeInt64Rle(values, dst);
+      return;
+    case Encoding::kDict:
+      EncodeInt64Dict(values, dst);
       return;
     default:
       EncodeInt64Plain(values, dst);
@@ -122,12 +161,38 @@ Result<std::vector<int64_t>> DecodeInt64s(ByteView data, Encoding encoding,
       }
       return out;
     }
+    case Encoding::kDict: {
+      auto parts = DecodeInt64DictParts(data, count);
+      if (!parts.ok()) return parts.status();
+      for (uint32_t code : parts->codes) out.push_back(parts->dict[code]);
+      return out;
+    }
     default:
       return Status::NotSupported("int64 encoding");
   }
 }
 
-Encoding ChooseInt64Encoding(const std::vector<int64_t>& values) {
+Result<Int64DictParts> DecodeInt64DictParts(ByteView data, size_t count) {
+  if (count > data.size()) {
+    return Status::Corruption("int64 dict count exceeds payload");
+  }
+  Int64DictParts parts;
+  Decoder dec(data);
+  uint64_t dict_size = 0;
+  Status s = DecodeDictCodes(
+      &dec, count,
+      [&] {
+        int64_t v;
+        if (!dec.GetVarintSigned(&v)) return false;
+        parts.dict.push_back(v);
+        return true;
+      },
+      &dict_size, &parts.codes);
+  if (!s.ok()) return Status::Corruption("int64 " + s.message());
+  return parts;
+}
+
+Encoding ChooseInt64Encoding(const std::vector<int64_t>& values, uint64_t ndv) {
   if (values.size() < 8) return Encoding::kPlain;
   size_t runs = 1;
   size_t sorted_pairs = 0;
@@ -136,6 +201,9 @@ Encoding ChooseInt64Encoding(const std::vector<int64_t>& values) {
     if (values[i] >= values[i - 1]) ++sorted_pairs;
   }
   if (runs * 4 <= values.size()) return Encoding::kRle;
+  if (ndv != 0 && values.size() >= 16 && ndv * 4 <= values.size()) {
+    return Encoding::kDict;
+  }
   if (sorted_pairs * 10 >= (values.size() - 1) * 9) return Encoding::kDelta;
   return Encoding::kPlain;
 }
@@ -192,25 +260,9 @@ Result<std::vector<std::string>> DecodeStrings(ByteView data,
       return out;
     }
     case Encoding::kDict: {
-      uint64_t dict_size;
-      if (!dec.GetVarint(&dict_size)) return Status::Corruption("string dict");
-      if (dict_size > dec.Remaining()) {
-        return Status::Corruption("string dict size bogus");
-      }
-      std::vector<std::string> dict;
-      dict.reserve(dict_size);
-      for (uint64_t i = 0; i < dict_size; ++i) {
-        std::string s;
-        if (!dec.GetString(&s)) return Status::Corruption("string dict entry");
-        dict.push_back(std::move(s));
-      }
-      for (size_t i = 0; i < count; ++i) {
-        uint64_t code;
-        if (!dec.GetVarint(&code) || code >= dict.size()) {
-          return Status::Corruption("string dict code");
-        }
-        out.push_back(dict[code]);
-      }
+      auto parts = DecodeStringDictParts(data, count);
+      if (!parts.ok()) return parts.status();
+      for (uint32_t code : parts->codes) out.push_back(parts->dict[code]);
       return out;
     }
     default:
@@ -218,9 +270,34 @@ Result<std::vector<std::string>> DecodeStrings(ByteView data,
   }
 }
 
-Encoding ChooseStringEncoding(const std::vector<std::string>& values) {
+Result<StringDictParts> DecodeStringDictParts(ByteView data, size_t count) {
+  if (count > data.size()) {
+    return Status::Corruption("string dict count exceeds payload");
+  }
+  StringDictParts parts;
+  Decoder dec(data);
+  uint64_t dict_size = 0;
+  Status s = DecodeDictCodes(
+      &dec, count,
+      [&] {
+        std::string v;
+        if (!dec.GetString(&v)) return false;
+        parts.dict.push_back(std::move(v));
+        return true;
+      },
+      &dict_size, &parts.codes);
+  if (!s.ok()) return Status::Corruption("string " + s.message());
+  return parts;
+}
+
+Encoding ChooseStringEncoding(const std::vector<std::string>& values,
+                              uint64_t ndv) {
   if (values.size() < 16) return Encoding::kPlain;
-  // Sample distinct count; dictionary pays off below ~1/4 distinct ratio.
+  // Dictionary pays off below ~1/4 distinct ratio. A precomputed distinct
+  // count (footer stats) answers that directly; otherwise sample.
+  if (ndv != 0) {
+    return ndv * 4 <= values.size() ? Encoding::kDict : Encoding::kPlain;
+  }
   std::map<std::string_view, int> distinct;
   for (const std::string& s : values) {
     distinct.emplace(s, 1);

@@ -20,13 +20,30 @@ enum class Encoding : uint8_t {
   kBitPack = 4,  // 1 bit per bool
 };
 
+/// Dictionary chunks split into their compressed parts: the distinct values
+/// in first-appearance order plus one code per row. Scans evaluate equality
+/// predicates on the codes without ever materializing row values.
+struct Int64DictParts {
+  std::vector<int64_t> dict;
+  std::vector<uint32_t> codes;
+};
+struct StringDictParts {
+  std::vector<std::string> dict;
+  std::vector<uint32_t> codes;
+};
+
 // ---- int64 columns ----
 void EncodeInt64s(const std::vector<int64_t>& values, Encoding encoding,
                   Bytes* dst);
 Result<std::vector<int64_t>> DecodeInt64s(ByteView data, Encoding encoding,
                                           size_t count);
-/// Picks RLE for runs, DELTA for near-sorted data, PLAIN otherwise.
-Encoding ChooseInt64Encoding(const std::vector<int64_t>& values);
+/// Decodes a kDict chunk without materializing per-row values.
+Result<Int64DictParts> DecodeInt64DictParts(ByteView data, size_t count);
+/// Picks RLE for runs, DICT for low cardinality (when the caller knows the
+/// distinct count), DELTA for near-sorted data, PLAIN otherwise. `ndv == 0`
+/// means "unknown" and disables the dictionary choice.
+Encoding ChooseInt64Encoding(const std::vector<int64_t>& values,
+                             uint64_t ndv = 0);
 
 // ---- double columns ----
 void EncodeDoubles(const std::vector<double>& values, Bytes* dst);
@@ -38,8 +55,12 @@ void EncodeStrings(const std::vector<std::string>& values, Encoding encoding,
 Result<std::vector<std::string>> DecodeStrings(ByteView data,
                                                Encoding encoding,
                                                size_t count);
+/// Decodes a kDict chunk without materializing per-row values.
+Result<StringDictParts> DecodeStringDictParts(ByteView data, size_t count);
 /// Picks DICT when distinct values are few (provinces, urls), else PLAIN.
-Encoding ChooseStringEncoding(const std::vector<std::string>& values);
+/// `ndv != 0` (a precomputed distinct count) skips the sampling pass.
+Encoding ChooseStringEncoding(const std::vector<std::string>& values,
+                              uint64_t ndv = 0);
 
 // ---- bool columns ----
 void EncodeBools(const std::vector<uint8_t>& values, Bytes* dst);

@@ -1,6 +1,7 @@
 #include "format/lakefile.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -11,13 +12,25 @@ namespace {
 
 constexpr char kMagic[4] = {'L', 'K', 'F', '1'};
 
+// Stats flag bits (persisted; append-only).
+constexpr uint8_t kStatsMinMax = 1;
+constexpr uint8_t kStatsExtended = 2;
+
 void EncodeStats(Bytes* dst, const ColumnStats& stats) {
-  if (stats.min.has_value() && stats.max.has_value()) {
-    dst->push_back(1);
+  uint8_t flag = 0;
+  if (stats.min.has_value() && stats.max.has_value()) flag |= kStatsMinMax;
+  if (stats.has_extended) flag |= kStatsExtended;
+  dst->push_back(flag);
+  if (flag & kStatsMinMax) {
     EncodeValue(dst, *stats.min);
     EncodeValue(dst, *stats.max);
-  } else {
-    dst->push_back(0);
+  }
+  if (flag & kStatsExtended) {
+    PutVarint64(dst, stats.null_count);
+    PutVarint64(dst, stats.ndv);
+    uint64_t bits;
+    std::memcpy(&bits, &stats.avg_width, 8);
+    PutFixed64(dst, bits);
   }
 }
 
@@ -26,33 +39,68 @@ Result<ColumnStats> DecodeStats(Decoder* dec) {
   if (dec->Remaining() < 1) return Status::Corruption("stats flag");
   uint8_t flag = *dec->position();
   dec->Skip(1);
-  if (flag == 1) {
+  if (flag > (kStatsMinMax | kStatsExtended)) {
+    return Status::Corruption("stats: bad flag");
+  }
+  if (flag & kStatsMinMax) {
     SL_ASSIGN_OR_RETURN(Value min, DecodeValue(dec));
     SL_ASSIGN_OR_RETURN(Value max, DecodeValue(dec));
     stats.min = std::move(min);
     stats.max = std::move(max);
-  } else if (flag != 0) {
-    return Status::Corruption("stats: bad flag");
+  }
+  if (flag & kStatsExtended) {
+    stats.has_extended = true;
+    uint64_t bits;
+    if (!dec->GetVarint(&stats.null_count) || !dec->GetVarint(&stats.ndv) ||
+        !dec->GetFixed64(&bits)) {
+      return Status::Corruption("stats: extended");
+    }
+    std::memcpy(&stats.avg_width, &bits, 8);
   }
   return stats;
 }
 
 /// Encodes one column of `rows` into a chunk appended to `file`.
+///
+/// The chunk's raw payload is `[null_count][null bitmap iff null_count > 0]
+/// [encoded values]` where NULL rows carry the type's default in the value
+/// stream. Stats (null count, exact NDV, average width, min/max over
+/// non-NULLs) are computed first so the encoding choice can use the distinct
+/// count instead of re-sampling.
 ChunkMeta WriteChunk(const Schema& schema, const std::vector<Row>& rows,
                      size_t col, const LakeFileOptions& options, Bytes* file) {
   ChunkMeta meta;
   meta.offset = file->size();
 
+  uint64_t null_count = 0;
+  std::vector<uint8_t> nulls(rows.size(), 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (IsNull(rows[i].fields[col])) {
+      nulls[i] = 1;
+      ++null_count;
+    }
+  }
+
   Bytes raw;
+  PutVarint64(&raw, null_count);
+  if (null_count > 0) codec::EncodeBools(nulls, &raw);
+
+  uint64_t ndv = 0;
+  double total_width = 0.0;
   codec::Encoding encoding = codec::Encoding::kPlain;
   const DataType type = schema.field(col).type;
   switch (type) {
     case DataType::kBool: {
       std::vector<uint8_t> vals;
       vals.reserve(rows.size());
-      for (const Row& r : rows) {
-        vals.push_back(std::get<bool>(r.fields[col]) ? 1 : 0);
+      std::set<uint8_t> distinct;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        uint8_t v = nulls[i] ? 0 : (std::get<bool>(rows[i].fields[col]) ? 1 : 0);
+        vals.push_back(v);
+        if (!nulls[i]) distinct.insert(v);
       }
+      ndv = distinct.size();
+      total_width = static_cast<double>(rows.size() - null_count);
       encoding = codec::Encoding::kBitPack;
       codec::EncodeBools(vals, &raw);
       break;
@@ -60,11 +108,21 @@ ChunkMeta WriteChunk(const Schema& schema, const std::vector<Row>& rows,
     case DataType::kInt64: {
       std::vector<int64_t> vals;
       vals.reserve(rows.size());
-      for (const Row& r : rows) vals.push_back(std::get<int64_t>(r.fields[col]));
-      encoding = codec::ChooseInt64Encoding(vals);
+      std::set<int64_t> distinct;
+      std::optional<int64_t> mn, mx;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        int64_t v = nulls[i] ? 0 : std::get<int64_t>(rows[i].fields[col]);
+        vals.push_back(v);
+        if (nulls[i]) continue;
+        distinct.insert(v);
+        mn = mn ? std::min(*mn, v) : v;
+        mx = mx ? std::max(*mx, v) : v;
+      }
+      ndv = distinct.size();
+      total_width = 8.0 * static_cast<double>(rows.size() - null_count);
+      encoding = codec::ChooseInt64Encoding(vals, ndv);
       codec::EncodeInt64s(vals, encoding, &raw);
-      if (options.enable_stats && !vals.empty()) {
-        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+      if (options.enable_stats && mn.has_value()) {
         meta.stats.min = Value(*mn);
         meta.stats.max = Value(*mx);
       }
@@ -73,10 +131,20 @@ ChunkMeta WriteChunk(const Schema& schema, const std::vector<Row>& rows,
     case DataType::kDouble: {
       std::vector<double> vals;
       vals.reserve(rows.size());
-      for (const Row& r : rows) vals.push_back(std::get<double>(r.fields[col]));
+      std::set<double> distinct;
+      std::optional<double> mn, mx;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        double v = nulls[i] ? 0.0 : std::get<double>(rows[i].fields[col]);
+        vals.push_back(v);
+        if (nulls[i]) continue;
+        distinct.insert(v);
+        mn = mn ? std::min(*mn, v) : v;
+        mx = mx ? std::max(*mx, v) : v;
+      }
+      ndv = distinct.size();
+      total_width = 8.0 * static_cast<double>(rows.size() - null_count);
       codec::EncodeDoubles(vals, &raw);
-      if (options.enable_stats && !vals.empty()) {
-        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+      if (options.enable_stats && mn.has_value()) {
         meta.stats.min = Value(*mn);
         meta.stats.max = Value(*mx);
       }
@@ -85,18 +153,39 @@ ChunkMeta WriteChunk(const Schema& schema, const std::vector<Row>& rows,
     case DataType::kString: {
       std::vector<std::string> vals;
       vals.reserve(rows.size());
-      for (const Row& r : rows) {
-        vals.push_back(std::get<std::string>(r.fields[col]));
+      std::set<std::string_view> distinct;
+      const std::string* mn = nullptr;
+      const std::string* mx = nullptr;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        vals.push_back(nulls[i] ? std::string()
+                                : std::get<std::string>(rows[i].fields[col]));
       }
-      encoding = codec::ChooseStringEncoding(vals);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (nulls[i]) continue;
+        distinct.insert(vals[i]);
+        total_width += static_cast<double>(vals[i].size());
+        if (mn == nullptr || vals[i] < *mn) mn = &vals[i];
+        if (mx == nullptr || vals[i] > *mx) mx = &vals[i];
+      }
+      ndv = distinct.size();
+      encoding = codec::ChooseStringEncoding(vals, ndv);
       codec::EncodeStrings(vals, encoding, &raw);
-      if (options.enable_stats && !vals.empty()) {
-        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+      if (options.enable_stats && mn != nullptr) {
         meta.stats.min = Value(*mn);
         meta.stats.max = Value(*mx);
       }
       break;
     }
+    case DataType::kNull:
+      break;  // schemas never carry kNull fields
+  }
+  if (options.enable_stats) {
+    meta.stats.has_extended = true;
+    meta.stats.null_count = null_count;
+    meta.stats.ndv = ndv;
+    const uint64_t non_null = rows.size() - null_count;
+    meta.stats.avg_width =
+        non_null > 0 ? total_width / static_cast<double>(non_null) : 0.0;
   }
 
   Bytes compressed = codec::Compress(options.compression, ByteView(raw));
@@ -234,8 +323,27 @@ uint64_t LakeFileReader::num_rows() const {
   return total;
 }
 
-Result<ColumnData> LakeFileReader::ReadColumn(size_t group,
-                                              size_t column) const {
+Value ColumnChunkData::ValueAt(size_t row) const {
+  if (IsNullAt(row)) return Value(std::monostate{});
+  const ColumnData& src = dict_view ? dict : values;
+  const size_t idx = dict_view ? codes[row] : row;
+  switch (type) {
+    case DataType::kBool:
+      return Value(std::get<std::vector<uint8_t>>(src)[idx] != 0);
+    case DataType::kInt64:
+      return Value(std::get<std::vector<int64_t>>(src)[idx]);
+    case DataType::kDouble:
+      return Value(std::get<std::vector<double>>(src)[idx]);
+    case DataType::kString:
+      return Value(std::get<std::vector<std::string>>(src)[idx]);
+    case DataType::kNull:
+      break;
+  }
+  return Value(std::monostate{});
+}
+
+Result<ColumnChunkData> LakeFileReader::ReadColumnChunk(size_t group,
+                                                        size_t column) const {
   if (group >= groups_.size() || column >= schema_.num_fields()) {
     return Status::InvalidArgument("lakefile: group/column out of range");
   }
@@ -262,26 +370,113 @@ Result<ColumnData> LakeFileReader::ReadColumn(size_t group,
   SL_ASSIGN_OR_RETURN(Bytes raw,
                       codec::Decompress(compression, payload, raw_len));
 
-  switch (schema_.field(column).type) {
+  ColumnChunkData out;
+  out.type = schema_.field(column).type;
+  out.num_rows = num_rows;
+  out.raw_bytes = raw.size();
+
+  Decoder body((ByteView(raw)));
+  uint64_t null_count;
+  if (!body.GetVarint(&null_count)) {
+    return Status::Corruption("chunk: null count");
+  }
+  if (null_count > num_rows) {
+    return Status::Corruption("chunk: null count bogus");
+  }
+  if (null_count > 0) {
+    const size_t mask_bytes = (num_rows + 7) / 8;
+    if (body.Remaining() < mask_bytes) {
+      return Status::Corruption("chunk: null mask");
+    }
+    SL_ASSIGN_OR_RETURN(
+        out.null_mask,
+        codec::DecodeBools(ByteView(body.position(), mask_bytes), num_rows));
+    body.Skip(mask_bytes);
+  }
+  ByteView vals(body.position(), body.Remaining());
+
+  switch (out.type) {
     case DataType::kBool: {
-      SL_ASSIGN_OR_RETURN(auto vals, codec::DecodeBools(ByteView(raw), num_rows));
+      SL_ASSIGN_OR_RETURN(auto decoded, codec::DecodeBools(vals, num_rows));
+      out.values = std::move(decoded);
+      return out;
+    }
+    case DataType::kInt64: {
+      if (encoding == codec::Encoding::kDict) {
+        SL_ASSIGN_OR_RETURN(auto parts,
+                            codec::DecodeInt64DictParts(vals, num_rows));
+        out.dict_view = true;
+        out.dict = std::move(parts.dict);
+        out.codes = std::move(parts.codes);
+        return out;
+      }
+      SL_ASSIGN_OR_RETURN(auto decoded,
+                          codec::DecodeInt64s(vals, encoding, num_rows));
+      out.values = std::move(decoded);
+      return out;
+    }
+    case DataType::kDouble: {
+      SL_ASSIGN_OR_RETURN(auto decoded, codec::DecodeDoubles(vals, num_rows));
+      out.values = std::move(decoded);
+      return out;
+    }
+    case DataType::kString: {
+      if (encoding == codec::Encoding::kDict) {
+        SL_ASSIGN_OR_RETURN(auto parts,
+                            codec::DecodeStringDictParts(vals, num_rows));
+        out.dict_view = true;
+        out.dict = std::move(parts.dict);
+        out.codes = std::move(parts.codes);
+        return out;
+      }
+      SL_ASSIGN_OR_RETURN(auto decoded,
+                          codec::DecodeStrings(vals, encoding, num_rows));
+      out.values = std::move(decoded);
+      return out;
+    }
+    case DataType::kNull:
+      break;
+  }
+  return Status::Corruption("chunk: unknown column type");
+}
+
+Result<ColumnData> LakeFileReader::ReadColumn(size_t group,
+                                              size_t column) const {
+  SL_ASSIGN_OR_RETURN(ColumnChunkData chunk, ReadColumnChunk(group, column));
+  if (!chunk.dict_view) return std::move(chunk.values);
+  // Expand dictionary codes into plain values (NULL rows already carry the
+  // dictionary entry their default code points at).
+  switch (chunk.type) {
+    case DataType::kBool: {
+      std::vector<uint8_t> vals;
+      vals.reserve(chunk.codes.size());
+      const auto& dict = std::get<std::vector<uint8_t>>(chunk.dict);
+      for (uint32_t c : chunk.codes) vals.push_back(dict[c]);
       return ColumnData(std::move(vals));
     }
     case DataType::kInt64: {
-      SL_ASSIGN_OR_RETURN(
-          auto vals, codec::DecodeInt64s(ByteView(raw), encoding, num_rows));
+      std::vector<int64_t> vals;
+      vals.reserve(chunk.codes.size());
+      const auto& dict = std::get<std::vector<int64_t>>(chunk.dict);
+      for (uint32_t c : chunk.codes) vals.push_back(dict[c]);
       return ColumnData(std::move(vals));
     }
     case DataType::kDouble: {
-      SL_ASSIGN_OR_RETURN(auto vals,
-                          codec::DecodeDoubles(ByteView(raw), num_rows));
+      std::vector<double> vals;
+      vals.reserve(chunk.codes.size());
+      const auto& dict = std::get<std::vector<double>>(chunk.dict);
+      for (uint32_t c : chunk.codes) vals.push_back(dict[c]);
       return ColumnData(std::move(vals));
     }
     case DataType::kString: {
-      SL_ASSIGN_OR_RETURN(
-          auto vals, codec::DecodeStrings(ByteView(raw), encoding, num_rows));
+      std::vector<std::string> vals;
+      vals.reserve(chunk.codes.size());
+      const auto& dict = std::get<std::vector<std::string>>(chunk.dict);
+      for (uint32_t c : chunk.codes) vals.push_back(dict[c]);
       return ColumnData(std::move(vals));
     }
+    case DataType::kNull:
+      break;
   }
   return Status::Corruption("chunk: unknown column type");
 }
@@ -294,32 +489,9 @@ Result<std::vector<Row>> LakeFileReader::ReadRowGroup(size_t group) const {
   std::vector<Row> rows(num_rows);
   for (Row& r : rows) r.fields.resize(schema_.num_fields());
   for (size_t col = 0; col < schema_.num_fields(); ++col) {
-    SL_ASSIGN_OR_RETURN(ColumnData data, ReadColumn(group, col));
-    switch (schema_.field(col).type) {
-      case DataType::kBool: {
-        const auto& vals = std::get<std::vector<uint8_t>>(data);
-        for (size_t i = 0; i < num_rows; ++i) {
-          rows[i].fields[col] = Value(vals[i] != 0);
-        }
-        break;
-      }
-      case DataType::kInt64: {
-        const auto& vals = std::get<std::vector<int64_t>>(data);
-        for (size_t i = 0; i < num_rows; ++i) rows[i].fields[col] = vals[i];
-        break;
-      }
-      case DataType::kDouble: {
-        const auto& vals = std::get<std::vector<double>>(data);
-        for (size_t i = 0; i < num_rows; ++i) rows[i].fields[col] = vals[i];
-        break;
-      }
-      case DataType::kString: {
-        auto& vals = std::get<std::vector<std::string>>(data);
-        for (size_t i = 0; i < num_rows; ++i) {
-          rows[i].fields[col] = std::move(vals[i]);
-        }
-        break;
-      }
+    SL_ASSIGN_OR_RETURN(ColumnChunkData data, ReadColumnChunk(group, col));
+    for (size_t i = 0; i < num_rows; ++i) {
+      rows[i].fields[col] = data.ValueAt(i);
     }
   }
   return rows;

@@ -31,10 +31,15 @@ struct LakeFileOptions {
   bool enable_stats = true;
 };
 
-/// Per-column min/max statistics of one row group.
+/// Per-column statistics of one row group (min/max plus, when written by a
+/// stats-enabled writer, null count / exact distinct count / average width).
 struct ColumnStats {
-  std::optional<Value> min;
+  std::optional<Value> min;  // over non-NULL values
   std::optional<Value> max;
+  bool has_extended = false;  // null_count/ndv/avg_width are populated
+  uint64_t null_count = 0;
+  uint64_t ndv = 0;       // exact distinct non-NULL values in the chunk
+  double avg_width = 0.0;  // mean plain-encoded width of non-NULL values
 };
 
 struct ChunkMeta {
@@ -53,6 +58,29 @@ struct RowGroupMeta {
 using ColumnData =
     std::variant<std::vector<uint8_t>, std::vector<int64_t>,
                  std::vector<double>, std::vector<std::string>>;
+
+/// One column chunk in its cheapest scannable form. Dictionary chunks stay in
+/// code space (`dict` + `codes`, `values` empty) so predicates can run on the
+/// compressed representation; other encodings decode into `values`. NULL rows
+/// carry the type's default in the value stream and are flagged in
+/// `null_mask`.
+struct ColumnChunkData {
+  DataType type = DataType::kBool;
+  uint64_t num_rows = 0;
+  uint64_t raw_bytes = 0;  // uncompressed payload size == decode cost
+  ColumnData values;
+  bool dict_view = false;
+  ColumnData dict;              // dictionary entries (dict_view only)
+  std::vector<uint32_t> codes;  // per-row dictionary codes (dict_view only)
+  std::vector<uint8_t> null_mask;  // 1 = NULL at row; empty when no NULLs
+
+  bool IsNullAt(size_t row) const {
+    return !null_mask.empty() && null_mask[row] != 0;
+  }
+  /// Materializes one cell (NULL-aware; indexes through the dictionary for
+  /// dict views).
+  Value ValueAt(size_t row) const;
+};
 
 /// Streaming writer; buffer rows, cut a row group every rows_per_group,
 /// Finish() returns the complete file bytes.
@@ -92,8 +120,13 @@ class LakeFileReader {
   uint64_t num_rows() const;
   const RowGroupMeta& row_group(size_t i) const { return groups_[i]; }
 
-  /// Decode one column chunk of one row group.
+  /// Decode one column chunk of one row group (NULL rows become type
+  /// defaults; use ReadColumnChunk for NULL-aware access).
   Result<ColumnData> ReadColumn(size_t group, size_t column) const;
+
+  /// Decode one column chunk into its scannable form: dictionary chunks stay
+  /// as dict + codes (compute-on-compressed), others as plain values.
+  Result<ColumnChunkData> ReadColumnChunk(size_t group, size_t column) const;
 
   /// Materialize all rows of one row group (all columns).
   Result<std::vector<Row>> ReadRowGroup(size_t group) const;

@@ -16,6 +16,8 @@ Status Schema::ValidateRow(const Row& row) const {
         std::to_string(fields_.size()));
   }
   for (size_t i = 0; i < fields_.size(); ++i) {
+    // NULL is a valid cell for any field type.
+    if (IsNull(row.fields[i])) continue;
     if (TypeOf(row.fields[i]) != fields_[i].type) {
       return Status::InvalidArgument("field '" + fields_[i].name +
                                      "' type mismatch");

@@ -14,6 +14,8 @@ const char* DataTypeName(DataType type) {
       return "double";
     case DataType::kString:
       return "string";
+    case DataType::kNull:
+      return "null";
   }
   return "?";
 }
@@ -23,6 +25,10 @@ DataType TypeOf(const Value& v) {
 }
 
 int CompareValues(const Value& a, const Value& b) {
+  if (IsNull(a) || IsNull(b)) {
+    if (IsNull(a) && IsNull(b)) return 0;
+    return IsNull(a) ? -1 : 1;
+  }
   SL_CHECK(a.index() == b.index());
   switch (TypeOf(a)) {
     case DataType::kBool: {
@@ -40,6 +46,8 @@ int CompareValues(const Value& a, const Value& b) {
     case DataType::kString: {
       return std::get<std::string>(a).compare(std::get<std::string>(b));
     }
+    case DataType::kNull:
+      return 0;  // unreachable: handled above
   }
   return 0;
 }
@@ -54,6 +62,8 @@ std::string ValueToString(const Value& v) {
       return std::to_string(std::get<double>(v));
     case DataType::kString:
       return std::get<std::string>(v);
+    case DataType::kNull:
+      return "NULL";
   }
   return "";
 }
@@ -77,6 +87,8 @@ void EncodeValue(Bytes* dst, const Value& v) {
     case DataType::kString:
       PutLengthPrefixed(dst, std::string_view(std::get<std::string>(v)));
       break;
+    case DataType::kNull:
+      break;  // tag only, no payload
   }
 }
 
@@ -108,6 +120,8 @@ Result<Value> DecodeValue(Decoder* dec) {
       if (!dec->GetString(&s)) return Status::Corruption("value: string");
       return Value(std::move(s));
     }
+    case DataType::kNull:
+      return Value(std::monostate{});
   }
   return Status::Corruption("value: unknown type tag");
 }

@@ -13,23 +13,31 @@
 namespace streamlake::format {
 
 /// Column types supported by table objects. Timestamps are kInt64 seconds
-/// (matching the paper's start_time predicates in Fig. 13).
+/// (matching the paper's start_time predicates in Fig. 13). kNull is a
+/// value-only tag: cells may be NULL, but a schema field never has type kNull.
 enum class DataType : uint8_t {
   kBool = 0,
   kInt64 = 1,
   kDouble = 2,
   kString = 3,
+  kNull = 4,
 };
 
 const char* DataTypeName(DataType type);
 
-/// One cell value. The variant alternatives parallel DataType.
-using Value = std::variant<bool, int64_t, double, std::string>;
+/// One cell value. The variant alternatives parallel DataType; monostate is
+/// SQL NULL.
+using Value = std::variant<bool, int64_t, double, std::string, std::monostate>;
 
 DataType TypeOf(const Value& v);
 
-/// Three-way comparison for same-typed values: <0, 0, >0.
-/// Comparing different types is a programming error (checked).
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Three-way comparison for same-typed values: <0, 0, >0. NULL compares equal
+/// to NULL and sorts before every non-NULL value. Comparing two different
+/// non-NULL types is a programming error (checked).
 int CompareValues(const Value& a, const Value& b);
 
 std::string ValueToString(const Value& v);

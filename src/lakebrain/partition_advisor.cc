@@ -28,6 +28,20 @@ Result<PartitionAdvisor::Plan> PartitionAdvisor::Advise(
   }
   SpnOptions spn_options = options_.spn;
   spn_options.seed = options_.seed;
+  if (spn_options.priors.empty()) {
+    // Best-effort: seed the SPN's zero-smoothing priors from the live
+    // files' aggregated footer stats (ndv / null_count per column).
+    auto footer_stats = table->AggregateFooterStats();
+    if (footer_stats.ok()) {
+      for (const table::ColumnFooterStats& s : *footer_stats) {
+        ColumnPrior prior;
+        prior.ndv = s.ndv;
+        prior.null_fraction =
+            s.rows > 0 ? static_cast<double>(s.null_count) / s.rows : 0.0;
+        spn_options.priors.push_back(prior);
+      }
+    }
+  }
   SL_ASSIGN_OR_RETURN(SumProductNetwork spn,
                       SumProductNetwork::Train(info.schema, sample,
                                                spn_options));

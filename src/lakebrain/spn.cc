@@ -33,6 +33,26 @@ double Numeric(const format::Value& v) {
   return 0;
 }
 
+/// Prior selectivity of one predicate from observed column stats, for
+/// smoothing a zero sample estimate. 0 = no usable prior (zero stands).
+double PriorSelectivity(const query::Predicate& p, const ColumnPrior& prior) {
+  switch (p.op) {
+    case query::CompareOp::kEq:
+      return prior.ndv > 0 ? 1.0 / static_cast<double>(prior.ndv) : 0.0;
+    case query::CompareOp::kIn:
+      return prior.ndv > 0
+                 ? std::min(1.0, static_cast<double>(p.in_list.size()) /
+                                     static_cast<double>(prior.ndv))
+                 : 0.0;
+    case query::CompareOp::kIsNull:
+      return prior.null_fraction;
+    case query::CompareOp::kIsNotNull:
+      return 1.0 - prior.null_fraction;
+    default:
+      return 0.0;  // range predicates: footer stats carry no density shape
+  }
+}
+
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b) {
   const size_t n = a.size();
@@ -69,20 +89,20 @@ struct SumProductNetwork::Node {
   std::vector<int> columns;                        // leaf columns
   std::vector<std::vector<format::Value>> samples;  // parallel to columns
 
-  double Evaluate(const format::Schema& schema,
-                  const query::Conjunction& where) const {
+  double Evaluate(const format::Schema& schema, const query::Conjunction& where,
+                  const std::vector<ColumnPrior>& priors) const {
     switch (type) {
       case Type::kSum: {
         double acc = 0;
         for (size_t c = 0; c < children.size(); ++c) {
-          acc += weights[c] * children[c]->Evaluate(schema, where);
+          acc += weights[c] * children[c]->Evaluate(schema, where, priors);
         }
         return acc;
       }
       case Type::kProduct: {
         double acc = 1.0;
         for (const auto& child : children) {
-          acc *= child->Evaluate(schema, where);
+          acc *= child->Evaluate(schema, where, priors);
         }
         return acc;
       }
@@ -90,13 +110,15 @@ struct SumProductNetwork::Node {
         // Joint evaluation over this leaf's columns: fraction of retained
         // samples satisfying every predicate on those columns.
         std::vector<const query::Predicate*> relevant;
-        std::vector<int> pred_col;  // index into `columns`
+        std::vector<int> pred_col;     // index into `columns`
+        std::vector<int> pred_schema;  // schema column, for priors
         for (const query::Predicate& predicate : where.predicates()) {
           int schema_col = schema.FieldIndex(predicate.column);
           for (size_t c = 0; c < columns.size(); ++c) {
             if (columns[c] == schema_col) {
               relevant.push_back(&predicate);
               pred_col.push_back(static_cast<int>(c));
+              pred_schema.push_back(schema_col);
             }
           }
         }
@@ -113,6 +135,21 @@ struct SumProductNetwork::Node {
             }
           }
           if (ok) ++matching;
+        }
+        if (matching == 0 && !priors.empty()) {
+          // The sample cannot distinguish "rare" from "absent". Smooth the
+          // zero with footer-stat priors (product across predicates, under
+          // the leaf's independence-within-group approximation), capped at
+          // the resolution the sample can actually support.
+          double floor = 1.0;
+          for (size_t p = 0; p < relevant.size(); ++p) {
+            size_t sc = static_cast<size_t>(pred_schema[p]);
+            double sel = sc < priors.size()
+                             ? PriorSelectivity(*relevant[p], priors[sc])
+                             : 0.0;
+            floor *= sel;
+          }
+          return std::min(floor, 1.0 / static_cast<double>(n + 1));
         }
         return static_cast<double>(matching) / n;
       }
@@ -287,6 +324,7 @@ Result<SumProductNetwork> SumProductNetwork::Train(
   Random rng(options.seed);
   SumProductNetwork spn;
   spn.schema_ = schema;
+  spn.priors_ = options.priors;
   spn.root_ = Learn(sample, columns, 0, options, &rng);
   return spn;
 }
@@ -294,7 +332,7 @@ Result<SumProductNetwork> SumProductNetwork::Train(
 double SumProductNetwork::EstimateSelectivity(
     const query::Conjunction& where) const {
   if (root_ == nullptr) return 1.0;
-  double p = root_->Evaluate(schema_, where);
+  double p = root_->Evaluate(schema_, where, priors_);
   return std::clamp(p, 0.0, 1.0);
 }
 

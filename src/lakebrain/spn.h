@@ -9,6 +9,16 @@
 
 namespace streamlake::lakebrain {
 
+/// Observed per-column data characteristics (e.g. aggregated from live-file
+/// footer stats via table::Table::AggregateFooterStats), used as smoothing
+/// priors: when a leaf's retained sample resolves a predicate to zero,
+/// equality/IN fall back to a 1/ndv floor and IS [NOT] NULL to the observed
+/// NULL fraction, instead of a hard zero the sample cannot justify.
+struct ColumnPrior {
+  uint64_t ndv = 0;            // distinct non-NULL values; 0 = unknown
+  double null_fraction = 0.0;  // fraction of NULL rows
+};
+
 struct SpnOptions {
   /// Stop structure learning below this many rows (leaf).
   size_t min_instances = 256;
@@ -19,6 +29,8 @@ struct SpnOptions {
   /// Samples retained per leaf column for selectivity evaluation.
   size_t leaf_sample_cap = 512;
   uint64_t seed = 23;
+  /// Index parallels the schema; empty = no priors (zero stays zero).
+  std::vector<ColumnPrior> priors;
 };
 
 /// \brief Sum-product network cardinality estimator [12] — LakeBrain's
@@ -51,6 +63,7 @@ class SumProductNetwork {
 
   format::Schema schema_;
   std::shared_ptr<Node> root_;
+  std::vector<ColumnPrior> priors_;  // copied from SpnOptions at Train
 };
 
 }  // namespace streamlake::lakebrain

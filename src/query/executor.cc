@@ -32,6 +32,25 @@ Status Executor::Consume(const std::vector<format::Row>& rows) {
   return Status::OK();
 }
 
+Status Executor::ConsumeFiltered(std::vector<format::Row> rows,
+                                 uint64_t scanned) {
+  SL_RETURN_NOT_OK(init_status_);
+  rows_scanned_ += scanned;
+  rows_matched_ += rows.size();
+  for (format::Row& row : rows) {
+    if (spec_.aggregates.empty()) {
+      if (!project_.active()) {
+        plain_rows_.push_back(std::move(row));
+      } else {
+        plain_rows_.push_back(project_.Apply(row));
+      }
+      continue;
+    }
+    aggregate_.Consume(row);
+  }
+  return Status::OK();
+}
+
 Status Executor::MergeFrom(Executor&& other) {
   SL_RETURN_NOT_OK(init_status_);
   SL_RETURN_NOT_OK(other.init_status_);

@@ -23,6 +23,11 @@ class Executor {
 
   Status Consume(const std::vector<format::Row>& rows);
 
+  /// Consume rows the scan already filtered column-at-a-time: `rows` are
+  /// the matches out of `scanned` visible rows, so the WHERE clause is not
+  /// re-evaluated (late-materialized rows only carry the required columns).
+  Status ConsumeFiltered(std::vector<format::Row> rows, uint64_t scanned);
+
   /// Fold another executor's partial state into this one. Both must have
   /// been built from the same schema and spec; `other` is consumed. Used
   /// by the parallel Select path: each scan job runs its own fragment

@@ -89,6 +89,7 @@ void AggregateOperator::Consume(const format::Row& row) {
     state.counts[a] += 1;
     if (agg_cols_[a] < 0) continue;
     const format::Value& v = row.fields[agg_cols_[a]];
+    if (format::IsNull(v)) continue;  // SQL: aggregates ignore NULLs
     switch (agg.func) {
       case AggregateSpec::Func::kSum:
       case AggregateSpec::Func::kAvg:

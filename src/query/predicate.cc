@@ -18,6 +18,10 @@ const char* CompareOpName(CompareOp op) {
       return "IN";
     case CompareOp::kNe:
       return "!=";
+    case CompareOp::kIsNull:
+      return "IS NULL";
+    case CompareOp::kIsNotNull:
+      return "IS NOT NULL";
   }
   return "?";
 }
@@ -49,8 +53,19 @@ Predicate Predicate::In(std::string column,
   if (!p.in_list.empty()) p.literal = p.in_list.front();
   return p;
 }
+Predicate Predicate::IsNull(std::string column) {
+  return Predicate{std::move(column), CompareOp::kIsNull, {}, {}};
+}
+Predicate Predicate::IsNotNull(std::string column) {
+  return Predicate{std::move(column), CompareOp::kIsNotNull, {}, {}};
+}
 
 bool Predicate::Matches(const format::Value& v) const {
+  if (op == CompareOp::kIsNull) return format::IsNull(v);
+  if (op == CompareOp::kIsNotNull) return !format::IsNull(v);
+  // SQL comparison semantics: NULL satisfies no comparison predicate.
+  if (format::IsNull(v)) return false;
+  if (op != CompareOp::kIn && format::IsNull(literal)) return false;
   switch (op) {
     case CompareOp::kLe:
       return format::CompareValues(v, literal) <= 0;
@@ -66,14 +81,21 @@ bool Predicate::Matches(const format::Value& v) const {
       return format::CompareValues(v, literal) != 0;
     case CompareOp::kIn:
       for (const format::Value& candidate : in_list) {
+        if (format::IsNull(candidate)) continue;
         if (format::CompareValues(v, candidate) == 0) return true;
       }
       return false;
+    case CompareOp::kIsNull:
+    case CompareOp::kIsNotNull:
+      break;  // handled above
   }
   return false;
 }
 
 std::string Predicate::ToString() const {
+  if (op == CompareOp::kIsNull || op == CompareOp::kIsNotNull) {
+    return column + " " + CompareOpName(op);
+  }
   if (op == CompareOp::kIn) {
     std::string s = column + " IN (";
     for (size_t i = 0; i < in_list.size(); ++i) {
@@ -99,7 +121,7 @@ Result<Predicate> Predicate::DecodeFrom(Decoder* dec) {
   if (!dec->GetString(&p.column)) return Status::Corruption("pred column");
   if (dec->Remaining() < 1) return Status::Corruption("pred op");
   p.op = static_cast<CompareOp>(*dec->position());
-  if (p.op > CompareOp::kNe) return Status::Corruption("pred op tag");
+  if (p.op > CompareOp::kIsNotNull) return Status::Corruption("pred op tag");
   dec->Skip(1);
   SL_ASSIGN_OR_RETURN(p.literal, format::DecodeValue(dec));
   uint64_t in_count;
@@ -161,6 +183,9 @@ bool PredicateMayMatchRange(const Predicate& predicate,
         }
       }
       return false;
+    case CompareOp::kIsNull:
+    case CompareOp::kIsNotNull:
+      return true;  // a value range says nothing about NULLs
   }
   return true;
 }
@@ -176,10 +201,22 @@ bool Conjunction::Matches(const format::Schema& schema,
 }
 
 bool Conjunction::MayMatchStats(const std::string& column,
-                                const format::ColumnStats& stats) const {
-  if (!stats.min.has_value() || !stats.max.has_value()) return true;
+                                const format::ColumnStats& stats,
+                                uint64_t row_count) const {
+  const bool all_null = stats.has_extended && row_count > 0 &&
+                        stats.null_count == row_count;
   for (const Predicate& predicate : predicates_) {
     if (predicate.column != column) continue;
+    if (predicate.op == CompareOp::kIsNull) {
+      if (stats.has_extended && stats.null_count == 0) return false;
+      continue;
+    }
+    if (predicate.op == CompareOp::kIsNotNull) {
+      if (all_null) return false;
+      continue;
+    }
+    if (all_null) return false;  // comparisons never match NULL
+    if (!stats.min.has_value() || !stats.max.has_value()) continue;
     if (format::TypeOf(*stats.min) != format::TypeOf(predicate.literal)) {
       continue;  // mismatched type: cannot prune safely
     }

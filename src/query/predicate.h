@@ -12,10 +12,10 @@ namespace streamlake::query {
 
 /// Comparison operators of pushdown predicates. The set matches the
 /// query-tree framework of Section VI-B: {<=, >=, <, >, =, IN}, plus the
-/// != the SQL grammar needs. kNe is appended last: the tag values are
+/// != the SQL grammar needs and the IS [NOT] NULL tests. Tag values are
 /// persisted in merge-on-read delete commits, so existing encodings must
-/// keep their positions.
-enum class CompareOp { kLe, kGe, kLt, kGt, kEq, kIn, kNe };
+/// keep their positions; new operators append at the end.
+enum class CompareOp { kLe, kGe, kLt, kGt, kEq, kIn, kNe, kIsNull, kIsNotNull };
 
 const char* CompareOpName(CompareOp op);
 
@@ -34,6 +34,8 @@ struct Predicate {
   static Predicate Eq(std::string column, format::Value v);
   static Predicate Ne(std::string column, format::Value v);
   static Predicate In(std::string column, std::vector<format::Value> values);
+  static Predicate IsNull(std::string column);
+  static Predicate IsNotNull(std::string column);
 
   /// Evaluate against one value of the predicate's column.
   bool Matches(const format::Value& v) const;
@@ -62,9 +64,12 @@ class Conjunction {
   bool Matches(const format::Schema& schema, const format::Row& row) const;
 
   /// Stats-level pruning: can any row with `column` in [min, max] match?
-  /// Conservative — returns true when unsure.
+  /// Conservative — returns true when unsure. `row_count` (the number of
+  /// rows the stats describe, when known) enables IS [NOT] NULL pruning
+  /// against the extended null_count stat.
   bool MayMatchStats(const std::string& column,
-                     const format::ColumnStats& stats) const;
+                     const format::ColumnStats& stats,
+                     uint64_t row_count = 0) const;
 
   std::string ToString() const;
 

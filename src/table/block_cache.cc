@@ -5,7 +5,7 @@
 
 namespace streamlake::table {
 
-using RowsPtr = DecodedBlockCache::RowsPtr;
+using ColumnPtr = DecodedBlockCache::ColumnPtr;
 
 namespace {
 
@@ -44,13 +44,35 @@ uint64_t ApproxRowsBytes(const std::vector<format::Row>& rows) {
   return bytes;
 }
 
+uint64_t ApproxColumnBytes(const format::ColumnChunkData& chunk) {
+  uint64_t bytes = sizeof(format::ColumnChunkData);
+  auto data_bytes = [](const format::ColumnData& data) {
+    return std::visit(
+        [](const auto& vec) {
+          uint64_t b = vec.capacity() * sizeof(vec[0]);
+          if constexpr (std::is_same_v<
+                            std::decay_t<decltype(vec)>,
+                            std::vector<std::string>>) {
+            for (const std::string& s : vec) b += s.capacity();
+          }
+          return b;
+        },
+        data);
+  };
+  bytes += data_bytes(chunk.values);
+  bytes += data_bytes(chunk.dict);
+  bytes += chunk.codes.capacity() * sizeof(uint32_t);
+  bytes += chunk.null_mask.capacity();
+  return bytes;
+}
+
 DecodedBlockCache::DecodedBlockCache(uint64_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
 DecodedBlockCache::FooterPtr DecodedBlockCache::GetFooter(
     const std::string& path) {
   MutexLock lock(&mu_);
-  auto it = index_.find(Key(path, kFooterSlot));
+  auto it = index_.find(Key(path, kFooterSlot, 0));
   if (it == index_.end()) {
     ++stats_.misses;
     CacheMetrics::Get().misses->Increment();
@@ -62,10 +84,10 @@ DecodedBlockCache::FooterPtr DecodedBlockCache::GetFooter(
   return it->second->footer;
 }
 
-DecodedBlockCache::RowsPtr DecodedBlockCache::GetGroup(const std::string& path,
-                                                       size_t group) {
+DecodedBlockCache::ColumnPtr DecodedBlockCache::GetColumn(
+    const std::string& path, size_t group, size_t column) {
   MutexLock lock(&mu_);
-  auto it = index_.find(Key(path, group));
+  auto it = index_.find(Key(path, group, column));
   if (it == index_.end()) {
     ++stats_.misses;
     CacheMetrics::Get().misses->Increment();
@@ -74,27 +96,27 @@ DecodedBlockCache::RowsPtr DecodedBlockCache::GetGroup(const std::string& path,
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
   CacheMetrics::Get().hits->Increment();
-  return it->second->rows;
+  return it->second->column;
 }
 
 void DecodedBlockCache::PutFooter(const std::string& path, FooterPtr footer) {
   uint64_t bytes = sizeof(Entry) +
                    footer->groups.size() * sizeof(format::RowGroupMeta) * 2;
   MutexLock lock(&mu_);
-  Insert(Key(path, kFooterSlot), nullptr, std::move(footer), bytes);
+  Insert(Key(path, kFooterSlot, 0), nullptr, std::move(footer), bytes);
 }
 
-void DecodedBlockCache::PutGroup(const std::string& path, size_t group,
-                                 RowsPtr rows) {
-  uint64_t bytes = sizeof(Entry) + ApproxRowsBytes(*rows);
+void DecodedBlockCache::PutColumn(const std::string& path, size_t group,
+                                  size_t column, ColumnPtr chunk) {
+  uint64_t bytes = sizeof(Entry) + ApproxColumnBytes(*chunk);
   MutexLock lock(&mu_);
-  Insert(Key(path, group), std::move(rows), nullptr, bytes);
+  Insert(Key(path, group, column), std::move(chunk), nullptr, bytes);
 }
 
-void DecodedBlockCache::Insert(Key key, RowsPtr rows, FooterPtr footer,
+void DecodedBlockCache::Insert(Key key, ColumnPtr column, FooterPtr footer,
                                uint64_t bytes) {
   if (index_.count(key) > 0) return;  // entries are immutable; first wins
-  lru_.push_front(Entry{key, std::move(rows), std::move(footer), bytes});
+  lru_.push_front(Entry{key, std::move(column), std::move(footer), bytes});
   index_[std::move(key)] = lru_.begin();
   bytes_ += bytes;
   EvictToCapacity();
@@ -114,10 +136,11 @@ void DecodedBlockCache::EvictToCapacity() {
 
 void DecodedBlockCache::InvalidateFile(const std::string& path) {
   MutexLock lock(&mu_);
-  // All keys of one file are contiguous in the map: [(path, 0), (path, MAX)].
-  auto it = index_.lower_bound(Key(path, 0));
+  // All keys of one file are contiguous in the map:
+  // [(path, 0, 0), (path, MAX, MAX)].
+  auto it = index_.lower_bound(Key(path, 0, 0));
   uint64_t dropped = 0;
-  while (it != index_.end() && it->first.first == path) {
+  while (it != index_.end() && std::get<0>(it->first) == path) {
     bytes_ -= it->second->bytes;
     lru_.erase(it->second);
     it = index_.erase(it);
@@ -153,8 +176,8 @@ DecodedBlockCache::Stats DecodedBlockCache::GetStats() const {
 
 bool DecodedBlockCache::ContainsFile(const std::string& path) const {
   MutexLock lock(&mu_);
-  auto it = index_.lower_bound(Key(path, 0));
-  return it != index_.end() && it->first.first == path;
+  auto it = index_.lower_bound(Key(path, 0, 0));
+  return it != index_.end() && std::get<0>(it->first) == path;
 }
 
 CachedFileReader::CachedFileReader(storage::ObjectStore* objects,
@@ -178,25 +201,43 @@ Status CachedFileReader::Init() {
   return Status::OK();
 }
 
-Result<DecodedBlockCache::RowsPtr> CachedFileReader::ReadRowGroup(
-    size_t group) {
+Result<DecodedBlockCache::ColumnPtr> CachedFileReader::ReadColumnChunk(
+    size_t group, size_t column) {
   if (cache_ != nullptr) {
-    if (RowsPtr cached = cache_->GetGroup(path_, group)) return cached;
+    if (ColumnPtr cached = cache_->GetColumn(path_, group, column)) {
+      return cached;
+    }
   }
   SL_RETURN_NOT_OK(EnsureFileLoaded());
-  SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows,
-                      reader_->ReadRowGroup(group));
-  auto shared =
-      std::make_shared<const std::vector<format::Row>>(std::move(rows));
-  if (cache_ != nullptr) cache_->PutGroup(path_, group, shared);
+  SL_ASSIGN_OR_RETURN(format::ColumnChunkData chunk,
+                      reader_->ReadColumnChunk(group, column));
+  bytes_decoded_ += chunk.raw_bytes;
+  ++chunks_decoded_;
+  auto shared = std::make_shared<const format::ColumnChunkData>(
+      std::move(chunk));
+  if (cache_ != nullptr) cache_->PutColumn(path_, group, column, shared);
   return shared;
+}
+
+Result<std::vector<format::Row>> CachedFileReader::ReadGroupRows(
+    size_t group) {
+  const format::RowGroupMeta& meta = footer_->groups[group];
+  std::vector<format::Row> rows(meta.num_rows);
+  for (format::Row& r : rows) r.fields.resize(meta.columns.size());
+  for (size_t col = 0; col < meta.columns.size(); ++col) {
+    SL_ASSIGN_OR_RETURN(ColumnPtr chunk, ReadColumnChunk(group, col));
+    for (size_t i = 0; i < meta.num_rows; ++i) {
+      rows[i].fields[col] = chunk->ValueAt(i);
+    }
+  }
+  return rows;
 }
 
 Result<std::vector<format::Row>> CachedFileReader::ReadAllRows() {
   std::vector<format::Row> all;
   for (size_t g = 0; g < num_row_groups(); ++g) {
-    SL_ASSIGN_OR_RETURN(RowsPtr rows, ReadRowGroup(g));
-    all.insert(all.end(), rows->begin(), rows->end());
+    SL_ASSIGN_OR_RETURN(std::vector<format::Row> rows, ReadGroupRows(g));
+    for (format::Row& r : rows) all.push_back(std::move(r));
   }
   return all;
 }

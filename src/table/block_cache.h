@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -25,10 +26,12 @@ namespace streamlake::table {
 ///
 ///   - the FOOTER of a file (row-group directory + stats), so repeat
 ///     queries can prune row groups without re-reading the file, and
-///   - the DECODED ROWS of one row group, so repeat Selects and
-///     time-travel reads skip PLog I/O and decode entirely.
+///   - one COLUMN CHUNK of one row group (key: path, group, column), so
+///     repeat Selects and time-travel reads skip PLog I/O and decode
+///     entirely, and a narrow query caches — and evicts — only the columns
+///     it touches.
 ///
-/// Cached rows are the raw decoded content, BEFORE any merge-on-read
+/// Cached chunks are the raw decoded content, BEFORE any merge-on-read
 /// delete masking — masking depends on the query's snapshot, so it is
 /// applied by the reader after the cache fetch. That keeps entries valid
 /// for every snapshot that references the file, which is what makes
@@ -49,7 +52,7 @@ class DecodedBlockCache {
     uint64_t file_bytes = 0;
   };
 
-  using RowsPtr = std::shared_ptr<const std::vector<format::Row>>;
+  using ColumnPtr = std::shared_ptr<const format::ColumnChunkData>;
   using FooterPtr = std::shared_ptr<const Footer>;
 
   struct Stats {
@@ -65,12 +68,13 @@ class DecodedBlockCache {
 
   /// nullptr on miss. Returned pointers stay valid after eviction.
   FooterPtr GetFooter(const std::string& path);
-  RowsPtr GetGroup(const std::string& path, size_t group);
+  ColumnPtr GetColumn(const std::string& path, size_t group, size_t column);
 
   void PutFooter(const std::string& path, FooterPtr footer);
-  void PutGroup(const std::string& path, size_t group, RowsPtr rows);
+  void PutColumn(const std::string& path, size_t group, size_t column,
+                 ColumnPtr chunk);
 
-  /// Drop every entry of one data file (footer + all row groups).
+  /// Drop every entry of one data file (footer + all column chunks).
   void InvalidateFile(const std::string& path);
   /// Drop everything (PLog migration moved data between tiers).
   void InvalidateAll();
@@ -82,18 +86,19 @@ class DecodedBlockCache {
   uint64_t capacity_bytes() const { return capacity_; }
 
  private:
-  // Footers use group index SIZE_MAX; real groups use their own index.
-  using Key = std::pair<std::string, size_t>;
+  // Footers use group index SIZE_MAX (column 0); chunk entries use their
+  // (group, column) position.
+  using Key = std::tuple<std::string, size_t, size_t>;
   static constexpr size_t kFooterSlot = static_cast<size_t>(-1);
 
   struct Entry {
     Key key;
-    RowsPtr rows;       // set for row-group entries
+    ColumnPtr column;   // set for column-chunk entries
     FooterPtr footer;   // set for footer entries
     uint64_t bytes = 0;
   };
 
-  void Insert(Key key, RowsPtr rows, FooterPtr footer, uint64_t bytes)
+  void Insert(Key key, ColumnPtr column, FooterPtr footer, uint64_t bytes)
       EXCLUSIVE_LOCKS_REQUIRED(mu_);
   void EvictToCapacity() EXCLUSIVE_LOCKS_REQUIRED(mu_);
 
@@ -108,11 +113,14 @@ class DecodedBlockCache {
 /// Approximate heap footprint of decoded rows, for the cache byte budget.
 uint64_t ApproxRowsBytes(const std::vector<format::Row>& rows);
 
+/// Approximate heap footprint of one decoded column chunk.
+uint64_t ApproxColumnBytes(const format::ColumnChunkData& chunk);
+
 /// \brief Cache-aware reader over one immutable data file.
 ///
 /// The single helper behind Table's Select scan jobs and its
 /// delete-count / rewrite / compaction full-file scans: serves footers and
-/// decoded row groups from the DecodedBlockCache when one is attached
+/// decoded column chunks from the DecodedBlockCache when one is attached
 /// (cache == nullptr degrades to a plain read-and-decode), reading the
 /// file from the object store only on miss and back-filling the cache.
 ///
@@ -132,14 +140,23 @@ class CachedFileReader {
   }
   uint64_t file_bytes() const { return footer_->file_bytes; }
 
-  /// Decoded rows of one row group, before delete masking.
-  Result<DecodedBlockCache::RowsPtr> ReadRowGroup(size_t group);
+  /// One decoded column chunk, before delete masking.
+  Result<DecodedBlockCache::ColumnPtr> ReadColumnChunk(size_t group,
+                                                       size_t column);
+
+  /// Decoded rows of one row group (all columns), before delete masking.
+  Result<std::vector<format::Row>> ReadGroupRows(size_t group);
 
   /// All rows of the file, concatenated in row-group order.
   Result<std::vector<format::Row>> ReadAllRows();
 
   /// Bytes actually read from the object store (0 on a full cache hit).
   uint64_t storage_bytes_read() const { return storage_bytes_read_; }
+
+  /// Decode work actually performed by this reader (cache hits are free):
+  /// uncompressed payload bytes and number of chunks decoded.
+  uint64_t bytes_decoded() const { return bytes_decoded_; }
+  uint64_t chunks_decoded() const { return chunks_decoded_; }
 
  private:
   /// Read + parse the file if this reader has not done so yet.
@@ -151,6 +168,8 @@ class CachedFileReader {
   DecodedBlockCache::FooterPtr footer_;
   std::optional<format::LakeFileReader> reader_;
   uint64_t storage_bytes_read_ = 0;
+  uint64_t bytes_decoded_ = 0;
+  uint64_t chunks_decoded_ = 0;
 };
 
 }  // namespace streamlake::table

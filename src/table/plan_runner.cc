@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "common/metrics.h"
@@ -199,6 +200,94 @@ Result<query::QueryResult> PlanRunner::Run(const query::PlanNode& root,
     return Status::InvalidArgument("join probe side must end in a scan");
   }
   const auto& probe_scan = static_cast<const query::ScanNode&>(*cur);
+  if (probe_scan.table_index >= tables_.size()) {
+    return Status::InvalidArgument("scan table index out of range");
+  }
+  const format::Schema& probe_schema = probe_scan.output_schema;
+  const format::Schema& joined_schema = shape.source->output_schema;
+
+  // Joined-row layout: probe columns first, then each non-semi build
+  // table's columns in join order (semi joins do not extend the row).
+  const size_t probe_fields = probe_schema.num_fields();
+  std::vector<const query::ScanNode*> build_scans(joins.size(), nullptr);
+  std::vector<size_t> build_offset(joins.size(), 0);
+  {
+    size_t width = probe_fields;
+    for (size_t j = 0; j < joins.size(); ++j) {
+      if (joins[j]->children[1]->kind != query::PlanNode::Kind::kScan) {
+        return Status::InvalidArgument("join build side must be a scan");
+      }
+      build_scans[j] =
+          static_cast<const query::ScanNode*>(joins[j]->children[1].get());
+      if (build_scans[j]->table_index >= tables_.size()) {
+        return Status::InvalidArgument("scan table index out of range");
+      }
+      build_offset[j] = width;
+      if (joins[j]->join_kind != query::HashJoinNode::JoinKind::kSemi) {
+        width += build_scans[j]->output_schema.num_fields();
+      }
+    }
+  }
+
+  // Late materialization: each scan decodes only the columns the pipeline
+  // above it touches — join keys, probe/post filters, and the final
+  // aggregate/projection inputs. A SELECT * plan (no aggregate, no
+  // projection) needs every column of every table.
+  query::QuerySpec final_spec = FinalSpec(shape);
+  ColumnSelection probe_required = ColumnSelection::All();
+  std::vector<ColumnSelection> build_required(joins.size(),
+                                              ColumnSelection::All());
+  if (!final_spec.aggregates.empty() || !final_spec.projection.empty()) {
+    std::set<int> probe_cols;
+    std::vector<std::set<int>> build_cols(joins.size());
+    // Route a joined-schema column index to the scan that produces it.
+    auto add_joined = [&](size_t idx) {
+      if (idx < probe_fields) {
+        probe_cols.insert(static_cast<int>(idx));
+        return;
+      }
+      for (size_t j = 0; j < joins.size(); ++j) {
+        if (joins[j]->join_kind == query::HashJoinNode::JoinKind::kSemi) {
+          continue;
+        }
+        size_t fields = build_scans[j]->output_schema.num_fields();
+        if (idx >= build_offset[j] && idx < build_offset[j] + fields) {
+          build_cols[j].insert(static_cast<int>(idx - build_offset[j]));
+          return;
+        }
+      }
+    };
+    auto add_joined_name = [&](const std::string& name) {
+      int idx = joined_schema.FieldIndex(name);
+      if (idx >= 0) add_joined(static_cast<size_t>(idx));
+    };
+    for (const std::string& c : final_spec.group_by) add_joined_name(c);
+    for (const query::AggregateSpec& a : final_spec.aggregates) {
+      if (!a.column.empty()) add_joined_name(a.column);
+    }
+    for (const std::string& c : final_spec.projection) add_joined_name(c);
+    for (const query::FilterNode* f : shape.post_filters) {
+      for (const query::Predicate& p : f->filter.predicates()) {
+        add_joined_name(p.column);
+      }
+    }
+    for (const query::FilterNode* f : probe_filters) {
+      for (const query::Predicate& p : f->filter.predicates()) {
+        int idx = probe_schema.FieldIndex(p.column);
+        if (idx >= 0) probe_cols.insert(idx);
+      }
+    }
+    for (size_t j = 0; j < joins.size(); ++j) {
+      add_joined(static_cast<size_t>(joins[j]->probe_col));
+      build_cols[j].insert(static_cast<int>(joins[j]->build_col));
+    }
+    probe_required = ColumnSelection::Of(
+        std::vector<int>(probe_cols.begin(), probe_cols.end()));
+    for (size_t j = 0; j < joins.size(); ++j) {
+      build_required[j] = ColumnSelection::Of(
+          std::vector<int>(build_cols[j].begin(), build_cols[j].end()));
+    }
+  }
 
   static Counter* build_rows_counter =
       MetricsRegistry::Global().GetCounter("query.join.build_rows");
@@ -227,19 +316,13 @@ Result<query::QueryResult> PlanRunner::Run(const query::PlanNode& root,
   uint64_t build_rows = 0;
   for (size_t j = 0; j < joins.size(); ++j) {
     const query::HashJoinNode& join = *joins[j];
-    if (join.children[1]->kind != query::PlanNode::Kind::kScan) {
-      return Status::InvalidArgument("join build side must be a scan");
-    }
-    const auto& build_scan =
-        static_cast<const query::ScanNode&>(*join.children[1]);
-    if (build_scan.table_index >= tables_.size()) {
-      return Status::InvalidArgument("scan table index out of range");
-    }
+    const query::ScanNode& build_scan = *build_scans[j];
     FragmentSink sink;
     SL_ASSIGN_OR_RETURN(
         ScanTotals totals,
         tables_[build_scan.table_index].table->ScanInto(
-            build_scan.filter, OptionsFor(build_scan.table_index), &sink, m));
+            build_scan.filter, OptionsFor(build_scan.table_index),
+            build_required[j], &sink, m));
     total_scanned += totals.rows_scanned;
     total_matched += totals.rows_matched;
     build_rows += totals.rows_matched;
@@ -255,8 +338,6 @@ Result<query::QueryResult> PlanRunner::Run(const query::PlanNode& root,
 
   // Probe phase: fragments stream through the join chain on the pool
   // threads (pure reads of the const build maps), collect in file order.
-  const format::Schema& probe_schema = probe_scan.output_schema;
-  const format::Schema& joined_schema = shape.source->output_schema;
   auto transform = [&](std::vector<format::Row> rows)
       -> Result<std::vector<format::Row>> {
     for (const query::FilterNode* filter : probe_filters) {
@@ -308,8 +389,8 @@ Result<query::QueryResult> PlanRunner::Run(const query::PlanNode& root,
   SL_ASSIGN_OR_RETURN(
       ScanTotals probe_totals,
       tables_[probe_scan.table_index].table->ScanInto(
-          probe_scan.filter, OptionsFor(probe_scan.table_index), &probe_sink,
-          m));
+          probe_scan.filter, OptionsFor(probe_scan.table_index),
+          probe_required, &probe_sink, m));
   probe_ns_counter->Increment(MonotonicNanos() - probe_start_ns);
   probe_rows_counter->Increment(probe_totals.rows_matched);
   total_scanned += probe_totals.rows_scanned;

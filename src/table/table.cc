@@ -13,26 +13,105 @@ namespace streamlake::table {
 
 namespace {
 
-/// Min/max stats of every column of `rows`.
+/// File-level stats of every column of `rows`: min/max over non-NULL
+/// values plus the extended null_count / ndv / avg_width triple that
+/// file pruning and LakeBrain's priors consume.
 std::map<std::string, format::ColumnStats> ComputeStats(
     const format::Schema& schema, const std::vector<format::Row>& rows) {
   std::map<std::string, format::ColumnStats> stats;
   if (rows.empty()) return stats;
   for (size_t c = 0; c < schema.num_fields(); ++c) {
     format::ColumnStats s;
-    s.min = rows[0].fields[c];
-    s.max = rows[0].fields[c];
+    s.has_extended = true;
+    std::set<format::Value> distinct;
+    double total_width = 0.0;
     for (const format::Row& row : rows) {
-      if (format::CompareValues(row.fields[c], *s.min) < 0) {
-        s.min = row.fields[c];
+      const format::Value& v = row.fields[c];
+      if (format::IsNull(v)) {
+        ++s.null_count;
+        continue;
       }
-      if (format::CompareValues(row.fields[c], *s.max) > 0) {
-        s.max = row.fields[c];
+      if (!s.min.has_value() || format::CompareValues(v, *s.min) < 0) {
+        s.min = v;
+      }
+      if (!s.max.has_value() || format::CompareValues(v, *s.max) > 0) {
+        s.max = v;
+      }
+      distinct.insert(v);
+      switch (schema.field(c).type) {
+        case format::DataType::kBool:
+          total_width += 1.0;
+          break;
+        case format::DataType::kInt64:
+        case format::DataType::kDouble:
+          total_width += 8.0;
+          break;
+        case format::DataType::kString:
+          total_width += static_cast<double>(std::get<std::string>(v).size());
+          break;
+        case format::DataType::kNull:
+          break;  // unreachable: schemas never carry kNull fields
       }
     }
+    s.ndv = distinct.size();
+    uint64_t non_null = rows.size() - s.null_count;
+    s.avg_width = non_null > 0 ? total_width / static_cast<double>(non_null)
+                               : 0.0;
     stats[schema.field(c).name] = std::move(s);
   }
   return stats;
+}
+
+/// Columns a Select must materialize: group-by + aggregate inputs, or the
+/// projection. SELECT * (no aggregates, no projection) needs every column.
+/// Unknown names are dropped — the executor reports them as errors.
+ColumnSelection RequiredColumns(const format::Schema& schema,
+                                const query::QuerySpec& spec) {
+  if (spec.aggregates.empty() && spec.projection.empty()) {
+    return ColumnSelection::All();
+  }
+  std::set<int> cols;
+  auto add = [&](const std::string& name) {
+    int idx = schema.FieldIndex(name);
+    if (idx >= 0) cols.insert(idx);
+  };
+  if (spec.aggregates.empty()) {
+    for (const std::string& c : spec.projection) add(c);
+  } else {
+    for (const std::string& c : spec.group_by) add(c);
+    for (const query::AggregateSpec& agg : spec.aggregates) {
+      if (!agg.column.empty()) add(agg.column);
+    }
+  }
+  return ColumnSelection::Of(std::vector<int>(cols.begin(), cols.end()));
+}
+
+/// One merge-on-read delete applicable to the file being scanned, with its
+/// predicate columns resolved to schema indices up front.
+struct ApplicableDelete {
+  std::vector<std::pair<const query::Predicate*, size_t>> preds;
+};
+
+/// Evaluate `p` against every dictionary entry of a dict-view chunk:
+/// `table[code]` says whether rows carrying `code` match. This is the
+/// compute-on-compressed step — |dict| evaluations instead of |rows|.
+std::vector<char> DictMatchTable(const query::Predicate& p,
+                                 const format::ColumnChunkData& chunk) {
+  std::vector<char> table;
+  if (chunk.type == format::DataType::kInt64) {
+    const auto& dict = std::get<std::vector<int64_t>>(chunk.dict);
+    table.resize(dict.size(), 0);
+    for (size_t i = 0; i < dict.size(); ++i) {
+      table[i] = p.Matches(format::Value(dict[i])) ? 1 : 0;
+    }
+  } else {
+    const auto& dict = std::get<std::vector<std::string>>(chunk.dict);
+    table.resize(dict.size(), 0);
+    for (size_t i = 0; i < dict.size(); ++i) {
+      table[i] = p.Matches(format::Value(dict[i])) ? 1 : 0;
+    }
+  }
+  return table;
 }
 
 /// Value range covered by a partition string under `spec`, for pruning:
@@ -327,9 +406,10 @@ bool Table::FileMayMatch(const TableInfo& info, const DataFileMeta& file,
     stats.max = pmax;
     if (!where.MayMatchStats(info.partition_spec.column, stats)) return false;
   }
-  // File-level column stats pruning.
+  // File-level column stats pruning (record_count enables IS [NOT] NULL
+  // pruning against the extended null_count stat).
   for (const auto& [column, stats] : file.column_stats) {
-    if (!where.MayMatchStats(column, stats)) return false;
+    if (!where.MayMatchStats(column, stats, file.record_count)) return false;
   }
   return true;
 }
@@ -428,6 +508,7 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
     SelectMetrics metrics;
     Status status;
   };
+  ColumnSelection required = RequiredColumns(info.schema, spec);
   std::vector<ScanJob> jobs(scan_files.size());
   auto run_job = [&](size_t i) {
     ScanJob& job = jobs[i];
@@ -435,7 +516,8 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
     job.executor = std::make_unique<query::Executor>(info.schema, spec);
     job.status =
         ScanOneFile(info, spec, options, delete_records, *scan_files[i],
-                    metadata_memory, job.executor.get(), &job.metrics);
+                    metadata_memory, required, job.executor.get(),
+                    &job.metrics);
   };
   if (scan_pool_ != nullptr && jobs.size() > 1) {
     static Counter* parallel_jobs =
@@ -471,10 +553,26 @@ Result<query::QueryResult> Table::Select(const query::QuerySpec& spec,
     m->row_groups_skipped += job.metrics.row_groups_skipped;
     m->data_bytes_read += job.metrics.data_bytes_read;
     m->bytes_to_compute += job.metrics.bytes_to_compute;
+    m->bytes_decoded += job.metrics.bytes_decoded;
+    m->columns_decoded += job.metrics.columns_decoded;
+    m->rows_materialized += job.metrics.rows_materialized;
+    m->dict_code_prunes += job.metrics.dict_code_prunes;
     m->peak_memory_bytes =
         std::max(m->peak_memory_bytes, job.metrics.peak_memory_bytes);
     SL_RETURN_NOT_OK(executor.MergeFrom(std::move(*job.executor)));
   }
+  static Counter* bytes_decoded =
+      MetricsRegistry::Global().GetCounter("table.select.bytes_decoded");
+  static Counter* columns_decoded =
+      MetricsRegistry::Global().GetCounter("table.select.columns_decoded");
+  static Counter* rows_materialized =
+      MetricsRegistry::Global().GetCounter("table.select.rows_materialized");
+  static Counter* dict_code_prunes =
+      MetricsRegistry::Global().GetCounter("table.select.dict_code_prunes");
+  bytes_decoded->Increment(m->bytes_decoded);
+  columns_decoded->Increment(m->columns_decoded);
+  rows_materialized->Increment(m->rows_materialized);
+  dict_code_prunes->Increment(m->dict_code_prunes);
   SL_ASSIGN_OR_RETURN(query::QueryResult result, executor.Finalize());
   m->metadata = MetadataCounters::Capture() - metadata_start;
   m->elapsed_ns = clock_->NowNanos() - start_ns;
@@ -486,11 +584,13 @@ Status Table::ScanOneFile(const TableInfo& info, const query::QuerySpec& spec,
                           const SelectOptions& options,
                           const std::vector<DeleteRecord>& delete_records,
                           const DataFileMeta& file, uint64_t metadata_memory,
+                          const ColumnSelection& required,
                           query::Executor* executor, SelectMetrics* m) {
   return ScanFileRows(
       info, spec.where, options, delete_records, file, metadata_memory,
-      [executor](const std::vector<format::Row>& rows) {
-        return executor->Consume(rows);
+      required,
+      [executor](std::vector<format::Row> rows, uint64_t scanned) {
+        return executor->ConsumeFiltered(std::move(rows), scanned);
       },
       m);
 }
@@ -499,8 +599,8 @@ Status Table::ScanFileRows(
     const TableInfo& info, const query::Conjunction& where,
     const SelectOptions& options,
     const std::vector<DeleteRecord>& delete_records, const DataFileMeta& file,
-    uint64_t metadata_memory,
-    const std::function<Status(const std::vector<format::Row>&)>& consume,
+    uint64_t metadata_memory, const ColumnSelection& required,
+    const std::function<Status(std::vector<format::Row>, uint64_t)>& consume,
     SelectMetrics* m) {
   {
     MutexLock access_lock(&access_mu_);
@@ -523,13 +623,69 @@ Status Table::ScanFileRows(
     }
   }
 
+  const format::Schema& schema = info.schema;
+  const size_t num_fields = schema.num_fields();
+
+  // Resolve predicate-referenced column indices ONCE per file, not once
+  // per row group. A predicate on an unknown column makes the whole
+  // conjunction unsatisfiable (Conjunction::Matches semantics) — the scan
+  // still counts visible rows but matches none and decodes nothing.
+  bool impossible = false;
+  std::vector<std::pair<const query::Predicate*, size_t>> preds;
+  for (const query::Predicate& p : where.predicates()) {
+    int idx = schema.FieldIndex(p.column);
+    if (idx < 0) {
+      impossible = true;
+      break;
+    }
+    preds.emplace_back(&p, static_cast<size_t>(idx));
+  }
+
+  // Merge-on-read deletes newer than this file, with their referenced
+  // columns resolved up front. A delete naming an unknown column masks
+  // nothing; an empty delete conjunction masks every row.
+  std::vector<ApplicableDelete> applicable;
+  for (const DeleteRecord& d : delete_records) {
+    if (d.seq <= file.added_seq) continue;
+    ApplicableDelete ad;
+    bool unknown = false;
+    for (const query::Predicate& p : d.predicate.predicates()) {
+      int idx = schema.FieldIndex(p.column);
+      if (idx < 0) {
+        unknown = true;
+        break;
+      }
+      ad.preds.emplace_back(&p, static_cast<size_t>(idx));
+    }
+    if (!unknown) applicable.push_back(std::move(ad));
+  }
+
+  // Filter columns (WHERE + delete predicates) drive the selection vector;
+  // output columns are what materialized rows must carry. Everything else
+  // stays encoded on the storage side.
+  std::vector<char> filter_col(num_fields, 0);
+  if (!impossible) {
+    for (const auto& [p, idx] : preds) filter_col[idx] = 1;
+  }
+  for (const ApplicableDelete& ad : applicable) {
+    for (const auto& [p, idx] : ad.preds) filter_col[idx] = 1;
+  }
+  std::vector<char> output_col(num_fields, required.all ? 1 : 0);
+  if (!required.all) {
+    for (int c : required.columns) {
+      if (c >= 0 && static_cast<size_t>(c) < num_fields) output_col[c] = 1;
+    }
+  }
+
   for (size_t g = 0; g < reader.num_row_groups(); ++g) {
-    // Row-group skipping via footer stats (served from the cache on
-    // repeat queries, so skipping costs no storage I/O at all).
+    const format::RowGroupMeta& group = reader.row_group(g);
+    // Row-group skipping via footer stats, checking only the columns the
+    // WHERE clause references (served from the cache on repeat queries,
+    // so skipping costs no storage I/O at all).
     bool may_match = true;
-    for (size_t c = 0; c < info.schema.num_fields(); ++c) {
-      if (!where.MayMatchStats(info.schema.field(c).name,
-                               reader.row_group(g).columns[c].stats)) {
+    for (const auto& [p, idx] : preds) {
+      if (!where.MayMatchStats(schema.field(idx).name,
+                               group.columns[idx].stats, group.num_rows)) {
         may_match = false;
         break;
       }
@@ -539,34 +695,145 @@ Status Table::ScanFileRows(
       continue;
     }
     ++m->row_groups_scanned;
-    SL_ASSIGN_OR_RETURN(DecodedBlockCache::RowsPtr decoded,
-                        reader.ReadRowGroup(g));
+
+    const size_t rows = group.num_rows;
+    std::vector<DecodedBlockCache::ColumnPtr> chunks(num_fields);
+    auto chunk_at =
+        [&](size_t c) -> Result<const format::ColumnChunkData*> {
+      if (chunks[c] == nullptr) {
+        SL_ASSIGN_OR_RETURN(chunks[c], reader.ReadColumnChunk(g, c));
+      }
+      return chunks[c].get();
+    };
+
     // Merge-on-read: mask rows hit by deletes newer than this file.
-    // Cached rows are pre-masking (masking depends on the query's
+    // Cached chunks are pre-masking (masking depends on the query's
     // snapshot), so this stays per-query.
-    const std::vector<format::Row>* rows = decoded.get();
-    std::vector<format::Row> visible;
-    if (!delete_records.empty()) {
-      visible.reserve(decoded->size());
-      for (const format::Row& row : *decoded) {
-        if (!RowMasked(delete_records, file.added_seq, info.schema, row)) {
-          visible.push_back(row);
+    std::vector<char> visible(rows, 1);
+    uint64_t visible_rows = rows;
+    for (const ApplicableDelete& ad : applicable) {
+      for (const auto& [p, idx] : ad.preds) {
+        SL_RETURN_NOT_OK(chunk_at(idx).status());
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        if (!visible[r]) continue;
+        bool masked = true;
+        for (const auto& [p, idx] : ad.preds) {
+          if (!p->Matches(chunks[idx]->ValueAt(r))) {
+            masked = false;
+            break;
+          }
+        }
+        if (masked) {
+          visible[r] = 0;
+          --visible_rows;
         }
       }
-      rows = &visible;
     }
-    if (options.pushdown) {
-      // Storage-side filter/aggregate: only results cross the network.
-      uint64_t matched_bytes = 0;
-      for (const format::Row& row : *rows) {
-        if (where.Matches(info.schema, row)) matched_bytes += 64;
+
+    if (impossible) {
+      SL_RETURN_NOT_OK(consume({}, visible_rows));
+      continue;
+    }
+
+    // Selection vector: AND each conjunct in, column at a time. Dictionary
+    // chunks are evaluated in code space — |dict| predicate evaluations
+    // instead of |rows|, and a literal absent from the dictionary
+    // short-circuits the whole group without touching the value stream.
+    std::vector<char> selected = visible;
+    uint64_t selected_rows = visible_rows;
+    for (const auto& [p, idx] : preds) {
+      if (selected_rows == 0) break;
+      SL_ASSIGN_OR_RETURN(const format::ColumnChunkData* chunk,
+                          chunk_at(idx));
+      if (p->op == query::CompareOp::kIsNull) {
+        for (size_t r = 0; r < rows; ++r) {
+          if (selected[r] && !chunk->IsNullAt(r)) {
+            selected[r] = 0;
+            --selected_rows;
+          }
+        }
+      } else if (p->op == query::CompareOp::kIsNotNull) {
+        for (size_t r = 0; r < rows; ++r) {
+          if (selected[r] && chunk->IsNullAt(r)) {
+            selected[r] = 0;
+            --selected_rows;
+          }
+        }
+      } else if (chunk->dict_view) {
+        std::vector<char> match = DictMatchTable(*p, *chunk);
+        bool any = false;
+        for (char c : match) any |= (c != 0);
+        if (!any) {
+          // No dictionary entry satisfies the predicate: nothing in this
+          // group can match. Equality/IN against an absent literal is the
+          // textbook compute-on-compressed prune.
+          if (p->op == query::CompareOp::kEq ||
+              p->op == query::CompareOp::kIn) {
+            ++m->dict_code_prunes;
+          }
+          selected_rows = 0;
+          break;
+        }
+        for (size_t r = 0; r < rows; ++r) {
+          if (selected[r] &&
+              (chunk->IsNullAt(r) || !match[chunk->codes[r]])) {
+            selected[r] = 0;
+            --selected_rows;
+          }
+        }
+      } else {
+        for (size_t r = 0; r < rows; ++r) {
+          if (selected[r] && !p->Matches(chunk->ValueAt(r))) {
+            selected[r] = 0;
+            --selected_rows;
+          }
+        }
       }
+    }
+
+    // Late materialization: only now, with the selection settled, decode
+    // the surviving output columns and build rows for the matches.
+    std::vector<format::Row> matched;
+    if (selected_rows > 0) {
+      for (size_t c = 0; c < num_fields; ++c) {
+        if (output_col[c]) SL_RETURN_NOT_OK(chunk_at(c).status());
+      }
+      matched.reserve(selected_rows);
+      for (size_t r = 0; r < rows; ++r) {
+        if (!selected[r]) continue;
+        format::Row row;
+        row.fields.resize(num_fields, format::Value(std::monostate{}));
+        for (size_t c = 0; c < num_fields; ++c) {
+          if (chunks[c] != nullptr && (output_col[c] || filter_col[c])) {
+            row.fields[c] = chunks[c]->ValueAt(r);
+          }
+        }
+        matched.push_back(std::move(row));
+      }
+    }
+    m->rows_materialized += matched.size();
+
+    if (options.pushdown) {
+      // Storage-side filter: only matched rows cross the network, charged
+      // at their actual average width from the footer stats rather than a
+      // flat per-row constant.
+      double row_width = 0.0;
+      for (size_t c = 0; c < num_fields; ++c) {
+        if (!(output_col[c] || filter_col[c])) continue;
+        const format::ColumnStats& cs = group.columns[c].stats;
+        row_width += cs.has_extended ? cs.avg_width : 8.0;
+      }
+      uint64_t matched_bytes = static_cast<uint64_t>(
+          row_width * static_cast<double>(matched.size()));
       compute_link_->ChargeTransfer(matched_bytes);
       m->bytes_to_compute += matched_bytes;
     }
-    SL_RETURN_NOT_OK(consume(*rows));
+    SL_RETURN_NOT_OK(consume(std::move(matched), visible_rows));
   }
   m->data_bytes_read += reader.storage_bytes_read();
+  m->bytes_decoded += reader.bytes_decoded();
+  m->columns_decoded += reader.chunks_decoded();
   return Status::OK();
 }
 
@@ -596,8 +863,9 @@ Result<uint64_t> Table::ResolveSnapshot(const SelectOptions& options) const {
 }
 
 Result<ScanTotals> Table::ScanInto(const query::Conjunction& where,
-                                   const SelectOptions& options, RowSink* sink,
-                                   SelectMetrics* metrics) {
+                                   const SelectOptions& options,
+                                   const ColumnSelection& required,
+                                   RowSink* sink, SelectMetrics* metrics) {
   SelectMetrics local_metrics;
   SelectMetrics* m = metrics != nullptr ? metrics : &local_metrics;
 
@@ -649,12 +917,17 @@ Result<ScanTotals> Table::ScanInto(const query::Conjunction& where,
     std::vector<format::Row> matched;
     job.status = ScanFileRows(
         info, where, options, delete_records, *scan_files[i], metadata_memory,
-        [&](const std::vector<format::Row>& rows) {
-          for (const format::Row& row : rows) {
-            ++job.totals.rows_scanned;
-            if (!where.Matches(info.schema, row)) continue;
-            ++job.totals.rows_matched;
-            matched.push_back(row);
+        required,
+        [&](std::vector<format::Row> rows, uint64_t scanned) {
+          // The scan already filtered column-at-a-time; just count.
+          job.totals.rows_scanned += scanned;
+          job.totals.rows_matched += rows.size();
+          if (matched.empty()) {
+            matched = std::move(rows);
+          } else {
+            matched.insert(matched.end(),
+                           std::make_move_iterator(rows.begin()),
+                           std::make_move_iterator(rows.end()));
           }
           return Status::OK();
         },
@@ -685,18 +958,46 @@ Result<ScanTotals> Table::ScanInto(const query::Conjunction& where,
   }
 
   totals.fragments = jobs.size();
+  // `m` accumulates across calls (plan_runner shares one capture), so the
+  // registry counters get this call's delta, not the running totals.
+  SelectMetrics delta;
   for (ScanJob& job : jobs) {
     SL_RETURN_NOT_OK(job.status);
     totals.rows_scanned += job.totals.rows_scanned;
     totals.rows_matched += job.totals.rows_matched;
-    m->files_scanned += job.metrics.files_scanned;
-    m->row_groups_scanned += job.metrics.row_groups_scanned;
-    m->row_groups_skipped += job.metrics.row_groups_skipped;
-    m->data_bytes_read += job.metrics.data_bytes_read;
-    m->bytes_to_compute += job.metrics.bytes_to_compute;
+    delta.files_scanned += job.metrics.files_scanned;
+    delta.row_groups_scanned += job.metrics.row_groups_scanned;
+    delta.row_groups_skipped += job.metrics.row_groups_skipped;
+    delta.data_bytes_read += job.metrics.data_bytes_read;
+    delta.bytes_to_compute += job.metrics.bytes_to_compute;
+    delta.bytes_decoded += job.metrics.bytes_decoded;
+    delta.columns_decoded += job.metrics.columns_decoded;
+    delta.rows_materialized += job.metrics.rows_materialized;
+    delta.dict_code_prunes += job.metrics.dict_code_prunes;
     m->peak_memory_bytes =
         std::max(m->peak_memory_bytes, job.metrics.peak_memory_bytes);
   }
+  m->files_scanned += delta.files_scanned;
+  m->row_groups_scanned += delta.row_groups_scanned;
+  m->row_groups_skipped += delta.row_groups_skipped;
+  m->data_bytes_read += delta.data_bytes_read;
+  m->bytes_to_compute += delta.bytes_to_compute;
+  m->bytes_decoded += delta.bytes_decoded;
+  m->columns_decoded += delta.columns_decoded;
+  m->rows_materialized += delta.rows_materialized;
+  m->dict_code_prunes += delta.dict_code_prunes;
+  static Counter* bytes_decoded =
+      MetricsRegistry::Global().GetCounter("table.select.bytes_decoded");
+  static Counter* columns_decoded =
+      MetricsRegistry::Global().GetCounter("table.select.columns_decoded");
+  static Counter* rows_materialized =
+      MetricsRegistry::Global().GetCounter("table.select.rows_materialized");
+  static Counter* dict_code_prunes =
+      MetricsRegistry::Global().GetCounter("table.select.dict_code_prunes");
+  bytes_decoded->Increment(delta.bytes_decoded);
+  columns_decoded->Increment(delta.columns_decoded);
+  rows_materialized->Increment(delta.rows_materialized);
+  dict_code_prunes->Increment(delta.dict_code_prunes);
   return totals;
 }
 
@@ -705,6 +1006,44 @@ Result<std::vector<format::Row>> Table::ReadDataFileRows(
   CachedFileReader reader(objects_, block_cache_, file.path);
   SL_RETURN_NOT_OK(reader.Init());
   return reader.ReadAllRows();
+}
+
+Result<std::vector<ColumnFooterStats>> Table::AggregateFooterStats() {
+  SL_ASSIGN_OR_RETURN(TableInfo info, Info());
+  std::vector<ColumnFooterStats> out(info.schema.num_fields());
+  if (info.current_snapshot_id == 0) return out;
+  SL_ASSIGN_OR_RETURN(
+      std::vector<DataFileMeta> files,
+      ReplaySnapshot(info, info.current_snapshot_id, nullptr, nullptr));
+  // Row-weighted avg_width merge: weight each chunk by its non-NULL rows.
+  std::vector<double> width_sum(out.size(), 0.0);
+  std::vector<uint64_t> width_rows(out.size(), 0);
+  for (const DataFileMeta& file : files) {
+    CachedFileReader reader(objects_, block_cache_, file.path);
+    SL_RETURN_NOT_OK(reader.Init());
+    for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+      const format::RowGroupMeta& group = reader.row_group(g);
+      for (size_t c = 0; c < group.columns.size() && c < out.size(); ++c) {
+        out[c].rows += group.num_rows;
+        const format::ColumnStats& s = group.columns[c].stats;
+        if (!s.has_extended) continue;
+        out[c].null_count += s.null_count;
+        out[c].ndv += s.ndv;
+        uint64_t non_null = group.num_rows - s.null_count;
+        width_sum[c] += s.avg_width * static_cast<double>(non_null);
+        width_rows[c] += non_null;
+      }
+    }
+  }
+  for (size_t c = 0; c < out.size(); ++c) {
+    // Per-chunk exact NDVs summed over-count values shared across chunks;
+    // cap at the non-NULL row count to keep the upper-bound contract.
+    out[c].ndv = std::min(out[c].ndv, out[c].rows - out[c].null_count);
+    if (width_rows[c] > 0) {
+      out[c].avg_width = width_sum[c] / static_cast<double>(width_rows[c]);
+    }
+  }
+  return out;
 }
 
 std::map<std::string, uint64_t> Table::PartitionAccessCounts() const {

@@ -70,12 +70,42 @@ struct SelectMetrics {
   uint64_t bytes_to_compute = 0;   // bytes shipped over the compute link
   uint64_t peak_memory_bytes = 0;  // compute-side working set
   uint64_t elapsed_ns = 0;         // simulated wall time of the query
+  // Late-materialization accounting (cache hits decode nothing):
+  uint64_t bytes_decoded = 0;      // uncompressed chunk bytes decoded
+  uint64_t columns_decoded = 0;    // column chunks decoded
+  uint64_t rows_materialized = 0;  // rows materialized after selection
+  uint64_t dict_code_prunes = 0;   // groups short-circuited in code space
 };
 
 struct CompactionResult {
   uint64_t files_before = 0;
   uint64_t files_after = 0;
   uint64_t bytes_rewritten = 0;
+};
+
+/// Which table columns a scan must materialize (projection ∪ predicate ∪
+/// join-key ∪ group-by columns). Default = all columns (SELECT *). With a
+/// restricted set, non-required fields of returned rows carry NULL — the
+/// scan never decodes their chunks.
+struct ColumnSelection {
+  bool all = true;
+  std::vector<int> columns;  // sorted, unique; valid when !all
+
+  static ColumnSelection All() { return ColumnSelection{}; }
+  static ColumnSelection Of(std::vector<int> cols) {
+    return ColumnSelection{false, std::move(cols)};
+  }
+};
+
+/// Aggregated per-column footer statistics over the live files of the head
+/// snapshot; index parallels the table schema. `ndv` is an upper-bound
+/// estimate (per-chunk exact NDVs summed, capped at the non-NULL row
+/// count).
+struct ColumnFooterStats {
+  uint64_t rows = 0;
+  uint64_t null_count = 0;
+  uint64_t ndv = 0;
+  double avg_width = 0.0;
 };
 
 /// \brief Receiver of filtered scan fragments (ScanInto). One fragment per
@@ -135,9 +165,12 @@ class Table {
   /// parallel fan-out, and deterministic fragment order as Select.
   /// Fragments are delivered concurrently from scan-pool jobs; totals and
   /// `metrics` (accumulated, not reset — callers own per-query capture)
-  /// merge in file order with first failure winning.
+  /// merge in file order with first failure winning. Only `required`
+  /// columns (plus predicate columns) are decoded and materialized;
+  /// omitted fields of delivered rows are NULL.
   Result<ScanTotals> ScanInto(const query::Conjunction& where,
-                              const SelectOptions& options, RowSink* sink,
+                              const SelectOptions& options,
+                              const ColumnSelection& required, RowSink* sink,
                               SelectMetrics* metrics = nullptr);
 
   /// DELETE: metadata-only for fully-covered partitions, file rewrite
@@ -177,6 +210,12 @@ class Table {
   /// access frequency" partition feature of the LakeBrain state
   /// (Section VI-A).
   std::map<std::string, uint64_t> PartitionAccessCounts() const;
+
+  /// Aggregate the extended footer stats (null_count / ndv / avg_width) of
+  /// every live file at head, per schema column. Feeds LakeBrain's SPN
+  /// priors with observed data characteristics instead of synthetic
+  /// defaults. Columns of files written without stats contribute rows only.
+  Result<std::vector<ColumnFooterStats>> AggregateFooterStats();
 
   const TableOptions& options() const { return options_; }
 
@@ -237,18 +276,25 @@ class Table {
                      const SelectOptions& options,
                      const std::vector<DeleteRecord>& delete_records,
                      const DataFileMeta& file, uint64_t metadata_memory,
+                     const ColumnSelection& required,
                      query::Executor* executor, SelectMetrics* m);
 
-  /// Shared body of ScanOneFile/ScanInto jobs: open/decode one file
-  /// (through the block cache), skip row groups by stats against `where`,
-  /// mask merge-on-read deletes, charge the compute link, and hand each
-  /// visible row-group batch to `consume`.
+  /// Shared body of ScanOneFile/ScanInto jobs — the late-materialization
+  /// pipeline: open one file through the per-column block cache, skip row
+  /// groups by stats against `where` (checking only predicate-referenced
+  /// columns), evaluate each conjunct column-at-a-time into a selection
+  /// vector (dictionary chunks compare codes without decoding values),
+  /// compose the merge-on-read delete mask, decode only surviving
+  /// `required` columns, and hand each group's matched rows to `consume`
+  /// along with the group's visible (unmasked) row count.
   Status ScanFileRows(
       const TableInfo& info, const query::Conjunction& where,
       const SelectOptions& options,
       const std::vector<DeleteRecord>& delete_records,
       const DataFileMeta& file, uint64_t metadata_memory,
-      const std::function<Status(const std::vector<format::Row>&)>& consume,
+      const ColumnSelection& required,
+      const std::function<Status(std::vector<format::Row>, uint64_t)>&
+          consume,
       SelectMetrics* m);
 
   /// Every row of one data file, through the block cache when attached —

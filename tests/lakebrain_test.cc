@@ -361,6 +361,45 @@ TEST(SpnTest, RejectsEmptySample) {
                    .ok());
 }
 
+TEST(SpnTest, FooterPriorsSmoothZeroEstimates) {
+  // A value absent from the sample resolves to selectivity 0. With footer
+  // priors (ndv / null fraction), the estimate floors at 1/ndv instead —
+  // capped so it never exceeds the sample's resolution.
+  format::Schema schema{{"x", format::DataType::kInt64}};
+  std::vector<format::Row> sample;
+  for (int64_t i = 0; i < 200; ++i) {
+    format::Row row;
+    row.fields = {format::Value(i % 10)};  // values 0..9; 777 never appears
+    sample.push_back(row);
+  }
+  query::Conjunction rare{
+      query::Predicate::Eq("x", format::Value(int64_t{777}))};
+
+  auto plain = SumProductNetwork::Train(schema, sample);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->EstimateSelectivity(rare), 0.0);
+
+  SpnOptions with_priors;
+  with_priors.priors = {{/*ndv=*/1000, /*null_fraction=*/0.25}};
+  auto smoothed = SumProductNetwork::Train(schema, sample, with_priors);
+  ASSERT_TRUE(smoothed.ok());
+  double sel = smoothed->EstimateSelectivity(rare);
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LE(sel, 1.0 / 1000 + 1e-12);
+
+  // IS NULL: the sample has no NULLs, so only the prior can answer.
+  query::Conjunction isnull{query::Predicate::IsNull("x")};
+  EXPECT_EQ(plain->EstimateSelectivity(isnull), 0.0);
+  double null_sel = smoothed->EstimateSelectivity(isnull);
+  EXPECT_GT(null_sel, 0.0);
+
+  // Non-zero sample estimates are untouched by priors.
+  query::Conjunction common{
+      query::Predicate::Eq("x", format::Value(int64_t{3}))};
+  EXPECT_NEAR(smoothed->EstimateSelectivity(common),
+              plain->EstimateSelectivity(common), 1e-12);
+}
+
 // ---------------- QD-tree ----------------
 
 TEST(QdTreeTest, ContradictionLogic) {
